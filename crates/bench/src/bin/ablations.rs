@@ -1,0 +1,316 @@
+//! Ablations of the design choices called out in DESIGN.md.
+//!
+//! 1. **Chaotic vs synchronous iteration** — message cost of the
+//!    threshold-gated asynchronous scheme vs a synchronous solver
+//!    where every document re-sends on every sweep.
+//! 2. **ε-suppression** — the message/quality trade-off of the send
+//!    threshold itself.
+//! 3. **Address caching vs routing every message** — overlay hops
+//!    with and without the Sec. 3.2 cache.
+//! 4. **Store-and-resend vs dropping updates** — rank mass lost when
+//!    updates to offline peers are discarded.
+//! 5. **Min-forward floor** — how the incremental-search floor (=20)
+//!    shapes hits returned.
+//! 6. **Link-aware placement** — the paper's Sec. 6 future-work idea:
+//!    partition documents by link structure instead of randomly, and
+//!    measure the remote-message savings.
+//! 7. **Chaotic vs extrapolation-accelerated solvers** — the paper's
+//!    related-work remark that asynchronous iteration "may converge
+//!    more rapidly than the acceleration methods", measured.
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin ablations [--nodes 20000] [--seed N]
+//! ```
+
+use dpr_bench::Args;
+use dpr_core::engine::{ChaoticEngine, EngineConfig};
+use dpr_core::error_stats;
+use dpr_core::sync_solver::SyncSolver;
+use dpr_p2p::peer::PeerId;
+use dpr_search::corpus::{generate_queries, Corpus, CorpusConfig};
+use dpr_search::index::DistributedIndex;
+use dpr_search::query::{
+    execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
+};
+use dpr_sim::hops::HopAccounting;
+use dpr_sim::metrics::{fmt_eps, TextTable};
+use dpr_sim::workload::Workload;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 20_000);
+    let seed = args.seed();
+
+    ablation_sync_vs_async(nodes, seed);
+    ablation_epsilon_suppression(nodes, seed);
+    ablation_caching(seed);
+    ablation_store_and_resend(seed);
+    ablation_min_forward_floor(seed);
+    ablation_link_aware_placement(nodes, seed);
+    ablation_acceleration(nodes, seed);
+}
+
+/// 1. Chaotic+threshold vs synchronous all-send.
+fn ablation_sync_vs_async(nodes: usize, seed: u64) {
+    println!("== ablation 1: chaotic (async, eps-gated) vs synchronous all-send ==\n");
+    let w = Workload::paper(nodes, 500, seed);
+    let remote_links: u64 = w.remote_links_per_peer().iter().sum();
+
+    let mut table = TextTable::new(["scheme", "passes/iters", "remote msgs", "max rel err"]);
+    let reference = SyncSolver::new().tolerance(1e-12).solve(&w.graph);
+
+    for eps in [1e-3, 1e-5] {
+        let mut eng =
+            ChaoticEngine::new(w.graph.clone(), w.owners(), EngineConfig::with_epsilon(eps));
+        let mut peers = w.peer_table();
+        let run = eng.run_to_convergence(&mut peers, None);
+        let err = error_stats::compare(eng.ranks(), &reference.ranks);
+        table.push([
+            format!("chaotic eps={}", fmt_eps(eps)),
+            run.passes.to_string(),
+            run.total_remote_messages.to_string(),
+            format!("{:.2e}", err.max),
+        ]);
+    }
+
+    // Synchronous distributed: every sweep, every document re-sends to
+    // every remote out-link (no threshold gating possible because the
+    // sweep is global).
+    let sync = SyncSolver::new().tolerance(1e-3).max_iterations(500).solve(&w.graph);
+    let sync_msgs = remote_links * sync.iterations as u64;
+    let err = error_stats::compare(&sync.ranks, &reference.ranks);
+    table.push([
+        "synchronous (all-send)".to_string(),
+        sync.iterations.to_string(),
+        sync_msgs.to_string(),
+        format!("{:.2e}", err.max),
+    ]);
+    println!("{}", table.render());
+    println!("threshold gating sends only what changed; all-send pays every link every sweep\n");
+}
+
+/// 2. The send threshold's message/quality trade-off.
+fn ablation_epsilon_suppression(nodes: usize, seed: u64) {
+    println!("== ablation 2: epsilon send-suppression trade-off ==\n");
+    let sweep = dpr_sim::scenario::QualitySweep::new(nodes, 500, seed);
+    let mut table = TextTable::new(["eps", "remote msgs", "msgs/node", "avg rel err", "max rel err"]);
+    for eps in [0.2, 1e-2, 1e-4, 1e-6] {
+        let r = sweep.run(eps);
+        table.push([
+            fmt_eps(eps),
+            r.total_remote_messages.to_string(),
+            format!("{:.1}", r.messages_per_node),
+            format!("{:.2e}", r.distribution.avg),
+            format!("{:.2e}", r.distribution.max),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("~3x the messages buys ~4 more digits of accuracy (log-linear trade)\n");
+}
+
+/// 3. Address caching vs routing every message.
+fn ablation_caching(seed: u64) {
+    println!("== ablation 3: address caching vs routing every message ==\n");
+    let w = Workload::build(
+        3_000,
+        64,
+        seed,
+        dpr_p2p::peer::PlacementPolicy::DhtSuccessor,
+    );
+    let mut table = TextTable::new(["policy", "remote msgs", "overlay hops", "hops/msg"]);
+    for (name, mut acc) in [
+        ("route every message", HopAccounting::routed(w.ring.clone())),
+        ("cache after first", HopAccounting::cached(w.ring.clone())),
+    ] {
+        let mut eng = ChaoticEngine::new(
+            w.graph.clone(),
+            w.owners(),
+            EngineConfig::with_epsilon(1e-4),
+        );
+        let peers = w.peer_table();
+        let (mut msgs, mut hops) = (0u64, 0u64);
+        let mut model = acc.model();
+        while !eng.is_quiescent() {
+            let s = eng.pass_with_hops(&peers, Some(&mut model));
+            msgs += s.remote_messages;
+            hops += s.hops;
+        }
+        table.push([
+            name.to_string(),
+            msgs.to_string(),
+            hops.to_string(),
+            format!("{:.2}", hops as f64 / msgs.max(1) as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("caching amortizes the O(log n) route to ~1 hop per message (Sec. 3.2)\n");
+}
+
+/// 4. Store-and-resend vs dropping updates for offline peers.
+fn ablation_store_and_resend(seed: u64) {
+    println!("== ablation 4: store-and-resend vs dropping parked updates ==\n");
+    let w = Workload::paper(5_000, 100, seed);
+    let reference = SyncSolver::new().tolerance(1e-12).solve(&w.graph);
+    let mut table = TextTable::new(["protocol", "total rank mass", "avg rel err vs R_c"]);
+    for drop in [false, true] {
+        let mut eng = ChaoticEngine::new(
+            w.graph.clone(),
+            w.owners(),
+            EngineConfig::with_epsilon(1e-6),
+        );
+        let mut peers = w.peer_table();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let mut pass = 0;
+        while !eng.is_quiescent() && pass < 5_000 {
+            eng.pass(&peers);
+            pass += 1;
+            peers.set_online_fraction(0.5, &mut rng);
+            if drop {
+                eng.drop_parked(&peers);
+            }
+        }
+        (0..100).for_each(|p| {
+            peers.go_online(PeerId(p));
+        });
+        eng.run_to_convergence(&mut peers, None);
+        let err = error_stats::compare(eng.ranks(), &reference.ranks);
+        table.push([
+            if drop { "drop parked updates" } else { "store-and-resend (paper)" }.to_string(),
+            format!("{:.1}", eng.ranks().iter().sum::<f64>()),
+            format!("{:.2e}", err.avg),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("dropping updates for offline peers loses rank mass permanently (Sec. 3.1)\n");
+}
+
+/// 5. The min-forward floor in incremental search.
+fn ablation_min_forward_floor(seed: u64) {
+    println!("== ablation 5: incremental-search min-forward floor ==\n");
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 5_000,
+        vocab_size: 800,
+        seed,
+        ..Default::default()
+    });
+    let graph = dpr_graph::powerlaw::PowerLawConfig::paper(5_000, seed ^ 2).generate();
+    let mut eng = ChaoticEngine::local(
+        std::sync::Arc::new(graph),
+        EngineConfig::with_epsilon(1e-3),
+    );
+    eng.run_static();
+    let ring = dpr_p2p::ring::Ring::with_peers(50);
+    let index = DistributedIndex::build(&corpus, eng.ranks(), &ring);
+    let queries: Vec<Query> = generate_queries(&corpus, 3, 20, seed ^ 3)
+        .into_iter()
+        .map(Query::new)
+        .collect();
+
+    let mut table = TextTable::new(["floor", "avg reduction (x)", "avg hits returned"]);
+    for floor in [1usize, 20, 100, 1000] {
+        let cfg = IncrementalConfig {
+            forward_fraction: 0.10,
+            min_forward: floor,
+            traffic: TrafficModel::AllHopsRemote,
+        };
+        let (mut red, mut hits) = (0.0, 0.0);
+        for q in &queries {
+            let b = execute_baseline(&index, q, TrafficModel::AllHopsRemote);
+            let i = execute_incremental(&index, q, cfg);
+            red += b.traffic_ids as f64 / i.traffic_ids.max(1) as f64;
+            hits += i.hits_returned() as f64;
+        }
+        table.push([
+            floor.to_string(),
+            format!("{:.1}", red / queries.len() as f64),
+            format!("{:.1}", hits / queries.len() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("a higher floor returns more hits but erodes the traffic win (paper used 20)");
+}
+
+/// 6. Link-aware vs random document placement (paper Sec. 6).
+fn ablation_link_aware_placement(nodes: usize, seed: u64) {
+    println!("\n== ablation 6: link-aware vs random document placement ==\n");
+    let mut table = TextTable::new([
+        "placement",
+        "remote links",
+        "remote msgs",
+        "local updates",
+        "passes",
+    ]);
+    for (name, w) in [
+        ("random (paper Sec. 4.2)", Workload::paper(nodes, 500, seed)),
+        ("link-aware (Sec. 6)", Workload::build_link_aware(nodes, 500, seed, 6)),
+    ] {
+        let remote_links: u64 = w.remote_links_per_peer().iter().sum();
+        let mut eng = ChaoticEngine::new(
+            w.graph.clone(),
+            w.owners(),
+            EngineConfig::with_epsilon(1e-3),
+        );
+        let mut peers = w.peer_table();
+        let run = eng.run_to_convergence(&mut peers, None);
+        table.push([
+            name.to_string(),
+            remote_links.to_string(),
+            run.total_remote_messages.to_string(),
+            run.total_local_updates.to_string(),
+            run.passes.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("partitioning by link structure turns remote messages into free local updates");
+}
+
+/// 7. Chaotic iteration vs extrapolation-accelerated power iteration.
+fn ablation_acceleration(nodes: usize, seed: u64) {
+    use dpr_core::accel::{ExtrapolatedSolver, Method};
+    println!("\n== ablation 7: chaotic vs extrapolation-accelerated solvers ==\n");
+    let w = Workload::paper(nodes, 500, seed);
+    let mut table = TextTable::new(["solver", "sweeps/passes", "note"]);
+
+    let plain = SyncSolver::new().tolerance(1e-10).max_iterations(2_000).solve(&w.graph);
+    table.push([
+        "plain power iteration".into(),
+        plain.iterations.to_string(),
+        String::new(),
+    ]);
+    for (name, method) in [
+        ("A^d2 extrapolation", Method::PowerD),
+        ("quadratic extrapolation", Method::Quadratic),
+    ] {
+        let r = ExtrapolatedSolver::new()
+            .method(method)
+            .tolerance(1e-10)
+            .max_sweeps(2_000)
+            .solve(&w.graph);
+        table.push([
+            name.to_string(),
+            r.sweeps.to_string(),
+            format!("{} extrapolations", r.extrapolations),
+        ]);
+    }
+    let mut eng = ChaoticEngine::new(
+        w.graph.clone(),
+        w.owners(),
+        EngineConfig::with_epsilon(1e-10),
+    );
+    let mut peers = w.peer_table();
+    let run = eng.run_to_convergence(&mut peers, None);
+    table.push([
+        "chaotic (eps 1e-10)".into(),
+        run.passes.to_string(),
+        "no synchronization, no global state".into(),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "the paper's remark holds here: acceleration does not reliably beat the\n\
+         plain sweep on power-law link graphs. The chaotic scheme uses more —\n\
+         but far cheaper — passes (only changed documents act), and needs no\n\
+         synchronization or central state at all"
+    );
+}

@@ -1,0 +1,71 @@
+//! The abstract's headline operational claim, measured: "Incremental
+//! update enables continuously accurate pageranks whereas the
+//! currently centralized web crawl and computation over Internet
+//! documents requires several days."
+//!
+//! After initial convergence, documents are inserted continuously and
+//! ranks are maintained *only* by incremental waves. At checkpoints we
+//! compare against a full recompute of the grown graph: how far have
+//! the maintained ranks drifted, and what would periodic recomputation
+//! have cost instead?
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin continuous \
+//!     [--nodes 20000] [--inserts 200] [--checkpoints 5] [--eps 1e-3] [--json]
+//! ```
+
+use dpr_bench::Args;
+use dpr_sim::metrics::TextTable;
+use dpr_sim::report::{results_dir, ExperimentRecord};
+use dpr_sim::scenario::continuous_update_experiment;
+
+fn main() {
+    let args = Args::parse();
+    let nodes: usize = args.get("nodes", 20_000);
+    let inserts: usize = args.get("inserts", 200);
+    let checkpoints: usize = args.get("checkpoints", 5);
+    let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON);
+
+    println!(
+        "Continuous accuracy under document churn \
+         ({nodes} docs, {inserts} inserts, eps {eps})\n"
+    );
+    let points = continuous_update_experiment(nodes, inserts, checkpoints, eps, args.seed());
+
+    let mut table = TextTable::new([
+        "inserts",
+        "avg rel err",
+        "max rel err",
+        "wave msgs (cum.)",
+        "one recompute",
+    ]);
+    for p in &points {
+        table.push([
+            p.inserts.to_string(),
+            format!("{:.2e}", p.avg_rel_error),
+            format!("{:.2e}", p.max_rel_error),
+            p.wave_messages.to_string(),
+            p.recompute_messages.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let last = points.last().expect("at least one checkpoint");
+    println!(
+        "after {} inserts the incrementally maintained ranks sit at {:.2e} average\n\
+         relative error from a from-scratch solve — and maintaining them cost {} \n\
+         messages total, vs {} for a single recompute (which a crawler-based\n\
+         pipeline would have to repeat every cycle).",
+        last.inserts, last.avg_rel_error, last.wave_messages, last.recompute_messages
+    );
+
+    if args.json() {
+        let path = ExperimentRecord::new(
+            "continuous",
+            format!("nodes={nodes} inserts={inserts} eps={eps} seed={}", args.seed()),
+            points,
+        )
+        .write_to_dir(results_dir())
+        .expect("write results");
+        println!("\nwrote {}", path.display());
+    }
+}

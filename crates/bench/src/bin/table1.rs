@@ -1,0 +1,55 @@
+//! Table 1: convergence rate of the distributed pagerank algorithm.
+//!
+//! Paper: 500 peers, ε = 1e-3, graph sizes 10k–5000k, peer presence
+//! 100 % / 75 % / 50 %. "When all peers are present, the number of
+//! passes for convergence is of the order of 100 … With only half the
+//! peers present … only a factor of two slowdown."
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin table1 [--sizes 10000,100000] \
+//!     [--peers 500] [--eps 1e-3] [--seed N] [--json] [--full]
+//! ```
+
+use dpr_bench::Args;
+use dpr_sim::metrics::TextTable;
+use dpr_sim::report::{results_dir, ExperimentRecord};
+use dpr_sim::scenario::{run_convergence, ConvergenceResult};
+use dpr_sim::workload::Workload;
+
+fn main() {
+    let args = Args::parse();
+    let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
+    let eps: f64 = args.get("eps", 1e-3);
+    let presences = [1.0f64, 0.75, 0.5];
+
+    println!("Table 1 — convergence rate ({peers} peers, eps {eps})");
+    println!("(paper: ~74-241 passes; slower with fewer peers present)\n");
+
+    let mut table = TextTable::new(["graph size", "100%", "75%", "50%"]);
+    let mut rows: Vec<ConvergenceResult> = Vec::new();
+    for size in args.sizes() {
+        let w = Workload::paper(size, peers, args.seed());
+        let mut cells = vec![size.to_string()];
+        for presence in presences {
+            let r = run_convergence(&w, eps, presence, args.seed());
+            assert!(r.converged, "run must converge");
+            cells.push(r.passes.to_string());
+            rows.push(r);
+        }
+        table.push(cells);
+        eprintln!("  … finished size {size}");
+    }
+    println!("{}", table.render());
+    println!("passes per cell; each column re-draws the online peer set after every pass");
+
+    if args.json() {
+        let path = ExperimentRecord::new(
+            "table1",
+            format!("peers={peers} eps={eps} seed={}", args.seed()),
+            rows,
+        )
+        .write_to_dir(results_dir())
+        .expect("write results");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,69 @@
+//! Table 2: relative-error distribution of the distributed pagerank
+//! versus the synchronous reference, across error thresholds.
+//!
+//! Paper: for each graph size and each ε ∈ {0.2, 1e-1 … 1e-6}, the
+//! maximum relative error `|R_d − R_c| / R_c` within the best 50 %,
+//! 75 %, 90 %, 99 %, 99.9 % of pages, plus max and average. Headline:
+//! "a threshold as high as 0.2 performs extremely well … a threshold
+//! of 1e-3 produces extremely good results for all graph sizes."
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin table2 [--sizes ...] \
+//!     [--peers 500] [--seed N] [--json] [--full]
+//! ```
+
+use dpr_bench::{Args, TABLE23_EPSILONS};
+use dpr_sim::metrics::{fmt_eps, TextTable};
+use dpr_sim::report::{results_dir, ExperimentRecord};
+use dpr_sim::scenario::{QualityResult, QualitySweep};
+
+fn main() {
+    let args = Args::parse();
+    let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
+
+    println!("Table 2 — relative error distribution (vs synchronous R_c)");
+    println!("cells: relative error (not %); rows: best-x% of pages\n");
+
+    let mut records: Vec<QualityResult> = Vec::new();
+    for size in args.sizes() {
+        eprintln!("  … building sweep for size {size}");
+        let sweep = QualitySweep::new(size, peers, args.seed());
+        let results: Vec<QualityResult> =
+            TABLE23_EPSILONS.iter().map(|&eps| sweep.run(eps)).collect();
+
+        let mut header = vec!["% pages".to_string()];
+        header.extend(TABLE23_EPSILONS.iter().map(|&e| fmt_eps(e)));
+        let mut table = TextTable::new(header);
+        let pct_labels = ["50", "75", "90", "99", "99.9"];
+        for (row_idx, label) in pct_labels.iter().enumerate() {
+            let mut cells = vec![label.to_string()];
+            for r in &results {
+                cells.push(format!("{:.2e}", r.distribution.percentiles[row_idx].1));
+            }
+            table.push(cells);
+        }
+        let mut max_row = vec!["Max.".to_string()];
+        let mut avg_row = vec!["Avg.".to_string()];
+        for r in &results {
+            max_row.push(format!("{:.2e}", r.distribution.max));
+            avg_row.push(format!("{:.2e}", r.distribution.avg));
+        }
+        table.push(max_row);
+        table.push(avg_row);
+
+        println!("Relative error for {size} nodes:");
+        println!("{}", table.render());
+        records.extend(results);
+    }
+
+    if args.json() {
+        let path = ExperimentRecord::new(
+            "table2",
+            format!("peers={peers} seed={}", args.seed()),
+            records,
+        )
+        .write_to_dir(results_dir())
+        .expect("write results");
+        println!("wrote {}", path.display());
+    }
+}

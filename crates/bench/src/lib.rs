@@ -1,0 +1,151 @@
+//! # dpr-bench — experiment regenerators and micro-benchmarks
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | binary | regenerates | paper section |
+//! |--------|-------------|---------------|
+//! | `table1` | convergence passes vs size × presence | Sec. 4.3, Table 1 |
+//! | `table2` | relative-error distribution vs ε | Sec. 4.4, Table 2 |
+//! | `table3` | message traffic + execution time vs ε | Sec. 4.5/4.6, Table 3 |
+//! | `table4` | insert path length & node coverage vs ε | Sec. 4.7, Table 4 |
+//! | `table5` | qualitative summary from measured JSON | Table 5 |
+//! | `table6` | incremental-search traffic reduction | Sec. 4.9, Table 6 |
+//! | `continuous` | continuously-accurate ranks under churn | abstract claim |
+//! | `figure2` | the increment-propagation worked example | Sec. 4.7, Fig. 2 |
+//! | `ablations` | design-choice ablations from DESIGN.md | — |
+//!
+//! Every binary accepts `--sizes a,b,c`, `--seed n`, `--json` (dump a
+//! JSON record into `results/`), and `--full` (paper-scale sizes; slow
+//! on a laptop). `cargo bench -p dpr-bench` runs the criterion
+//! micro-benchmarks over the hot kernels.
+
+use std::collections::HashMap;
+
+/// The ε sweep of Tables 2 and 3.
+pub const TABLE23_EPSILONS: [f64; 7] = [0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6];
+
+/// The ε sweep of Table 4.
+pub const TABLE4_EPSILONS: [f64; 6] = [0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5];
+
+/// Default graph sizes for laptop runs.
+pub const DEFAULT_SIZES: [usize; 2] = [10_000, 100_000];
+
+/// Minimal flag parser: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                panic!("unexpected positional argument: {a}");
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(name.to_string(), it.next().unwrap());
+                }
+                _ => out.switches.push(name.to_string()),
+            }
+        }
+        out
+    }
+
+    /// Whether a bare switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.values.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad --{name} {v}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// A comma-separated list of sizes, honoring `--full`.
+    pub fn sizes(&self) -> Vec<usize> {
+        if let Some(v) = self.values.get("sizes") {
+            return v
+                .split(',')
+                .map(|s| s.trim().parse().expect("bad --sizes entry"))
+                .collect();
+        }
+        if self.has("full") {
+            dpr_sim::workload::PAPER_GRAPH_SIZES.to_vec()
+        } else {
+            DEFAULT_SIZES.to_vec()
+        }
+    }
+
+    /// RNG seed (`--seed`, default 2003 — the venue year).
+    pub fn seed(&self) -> u64 {
+        self.get("seed", 2003u64)
+    }
+
+    /// Whether to dump JSON records (`--json`).
+    pub fn json(&self) -> bool {
+        self.has("json")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args("--seed 7 --json --sizes 100,200");
+        assert_eq!(a.seed(), 7);
+        assert!(a.json());
+        assert_eq!(a.sizes(), vec![100, 200]);
+        assert!(!a.has("full"));
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args("");
+        assert_eq!(a.seed(), 2003);
+        assert!(!a.json());
+        assert_eq!(a.sizes(), DEFAULT_SIZES.to_vec());
+    }
+
+    #[test]
+    fn full_selects_paper_sizes() {
+        let a = args("--full");
+        assert_eq!(a.sizes(), dpr_sim::workload::PAPER_GRAPH_SIZES.to_vec());
+    }
+
+    #[test]
+    fn typed_get() {
+        let a = args("--eps 0.5");
+        let eps: f64 = a.get("eps", 1.0);
+        assert_eq!(eps, 0.5);
+        let missing: usize = a.get("nope", 9);
+        assert_eq!(missing, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected positional")]
+    fn rejects_positional() {
+        args("loose");
+    }
+}

@@ -1,0 +1,358 @@
+//! The `dpr` subcommand implementations.
+
+use crate::args::Args;
+use dpr_core::engine::{ChaoticEngine, EngineConfig};
+use dpr_core::incremental::{propagate, PropagationConfig};
+use dpr_core::sync_solver::SyncSolver;
+use dpr_graph::{io, partition, powerlaw::PowerLawConfig, stats, CsrGraph, DocId, DynamicGraph};
+use dpr_p2p::peer::{PeerId, PeerTable, Placement, PlacementPolicy};
+use dpr_p2p::ring::Ring;
+use dpr_search::corpus::{Corpus, CorpusConfig};
+use dpr_search::index::DistributedIndex;
+use dpr_search::query::{
+    execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fs::File;
+use std::sync::Arc;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+dpr — distributed pagerank for P2P systems (HPDC'03 reproduction)
+
+commands:
+  generate   --nodes N --out FILE [--seed S] [--edges-out FILE]
+  stats      --graph FILE
+  rank       --graph FILE [--eps 1e-3] [--peers 500] [--seed S]
+             [--out ranks.json] [--top K] [--sync]
+  partition  --graph FILE --peers K [--sweeps 6]
+  insert     --graph FILE --links a,b,c [--eps 1e-3] [--damping 0.85]
+  delete     --graph FILE --doc ID [--eps 1e-3] [--damping 0.85]
+  search     [--docs 11000] [--vocab 1880] [--peers 50] [--query t1,t2]
+             [--top-percent 10] [--seed S]
+  help       this text";
+
+fn load_graph(args: &Args) -> Result<CsrGraph, String> {
+    let path = args.required("graph")?;
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    io::read_binary(file).map_err(|e| format!("read {path}: {e}"))
+}
+
+/// `dpr generate` — write a power-law graph to disk.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.get_required("nodes")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.get("seed", 2003)?;
+    let graph = PowerLawConfig::paper(nodes, seed).generate();
+    let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    io::write_binary(&graph, file).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} documents, {} links ({} bytes in memory)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.heap_bytes()
+    );
+    if let Some(edges_out) = args.optional("edges-out") {
+        let f = File::create(edges_out).map_err(|e| format!("create {edges_out}: {e}"))?;
+        io::write_edge_list(&graph, f).map_err(|e| format!("write {edges_out}: {e}"))?;
+        println!("wrote {edges_out} (text edge list)");
+    }
+    Ok(())
+}
+
+/// `dpr stats` — summarize a graph file.
+pub fn stats(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let s = stats::summarize(&graph);
+    println!("documents:        {}", s.nodes);
+    println!("links:            {}", s.edges);
+    println!("mean out-degree:  {:.2}", s.mean_out_degree);
+    println!("max out-degree:   {}", s.max_out_degree);
+    println!("max in-degree:    {}", s.max_in_degree);
+    println!("dangling docs:    {}", s.dangling);
+    if let Some(a) = s.out_exponent_fit {
+        println!("out-degree power-law fit: {a:.2} (paper model: 2.4)");
+    }
+    if let Some(a) = s.in_exponent_fit {
+        println!("in-degree power-law fit:  {a:.2} (paper model: 2.1)");
+    }
+    println!(
+        "weakly connected components: {}",
+        stats::weakly_connected_components(&graph)
+    );
+    Ok(())
+}
+
+/// `dpr rank` — run the distributed computation (or `--sync` solver).
+pub fn rank(args: &Args) -> Result<(), String> {
+    let graph = Arc::new(load_graph(args)?);
+    let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON)?;
+    let peers: usize = args.get("peers", 500)?;
+    let seed: u64 = args.get("seed", 2003)?;
+    let top: usize = args.get("top", 10)?;
+
+    let ranks: Vec<f64> = if args.has("sync") {
+        let r = SyncSolver::new().tolerance(eps).solve(&graph);
+        println!(
+            "synchronous solve: {} iterations, residual {:.2e}",
+            r.iterations, r.final_residual
+        );
+        r.ranks
+    } else {
+        let ring = Ring::with_peers(peers);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let placement =
+            Placement::assign(graph.num_nodes(), &ring, PlacementPolicy::Random, &mut rng);
+        let owners: Vec<PeerId> = (0..graph.num_nodes())
+            .map(|d| placement.owner(DocId::from(d)))
+            .collect();
+        let mut engine =
+            ChaoticEngine::new(graph.clone(), owners, EngineConfig::with_epsilon(eps));
+        let mut table = PeerTable::new(peers);
+        let run = engine.run_to_convergence(&mut table, None);
+        println!(
+            "distributed solve: {} passes, {} remote messages ({:.1}/doc), converged: {}",
+            run.passes,
+            run.total_remote_messages,
+            run.messages_per_node(graph.num_nodes()),
+            run.converged
+        );
+        engine.ranks().to_vec()
+    };
+
+    let mut order: Vec<usize> = (0..ranks.len()).collect();
+    order.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).expect("no NaN ranks"));
+    println!("top {top} documents:");
+    for &d in order.iter().take(top) {
+        println!("  d{d:<10} {:.6}", ranks[d]);
+    }
+
+    if let Some(out) = args.optional("out") {
+        let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        serde_json::to_writer(f, &ranks).map_err(|e| format!("write {out}: {e}"))?;
+        println!("wrote {out} ({} ranks)", ranks.len());
+    }
+    Ok(())
+}
+
+/// `dpr partition` — link-aware partitioning report.
+pub fn partition(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let peers: usize = args.get_required("peers")?;
+    let sweeps: usize = args.get("sweeps", 6)?;
+    if peers == 0 {
+        return Err("--peers must be positive".into());
+    }
+    let random: Vec<u32> = (0..graph.num_nodes() as u32).map(|i| i % peers as u32).collect();
+    let bfs = partition::bfs_partition(&graph, peers);
+    let refined = partition::link_aware_partition(&graph, peers, sweeps);
+    let total = graph.num_edges();
+    for (name, labels) in [("random", &random), ("bfs", &bfs), ("link-aware", &refined)] {
+        let cut = partition::edge_cut(&graph, labels);
+        println!(
+            "{name:>11}: {cut} cross-peer links of {total} ({:.1}%)",
+            100.0 * cut as f64 / total.max(1) as f64
+        );
+    }
+    let sizes = partition::partition_sizes(&refined, peers);
+    println!(
+        "link-aware partition sizes: min {}, max {}",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
+    Ok(())
+}
+
+fn wave_cfg(args: &Args) -> Result<PropagationConfig, String> {
+    Ok(PropagationConfig {
+        damping: args.get("damping", dpr_core::DEFAULT_DAMPING)?,
+        epsilon: args.get("eps", dpr_core::RECOMMENDED_EPSILON)?,
+    })
+}
+
+/// `dpr insert` — simulate inserting a document with given out-links.
+pub fn insert(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let links: Vec<u32> = args.get_list("links")?;
+    if links.is_empty() {
+        return Err("--links must name at least one target document".into());
+    }
+    for &l in &links {
+        if l as usize >= graph.num_nodes() {
+            return Err(format!("link target {l} out of range"));
+        }
+    }
+    let cfg = wave_cfg(args)?;
+    let mut dyn_graph = DynamicGraph::from_csr(&graph);
+    let mut ranks = vec![dpr_core::INITIAL_RANK; graph.num_nodes()];
+    let (id, wave) = dpr_core::incremental::insert_document(
+        &mut dyn_graph,
+        &links.into_iter().map(DocId).collect::<Vec<_>>(),
+        &mut ranks,
+        cfg,
+    );
+    println!("inserted {id} (eps {}, damping {})", cfg.epsilon, cfg.damping);
+    println!("update wave: path length {}, node coverage {}, {} messages",
+        wave.path_length, wave.node_coverage, wave.messages);
+    Ok(())
+}
+
+/// `dpr delete` — simulate the delete wave of a document.
+pub fn delete(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args)?;
+    let doc: u32 = args.get_required("doc")?;
+    if doc as usize >= graph.num_nodes() {
+        return Err(format!("document {doc} out of range"));
+    }
+    let cfg = wave_cfg(args)?;
+    // The negated-rank wave over the document's links (Sec. 3.1).
+    let wave = propagate(&graph, DocId(doc), -dpr_core::INITIAL_RANK, cfg, None);
+    println!("delete wave for d{doc}: path length {}, node coverage {}, {} messages",
+        wave.path_length, wave.node_coverage, wave.messages);
+    Ok(())
+}
+
+/// `dpr search` — demo incremental search over a synthetic corpus.
+pub fn search(args: &Args) -> Result<(), String> {
+    let docs: usize = args.get("docs", 11_000)?;
+    let vocab: u32 = args.get("vocab", 1880)?;
+    let peers: usize = args.get("peers", 50)?;
+    let seed: u64 = args.get("seed", 2003)?;
+    let pct: f64 = args.get("top-percent", 10.0)?;
+    if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+        return Err("--top-percent must be in (0, 100]".into());
+    }
+
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: docs,
+        vocab_size: vocab,
+        seed,
+        ..Default::default()
+    });
+    let graph = PowerLawConfig::paper(docs, seed ^ 0xbeef).generate();
+    let mut engine =
+        ChaoticEngine::local(Arc::new(graph), EngineConfig::with_epsilon(1e-3));
+    engine.run_static();
+    let ring = Ring::with_peers(peers);
+    let index = DistributedIndex::build(&corpus, engine.ranks(), &ring);
+
+    let terms: Vec<u32> = match args.optional("query") {
+        Some(_) => args.get_list("query")?,
+        None => corpus.top_terms(2),
+    };
+    for &t in &terms {
+        if t >= vocab {
+            return Err(format!("query term {t} out of vocabulary (0..{vocab})"));
+        }
+    }
+    let q = Query::new(terms.clone());
+    let base = execute_baseline(&index, &q, TrafficModel::AllHopsRemote);
+    let cfg = IncrementalConfig {
+        forward_fraction: pct / 100.0,
+        min_forward: 20,
+        traffic: TrafficModel::AllHopsRemote,
+    };
+    let incr = execute_incremental(&index, &q, cfg);
+    println!("query {terms:?} over {docs} docs / {peers} peers:");
+    println!(
+        "  baseline:    {} ids moved, {} hits returned",
+        base.traffic_ids,
+        base.hits_returned()
+    );
+    println!(
+        "  top-{pct:.0}%:     {} ids moved, {} hits returned ({:.1}x less traffic)",
+        incr.traffic_ids,
+        incr.hits_returned(),
+        base.traffic_ids as f64 / incr.traffic_ids.max(1) as f64
+    );
+    if let (Some(b), Some(i)) = (base.hits.first(), incr.hits.first()) {
+        println!(
+            "  best hit under both strategies: {} (rank {:.4})",
+            b.doc, b.rank
+        );
+        assert_eq!(b.doc, i.doc, "top hit must survive the cut");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from).collect()).unwrap()
+    }
+
+    fn graph_file(dir: &std::path::Path, nodes: usize) -> String {
+        let path = dir.join("g.bin");
+        let g = PowerLawConfig::paper(nodes, 1).generate();
+        io::write_binary(&g, File::create(&path).unwrap()).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dpr-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn generate_and_stats_roundtrip() {
+        let dir = tmpdir("gen");
+        let out = dir.join("g.bin");
+        generate(&args(&format!("--nodes 500 --out {}", out.display()))).unwrap();
+        stats(&args(&format!("--graph {}", out.display()))).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rank_distributed_and_sync() {
+        let dir = tmpdir("rank");
+        let g = graph_file(&dir, 400);
+        let ranks_out = dir.join("ranks.json");
+        rank(&args(&format!(
+            "--graph {g} --eps 1e-4 --peers 10 --out {}",
+            ranks_out.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&ranks_out).unwrap();
+        let ranks: Vec<f64> = serde_json::from_str(&text).unwrap();
+        assert_eq!(ranks.len(), 400);
+        rank(&args(&format!("--graph {g} --sync --eps 1e-8"))).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partition_reports() {
+        let dir = tmpdir("part");
+        let g = graph_file(&dir, 600);
+        partition(&args(&format!("--graph {g} --peers 6"))).unwrap();
+        assert!(partition(&args(&format!("--graph {g} --peers 0"))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn insert_and_delete_waves() {
+        let dir = tmpdir("ins");
+        let g = graph_file(&dir, 300);
+        insert(&args(&format!("--graph {g} --links 1,2,3"))).unwrap();
+        delete(&args(&format!("--graph {g} --doc 5"))).unwrap();
+        assert!(insert(&args(&format!("--graph {g} --links 9999"))).is_err());
+        assert!(delete(&args(&format!("--graph {g} --doc 9999"))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn search_demo_runs_small() {
+        search(&args("--docs 800 --vocab 200 --peers 10 --top-percent 10")).unwrap();
+        assert!(search(&args("--docs 800 --vocab 200 --top-percent 0")).is_err());
+        assert!(search(&args("--docs 800 --vocab 200 --query 9999")).is_err());
+    }
+
+    #[test]
+    fn missing_graph_file_is_a_clean_error() {
+        let e = stats(&args("--graph /nonexistent/g.bin")).unwrap_err();
+        assert!(e.contains("open"), "{e}");
+    }
+}

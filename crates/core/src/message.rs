@@ -1,0 +1,118 @@
+//! The pagerank update message.
+//!
+//! "Upon receiving an update message for a document, the receiving
+//! peer updates the document's pagerank" (Fig. 1). In the increment
+//! formulation used by the engine, the message carries the *change* in
+//! the sender's forwarded contribution; the receiver simply adds it.
+//! A negative delta is a document-deletion update (Sec. 3.1).
+
+use dpr_graph::DocId;
+use dpr_p2p::guid::Guid;
+use dpr_p2p::transport::{RankUpdateWire, WireError};
+
+/// An in-memory pagerank update: "add `delta` to document `doc`".
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RankUpdate {
+    /// The target document.
+    pub doc: DocId,
+    /// The rank contribution change (damping already applied by the
+    /// sender). Negative for deletions.
+    pub delta: f64,
+}
+
+impl RankUpdate {
+    /// Creates an update.
+    pub fn new(doc: DocId, delta: f64) -> Self {
+        RankUpdate { doc, delta }
+    }
+
+    /// Serializes to the paper's 24-byte wire form (128-bit GUID +
+    /// 64-bit value).
+    pub fn to_wire(self) -> RankUpdateWire {
+        RankUpdateWire { guid: Guid::for_document(self.doc).0, value: self.delta }
+    }
+
+    /// Recovers the in-memory form from the wire, resolving the GUID
+    /// through the receiver's `guid -> doc` resolver (a real peer
+    /// holds this map for the documents it stores).
+    pub fn from_wire(
+        wire: RankUpdateWire,
+        resolve: impl Fn(Guid) -> Option<DocId>,
+    ) -> Result<Self, MessageError> {
+        let doc = resolve(Guid(wire.guid)).ok_or(MessageError::UnknownGuid(Guid(wire.guid)))?;
+        Ok(RankUpdate { doc, delta: wire.value })
+    }
+}
+
+/// Errors decoding or resolving an update message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MessageError {
+    /// The GUID does not correspond to any document held by this peer.
+    UnknownGuid(Guid),
+    /// The wire payload was malformed.
+    Wire(WireError),
+}
+
+impl From<WireError> for MessageError {
+    fn from(e: WireError) -> Self {
+        MessageError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageError::UnknownGuid(g) => write!(f, "no local document with guid {g}"),
+            MessageError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn wire_roundtrip_via_guid_resolution() {
+        let m = RankUpdate::new(DocId(17), 0.25);
+        let wire = m.to_wire();
+        // A peer's local guid index.
+        let index: HashMap<Guid, DocId> =
+            (0..32u32).map(|i| (Guid::for_document(DocId(i)), DocId(i))).collect();
+        let back = RankUpdate::from_wire(wire, |g| index.get(&g).copied()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn unknown_guid_is_an_error() {
+        let m = RankUpdate::new(DocId(99), 1.0);
+        let err = RankUpdate::from_wire(m.to_wire(), |_| None).unwrap_err();
+        assert!(matches!(err, MessageError::UnknownGuid(_)));
+    }
+
+    #[test]
+    fn negative_delta_survives_the_wire() {
+        let m = RankUpdate::new(DocId(3), -1.5);
+        let back =
+            RankUpdate::from_wire(m.to_wire(), |_| Some(DocId(3))).unwrap();
+        assert!(back.delta < 0.0);
+        assert_eq!(back.delta, -1.5);
+    }
+
+    #[test]
+    fn full_byte_roundtrip() {
+        // In-memory -> wire -> 24 bytes -> wire -> in-memory.
+        let m = RankUpdate::new(DocId(8), 0.0625);
+        let bytes = m.to_wire().encode();
+        assert_eq!(bytes.len(), 24);
+        let wire = RankUpdateWire::decode(bytes).unwrap();
+        let back = RankUpdate::from_wire(wire, |g| {
+            (g == Guid::for_document(DocId(8))).then_some(DocId(8))
+        })
+        .unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-threaded pass execution.
+//!
+//! A peer in the real system is an independent machine; inside the
+//! simulator, one pass is a large data-parallel job (millions of
+//! documents for the paper's biggest graphs). [`ParallelExecutor`]
+//! splits the pass's working set across crossbeam scoped threads.
+//!
+//! The design is two-phase to stay safe and *bit-identical* to the
+//! sequential engine:
+//!
+//! 1. **Scan (parallel)** — each thread takes a contiguous chunk of
+//!    the dirty list and, reading the frozen pass-start state,
+//!    computes for each document whether it carries (owner offline),
+//!    what its new rank is, and the exact `(target, delta)` emissions
+//!    it would send. Documents appear in the dirty list at most once,
+//!    so chunk outputs touch disjoint documents.
+//! 2. **Commit (sequential)** — chunk outputs are replayed in chunk
+//!    order, which reproduces the sequential engine's floating-point
+//!    addition order exactly; equality tests can use `==` on ranks.
+//!
+//! The commit phase serializes the fan-out merge; the scan phase
+//! (rank computation, neighbor enumeration, message accounting)
+//! parallelizes. This mirrors how a real multi-core simulator host
+//! would batch per-peer work, and keeps the engine free of atomics.
+
+use crate::engine::{ChaoticEngine, PassStats};
+use dpr_graph::DocId;
+use dpr_p2p::peer::PeerTable;
+
+/// What the scan phase decided for one dirty document.
+#[derive(Debug, Clone, Copy)]
+enum Outcome {
+    /// Owner offline; stays dirty.
+    Carried(u32),
+    /// Increment applied; optionally re-advertised (its emissions sit
+    /// in the chunk's emit buffer, in document order).
+    Applied { doc: u32, new_rank: f64, rel: f64, advertise: Option<f64> },
+}
+
+/// Per-chunk scan output.
+#[derive(Debug, Default)]
+struct ChunkResult {
+    outcomes: Vec<Outcome>,
+    emits: Vec<(u32, f64)>,
+    remote: u64,
+    local: u64,
+    senders: u64,
+}
+
+/// Parallel pass executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor with `threads` worker threads (at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelExecutor { threads: threads.max(1) }
+    }
+
+    /// An executor sized to the host's available parallelism.
+    pub fn host_sized() -> Self {
+        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ParallelExecutor::new(t)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes one pass, semantically identical to
+    /// [`ChaoticEngine::pass`] (no hop model support — hops equal
+    /// remote messages).
+    pub fn pass(&self, eng: &mut ChaoticEngine, peers: &PeerTable) -> PassStats {
+        eng.passes += 1;
+        let mut stats = PassStats { pass: eng.passes, ..Default::default() };
+        let work = std::mem::take(&mut eng.dirty);
+        if work.is_empty() {
+            return stats;
+        }
+
+        let chunk_size = work.len().div_ceil(self.threads);
+        let chunks: Vec<&[u32]> = work.chunks(chunk_size).collect();
+
+        // Scan phase: frozen reads of ranks / advertised / pending.
+        let results: Vec<ChunkResult> = crossbeam::thread::scope(|s| {
+            let eng = &*eng;
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| s.spawn(move |_| scan_chunk(eng, peers, chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
+        })
+        .expect("crossbeam scope failed");
+
+        // Commit phase, mirroring the sequential engine's two phases:
+        // first apply every outcome (carried pushes + state updates)
+        // in chunk order, then merge every emission in chunk order.
+        let mut carry: Vec<u32> = Vec::new();
+        for res in &results {
+            stats.remote_messages += res.remote;
+            stats.local_updates += res.local;
+            stats.senders += res.senders;
+            for &outcome in &res.outcomes {
+                match outcome {
+                    Outcome::Carried(doc) => carry.push(doc),
+                    Outcome::Applied { doc, new_rank, rel, advertise } => {
+                        let i = doc as usize;
+                        eng.queued[i] = false;
+                        eng.pending[i] = 0.0;
+                        eng.ranks[i] = new_rank;
+                        stats.applied += 1;
+                        stats.max_relative_change = stats.max_relative_change.max(rel);
+                        if let Some(adv) = advertise {
+                            eng.advertised[i] = adv;
+                        }
+                    }
+                }
+            }
+        }
+        for res in &results {
+            for &(t, delta) in &res.emits {
+                let ti = t as usize;
+                eng.pending[ti] += delta;
+                if !eng.queued[ti] {
+                    eng.queued[ti] = true;
+                    carry.push(t);
+                }
+            }
+        }
+        stats.hops = stats.remote_messages;
+        eng.dirty = carry;
+        stats
+    }
+
+    /// Runs parallel passes until quiescence or the engine's pass
+    /// budget is exhausted. Returns the same [`crate::RunStats`] shape
+    /// as the sequential runner.
+    pub fn run_to_convergence(
+        &self,
+        eng: &mut ChaoticEngine,
+        peers: &mut PeerTable,
+        mut churn: Option<&mut crate::engine::ChurnFn<'_>>,
+    ) -> crate::RunStats {
+        let mut run = crate::RunStats::default();
+        let budget = eng.config().max_passes;
+        while !eng.is_quiescent() && run.passes < budget {
+            let stats = self.pass(eng, peers);
+            run.passes += 1;
+            run.total_remote_messages += stats.remote_messages;
+            run.total_local_updates += stats.local_updates;
+            run.total_hops += stats.hops;
+            run.per_pass.push(stats);
+            if let Some(f) = churn.as_deref_mut() {
+                f(run.passes, peers);
+            }
+        }
+        run.converged = eng.is_quiescent();
+        run
+    }
+}
+
+/// The read-only per-document work of one chunk.
+fn scan_chunk(eng: &ChaoticEngine, peers: &PeerTable, chunk: &[u32]) -> ChunkResult {
+    let cfg = eng.config();
+    let mut res = ChunkResult {
+        outcomes: Vec::with_capacity(chunk.len()),
+        ..Default::default()
+    };
+    for &doc in chunk {
+        let i = doc as usize;
+        let p = eng.owner_of(DocId(doc));
+        if !peers.is_online(p) {
+            res.outcomes.push(Outcome::Carried(doc));
+            continue;
+        }
+        let new_rank = eng.ranks[i] + eng.pending[i];
+        let rel =
+            (new_rank - eng.advertised[i]).abs() / new_rank.abs().max(f64::MIN_POSITIVE);
+        if rel <= cfg.epsilon {
+            res.outcomes.push(Outcome::Applied { doc, new_rank, rel, advertise: None });
+            continue;
+        }
+        let out = eng.graph().out_neighbors(DocId(doc));
+        if out.is_empty() {
+            res.outcomes.push(Outcome::Applied {
+                doc,
+                new_rank,
+                rel,
+                advertise: Some(new_rank),
+            });
+            continue;
+        }
+        let send = cfg.damping * (new_rank - eng.advertised[i]) / out.len() as f64;
+        res.senders += 1;
+        for &t in out {
+            res.emits.push((t, send));
+            if eng.owner_of(DocId(t)) == p {
+                res.local += 1;
+            } else {
+                res.remote += 1;
+            }
+        }
+        res.outcomes.push(Outcome::Applied {
+            doc,
+            new_rank,
+            rel,
+            advertise: Some(new_rank),
+        });
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use dpr_graph::powerlaw::paper_graph;
+    use dpr_p2p::peer::PeerId;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn owners(n: usize, peers: u32, seed: u64) -> Vec<PeerId> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| PeerId(rng.gen_range(0..peers))).collect()
+    }
+
+    #[test]
+    fn parallel_pass_is_bit_identical_to_sequential() {
+        let g = paper_graph(2_000, 51);
+        let n = g.num_nodes();
+        let own = owners(n, 20, 1);
+        let cfg = EngineConfig::with_epsilon(1e-5);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let peers = PeerTable::new(20);
+        let exec = ParallelExecutor::new(4);
+        for pass in 0..200 {
+            if seq.is_quiescent() {
+                break;
+            }
+            let s1 = seq.pass(&peers);
+            let s2 = exec.pass(&mut par, &peers);
+            assert_eq!(s1.remote_messages, s2.remote_messages, "pass {pass}");
+            assert_eq!(s1.local_updates, s2.local_updates, "pass {pass}");
+            assert_eq!(s1.senders, s2.senders, "pass {pass}");
+            assert_eq!(s1.applied, s2.applied, "pass {pass}");
+        }
+        assert!(seq.is_quiescent() && par.is_quiescent());
+        // Bit-identical final state.
+        assert_eq!(seq.ranks(), par.ranks());
+    }
+
+    #[test]
+    fn parallel_respects_churn() {
+        let g = paper_graph(800, 52);
+        let n = g.num_nodes();
+        let own = owners(n, 10, 2);
+        let cfg = EngineConfig::with_epsilon(1e-3);
+        let mut eng = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut peers = PeerTable::new(10);
+        let exec = ParallelExecutor::new(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut churn = move |_pass: usize, p: &mut PeerTable| {
+            p.set_online_fraction(0.5, &mut rng);
+        };
+        let run = exec.run_to_convergence(&mut eng, &mut peers, Some(&mut churn));
+        assert!(run.converged, "passes {}", run.passes);
+        assert!(run.passes > 0);
+    }
+
+    #[test]
+    fn single_thread_executor_also_matches() {
+        let g = paper_graph(500, 53);
+        let n = g.num_nodes();
+        let own = owners(n, 5, 4);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut peers1 = PeerTable::new(5);
+        let mut peers2 = PeerTable::new(5);
+        let run1 = seq.run_to_convergence(&mut peers1, None);
+        let run2 = ParallelExecutor::new(1).run_to_convergence(&mut par, &mut peers2, None);
+        assert_eq!(run1.passes, run2.passes);
+        assert_eq!(run1.total_remote_messages, run2.total_remote_messages);
+        assert_eq!(seq.ranks(), par.ranks());
+    }
+
+    #[test]
+    fn pass_on_quiescent_engine_is_a_noop() {
+        let g = paper_graph(200, 54);
+        let mut eng = ChaoticEngine::local(Arc::new(g), EngineConfig::with_epsilon(1e-3));
+        eng.run_static();
+        assert!(eng.is_quiescent());
+        let exec = ParallelExecutor::new(2);
+        let peers = PeerTable::new(1);
+        let before = eng.ranks().to_vec();
+        let s = exec.pass(&mut eng, &peers);
+        assert_eq!(s.remote_messages + s.local_updates + s.applied, 0);
+        assert_eq!(eng.ranks(), &before[..]);
+    }
+
+    #[test]
+    fn host_sized_has_at_least_one_thread() {
+        assert!(ParallelExecutor::host_sized().threads() >= 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Discrete heavy-tailed samplers: power-law and Zipf.
+//!
+//! Two distributions drive the paper's synthetic workloads:
+//!
+//! * **Power-law degrees** — Broder et al. found that the number of web
+//!   pages with (in/out) degree `i` is ∝ `i^-x` with `x = 2.1` (in) and
+//!   `x = 2.4` (out); the paper assumes P2P document links look the
+//!   same (Sec. 4.1).
+//! * **Zipf term frequencies** — the search evaluation (Sec. 4.9)
+//!   builds queries from the most frequent terms of a text corpus;
+//!   natural-language term frequencies are classically Zipfian, which
+//!   is what our synthetic corpus uses in place of the authors'
+//!   unavailable 2003 news crawl.
+//!
+//! Both samplers precompute a cumulative table and sample by binary
+//! search, so drawing is O(log k) with no floating-point rejection
+//! loops — important when generating 5M-node graphs.
+
+use rand::Rng;
+
+/// Sampler for a bounded discrete power law `P(X = i) ∝ i^-exponent`
+/// on the support `min ..= max`.
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    min: u32,
+    /// cdf[j] = P(X <= min + j), normalized so the last entry is 1.
+    cdf: Vec<f64>,
+}
+
+impl PowerLaw {
+    /// Creates a sampler on `min ..= max` with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0`, `min > max`, or the exponent is not finite
+    /// and positive.
+    pub fn new(exponent: f64, min: u32, max: u32) -> Self {
+        assert!(min >= 1, "power-law support must start at 1 or above");
+        assert!(min <= max, "empty support");
+        assert!(exponent.is_finite() && exponent > 0.0, "bad exponent");
+        let mut cdf = Vec::with_capacity((max - min + 1) as usize);
+        let mut acc = 0.0f64;
+        for i in min..=max {
+            acc += (i as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point drift: the last entry must be
+        // exactly 1 so sampling can never fall off the end.
+        *cdf.last_mut().unwrap() = 1.0;
+        PowerLaw { min, cdf }
+    }
+
+    /// Smallest value in the support.
+    pub fn min(&self) -> u32 {
+        self.min
+    }
+
+    /// Largest value in the support.
+    pub fn max(&self) -> u32 {
+        self.min + self.cdf.len() as u32 - 1
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.min + idx.min(self.cdf.len() - 1) as u32
+    }
+
+    /// Exact probability of value `i` under the (normalized) law.
+    pub fn pmf(&self, i: u32) -> f64 {
+        if i < self.min || i > self.max() {
+            return 0.0;
+        }
+        let j = (i - self.min) as usize;
+        if j == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[j] - self.cdf[j - 1]
+        }
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        (self.min..=self.max()).map(|i| i as f64 * self.pmf(i)).sum()
+    }
+}
+
+/// Sampler for the Zipf distribution over ranks `1 ..= n`:
+/// `P(rank = k) ∝ k^-s`.
+///
+/// Implemented as a thin wrapper over [`PowerLaw`] — Zipf *is* a power
+/// law over ranks — but kept as its own type because callers use it for
+/// term selection where the value is a rank, not a degree.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    inner: PowerLaw,
+}
+
+impl Zipf {
+    /// A Zipf law over `1..=n` with skew `s` (classic Zipf has `s = 1`).
+    pub fn new(n: u32, s: f64) -> Self {
+        Zipf { inner: PowerLaw::new(s, 1, n) }
+    }
+
+    /// Draws a rank in `1 ..= n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.inner.sample(rng)
+    }
+
+    /// Probability of rank `k`.
+    pub fn pmf(&self, k: u32) -> f64 {
+        self.inner.pmf(k)
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u32 {
+        self.inner.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let p = PowerLaw::new(2.4, 1, 100);
+        let total: f64 = (1..=100).map(|i| p.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "pmf total {total}");
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let p = PowerLaw::new(2.1, 2, 50);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = p.sample(&mut rng);
+            assert!((2..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn heavier_exponent_means_lighter_tail() {
+        // With a larger exponent, the probability of the minimum value
+        // grows and the tail shrinks.
+        let light = PowerLaw::new(3.0, 1, 1000);
+        let heavy = PowerLaw::new(1.5, 1, 1000);
+        assert!(light.pmf(1) > heavy.pmf(1));
+        assert!(light.pmf(1000) < heavy.pmf(1000));
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let p = PowerLaw::new(2.4, 1, 20);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 200_000usize;
+        let mut counts = [0usize; 21];
+        for _ in 0..n {
+            counts[p.sample(&mut rng) as usize] += 1;
+        }
+        for i in 1..=5u32 {
+            let emp = counts[i as usize] as f64 / n as f64;
+            let exp = p.pmf(i);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "value {i}: empirical {emp:.4} vs pmf {exp:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_matches_analytic_small_case() {
+        // Support {1,2}, exponent 1: weights 1 and 1/2 -> P(1)=2/3.
+        let p = PowerLaw::new(1.0, 1, 2);
+        assert!((p.pmf(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.mean() - (2.0 / 3.0 + 2.0 * 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_rank_one_is_most_likely() {
+        let z = Zipf::new(1880, 1.0);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(100));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let v = z.sample(&mut rng);
+        assert!((1..=1880).contains(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "support must start at 1")]
+    fn rejects_zero_min() {
+        PowerLaw::new(2.0, 0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn rejects_inverted_support() {
+        PowerLaw::new(2.0, 5, 4);
+    }
+}

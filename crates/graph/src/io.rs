@@ -1,0 +1,194 @@
+//! Graph serialization: text edge lists and a compact binary format.
+//!
+//! Experiment binaries can persist generated graphs so that repeated
+//! runs (e.g. re-running Table 2 with a different threshold) reuse the
+//! same workload instead of regenerating it.
+
+use crate::{builder::GraphBuilder, csr::CsrGraph};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Magic header of the binary format ("DPRG" + version 1).
+const MAGIC: &[u8; 8] = b"DPRG\x00\x00\x00\x01";
+
+/// Writes a graph as a whitespace-separated text edge list with a
+/// `# nodes <n>` header line. Human-readable, interoperable with
+/// standard graph tooling.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# nodes {}", g.num_nodes())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.from.0, e.to.0)?;
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`write_edge_list`]. Lines starting with
+/// `#` other than the header are ignored as comments.
+pub fn read_edge_list<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let r = BufReader::new(r);
+    let mut num_nodes: Option<usize> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                let n = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad_data("malformed nodes header"))?;
+                num_nodes = Some(n);
+                builder = Some(GraphBuilder::new(n));
+            }
+            continue;
+        }
+        let b = builder
+            .as_mut()
+            .ok_or_else(|| bad_data("edge before '# nodes' header"))?;
+        let mut it = line.split_whitespace();
+        let from: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data("malformed edge line"))?;
+        let to: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_data("malformed edge line"))?;
+        let n = num_nodes.unwrap();
+        if from >= n || to >= n {
+            return Err(bad_data("edge endpoint out of range"));
+        }
+        b.add_edge(from, to);
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| bad_data("missing '# nodes' header"))
+}
+
+/// Writes a graph in the compact binary format: magic, node count,
+/// edge count, degree array (u32 LE), target array (u32 LE).
+pub fn write_binary<W: Write>(g: &CsrGraph, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for v in g.nodes() {
+        w.write_all(&(g.out_degree(v) as u32).to_le_bytes())?;
+    }
+    for v in g.nodes() {
+        for &t in g.out_neighbors(v) {
+            w.write_all(&t.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(r: R) -> io::Result<CsrGraph> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("bad magic / unsupported version"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc += read_u32(&mut r)? as u64;
+        offsets.push(acc);
+    }
+    if acc != m as u64 {
+        return Err(bad_data("degree sum does not match edge count"));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = read_u32(&mut r)?;
+        if t as usize >= n {
+            return Err(bad_data("edge target out of range"));
+        }
+        targets.push(t);
+    }
+    Ok(CsrGraph::from_parts(offsets, targets))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::paper_graph;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = paper_graph(500, 11);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = paper_graph(500, 12);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_tolerates_comments_and_blanks() {
+        let text = "# generated by test\n# nodes 3\n\n0 1\n# a comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_missing_header() {
+        let err = read_edge_list("0 1\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn edge_list_rejects_out_of_range() {
+        let err = read_edge_list("# nodes 2\n0 5\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x00\x00\x00\x01rest"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = paper_graph(100, 13);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! # dpr-graph — document link graphs for distributed PageRank
+//!
+//! This crate provides the *graph substrate* of the HPDC'03 "Distributed
+//! Pagerank for P2P Systems" reproduction: generation and storage of the
+//! document link graphs over which pageranks are computed.
+//!
+//! The paper models P2P document link structure after the web graph
+//! measured by Broder et al. (WWW 2000): the number of nodes with degree
+//! `i` is proportional to `1/i^x`, with `x = 2.1` for in-degree and
+//! `x = 2.4` for out-degree. [`powerlaw::PowerLawConfig`] synthesizes
+//! directed graphs with exactly that structure using a directed
+//! configuration model.
+//!
+//! Two graph representations are provided:
+//!
+//! * [`csr::CsrGraph`] — an immutable compressed-sparse-row graph used
+//!   for the static ("in-place network") pagerank computation. Cheap to
+//!   traverse, cache friendly, `u32` indices so the paper's 5,000,000
+//!   node graph fits comfortably in memory.
+//! * [`dynamic::DynamicGraph`] — an adjacency-list graph supporting
+//!   document insertion and deletion, used for the incremental-update
+//!   experiments (paper Sec. 3.1 and 4.7).
+//!
+//! [`stats`] computes degree distributions and power-law exponent
+//! estimates so tests can verify the generator actually produces the
+//! structure the paper assumes, and [`distr`] hosts the discrete
+//! power-law and Zipf samplers shared with the search crate.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod distr;
+pub mod dynamic;
+pub mod io;
+pub mod partition;
+pub mod powerlaw;
+pub mod scc;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use dynamic::DynamicGraph;
+pub use powerlaw::PowerLawConfig;
+
+/// Identifier of a document (a node in the link graph).
+///
+/// Documents are the unit of ranking: every `DocId` eventually carries a
+/// pagerank. The id is dense (`0..n`) within a generated graph, which
+/// lets both graph representations use it as a direct index. The paper's
+/// largest experiment uses 5,000,000 documents, far below `u32::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for DocId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        DocId(v)
+    }
+}
+
+impl From<usize> for DocId {
+    #[inline]
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "DocId overflow");
+        DocId(v as u32)
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A directed edge `from -> to` in the document link graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Edge {
+    /// Source document (the one containing the hyperlink).
+    pub from: DocId,
+    /// Target document (the one being linked to).
+    pub to: DocId,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(from: impl Into<DocId>, to: impl Into<DocId>) -> Self {
+        Edge { from: from.into(), to: to.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_roundtrip() {
+        let d = DocId::from(42usize);
+        assert_eq!(d.index(), 42);
+        assert_eq!(DocId::from(42u32), d);
+        assert_eq!(d.to_string(), "d42");
+    }
+
+    #[test]
+    fn edge_constructor_accepts_mixed_types() {
+        let e = Edge::new(1u32, 2usize);
+        assert_eq!(e.from, DocId(1));
+        assert_eq!(e.to, DocId(2));
+    }
+}

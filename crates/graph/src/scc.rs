@@ -1,0 +1,278 @@
+//! Strongly connected components and bow-tie decomposition.
+//!
+//! The paper's graph model comes from Broder et al.'s web crawl, whose
+//! famous result is the *bow-tie*: a giant strongly connected core
+//! (SCC), an IN set that reaches the core, an OUT set reached from it,
+//! and disconnected tendrils. These measurements let tests and
+//! experiment reports characterize generated workloads the same way —
+//! and the SCC structure matters operationally: rank mass circulates
+//! inside the core but only flows one way through IN/OUT.
+//!
+//! The SCC algorithm is Tarjan's, implemented iteratively (an explicit
+//! work stack) because generated graphs reach millions of nodes and a
+//! recursive formulation would overflow the thread stack.
+
+use crate::{csr::CsrGraph, DocId};
+
+/// The strongly-connected-component decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// Component id of every node (ids are dense, in *reverse*
+    /// topological order of the condensation — Tarjan's natural
+    /// output order).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl SccDecomposition {
+    /// Sizes of all components.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Id and size of the largest component.
+    pub fn largest(&self) -> (u32, usize) {
+        self.sizes()
+            .into_iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| s)
+            .map(|(c, s)| (c as u32, s))
+            .expect("at least one component")
+    }
+}
+
+/// Tarjan's algorithm, iterative.
+pub fn tarjan_scc(graph: &CsrGraph) -> SccDecomposition {
+    let n = graph.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let out = graph.out_neighbors(DocId(v));
+            if *child < out.len() {
+                let w = out[*child];
+                *child += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is finished.
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is a component root: pop its members.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component, num_components: num_components as usize }
+}
+
+/// Broder et al.'s bow-tie regions, by node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct BowTie {
+    /// The giant strongly connected core.
+    pub core: usize,
+    /// Nodes that can reach the core but are not in it.
+    pub in_set: usize,
+    /// Nodes reachable from the core but not in it.
+    pub out_set: usize,
+    /// Everything else (tendrils, tubes, disconnected pieces).
+    pub other: usize,
+}
+
+/// Computes the bow-tie decomposition around the largest SCC.
+pub fn bow_tie(graph: &CsrGraph) -> BowTie {
+    let scc = tarjan_scc(graph);
+    let (core_id, core_size) = scc.largest();
+    let n = graph.num_nodes();
+
+    // OUT: BFS forward from any core node.
+    let mut reached_fwd = vec![false; n];
+    let mut reached_bwd = vec![false; n];
+    let seed = (0..n).find(|&v| scc.component[v] == core_id).expect("core non-empty");
+    let mut queue = std::collections::VecDeque::from([seed as u32]);
+    reached_fwd[seed] = true;
+    while let Some(v) = queue.pop_front() {
+        for &t in graph.out_neighbors(DocId(v)) {
+            if !reached_fwd[t as usize] {
+                reached_fwd[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    // IN: BFS backward (over the transpose).
+    let transpose = graph.transpose();
+    let mut queue = std::collections::VecDeque::from([seed as u32]);
+    reached_bwd[seed] = true;
+    while let Some(v) = queue.pop_front() {
+        for &t in transpose.out_neighbors(DocId(v)) {
+            if !reached_bwd[t as usize] {
+                reached_bwd[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+
+    let (mut in_set, mut out_set, mut other) = (0usize, 0usize, 0usize);
+    for v in 0..n {
+        if scc.component[v] == core_id {
+            continue;
+        }
+        match (reached_bwd[v], reached_fwd[v]) {
+            (true, false) => in_set += 1,
+            (false, true) => out_set += 1,
+            // Reaching the core both ways would put the node *in* the
+            // core; (true, true) outside the core is impossible.
+            _ => other += 1,
+        }
+    }
+    BowTie { core: core_size, in_set, out_set, other }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::powerlaw::paper_graph;
+    use crate::Edge;
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // {0,1} cycle -> bridge -> {2,3} cycle; 4 isolated.
+        let g = from_edges(
+            5,
+            [
+                Edge::new(0u32, 1u32),
+                Edge::new(1u32, 0u32),
+                Edge::new(1u32, 2u32),
+                Edge::new(2u32, 3u32),
+                Edge::new(3u32, 2u32),
+            ],
+        );
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 3);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[2], scc.component[3]);
+        assert_ne!(scc.component[0], scc.component[2]);
+        assert_ne!(scc.component[4], scc.component[0]);
+        let sizes = scc.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert_eq!(scc.largest().1, 2);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = from_edges(
+            4,
+            [
+                Edge::new(0u32, 1u32),
+                Edge::new(1u32, 2u32),
+                Edge::new(0u32, 3u32),
+            ],
+        );
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 4);
+    }
+
+    #[test]
+    fn component_ids_are_reverse_topological() {
+        // Tarjan emits sinks first: in 0 -> 1, component(1) < component(0).
+        let g = from_edges(2, [Edge::new(0u32, 1u32)]);
+        let scc = tarjan_scc(&g);
+        assert!(scc.component[1] < scc.component[0]);
+    }
+
+    #[test]
+    fn bow_tie_on_a_textbook_graph() {
+        // in(0) -> core{1,2} -> out(3); 4 disconnected.
+        let g = from_edges(
+            5,
+            [
+                Edge::new(0u32, 1u32),
+                Edge::new(1u32, 2u32),
+                Edge::new(2u32, 1u32),
+                Edge::new(2u32, 3u32),
+            ],
+        );
+        let bt = bow_tie(&g);
+        assert_eq!(bt, BowTie { core: 2, in_set: 1, out_set: 1, other: 1 });
+    }
+
+    #[test]
+    fn powerlaw_graph_has_a_giant_core() {
+        // The Broder-style generator should produce a bow-tie with a
+        // substantial connected core, like the real web.
+        let g = paper_graph(20_000, 111);
+        let bt = bow_tie(&g);
+        assert_eq!(bt.core + bt.in_set + bt.out_set + bt.other, 20_000);
+        assert!(bt.core > 2_000, "core size {}", bt.core);
+        assert!(bt.in_set > 0 && bt.out_set > 0);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 200k-node path: a recursive Tarjan would blow the stack.
+        let n = 200_000;
+        let mut b = crate::GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, n);
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let g = CsrGraph::empty(1);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components, 1);
+        let bt = bow_tie(&g);
+        assert_eq!(bt.core, 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Wiring peer nodes to the transport: the whole system, at message
+//! level.
+//!
+//! [`Cluster`] owns one [`PeerNode`] per peer plus the store-and-resend
+//! [`Transport`], and drives the paper's pass loop: each round, every
+//! *online* peer drains its inbox, steps, and hands its outbox to the
+//! transport; parked messages are retried. The cluster is the
+//! deployable shape of the algorithm — nothing in it reads global
+//! state except the test-only convergence check.
+
+use crate::node::PeerNode;
+use bytes::Bytes;
+use dpr_core::engine::EngineConfig;
+use dpr_graph::{CsrGraph, DocId};
+use dpr_p2p::peer::{PeerId, PeerTable, Placement};
+use dpr_p2p::transport::{Transport, TrafficStats};
+
+/// Statistics of one cluster round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct RoundStats {
+    /// Wire messages handed to the transport this round.
+    pub sent: u64,
+    /// Messages applied from inboxes this round.
+    pub delivered: u64,
+    /// Parked messages re-delivered this round.
+    pub redelivered: u64,
+}
+
+/// A full message-level system: peers + transport.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<PeerNode>,
+    transport: Transport<Bytes>,
+    rounds: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster for `graph` with documents assigned by
+    /// `placement` across `num_peers` peers.
+    ///
+    /// Each document is registered on its holder with its out-links
+    /// pre-resolved to `(target, holder)` pairs — the state the
+    /// Sec. 3.2 address cache would hold after the first routed
+    /// lookup.
+    pub fn build(
+        graph: &CsrGraph,
+        placement: &Placement,
+        num_peers: usize,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert_eq!(placement.num_docs(), graph.num_nodes());
+        let mut nodes: Vec<PeerNode> =
+            (0..num_peers as u32).map(|i| PeerNode::new(PeerId(i), cfg)).collect();
+        for d in 0..graph.num_nodes() {
+            let doc = DocId::from(d);
+            let holder = placement.owner(doc);
+            let out: Vec<(DocId, PeerId)> = graph
+                .out_neighbors(doc)
+                .iter()
+                .map(|&t| (DocId(t), placement.owner(DocId(t))))
+                .collect();
+            nodes[holder.index()].add_document(doc, out);
+        }
+        Cluster { nodes, transport: Transport::new(num_peers), rounds: 0 }
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rounds executed.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds
+    }
+
+    /// The node of peer `p`.
+    pub fn node(&self, p: PeerId) -> &PeerNode {
+        &self.nodes[p.index()]
+    }
+
+    /// Executes one round over the online peers.
+    pub fn round(&mut self, peers: &PeerTable) -> RoundStats {
+        self.rounds += 1;
+        // Parked messages whose destination returned get delivered
+        // first (the periodic resend of Sec. 3.1).
+        let mut stats = RoundStats {
+            redelivered: self.transport.retry_pending(peers),
+            ..RoundStats::default()
+        };
+
+        for i in 0..self.nodes.len() {
+            let pid = PeerId(i as u32);
+            if !peers.is_online(pid) {
+                continue;
+            }
+            // Inbox -> local state.
+            while let Some(env) = self.transport.receive(pid) {
+                self.nodes[i]
+                    .handle_message(env.payload)
+                    .expect("well-formed message from a cluster peer");
+                stats.delivered += 1;
+            }
+            // Local pass.
+            self.nodes[i].step();
+            // Outbox -> transport.
+            for (to, payload) in self.nodes[i].drain_outbox() {
+                self.transport.send(peers, pid, to, payload);
+                stats.sent += 1;
+            }
+        }
+        stats
+    }
+
+    /// Runs rounds until the system quiesces (no node has pending
+    /// work, nothing in flight) or `max_rounds` is hit. Returns the
+    /// number of rounds and whether it converged.
+    pub fn run_to_convergence(
+        &mut self,
+        peers: &mut PeerTable,
+        max_rounds: usize,
+        mut churn: Option<&mut dpr_core::engine::ChurnFn<'_>>,
+    ) -> (usize, bool) {
+        let mut executed = 0;
+        while executed < max_rounds && !self.is_quiescent() {
+            self.round(peers);
+            executed += 1;
+            if let Some(f) = churn.as_deref_mut() {
+                f(executed, peers);
+            }
+        }
+        (executed, self.is_quiescent())
+    }
+
+    /// True when no node has pending work and no message is in flight
+    /// or parked.
+    pub fn is_quiescent(&self) -> bool {
+        self.transport.in_flight() == 0 && self.nodes.iter().all(|n| !n.has_work())
+    }
+
+    /// Collects every document's rank into a dense vector (test /
+    /// reporting convenience — a real deployment has no such view).
+    pub fn collect_ranks(&self, num_docs: usize) -> Vec<f64> {
+        let mut ranks = vec![f64::NAN; num_docs];
+        for n in &self.nodes {
+            for (d, slot) in ranks.iter_mut().enumerate() {
+                if let Some(r) = n.rank_of(DocId::from(d)) {
+                    *slot = r;
+                }
+            }
+        }
+        assert!(ranks.iter().all(|r| !r.is_nan()), "every document stored somewhere");
+        ranks
+    }
+
+    /// Transport counters.
+    pub fn traffic(&self) -> TrafficStats {
+        self.transport.stats()
+    }
+
+    /// Permanent departure of peer `p` (paper Sec. 3.1 distinguishes
+    /// transient leaves — handled by store-and-resend — from documents
+    /// that must survive their peer; a real deployment re-homes them
+    /// to the DHT successor). `reassign` names each document's new
+    /// holder (tests use `ring.successor`). The protocol:
+    ///
+    /// 1. `p`'s documents migrate with their full in-progress state;
+    /// 2. every remaining peer re-homes its out-link entries for `p`;
+    /// 3. messages already in `p`'s inbox, and messages parked for `p`
+    ///    at senders, are re-delivered to the new holders.
+    ///
+    /// Returns the number of migrated documents. After this call `p`
+    /// holds nothing and must stay offline in the caller's
+    /// [`PeerTable`].
+    pub fn peer_depart(
+        &mut self,
+        p: PeerId,
+        peers: &PeerTable,
+        reassign: &dyn Fn(DocId) -> PeerId,
+    ) -> usize {
+        assert!(
+            !peers.is_online(p),
+            "mark {p} offline before departing it permanently"
+        );
+        // 1. Migrate documents (and remember their new homes).
+        let exports = self.nodes[p.index()].export_documents();
+        let migrated = exports.len();
+        let mut new_home: Vec<(DocId, PeerId)> = Vec::with_capacity(migrated);
+        for e in exports {
+            let to = reassign(e.doc);
+            assert_ne!(to, p, "cannot reassign a document to the departed peer");
+            new_home.push((e.doc, to));
+            self.nodes[to.index()].import_document(e);
+        }
+        // 2. Re-home out-link entries everywhere.
+        for node in &mut self.nodes {
+            node.rehome_links(p, reassign);
+        }
+        // 3. Redirect in-flight traffic: p's inbox plus everything
+        //    parked for p. The payload's GUID names the document; its
+        //    new holder is found via `reassign`, mirroring a fresh DHT
+        //    lookup.
+        let mut stranded = self.transport.drain_inbox(p);
+        stranded.extend(self.transport.take_pending_for(p));
+        for env in stranded {
+            let wire = dpr_p2p::transport::RankUpdateWire::decode(env.payload.clone())
+                .expect("cluster messages are well-formed");
+            let doc = new_home
+                .iter()
+                .find(|&&(d, _)| dpr_p2p::guid::Guid::for_document(d).0 == wire.guid)
+                .map(|&(_, holder)| holder)
+                .expect("stranded message must target a migrated document");
+            self.transport.send(peers, env.from, doc, env.payload);
+        }
+        migrated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::sync_solver::SyncSolver;
+    use dpr_graph::powerlaw::paper_graph;
+    use dpr_p2p::peer::PlacementPolicy;
+    use dpr_p2p::ring::Ring;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(nodes: usize, peers: usize, eps: f64, seed: u64) -> (Cluster, CsrGraph) {
+        let graph = paper_graph(nodes, seed);
+        let ring = Ring::with_peers(peers);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let cluster = Cluster::build(&graph, &placement, peers, EngineConfig::with_epsilon(eps));
+        (cluster, graph)
+    }
+
+    #[test]
+    fn cluster_converges_to_the_sync_solution() {
+        let (mut cluster, graph) = build(800, 16, 1e-8, 61);
+        let mut peers = PeerTable::new(16);
+        let (rounds, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
+        assert!(ok, "did not quiesce in {rounds} rounds");
+        let ranks = cluster.collect_ranks(800);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cluster_agrees_with_the_array_engine() {
+        let nodes = 600;
+        let graph = paper_graph(nodes, 62);
+        let ring = Ring::with_peers(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let cfg = EngineConfig::with_epsilon(1e-6);
+
+        let mut cluster = Cluster::build(&graph, &placement, 10, cfg);
+        let mut peers = PeerTable::new(10);
+        let (_, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
+        assert!(ok);
+
+        let owners: Vec<PeerId> =
+            (0..nodes).map(|d| placement.owner(DocId::from(d))).collect();
+        let mut engine = dpr_core::engine::ChaoticEngine::new(
+            std::sync::Arc::new(graph),
+            owners,
+            cfg,
+        );
+        let run = engine.run_static();
+        assert!(run.converged);
+
+        // Same protocol, but the cluster's round visits peers in
+        // order, so a message from peer 3 can reach peer 7 within the
+        // round — a different (equally valid) chaotic schedule. The
+        // two schedules agree to O(eps).
+        let ranks = cluster.collect_ranks(nodes);
+        for (a, b) in ranks.iter().zip(engine.ranks()) {
+            let rel = (a - b).abs() / b.abs().max(1e-12);
+            assert!(rel < 1e-4, "{a} vs {b}");
+        }
+        // The cluster's in-round delivery hands peers *fresher* data
+        // (a message from peer 3 reaches peer 7 in the same round), so
+        // documents coalesce more increments per application and
+        // re-advertise fewer times — chaotic iteration with lower
+        // staleness costs fewer messages, never more.
+        let ratio = cluster.traffic().sent as f64 / run.total_remote_messages as f64;
+        assert!((0.3..=1.05).contains(&ratio), "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn cluster_survives_churn() {
+        let (mut cluster, graph) = build(500, 8, 1e-4, 64);
+        let mut peers = PeerTable::new(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(65);
+        let mut churn = move |_r: usize, p: &mut PeerTable| {
+            p.set_online_fraction(0.5, &mut rng);
+        };
+        let (rounds, ok) = cluster.run_to_convergence(&mut peers, 50_000, Some(&mut churn));
+        assert!(ok, "no convergence in {rounds} rounds");
+        assert!(cluster.traffic().parked > 0, "churn must park messages");
+        assert_eq!(cluster.traffic().parked, cluster.traffic().redelivered);
+        let ranks = cluster.collect_ranks(500);
+        let reference = SyncSolver::new().solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn every_document_lands_on_its_placed_peer() {
+        let (cluster, _) = build(300, 6, 1e-3, 66);
+        let total: usize = (0..6u32).map(|p| cluster.node(PeerId(p)).num_docs()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn permanent_departure_preserves_the_computation() {
+        // Run partway, permanently depart a peer mid-computation, and
+        // verify the system still converges to the correct fixed point
+        // with no rank mass lost.
+        let nodes = 500;
+        let graph = paper_graph(nodes, 68);
+        let ring = Ring::with_peers(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(69);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let mut cluster =
+            Cluster::build(&graph, &placement, 8, EngineConfig::with_epsilon(1e-8));
+        let mut peers = PeerTable::new(8);
+
+        // A few rounds to get messages in flight.
+        for _ in 0..3 {
+            cluster.round(&peers);
+        }
+        // Peer 3 goes away for good; its docs re-home round-robin to
+        // the other peers (stand-in for the ring successor).
+        let victim = PeerId(3);
+        peers.go_offline(victim);
+        // One more round so some messages park for the offline peer.
+        cluster.round(&peers);
+        let reassign = |d: DocId| {
+            let mut h = (d.0 as usize) % 8;
+            if h == victim.index() {
+                h = (h + 1) % 8;
+            }
+            PeerId(h as u32)
+        };
+        let migrated = cluster.peer_depart(victim, &peers, &reassign);
+        assert!(migrated > 0);
+        assert_eq!(cluster.node(victim).num_docs(), 0);
+
+        let (_, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
+        assert!(ok);
+        let ranks = cluster.collect_ranks(nodes);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mark p2 offline")]
+    fn departing_an_online_peer_panics() {
+        let (mut cluster, _) = build(100, 4, 1e-3, 70);
+        let peers = PeerTable::new(4);
+        cluster.peer_depart(PeerId(2), &peers, &|_| PeerId(0));
+    }
+
+    #[test]
+    fn quiescent_round_is_a_noop() {
+        let (mut cluster, _) = build(200, 4, 1e-3, 67);
+        let mut peers = PeerTable::new(4);
+        cluster.run_to_convergence(&mut peers, 10_000, None);
+        let before = cluster.collect_ranks(200);
+        let stats = cluster.round(&peers);
+        assert_eq!(stats, RoundStats::default());
+        assert_eq!(cluster.collect_ranks(200), before);
+    }
+}

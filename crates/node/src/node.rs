@@ -1,0 +1,342 @@
+//! A single peer as a protocol state machine.
+//!
+//! A [`PeerNode`] owns a set of documents, knows each document's
+//! out-links and which peer holds each linked document (resolved once
+//! through the DHT, then cached — Sec. 3.2), and speaks the paper's
+//! wire protocol: incoming messages are 24-byte `(GUID, f64)` rank
+//! updates; outgoing messages are the same. The node is completely
+//! ignorant of any global state — everything it does is local, which
+//! is the property that makes the algorithm deployable.
+
+use bytes::Bytes;
+use dpr_core::engine::EngineConfig;
+use dpr_core::message::{MessageError, RankUpdate};
+use dpr_graph::DocId;
+use dpr_p2p::guid::Guid;
+use dpr_p2p::peer::PeerId;
+use dpr_p2p::transport::RankUpdateWire;
+use std::collections::HashMap;
+
+/// Per-document protocol state.
+#[derive(Debug, Clone)]
+struct DocState {
+    rank: f64,
+    advertised: f64,
+    pending: f64,
+    /// Out-links with the peer holding each target (the address cache
+    /// entry of Sec. 3.2, resolved at setup).
+    out: Vec<(DocId, PeerId)>,
+}
+
+/// Counters a node keeps about its own behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct NodeStats {
+    /// Wire messages received and applied.
+    pub received: u64,
+    /// Wire messages emitted to other peers.
+    pub sent_remote: u64,
+    /// Same-peer link updates (no wire message).
+    pub local_updates: u64,
+    /// Messages that failed to decode or referenced unknown GUIDs.
+    pub rejected: u64,
+}
+
+/// One peer of the P2P system, executing Fig. 1 locally.
+#[derive(Debug, Clone)]
+pub struct PeerNode {
+    id: PeerId,
+    cfg: EngineConfig,
+    docs: HashMap<DocId, DocState>,
+    guid_index: HashMap<Guid, DocId>,
+    /// Documents with nonzero pending, processed on the next step.
+    dirty: Vec<DocId>,
+    outbox: Vec<(PeerId, Bytes)>,
+    stats: NodeStats,
+}
+
+impl PeerNode {
+    /// A node with no documents.
+    pub fn new(id: PeerId, cfg: EngineConfig) -> Self {
+        PeerNode {
+            id,
+            cfg,
+            docs: HashMap::new(),
+            guid_index: HashMap::new(),
+            dirty: Vec::new(),
+            outbox: Vec::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// This node's peer id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Number of documents stored here.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// The node's counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Adds a document this peer stores, with its out-links and their
+    /// holders. Seeds the base rank `(1 − d)` as the initial pending
+    /// increment, as the engine does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document is already stored here.
+    pub fn add_document(&mut self, doc: DocId, out: Vec<(DocId, PeerId)>) {
+        let base = 1.0 - self.cfg.damping;
+        let prev = self.docs.insert(
+            doc,
+            DocState { rank: 0.0, advertised: 0.0, pending: base, out },
+        );
+        assert!(prev.is_none(), "document {doc} already stored on {}", self.id);
+        self.guid_index.insert(Guid::for_document(doc), doc);
+        self.dirty.push(doc);
+    }
+
+    /// Current rank of a local document, if stored here.
+    pub fn rank_of(&self, doc: DocId) -> Option<f64> {
+        self.docs.get(&doc).map(|d| d.rank)
+    }
+
+    /// Handles one incoming wire message.
+    pub fn handle_message(&mut self, payload: Bytes) -> Result<(), MessageError> {
+        let wire = RankUpdateWire::decode(payload).map_err(|e| {
+            self.stats.rejected += 1;
+            MessageError::Wire(e)
+        })?;
+        let update = RankUpdate::from_wire(wire, |g| self.guid_index.get(&g).copied())
+            .inspect_err(|_| self.stats.rejected += 1)?;
+        self.apply(update.doc, update.delta);
+        self.stats.received += 1;
+        Ok(())
+    }
+
+    /// Applies a local increment (same-peer updates and the insert /
+    /// delete protocols use this path — no wire round trip).
+    pub fn apply(&mut self, doc: DocId, delta: f64) {
+        let state = self.docs.get_mut(&doc).expect("document not stored here");
+        if state.pending == 0.0 && delta != 0.0 {
+            self.dirty.push(doc);
+        }
+        state.pending += delta;
+    }
+
+    /// Whether this node has pending work.
+    pub fn has_work(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// One local pass: apply every pending increment, then emit
+    /// updates for documents whose rank moved more than ε. Encoded
+    /// remote messages accumulate in the outbox; same-peer updates are
+    /// applied directly (visible on the *next* step, matching the
+    /// engine's two-phase pass).
+    pub fn step(&mut self) {
+        let work = std::mem::take(&mut self.dirty);
+        // Phase 1: apply.
+        let mut senders: Vec<(DocId, f64)> = Vec::new();
+        for doc in work {
+            let state = self.docs.get_mut(&doc).expect("dirty doc stored here");
+            let delta = std::mem::take(&mut state.pending);
+            state.rank += delta;
+            let rel = (state.rank - state.advertised).abs()
+                / state.rank.abs().max(f64::MIN_POSITIVE);
+            if rel > self.cfg.epsilon {
+                senders.push((doc, state.rank));
+            }
+        }
+        // Phase 2: send.
+        for (doc, rank) in senders {
+            let state = self.docs.get_mut(&doc).expect("sender stored here");
+            if state.out.is_empty() {
+                state.advertised = rank;
+                continue;
+            }
+            let send = self.cfg.damping * (rank - state.advertised) / state.out.len() as f64;
+            state.advertised = rank;
+            let targets = state.out.clone();
+            for (target, holder) in targets {
+                if holder == self.id {
+                    self.apply(target, send);
+                    self.stats.local_updates += 1;
+                } else {
+                    let wire = RankUpdate::new(target, send).to_wire().encode();
+                    self.outbox.push((holder, wire));
+                    self.stats.sent_remote += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains the outbox: `(destination peer, encoded message)` pairs.
+    pub fn drain_outbox(&mut self) -> Vec<(PeerId, Bytes)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Exports every document's full protocol state and clears the
+    /// node — the departing half of a document handoff (a peer that
+    /// leaves the network for good pushes its documents, with their
+    /// in-progress rank state, to their new DHT owners).
+    pub fn export_documents(&mut self) -> Vec<DocExport> {
+        self.dirty.clear();
+        self.guid_index.clear();
+        self.docs
+            .drain()
+            .map(|(doc, s)| DocExport {
+                doc,
+                rank: s.rank,
+                advertised: s.advertised,
+                pending: s.pending,
+                out: s.out,
+            })
+            .collect()
+    }
+
+    /// Imports a migrated document, preserving its protocol state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the document is already stored here.
+    pub fn import_document(&mut self, export: DocExport) {
+        let DocExport { doc, rank, advertised, pending, out } = export;
+        let prev = self.docs.insert(doc, DocState { rank, advertised, pending, out });
+        assert!(prev.is_none(), "document {doc} already stored on {}", self.id);
+        self.guid_index.insert(Guid::for_document(doc), doc);
+        if self.docs[&doc].pending != 0.0 {
+            self.dirty.push(doc);
+        }
+    }
+
+    /// Rewrites the holder of every out-link entry currently pointing
+    /// at `departed` using `reassign`. Returns the number of entries
+    /// updated. This is the address-cache refresh every remaining peer
+    /// performs after a permanent departure (Sec. 3.2 invalidation +
+    /// fresh lookup, done eagerly here).
+    pub fn rehome_links(
+        &mut self,
+        departed: PeerId,
+        reassign: &dyn Fn(DocId) -> PeerId,
+    ) -> usize {
+        let mut updated = 0;
+        for state in self.docs.values_mut() {
+            for (target, holder) in state.out.iter_mut() {
+                if *holder == departed {
+                    *holder = reassign(*target);
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+}
+
+/// A document's full protocol state in transit between peers.
+#[derive(Debug, Clone)]
+pub struct DocExport {
+    /// The document.
+    pub doc: DocId,
+    /// Its current rank.
+    pub rank: f64,
+    /// The rank last advertised to its out-links.
+    pub advertised: f64,
+    /// Unapplied pending increment.
+    pub pending: f64,
+    /// Out-links with their holders.
+    pub out: Vec<(DocId, PeerId)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(eps: f64) -> EngineConfig {
+        EngineConfig::with_epsilon(eps)
+    }
+
+    #[test]
+    fn add_and_query_documents() {
+        let mut n = PeerNode::new(PeerId(0), cfg(1e-3));
+        n.add_document(DocId(1), vec![(DocId(2), PeerId(1))]);
+        assert_eq!(n.num_docs(), 1);
+        assert_eq!(n.rank_of(DocId(1)), Some(0.0));
+        assert_eq!(n.rank_of(DocId(9)), None);
+        assert!(n.has_work(), "base rank is pending");
+    }
+
+    #[test]
+    #[should_panic(expected = "already stored")]
+    fn duplicate_document_rejected() {
+        let mut n = PeerNode::new(PeerId(0), cfg(1e-3));
+        n.add_document(DocId(1), vec![]);
+        n.add_document(DocId(1), vec![]);
+    }
+
+    #[test]
+    fn step_applies_base_and_emits_wire_messages() {
+        let mut n = PeerNode::new(PeerId(0), cfg(1e-6));
+        n.add_document(DocId(1), vec![(DocId(2), PeerId(1)), (DocId(3), PeerId(0))]);
+        n.add_document(DocId(3), vec![]);
+        n.step();
+        let r = n.rank_of(DocId(1)).unwrap();
+        assert!((r - 0.15).abs() < 1e-12);
+        let out = n.drain_outbox();
+        assert_eq!(out.len(), 1, "one remote target");
+        assert_eq!(out[0].0, PeerId(1));
+        assert_eq!(out[0].1.len(), 24, "paper wire size");
+        // The same-peer update landed on doc 3's pending.
+        assert!(n.has_work());
+        let s = n.stats();
+        assert_eq!(s.sent_remote, 1);
+        assert_eq!(s.local_updates, 1);
+    }
+
+    #[test]
+    fn handle_message_applies_increment() {
+        let mut n = PeerNode::new(PeerId(1), cfg(1e-6));
+        n.add_document(DocId(2), vec![]);
+        n.step(); // absorb base rank
+        let wire = RankUpdate::new(DocId(2), 0.25).to_wire().encode();
+        n.handle_message(wire).unwrap();
+        assert!(n.has_work());
+        n.step();
+        let r = n.rank_of(DocId(2)).unwrap();
+        assert!((r - 0.40).abs() < 1e-12);
+        assert_eq!(n.stats().received, 1);
+    }
+
+    #[test]
+    fn unknown_guid_rejected_and_counted() {
+        let mut n = PeerNode::new(PeerId(1), cfg(1e-3));
+        n.add_document(DocId(2), vec![]);
+        let wire = RankUpdate::new(DocId(99), 0.25).to_wire().encode();
+        assert!(n.handle_message(wire).is_err());
+        assert_eq!(n.stats().rejected, 1);
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let mut n = PeerNode::new(PeerId(1), cfg(1e-3));
+        assert!(n.handle_message(Bytes::from_static(b"junk")).is_err());
+        assert_eq!(n.stats().rejected, 1);
+    }
+
+    #[test]
+    fn epsilon_suppresses_tiny_changes() {
+        let mut n = PeerNode::new(PeerId(0), cfg(0.5));
+        n.add_document(DocId(1), vec![(DocId(2), PeerId(1))]);
+        n.step(); // rel change = 1 > 0.5: sends
+        assert_eq!(n.drain_outbox().len(), 1);
+        // A tiny further increment: rel << 0.5, no send.
+        n.apply(DocId(1), 1e-6);
+        n.step();
+        assert!(n.drain_outbox().is_empty());
+    }
+}

@@ -1,0 +1,346 @@
+//! Distributed termination detection (Safra's algorithm).
+//!
+//! The paper's convergence criterion — "the error in all the documents
+//! is less than the error threshold" — is a *global* condition, but no
+//! peer in a real P2P deployment can observe global state. The
+//! simulator checks quiescence by inspecting every queue (fine for
+//! experiments, impossible in production). This module supplies the
+//! missing protocol: **Safra's token-based termination detection** for
+//! asynchronous message-passing systems.
+//!
+//! The classical algorithm, adapted to the cluster's round structure:
+//!
+//! * every peer keeps a message counter (`sent − received`) and a
+//!   color — it turns **black** when it receives a message;
+//! * a token `(accumulated count, color)` circulates the ring; a peer
+//!   forwards it only when *locally passive* (no pending documents),
+//!   adding its counter, blackening the token if it is black itself,
+//!   and turning white afterwards;
+//! * when the initiator gets the token back **white** with **total
+//!   count zero** while itself passive and white, no message is in
+//!   flight anywhere and every peer is passive — the computation has
+//!   terminated. Otherwise it launches a fresh round.
+//!
+//! Soundness (never announces early) and liveness (announces once the
+//! system quiesces) are asserted against the cluster's global
+//! quiescence check in the tests.
+
+use crate::cluster::Cluster;
+use dpr_p2p::peer::{PeerId, PeerTable};
+
+/// Peer color in Safra's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    White,
+    Black,
+}
+
+/// The circulating token.
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    /// Sum of `sent − received` counters collected this circuit.
+    count: i64,
+    color: Color,
+}
+
+/// Safra's termination detector over a cluster's peers.
+#[derive(Debug)]
+pub struct TerminationDetector {
+    /// Per-peer color.
+    color: Vec<Color>,
+    /// Receive-counter snapshot used to detect new arrivals (which
+    /// blacken a peer).
+    last_received: Vec<u64>,
+    /// Who currently holds the token.
+    holder: PeerId,
+    token: Token,
+    /// The initiating peer (owns announcement).
+    initiator: PeerId,
+    announced: bool,
+    /// Completed token circuits (diagnostic).
+    circuits: u64,
+    /// Permanently departed peers — skipped by the ring.
+    departed: Vec<bool>,
+    /// Final `sent − received` contribution of departed peers, folded
+    /// into every evaluation (their counters can no longer be read in
+    /// circuit).
+    base_count: i64,
+}
+
+impl TerminationDetector {
+    /// A detector for `num_peers` peers, initiated by peer 0.
+    pub fn new(num_peers: usize) -> Self {
+        assert!(num_peers > 0);
+        TerminationDetector {
+            // Everyone starts black: no information yet.
+            color: vec![Color::Black; num_peers],
+            last_received: vec![0; num_peers],
+            holder: PeerId(0),
+            token: Token { count: 0, color: Color::Black },
+            initiator: PeerId(0),
+            announced: false,
+            circuits: 0,
+            departed: vec![false; num_peers],
+            base_count: 0,
+        }
+    }
+
+    /// Registers the *permanent* departure of `p` (after
+    /// [`Cluster::peer_depart`]): its message counters are folded into
+    /// the detector's base count, the token is conservatively
+    /// blackened (messages may still be crossing the cut), and the
+    /// ring skips the peer from now on. Without this, the token would
+    /// wait forever for a holder that never returns.
+    pub fn peer_departed(&mut self, p: PeerId, cluster: &Cluster) {
+        assert!(!self.departed[p.index()], "peer {p} departed twice");
+        let stats = cluster.node(p).stats();
+        // The peer's lifetime counter can never be collected in
+        // circuit again; carry it permanently.
+        self.base_count += stats.sent_remote as i64 - stats.received as i64;
+        self.departed[p.index()] = true;
+        self.token.color = Color::Black;
+        let n = self.departed.len();
+        if self.departed[self.holder.index()] {
+            self.holder = self.next_alive(self.holder, n);
+        }
+        if self.departed[self.initiator.index()] {
+            self.initiator = self.next_alive(self.initiator, n);
+            // The new initiator must complete a fresh circuit.
+            self.token = Token { count: 0, color: Color::Black };
+        }
+    }
+
+    fn next_alive(&self, from: PeerId, n: usize) -> PeerId {
+        let mut i = (from.index() + 1) % n;
+        while self.departed[i] {
+            i = (i + 1) % n;
+            assert_ne!(i, from.index(), "every peer departed");
+        }
+        PeerId(i as u32)
+    }
+
+    /// Whether termination has been announced.
+    pub fn announced(&self) -> bool {
+        self.announced
+    }
+
+    /// Token circuits completed so far.
+    pub fn circuits(&self) -> u64 {
+        self.circuits
+    }
+
+    /// Records message activity for `peer` (call after each cluster
+    /// round with the node's cumulative counters): any newly received
+    /// message blackens the peer.
+    fn refresh_color(&mut self, peer: PeerId, received_total: u64) {
+        if received_total > self.last_received[peer.index()] {
+            self.color[peer.index()] = Color::Black;
+        }
+    }
+
+    /// Advances the token as far as it can travel: each online,
+    /// locally passive holder processes it and forwards to the next
+    /// peer on the ring. Stops when the holder is offline or busy, or
+    /// when termination is announced. Call between cluster rounds.
+    pub fn advance(&mut self, cluster: &Cluster, peers: &PeerTable) {
+        if self.announced {
+            return;
+        }
+        let n = cluster.num_peers();
+        // Refresh colors from receive counters first.
+        for i in 0..n {
+            if self.departed[i] {
+                continue;
+            }
+            let stats = cluster.node(PeerId(i as u32)).stats();
+            self.refresh_color(PeerId(i as u32), stats.received);
+        }
+        // The token can traverse at most one full ring per advance
+        // call (prevents infinite spinning when the system is active).
+        for _ in 0..=n {
+            let h = self.holder;
+            if !peers.is_online(h) || cluster.node(h).has_work() {
+                // Holder offline or busy: token waits.
+                return;
+            }
+            // Safra uses each peer's *lifetime* message counter; a
+            // delta-based variant would wrongly see zero for messages
+            // that are parked but unchanged across a circuit.
+            let stats = cluster.node(h).stats();
+            self.last_received[h.index()] = stats.received;
+            let local_count = stats.sent_remote as i64 - stats.received as i64;
+
+            if h == self.initiator && self.circuits > 0 {
+                // Token returned to the initiator: evaluate.
+                let total = self.token.count + local_count + self.base_count;
+                let all_white =
+                    self.token.color == Color::White && self.color[h.index()] == Color::White;
+                if all_white && total == 0 {
+                    self.announced = true;
+                    return;
+                }
+                // Failed circuit: start a fresh one.
+                self.token = Token { count: 0, color: Color::White };
+                self.color[h.index()] = Color::White;
+                self.circuits += 1;
+                self.holder = self.next_alive(h, n);
+                continue;
+            }
+
+            // Ordinary forwarding.
+            self.token.count += local_count;
+            if self.color[h.index()] == Color::Black {
+                self.token.color = Color::Black;
+            }
+            self.color[h.index()] = Color::White;
+            let next = self.next_alive(h, n);
+            if next == self.initiator {
+                self.circuits += 1;
+            }
+            self.holder = next;
+        }
+    }
+}
+
+/// Runs the cluster with Safra-based termination: rounds proceed until
+/// the *protocol* announces termination (or `max_rounds`). Returns
+/// `(rounds, announced)`. No global state is consulted for the
+/// decision — only the detector.
+pub fn run_with_termination_detection(
+    cluster: &mut Cluster,
+    peers: &mut PeerTable,
+    max_rounds: usize,
+) -> (usize, bool) {
+    let mut detector = TerminationDetector::new(cluster.num_peers());
+    let mut rounds = 0;
+    while rounds < max_rounds && !detector.announced() {
+        cluster.round(peers);
+        rounds += 1;
+        detector.advance(cluster, peers);
+    }
+    (rounds, detector.announced())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::engine::EngineConfig;
+    use dpr_graph::powerlaw::paper_graph;
+    use dpr_p2p::peer::{Placement, PlacementPolicy};
+    use dpr_p2p::ring::Ring;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(nodes: usize, num_peers: usize, eps: f64, seed: u64) -> Cluster {
+        let graph = paper_graph(nodes, seed);
+        let ring = Ring::with_peers(num_peers);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        Cluster::build(&graph, &placement, num_peers, EngineConfig::with_epsilon(eps))
+    }
+
+    #[test]
+    fn detector_announces_and_is_sound() {
+        let mut cluster = build(600, 12, 1e-5, 101);
+        let mut peers = PeerTable::new(12);
+        let (rounds, announced) =
+            run_with_termination_detection(&mut cluster, &mut peers, 50_000);
+        assert!(announced, "no announcement in {rounds} rounds");
+        // Soundness: the protocol may only announce when the system is
+        // actually quiescent.
+        assert!(cluster.is_quiescent(), "announced while messages in flight");
+    }
+
+    #[test]
+    fn detector_is_not_premature() {
+        // While the computation is still hot, the detector must stay
+        // silent even across many token circuits.
+        let mut cluster = build(2_000, 8, 1e-9, 102);
+        let peers = PeerTable::new(8);
+        let mut detector = TerminationDetector::new(8);
+        for _ in 0..5 {
+            cluster.round(&peers);
+            detector.advance(&cluster, &peers);
+            if !cluster.is_quiescent() {
+                assert!(!detector.announced(), "premature announcement");
+            }
+        }
+    }
+
+    #[test]
+    fn announcement_survives_churn() {
+        let mut cluster = build(400, 6, 1e-4, 103);
+        let mut peers = PeerTable::new(6);
+        let mut detector = TerminationDetector::new(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(104);
+        let mut rounds = 0;
+        // Churn for a while, then let everyone back on so the token
+        // can finish its circuits.
+        while rounds < 50_000 && !detector.announced() {
+            cluster.round(&peers);
+            rounds += 1;
+            if rounds < 100 {
+                peers.set_online_fraction(0.5, &mut rng);
+            } else if rounds == 100 {
+                (0..6u32).for_each(|p| {
+                    peers.go_online(dpr_p2p::peer::PeerId(p));
+                });
+            }
+            detector.advance(&cluster, &peers);
+        }
+        assert!(detector.announced(), "no announcement in {rounds} rounds");
+        assert!(cluster.is_quiescent());
+        assert!(detector.circuits() >= 1);
+    }
+
+    #[test]
+    fn detection_survives_permanent_departure() {
+        use dpr_p2p::guid::Guid;
+        use dpr_p2p::ring::Ring;
+        let mut cluster = build(400, 8, 1e-5, 106);
+        let mut peers = PeerTable::new(8);
+        let mut detector = TerminationDetector::new(8);
+        let ring = Ring::with_peers(8);
+        let mut rounds = 0usize;
+        while rounds < 50_000 && !detector.announced() {
+            cluster.round(&peers);
+            rounds += 1;
+            if rounds == 5 {
+                let victim = dpr_p2p::peer::PeerId(3);
+                peers.go_offline(victim);
+                let mut shrunk = ring.clone();
+                shrunk.leave(victim);
+                cluster.peer_depart(victim, &peers, &|d| {
+                    shrunk.successor(Guid::for_document(d))
+                });
+                detector.peer_departed(victim, &cluster);
+            }
+            detector.advance(&cluster, &peers);
+        }
+        assert!(detector.announced(), "no announcement in {rounds} rounds");
+        assert!(cluster.is_quiescent(), "announcement must be sound");
+    }
+
+    #[test]
+    fn offline_holder_stalls_the_token() {
+        let mut cluster = build(200, 4, 1e-3, 105);
+        let mut peers = PeerTable::new(4);
+        // Quiesce the computation first.
+        let (_, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
+        assert!(ok);
+        // Token starts at peer 0; take peer 0 offline — detection
+        // cannot proceed.
+        peers.go_offline(dpr_p2p::peer::PeerId(0));
+        let mut detector = TerminationDetector::new(4);
+        for _ in 0..10 {
+            detector.advance(&cluster, &peers);
+        }
+        assert!(!detector.announced(), "token must wait for its holder");
+        // Holder returns: detection completes.
+        peers.go_online(dpr_p2p::peer::PeerId(0));
+        for _ in 0..10 {
+            detector.advance(&cluster, &peers);
+        }
+        assert!(detector.announced());
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-peer document-location cache (paper Sec. 3.2).
+//!
+//! "When the first pagerank update message is sent for a document, the
+//! P2P layer's routing mechanism is used to find the location of the
+//! document. Once its location has been found the IP address is cached
+//! at the source node, and subsequent update messages can be exchanged
+//! directly between source and destination. Storage requirement for
+//! this scheme scales linearly with the sum of the outlinks in all
+//! documents in a peer."
+//!
+//! The cache maps a document's GUID to the peer currently holding it.
+//! Entries are invalidated when the holding peer leaves, falling back
+//! to routing on the next send — which re-populates the entry.
+
+use crate::{guid::Guid, peer::PeerId};
+use std::collections::HashMap;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing (a routed lookup follows).
+    pub misses: u64,
+    /// Entries dropped by peer invalidation.
+    pub invalidated: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One peer's document-location cache.
+#[derive(Debug, Default)]
+pub struct AddressCache {
+    entries: HashMap<Guid, PeerId>,
+    stats: CacheStats,
+}
+
+impl AddressCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AddressCache::default()
+    }
+
+    /// Looks up the cached location of `doc`.
+    pub fn lookup(&mut self, doc: Guid) -> Option<PeerId> {
+        match self.entries.get(&doc) {
+            Some(&p) => {
+                self.stats.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records that `doc` lives on `peer` (after a routed lookup).
+    pub fn insert(&mut self, doc: Guid, peer: PeerId) {
+        self.entries.insert(doc, peer);
+    }
+
+    /// Drops every entry pointing at `peer` (it left the network).
+    /// Returns how many entries were dropped.
+    pub fn invalidate_peer(&mut self, peer: PeerId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, &mut p| p != peer);
+        let dropped = before - self.entries.len();
+        self.stats.invalidated += dropped as u64;
+        dropped
+    }
+
+    /// Number of live entries — the paper's linear-in-outlinks storage
+    /// bound applies to this value.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// All peers' caches, indexed by peer.
+#[derive(Debug, Default)]
+pub struct CacheSet {
+    caches: Vec<AddressCache>,
+}
+
+impl CacheSet {
+    /// Caches for `n` peers.
+    pub fn new(n: usize) -> Self {
+        CacheSet { caches: (0..n).map(|_| AddressCache::new()).collect() }
+    }
+
+    /// The cache belonging to `p`.
+    pub fn of(&mut self, p: PeerId) -> &mut AddressCache {
+        &mut self.caches[p.index()]
+    }
+
+    /// Invalidates `peer` in every cache (it left the network).
+    pub fn invalidate_peer_everywhere(&mut self, peer: PeerId) -> usize {
+        self.caches.iter_mut().map(|c| c.invalidate_peer(peer)).sum()
+    }
+
+    /// Aggregated statistics across all caches.
+    pub fn aggregate_stats(&self) -> CacheStats {
+        let mut agg = CacheStats::default();
+        for c in &self.caches {
+            agg.hits += c.stats.hits;
+            agg.misses += c.stats.misses;
+            agg.invalidated += c.stats.invalidated;
+        }
+        agg
+    }
+
+    /// Total entries across all caches.
+    pub fn total_entries(&self) -> usize {
+        self.caches.iter().map(AddressCache::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::DocId;
+
+    fn g(d: u32) -> Guid {
+        Guid::for_document(DocId(d))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = AddressCache::new();
+        assert_eq!(c.lookup(g(1)), None);
+        c.insert(g(1), PeerId(4));
+        assert_eq!(c.lookup(g(1)), Some(PeerId(4)));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidation_drops_only_that_peer() {
+        let mut c = AddressCache::new();
+        c.insert(g(1), PeerId(4));
+        c.insert(g(2), PeerId(4));
+        c.insert(g(3), PeerId(5));
+        assert_eq!(c.invalidate_peer(PeerId(4)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(g(3)), Some(PeerId(5)));
+        assert_eq!(c.lookup(g(1)), None);
+        assert_eq!(c.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites_stale_location() {
+        let mut c = AddressCache::new();
+        c.insert(g(1), PeerId(4));
+        c.insert(g(1), PeerId(9));
+        assert_eq!(c.lookup(g(1)), Some(PeerId(9)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cache_set_invalidates_everywhere() {
+        let mut s = CacheSet::new(3);
+        s.of(PeerId(0)).insert(g(1), PeerId(2));
+        s.of(PeerId(1)).insert(g(1), PeerId(2));
+        s.of(PeerId(1)).insert(g(2), PeerId(0));
+        assert_eq!(s.invalidate_peer_everywhere(PeerId(2)), 2);
+        assert_eq!(s.total_entries(), 1);
+        let agg = s.aggregate_stats();
+        assert_eq!(agg.invalidated, 2);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        let c = AddressCache::new();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert!(c.is_empty());
+    }
+}

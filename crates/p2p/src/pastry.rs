@@ -1,0 +1,366 @@
+//! Pastry-style prefix routing — the second DHT discipline the paper
+//! names (Sec. 1: "systems with bounded search such as CAN, Pastry or
+//! Chord").
+//!
+//! Where Chord forwards by halving the clockwise *distance* to the
+//! target, Pastry forwards by extending the shared hex-digit *prefix*
+//! between the current peer's id and the key: each peer keeps a
+//! routing table with one entry per (prefix length, next digit) pair
+//! plus a *leaf set* of numerically adjacent peers, and a key is owned
+//! by the peer numerically closest to it. Hops are O(log₁₆ n).
+//!
+//! Like [`crate::routing::Router`], tables are built from the full
+//! membership (simulation-grade; real Pastry fills them from observed
+//! traffic) — the point is faithful routing behaviour and hop counts,
+//! which the tests verify against brute force.
+
+use crate::guid::Guid;
+use crate::peer::PeerId;
+use std::collections::HashMap;
+
+/// Hex digits per 128-bit id.
+const DIGITS: usize = 32;
+/// Leaf-set entries on each side.
+const LEAF_EACH_SIDE: usize = 4;
+
+/// The `i`-th hex digit of an id (0 = most significant).
+#[inline]
+fn digit(id: u128, i: usize) -> usize {
+    debug_assert!(i < DIGITS);
+    ((id >> (124 - 4 * i)) & 0xF) as usize
+}
+
+/// Length of the shared hex-digit prefix of two ids.
+#[inline]
+fn shared_prefix(a: u128, b: u128) -> usize {
+    for i in 0..DIGITS {
+        if digit(a, i) != digit(b, i) {
+            return i;
+        }
+    }
+    DIGITS
+}
+
+/// Circular numeric distance between two ids.
+#[inline]
+fn num_distance(a: u128, b: u128) -> u128 {
+    let d = a.wrapping_sub(b);
+    let e = b.wrapping_sub(a);
+    d.min(e)
+}
+
+/// One peer's Pastry state: routing table + leaf set.
+#[derive(Debug, Clone)]
+struct NodeState {
+    /// `table[row][col]`: a peer sharing `row` digits with us whose
+    /// next digit is `col`.
+    table: Vec<[Option<PeerId>; 16]>,
+    /// Numerically adjacent peers (both sides), excluding self.
+    leaves: Vec<PeerId>,
+    /// The contiguous id arc `(arc_lo, arc_hi)` covered by the leaf
+    /// set (clockwise from the farthest counter-clockwise leaf to the
+    /// farthest clockwise leaf). A key inside this arc is owned by one
+    /// of the leaves or by us.
+    arc_lo: u128,
+    arc_hi: u128,
+    /// True when the leaf set is the whole membership.
+    covers_all: bool,
+}
+
+/// A Pastry overlay over a fixed membership.
+#[derive(Debug)]
+pub struct PastryNetwork {
+    /// `(guid value, peer)` sorted by id.
+    points: Vec<(u128, PeerId)>,
+    states: HashMap<PeerId, NodeState>,
+}
+
+/// A completed Pastry route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PastryRoute {
+    /// The numerically closest peer to the key.
+    pub owner: PeerId,
+    /// Hops taken (0 if the source owns the key).
+    pub hops: u32,
+    /// Peers traversed, source first, owner last.
+    pub path: Vec<PeerId>,
+}
+
+impl PastryNetwork {
+    /// Builds the overlay for peers `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one peer");
+        let mut points: Vec<(u128, PeerId)> =
+            (0..n as u32).map(|i| (Guid::for_peer(i).0, PeerId(i))).collect();
+        points.sort_unstable_by_key(|&(id, _)| id);
+        let mut states = HashMap::with_capacity(n);
+        for (pos, &(id, peer)) in points.iter().enumerate() {
+            // Leaf set: LEAF_EACH_SIDE sorted neighbours each way.
+            let mut leaves = Vec::new();
+            let side = LEAF_EACH_SIDE.min(n.saturating_sub(1));
+            for k in 1..=side {
+                leaves.push(points[(pos + k) % n].1);
+                leaves.push(points[(pos + n - k) % n].1);
+            }
+            leaves.sort_unstable();
+            leaves.dedup();
+            leaves.retain(|&p| p != peer);
+            let covers_all = leaves.len() >= n.saturating_sub(1);
+            let arc_lo = points[(pos + n - side.max(1)) % n].0;
+            let arc_hi = points[(pos + side.max(1)) % n].0;
+            // Routing table: first match per (row, col) cell.
+            let mut table = vec![[None; 16]; DIGITS];
+            for &(oid, opeer) in &points {
+                if opeer == peer {
+                    continue;
+                }
+                let row = shared_prefix(id, oid);
+                if row < DIGITS {
+                    let col = digit(oid, row);
+                    if table[row][col].is_none() {
+                        table[row][col] = Some(opeer);
+                    }
+                }
+            }
+            states.insert(
+                peer,
+                NodeState { table, leaves, arc_lo, arc_hi, covers_all },
+            );
+        }
+        PastryNetwork { points, states }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the overlay is empty (never true — see [`Self::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The peer numerically closest to `key` (ties to the lower id).
+    pub fn owner(&self, key: Guid) -> PeerId {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|&(a, pa), &(b, pb)| {
+                num_distance(a, key.0)
+                    .cmp(&num_distance(b, key.0))
+                    .then(pa.0.cmp(&pb.0))
+            })
+            .map(|(_, p)| p)
+            .expect("non-empty overlay")
+    }
+
+    fn id_of(&self, p: PeerId) -> u128 {
+        Guid::for_peer(p.0).0
+    }
+
+    /// Routes `key` from `from` to its owner via prefix routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a member.
+    pub fn route(&self, from: PeerId, key: Guid) -> PastryRoute {
+        assert!(self.states.contains_key(&from), "unknown source {from}");
+        let owner = self.owner(key);
+        let mut current = from;
+        let mut path = vec![from];
+        let mut hops = 0u32;
+        let bound = 4 * DIGITS as u32 + self.len() as u32;
+        while current != owner {
+            let next = self.next_hop(current, key);
+            debug_assert_ne!(next, current, "no progress toward {key}");
+            current = next;
+            path.push(current);
+            hops += 1;
+            assert!(hops <= bound, "routing loop");
+        }
+        PastryRoute { owner, hops, path }
+    }
+
+    /// Pastry's forwarding rule at one peer, in the paper's order:
+    /// leaf-set delivery, then the prefix table, then the rare case.
+    fn next_hop(&self, current: PeerId, key: Guid) -> PeerId {
+        let state = &self.states[&current];
+        let cur_id = self.id_of(current);
+        let cur_dist = num_distance(cur_id, key.0);
+        let row = shared_prefix(cur_id, key.0);
+
+        // 1. Leaf-set delivery: if the key falls inside the contiguous
+        //    run of peers covered by the leaf set, the numerically
+        //    closest peer overall is one of the leaves (or us) — one
+        //    final hop. This is what terminates every route.
+        if let Some(closest) = self.leaf_delivery(state, current, key) {
+            return closest;
+        }
+        // 2. Prefix rule: strictly extends the shared prefix with the
+        //    key, so table hops can never revisit a node.
+        if row < DIGITS {
+            if let Some(p) = state.table[row][digit(key.0, row)] {
+                return p;
+            }
+        }
+        // 3. Rare case: no table entry. Forward to a known peer that
+        //    shares at least as long a prefix AND is strictly closer
+        //    numerically — the lexicographic potential
+        //    (prefix, −distance) still strictly increases, so mixed
+        //    sequences of rule-2 and rule-3 hops cannot loop.
+        let mut best: Option<(u128, PeerId)> = None;
+        let candidates = state
+            .leaves
+            .iter()
+            .copied()
+            .chain(state.table.iter().flatten().flatten().copied());
+        for p in candidates {
+            let pid = self.id_of(p);
+            if shared_prefix(pid, key.0) < row {
+                continue;
+            }
+            let d = num_distance(pid, key.0);
+            if d < cur_dist && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, p));
+            }
+        }
+        best.map(|(_, p)| p).expect(
+            "Pastry invariant: leaf delivery, the prefix table, or the \
+             rare case always applies with full-membership tables",
+        )
+    }
+
+    /// If `key` lies within the contiguous id arc covered by this
+    /// node's leaf set, the global owner is one of the leaves (or this
+    /// node itself): return the numerically closest leaf. Purely local
+    /// information — no global lookup.
+    fn leaf_delivery(&self, state: &NodeState, current: PeerId, key: Guid) -> Option<PeerId> {
+        let in_range = state.covers_all
+            || key.0.wrapping_sub(state.arc_lo) <= state.arc_hi.wrapping_sub(state.arc_lo);
+        if !in_range {
+            return None;
+        }
+        // Closest among leaves ∪ self; ties to the lower peer id, the
+        // same rule `owner` uses.
+        let cur_entry = (num_distance(self.id_of(current), key.0), current);
+        let best = state
+            .leaves
+            .iter()
+            .copied()
+            .map(|p| (num_distance(self.id_of(p), key.0), p))
+            .chain(std::iter::once(cur_entry))
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)))
+            .expect("non-empty");
+        debug_assert_ne!(
+            best.1, current,
+            "caller guarantees current is not the owner"
+        );
+        Some(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_graph::DocId;
+
+    #[test]
+    fn digits_and_prefixes() {
+        let a = 0xABCD_0000_0000_0000_0000_0000_0000_0000u128;
+        assert_eq!(digit(a, 0), 0xA);
+        assert_eq!(digit(a, 3), 0xD);
+        assert_eq!(digit(a, 4), 0x0);
+        let b = 0xABCE_0000_0000_0000_0000_0000_0000_0000u128;
+        assert_eq!(shared_prefix(a, b), 3);
+        assert_eq!(shared_prefix(a, a), DIGITS);
+    }
+
+    #[test]
+    fn num_distance_wraps() {
+        assert_eq!(num_distance(u128::MAX, 1), 2);
+        assert_eq!(num_distance(5, 10), 5);
+        assert_eq!(num_distance(7, 7), 0);
+    }
+
+    #[test]
+    fn owner_is_numerically_closest() {
+        let net = PastryNetwork::new(32);
+        for d in 0..200u32 {
+            let key = Guid::for_document(DocId(d));
+            let owner = net.owner(key);
+            let od = num_distance(Guid::for_peer(owner.0).0, key.0);
+            for p in 0..32u32 {
+                let pd = num_distance(Guid::for_peer(p).0, key.0);
+                assert!(od <= pd, "peer {p} closer than owner for key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_reach_the_owner() {
+        let net = PastryNetwork::new(64);
+        for d in 0..300u32 {
+            let key = Guid::for_document(DocId(d));
+            let r = net.route(PeerId(d % 64), key);
+            assert_eq!(r.owner, net.owner(key));
+            assert_eq!(*r.path.last().unwrap(), r.owner);
+            assert_eq!(r.path.len() as u32, r.hops + 1);
+        }
+    }
+
+    #[test]
+    fn hops_are_logarithmic_base_16() {
+        // With 256 peers, log16(256) = 2; prefix routing should need
+        // only a few hops.
+        let net = PastryNetwork::new(256);
+        let mut total = 0u64;
+        let mut max = 0u32;
+        let samples = 400u32;
+        for d in 0..samples {
+            let r = net.route(PeerId(d % 256), Guid::for_document(DocId(d)));
+            total += r.hops as u64;
+            max = max.max(r.hops);
+        }
+        let mean = total as f64 / samples as f64;
+        assert!(mean <= 5.0, "mean hops {mean}");
+        assert!(max <= 12, "max hops {max}");
+    }
+
+    #[test]
+    fn pastry_and_chord_agree_on_few_hops() {
+        // Both disciplines should land in the same O(log n) ballpark.
+        use crate::ring::Ring;
+        use crate::routing::Router;
+        let n = 128;
+        let net = PastryNetwork::new(n);
+        let ring = Ring::with_peers(n);
+        let mut chord = Router::new();
+        let (mut ph, mut ch) = (0u64, 0u64);
+        for d in 0..200u32 {
+            let key = Guid::for_document(DocId(d));
+            ph += net.route(PeerId(d % n as u32), key).hops as u64;
+            ch += chord.route(&ring, PeerId(d % n as u32), key).hops as u64;
+        }
+        let (pm, cm) = (ph as f64 / 200.0, ch as f64 / 200.0);
+        assert!(pm < 6.0 && cm < 8.0, "pastry {pm}, chord {cm}");
+    }
+
+    #[test]
+    fn single_peer_owns_everything_zero_hops() {
+        let net = PastryNetwork::new(1);
+        let r = net.route(PeerId(0), Guid::for_document(DocId(9)));
+        assert_eq!(r.owner, PeerId(0));
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn unknown_source_panics() {
+        let net = PastryNetwork::new(4);
+        net.route(PeerId(99), Guid::for_document(DocId(0)));
+    }
+}

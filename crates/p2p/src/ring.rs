@@ -1,0 +1,242 @@
+//! The Chord-style consistent-hash ring.
+//!
+//! Peers sit at the points `Guid::for_peer(i)` on a 2^128 circle; the
+//! peer responsible for any id is its *successor* — the first peer at
+//! or after the id, wrapping around. [`Ring`] maintains the sorted
+//! membership and answers successor queries in O(log n); it is the
+//! membership source of truth for routing, placement, and the
+//! distributed keyword index.
+
+use crate::{guid::Guid, peer::PeerId};
+
+/// Sorted ring membership.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    /// `(guid, peer)` sorted by guid. Guids are unique (the hash is
+    /// collision-free over the tiny peer-number space in practice;
+    /// insertion asserts it).
+    points: Vec<(Guid, PeerId)>,
+}
+
+impl Ring {
+    /// An empty ring.
+    pub fn new() -> Self {
+        Ring::default()
+    }
+
+    /// A ring with peers `0..n` already joined.
+    pub fn with_peers(n: usize) -> Self {
+        let mut r = Ring::new();
+        for i in 0..n as u32 {
+            r.join(PeerId(i));
+        }
+        r
+    }
+
+    /// Number of peers on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds a peer to the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer is already present or its guid collides.
+    pub fn join(&mut self, p: PeerId) {
+        let g = Guid::for_peer(p.0);
+        match self.points.binary_search_by_key(&g, |&(g, _)| g) {
+            Ok(_) => panic!("peer {p} (or a guid collision) already on the ring"),
+            Err(pos) => self.points.insert(pos, (g, p)),
+        }
+    }
+
+    /// Removes a peer from the ring. Returns whether it was present.
+    pub fn leave(&mut self, p: PeerId) -> bool {
+        let g = Guid::for_peer(p.0);
+        match self.points.binary_search_by_key(&g, |&(g, _)| g) {
+            Ok(pos) => {
+                self.points.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `p` is on the ring.
+    pub fn contains(&self, p: PeerId) -> bool {
+        let g = Guid::for_peer(p.0);
+        self.points.binary_search_by_key(&g, |&(g, _)| g).is_ok()
+    }
+
+    /// The peer responsible for `id`: the first peer clockwise at or
+    /// after `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    pub fn successor(&self, id: Guid) -> PeerId {
+        assert!(!self.points.is_empty(), "successor on empty ring");
+        let pos = self.points.partition_point(|&(g, _)| g < id);
+        if pos == self.points.len() {
+            self.points[0].1
+        } else {
+            self.points[pos].1
+        }
+    }
+
+    /// The peer immediately preceding `id` (strictly before, wrapping).
+    pub fn predecessor(&self, id: Guid) -> PeerId {
+        assert!(!self.points.is_empty(), "predecessor on empty ring");
+        let pos = self.points.partition_point(|&(g, _)| g < id);
+        if pos == 0 {
+            self.points[self.points.len() - 1].1
+        } else {
+            self.points[pos - 1].1
+        }
+    }
+
+    /// Iterator over peers in ring (guid) order.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.points.iter().map(|&(_, p)| p)
+    }
+
+    /// Ring position (guid) of peer `p`, if present.
+    pub fn guid_of(&self, p: PeerId) -> Option<Guid> {
+        let g = Guid::for_peer(p.0);
+        self.points
+            .binary_search_by_key(&g, |&(g, _)| g)
+            .ok()
+            .map(|_| g)
+    }
+
+    /// The arc of the circle owned by `p`: `(predecessor_guid, own_guid]`.
+    /// Returns `None` if `p` is not on the ring.
+    pub fn owned_interval(&self, p: PeerId) -> Option<(Guid, Guid)> {
+        let g = self.guid_of(p)?;
+        let pos = self
+            .points
+            .binary_search_by_key(&g, |&(g, _)| g)
+            .expect("guid_of said present");
+        let pred = if pos == 0 {
+            self.points[self.points.len() - 1].0
+        } else {
+            self.points[pos - 1].0
+        };
+        Some((pred, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_leave_contains() {
+        let mut r = Ring::new();
+        assert!(r.is_empty());
+        r.join(PeerId(0));
+        r.join(PeerId(1));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(PeerId(0)));
+        assert!(r.leave(PeerId(0)));
+        assert!(!r.leave(PeerId(0)));
+        assert!(!r.contains(PeerId(0)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the ring")]
+    fn double_join_panics() {
+        let mut r = Ring::new();
+        r.join(PeerId(3));
+        r.join(PeerId(3));
+    }
+
+    #[test]
+    fn successor_is_first_at_or_after() {
+        let r = Ring::with_peers(8);
+        // Brute-force check against a linear scan for many probe ids.
+        let mut pts: Vec<(Guid, PeerId)> =
+            (0..8u32).map(|i| (Guid::for_peer(i), PeerId(i))).collect();
+        pts.sort_by_key(|&(g, _)| g);
+        for probe in 0..1000u32 {
+            let id = Guid::for_document(dpr_graph::DocId(probe));
+            let expect = pts
+                .iter()
+                .find(|&&(g, _)| g >= id)
+                .map(|&(_, p)| p)
+                .unwrap_or(pts[0].1);
+            assert_eq!(r.successor(id), expect);
+        }
+    }
+
+    #[test]
+    fn successor_of_own_guid_is_self() {
+        let r = Ring::with_peers(5);
+        for i in 0..5u32 {
+            assert_eq!(r.successor(Guid::for_peer(i)), PeerId(i));
+        }
+    }
+
+    #[test]
+    fn predecessor_and_successor_are_adjacent() {
+        let r = Ring::with_peers(16);
+        for probe in 0..200u32 {
+            let id = Guid::for_document(dpr_graph::DocId(probe));
+            let succ = r.successor(id);
+            let pred = r.predecessor(id);
+            // pred's successor arc must contain id.
+            let (lo, hi) = r.owned_interval(succ).unwrap();
+            assert!(id.in_interval(lo, hi) || id == hi, "id {id} not in ({lo}, {hi}]");
+            assert_ne!(
+                pred, succ,
+                "with 16 peers pred and succ of a random id differ"
+            );
+        }
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let r = Ring::with_peers(1);
+        for probe in 0..50u32 {
+            let id = Guid::for_document(dpr_graph::DocId(probe));
+            assert_eq!(r.successor(id), PeerId(0));
+        }
+        let (lo, hi) = r.owned_interval(PeerId(0)).unwrap();
+        assert_eq!(lo, hi, "single peer's interval is the whole circle");
+    }
+
+    #[test]
+    fn leave_reassigns_arc_to_successor() {
+        let mut r = Ring::with_peers(10);
+        let id = Guid::for_document(dpr_graph::DocId(123));
+        let owner = r.successor(id);
+        r.leave(owner);
+        let new_owner = r.successor(id);
+        assert_ne!(owner, new_owner);
+        // New owner must be the old owner's ring successor.
+        assert!(r.contains(new_owner));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ring")]
+    fn successor_on_empty_ring_panics() {
+        Ring::new().successor(Guid(0));
+    }
+
+    #[test]
+    fn peers_iterate_in_guid_order() {
+        let r = Ring::with_peers(6);
+        let guids: Vec<Guid> = r
+            .peers()
+            .map(|p| r.guid_of(p).unwrap())
+            .collect();
+        assert!(guids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,329 @@
+//! Message transport with store-and-resend and traffic accounting.
+//!
+//! Paper Sec. 3.1: "when a peer is detected as unavailable, update
+//! messages are stored at the sender and periodically resent until
+//! delivered successfully. In the worst case, the amount of state
+//! saved scales linearly with the sum of outlinks in all documents in
+//! a peer." [`Transport`] implements exactly that: sends to online
+//! peers are enqueued in the destination inbox; sends to offline peers
+//! are parked in a per-sender pending buffer and re-delivered by
+//! [`Transport::retry_pending`] once the destination returns.
+//!
+//! Delivery is instantaneous (the paper's simulation does not model
+//! network latency) but every message is counted, because message
+//! counts are the paper's primary traffic metric (Table 3).
+
+use crate::peer::{PeerId, PeerTable};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::VecDeque;
+
+/// A message in flight or delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Destination peer.
+    pub to: PeerId,
+    /// Application payload.
+    pub payload: M,
+}
+
+/// Counters kept by the transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct TrafficStats {
+    /// Messages handed to `send` (delivered or parked).
+    pub sent: u64,
+    /// Messages placed in a destination inbox.
+    pub delivered: u64,
+    /// Messages parked because the destination was offline.
+    pub parked: u64,
+    /// Parked messages successfully re-delivered.
+    pub redelivered: u64,
+    /// Retry attempts that found the destination still offline.
+    pub retry_failures: u64,
+}
+
+/// Per-peer inboxes plus the store-and-resend buffer.
+#[derive(Debug)]
+pub struct Transport<M> {
+    inboxes: Vec<VecDeque<Envelope<M>>>,
+    /// Messages waiting for an offline destination, stored at the
+    /// sender as the paper prescribes — kept per *sender* so the
+    /// worst-case state bound (sum of outlinks at the sender) can be
+    /// audited via [`Transport::pending_at`].
+    pending: Vec<Vec<Envelope<M>>>,
+    stats: TrafficStats,
+}
+
+impl<M> Transport<M> {
+    /// A transport for `n` peers.
+    pub fn new(n: usize) -> Self {
+        Transport {
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            stats: TrafficStats::default(),
+        }
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Sends `payload` from `from` to `to`. If `to` is offline the
+    /// message is parked at the sender for later retry.
+    pub fn send(&mut self, peers: &PeerTable, from: PeerId, to: PeerId, payload: M) {
+        self.stats.sent += 1;
+        let env = Envelope { from, to, payload };
+        if peers.is_online(to) {
+            self.stats.delivered += 1;
+            self.inboxes[to.index()].push_back(env);
+        } else {
+            self.stats.parked += 1;
+            self.pending[from.index()].push(env);
+        }
+    }
+
+    /// Retries every parked message; messages whose destination is now
+    /// online are delivered. Returns the number re-delivered.
+    pub fn retry_pending(&mut self, peers: &PeerTable) -> u64 {
+        let mut redelivered = 0u64;
+        for sender in 0..self.pending.len() {
+            let mut still_parked = Vec::new();
+            for env in self.pending[sender].drain(..) {
+                if peers.is_online(env.to) {
+                    self.inboxes[env.to.index()].push_back(env);
+                    redelivered += 1;
+                } else {
+                    self.stats.retry_failures += 1;
+                    still_parked.push(env);
+                }
+            }
+            self.pending[sender] = still_parked;
+        }
+        self.stats.redelivered += redelivered;
+        redelivered
+    }
+
+    /// Removes and returns every message addressed to `dst` that is
+    /// currently parked at any sender. Used when `dst` departs
+    /// *permanently* and its documents are re-homed: the caller
+    /// re-sends these to the documents' new holders instead of letting
+    /// them wait forever for a peer that will never return.
+    pub fn take_pending_for(&mut self, dst: PeerId) -> Vec<Envelope<M>> {
+        let mut taken = Vec::new();
+        for sender in &mut self.pending {
+            let mut kept = Vec::new();
+            for env in sender.drain(..) {
+                if env.to == dst {
+                    taken.push(env);
+                } else {
+                    kept.push(env);
+                }
+            }
+            *sender = kept;
+        }
+        taken
+    }
+
+    /// Pops the next message from `p`'s inbox.
+    pub fn receive(&mut self, p: PeerId) -> Option<Envelope<M>> {
+        self.inboxes[p.index()].pop_front()
+    }
+
+    /// Drains every message currently in `p`'s inbox.
+    pub fn drain_inbox(&mut self, p: PeerId) -> Vec<Envelope<M>> {
+        self.inboxes[p.index()].drain(..).collect()
+    }
+
+    /// Number of messages waiting in `p`'s inbox.
+    pub fn inbox_len(&self, p: PeerId) -> usize {
+        self.inboxes[p.index()].len()
+    }
+
+    /// Number of messages parked at sender `p` (the paper's
+    /// linear-in-outlinks state bound applies to this value).
+    pub fn pending_at(&self, p: PeerId) -> usize {
+        self.pending[p.index()].len()
+    }
+
+    /// Total parked messages across all senders.
+    pub fn total_pending(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+
+    /// Total undelivered messages (inboxes + parked).
+    pub fn in_flight(&self) -> usize {
+        self.inboxes.iter().map(VecDeque::len).sum::<usize>() + self.total_pending()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Resets traffic counters (not queues).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+}
+
+/// The paper's pagerank update message: "128 bits for GUID, 64 bits
+/// for pagerank value" — 24 bytes on the wire (Sec. 4.6.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankUpdateWire {
+    /// GUID of the document whose rank is being updated.
+    pub guid: u128,
+    /// The rank contribution being delivered (may be negative for
+    /// document deletion).
+    pub value: f64,
+}
+
+/// Exact wire size of [`RankUpdateWire`], as assumed by the paper's
+/// execution-time model.
+pub const RANK_UPDATE_WIRE_BYTES: usize = 24;
+
+impl RankUpdateWire {
+    /// Serializes to the 24-byte wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(RANK_UPDATE_WIRE_BYTES);
+        b.put_u128_le(self.guid);
+        b.put_f64_le(self.value);
+        b.freeze()
+    }
+
+    /// Parses the 24-byte wire form.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, WireError> {
+        if bytes.len() != RANK_UPDATE_WIRE_BYTES {
+            return Err(WireError::BadLength(bytes.len()));
+        }
+        let guid = bytes.get_u128_le();
+        let value = bytes.get_f64_le();
+        if !value.is_finite() {
+            return Err(WireError::NonFiniteValue);
+        }
+        Ok(RankUpdateWire { guid, value })
+    }
+}
+
+/// Wire decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload was not exactly 24 bytes.
+    BadLength(usize),
+    /// Rank value was NaN or infinite.
+    NonFiniteValue,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadLength(n) => write!(f, "expected 24-byte rank update, got {n}"),
+            WireError::NonFiniteValue => write!(f, "rank value is not finite"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let peers = PeerTable::new(2);
+        let mut t: Transport<u32> = Transport::new(2);
+        t.send(&peers, PeerId(0), PeerId(1), 10);
+        t.send(&peers, PeerId(0), PeerId(1), 11);
+        assert_eq!(t.inbox_len(PeerId(1)), 2);
+        assert_eq!(t.receive(PeerId(1)).unwrap().payload, 10);
+        assert_eq!(t.receive(PeerId(1)).unwrap().payload, 11);
+        assert!(t.receive(PeerId(1)).is_none());
+        let s = t.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.parked, 0);
+    }
+
+    #[test]
+    fn offline_destination_parks_at_sender() {
+        let mut peers = PeerTable::new(2);
+        peers.go_offline(PeerId(1));
+        let mut t: Transport<u32> = Transport::new(2);
+        t.send(&peers, PeerId(0), PeerId(1), 7);
+        assert_eq!(t.inbox_len(PeerId(1)), 0);
+        assert_eq!(t.pending_at(PeerId(0)), 1);
+        assert_eq!(t.stats().parked, 1);
+
+        // Retry while still offline: stays parked.
+        assert_eq!(t.retry_pending(&peers), 0);
+        assert_eq!(t.stats().retry_failures, 1);
+        assert_eq!(t.pending_at(PeerId(0)), 1);
+
+        // Destination returns: message is redelivered exactly once.
+        peers.go_online(PeerId(1));
+        assert_eq!(t.retry_pending(&peers), 1);
+        assert_eq!(t.pending_at(PeerId(0)), 0);
+        assert_eq!(t.receive(PeerId(1)).unwrap().payload, 7);
+        assert_eq!(t.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn drain_inbox_empties_queue() {
+        let peers = PeerTable::new(3);
+        let mut t: Transport<&str> = Transport::new(3);
+        t.send(&peers, PeerId(0), PeerId(2), "a");
+        t.send(&peers, PeerId(1), PeerId(2), "b");
+        let msgs = t.drain_inbox(PeerId(2));
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].from, PeerId(0));
+        assert_eq!(t.inbox_len(PeerId(2)), 0);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_24_bytes() {
+        let m = RankUpdateWire { guid: 0x0000_dead_beef_cafe_babe_0123, value: -0.125 };
+        let b = m.encode();
+        assert_eq!(b.len(), RANK_UPDATE_WIRE_BYTES);
+        assert_eq!(RankUpdateWire::decode(b).unwrap(), m);
+    }
+
+    #[test]
+    fn wire_rejects_bad_input() {
+        assert_eq!(
+            RankUpdateWire::decode(Bytes::from_static(b"short")),
+            Err(WireError::BadLength(5))
+        );
+        let nan = RankUpdateWire { guid: 1, value: f64::NAN }.encode();
+        assert_eq!(RankUpdateWire::decode(nan), Err(WireError::NonFiniteValue));
+    }
+
+    #[test]
+    fn take_pending_for_extracts_only_that_destination() {
+        let mut peers = PeerTable::new(3);
+        peers.go_offline(PeerId(1));
+        peers.go_offline(PeerId(2));
+        let mut t: Transport<u8> = Transport::new(3);
+        t.send(&peers, PeerId(0), PeerId(1), 1);
+        t.send(&peers, PeerId(0), PeerId(2), 2);
+        t.send(&peers, PeerId(0), PeerId(1), 3);
+        let taken = t.take_pending_for(PeerId(1));
+        assert_eq!(taken.len(), 2);
+        assert!(taken.iter().all(|e| e.to == PeerId(1)));
+        assert_eq!(t.total_pending(), 1, "message for peer 2 stays parked");
+        assert!(t.take_pending_for(PeerId(1)).is_empty());
+    }
+
+    #[test]
+    fn in_flight_counts_inboxes_and_pending() {
+        let mut peers = PeerTable::new(2);
+        let mut t: Transport<u8> = Transport::new(2);
+        t.send(&peers, PeerId(0), PeerId(1), 1);
+        peers.go_offline(PeerId(1));
+        t.send(&peers, PeerId(0), PeerId(1), 2);
+        assert_eq!(t.in_flight(), 2);
+        assert_eq!(t.total_pending(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Incremental result fetching.
+//!
+//! The pagerank-sorted search exists so that "the user sees the most
+//! important documents first, while other documents can be fetched
+//! incrementally if requested" (Sec. 4.9). [`ResultCursor`] is that
+//! flow: the first page is served from a cheap top-x% execution, and
+//! only if the user keeps paging does the cursor *escalate* — it
+//! re-runs the query with a doubled forward fraction (eventually
+//! reaching the exact baseline) and pays the extra traffic then, not
+//! up front.
+
+use crate::index::{DistributedIndex, Posting};
+use crate::query::{
+    execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
+};
+
+/// A pageable view over a query's results.
+#[derive(Debug)]
+pub struct ResultCursor<'a> {
+    index: &'a DistributedIndex,
+    query: Query,
+    cfg: IncrementalConfig,
+    /// Hits materialized so far, best first.
+    hits: Vec<Posting>,
+    /// How many hits have been handed to the user.
+    served: usize,
+    /// Total ids moved across all executions so far.
+    traffic_ids: u64,
+    /// Executions run (1 = the initial cheap pass).
+    executions: u32,
+    /// Set once the exact (baseline) result has been materialized —
+    /// no further escalation can add hits.
+    exact: bool,
+}
+
+impl<'a> ResultCursor<'a> {
+    /// Opens a cursor; runs the initial cheap execution.
+    pub fn open(index: &'a DistributedIndex, query: Query, cfg: IncrementalConfig) -> Self {
+        let first = execute_incremental(index, &query, cfg);
+        ResultCursor {
+            index,
+            query,
+            cfg,
+            traffic_ids: first.traffic_ids,
+            hits: first.hits,
+            served: 0,
+            executions: 1,
+            exact: cfg.forward_fraction >= 1.0,
+        }
+    }
+
+    /// Total ids transferred so far (grows only on escalation).
+    pub fn traffic_ids(&self) -> u64 {
+        self.traffic_ids
+    }
+
+    /// Query executions performed so far.
+    pub fn executions(&self) -> u32 {
+        self.executions
+    }
+
+    /// Whether every possible hit has been materialized.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Hits handed out so far.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// Fetches the next `k` hits (fewer at the end of the result set).
+    /// Escalates automatically while the user pages past what the
+    /// cheap execution found.
+    pub fn fetch(&mut self, k: usize) -> Vec<Posting> {
+        while self.hits.len() < self.served + k && !self.exact {
+            self.escalate();
+        }
+        let end = (self.served + k).min(self.hits.len());
+        let page = self.hits[self.served..end].to_vec();
+        self.served = end;
+        page
+    }
+
+    /// Re-runs the query with a doubled forward fraction (or exactly,
+    /// once the fraction reaches 1), replacing the materialized hit
+    /// list. Served hits are a stable prefix: every execution sorts by
+    /// pagerank and a larger cut only *extends* the surviving set.
+    fn escalate(&mut self) {
+        let next_fraction = (self.cfg.forward_fraction * 2.0).min(1.0);
+        self.cfg.forward_fraction = next_fraction;
+        let out = if next_fraction >= 1.0 {
+            self.exact = true;
+            execute_baseline(self.index, &self.query, self.cfg.traffic)
+        } else {
+            execute_incremental(self.index, &self.query, self.cfg)
+        };
+        self.traffic_ids += out.traffic_ids;
+        self.executions += 1;
+        debug_assert!(
+            out.hits.len() >= self.hits.len(),
+            "a larger cut can only extend the result set"
+        );
+        self.hits = out.hits;
+    }
+}
+
+/// The exact number of hits the query has in total (reference for
+/// tests and UIs that show "N results").
+pub fn total_hits(index: &DistributedIndex, query: &Query, traffic: TrafficModel) -> usize {
+    execute_baseline(index, query, traffic).hits.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+    use dpr_p2p::ring::Ring;
+
+    fn setup() -> (Corpus, Vec<f64>, Ring) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_docs: 3_000,
+            vocab_size: 400,
+            tokens_per_doc: 60,
+            seed: 46,
+            ..Default::default()
+        });
+        let ranks: Vec<f64> = (0..3_000).map(|i| 0.15 + (i as f64 * 11.3) % 7.0).collect();
+        let ring = Ring::with_peers(25);
+        (corpus, ranks, ring)
+    }
+
+    #[test]
+    fn first_page_is_cheap_and_correctly_ordered() {
+        let (corpus, ranks, ring) = setup();
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![0, 1]);
+        let baseline = execute_baseline(&index, &q, TrafficModel::AllHopsRemote);
+
+        let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
+        let cheap_traffic = cursor.traffic_ids();
+        let page = cursor.fetch(10);
+        assert_eq!(page.len(), 10);
+        // First page = the true top 10 by pagerank.
+        for (a, b) in page.iter().zip(&baseline.hits[..10]) {
+            assert_eq!(a.doc, b.doc);
+        }
+        assert_eq!(cursor.executions(), 1, "no escalation for the first page");
+        assert!(cheap_traffic < baseline.traffic_ids);
+    }
+
+    #[test]
+    fn paging_to_the_end_escalates_to_exact() {
+        let (corpus, ranks, ring) = setup();
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![0, 1]);
+        let total = total_hits(&index, &q, TrafficModel::AllHopsRemote);
+        assert!(total > 50, "need a sizable result set, got {total}");
+
+        let mut cursor = ResultCursor::open(&index, q.clone(), IncrementalConfig::top10());
+        let mut collected = Vec::new();
+        loop {
+            let page = cursor.fetch(25);
+            if page.is_empty() {
+                break;
+            }
+            collected.extend(page);
+        }
+        assert_eq!(collected.len(), total, "paging reaches every hit");
+        assert!(cursor.is_exact());
+        assert!(cursor.executions() > 1, "deep paging must escalate");
+        // The full collected sequence equals the exact ranking.
+        let baseline = execute_baseline(&index, &q, TrafficModel::AllHopsRemote);
+        for (a, b) in collected.iter().zip(&baseline.hits) {
+            assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    #[test]
+    fn shallow_users_never_pay_for_escalation() {
+        let (corpus, ranks, ring) = setup();
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![2, 3]);
+        let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
+        let t0 = cursor.traffic_ids();
+        let _ = cursor.fetch(5);
+        let _ = cursor.fetch(5);
+        assert_eq!(cursor.traffic_ids(), t0, "shallow paging costs nothing extra");
+        assert_eq!(cursor.served(), 10);
+    }
+
+    #[test]
+    fn traffic_grows_monotonically_with_depth() {
+        let (corpus, ranks, ring) = setup();
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![0, 1, 2]);
+        let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
+        let mut last_traffic = cursor.traffic_ids();
+        for _ in 0..20 {
+            let _ = cursor.fetch(50);
+            assert!(cursor.traffic_ids() >= last_traffic);
+            last_traffic = cursor.traffic_ids();
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! FASD/Freenet-style search with pagerank-weighted forwarding
+//! (paper Sec. 2.4.1).
+//!
+//! "In FASD, a metadata key representing the document as a vector is
+//! associated with every document … Search queries are also
+//! represented as vectors and documents that match a query are 'close'
+//! to the search vector. We make a modification to the original FASD
+//! algorithm to incorporate pagerank into the search scheme. Results
+//! are forwarded based on a linear combination of document closeness
+//! and pagerank."
+//!
+//! This module implements that scheme end to end:
+//!
+//! * [`MetadataKey`] — the document vector (normalized binary term
+//!   vector, the standard FASD reduction of a document).
+//! * [`score`] — the linear combination `alpha·closeness +
+//!   (1 − alpha)·normalized pagerank`.
+//! * [`FasdNetwork`] — peers on a small-world topology (ring plus
+//!   random shortcuts, Freenet's steady-state shape) holding their
+//!   documents' metadata keys; [`FasdNetwork::search`] routes a query
+//!   greedily toward better-scoring peers with a TTL, accumulating
+//!   the best hits along the path — no address caching, honoring
+//!   Freenet's anonymity constraint (Sec. 3.2's last paragraph).
+
+use crate::{corpus::Corpus, TermId};
+use dpr_graph::DocId;
+use dpr_p2p::peer::PeerId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A document's metadata key: its sorted distinct terms, interpreted
+/// as a normalized binary vector over the vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetadataKey {
+    terms: Vec<TermId>,
+}
+
+impl MetadataKey {
+    /// Key for a term set (sorted, deduplicated internally).
+    pub fn new(mut terms: Vec<TermId>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        MetadataKey { terms }
+    }
+
+    /// Key of a corpus document.
+    pub fn of_document(corpus: &Corpus, d: DocId) -> Self {
+        MetadataKey { terms: corpus.terms_of(d).to_vec() }
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Cosine similarity between two binary term vectors:
+    /// `|a ∩ b| / sqrt(|a| · |b|)`.
+    pub fn closeness(&self, other: &MetadataKey) -> f64 {
+        if self.terms.is_empty() || other.terms.is_empty() {
+            return 0.0;
+        }
+        let (mut i, mut j, mut common) = (0usize, 0usize, 0usize);
+        while i < self.terms.len() && j < other.terms.len() {
+            match self.terms[i].cmp(&other.terms[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        common as f64 / ((self.terms.len() as f64) * (other.terms.len() as f64)).sqrt()
+    }
+}
+
+/// The paper's modified FASD score: `alpha · closeness(query, doc) +
+/// (1 − alpha) · pagerank / max_pagerank`.
+pub fn score(closeness: f64, pagerank: f64, max_pagerank: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha in [0, 1]");
+    assert!(max_pagerank > 0.0, "max pagerank must be positive");
+    alpha * closeness + (1.0 - alpha) * (pagerank / max_pagerank)
+}
+
+/// A scored hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FasdHit {
+    /// The document.
+    pub doc: DocId,
+    /// Its combined score.
+    pub score: f64,
+}
+
+/// Outcome of a routed FASD search.
+#[derive(Debug, Clone)]
+pub struct FasdOutcome {
+    /// Best hits found along the route, score descending.
+    pub hits: Vec<FasdHit>,
+    /// Peers visited (including the origin).
+    pub peers_visited: usize,
+    /// Hops taken.
+    pub hops: u32,
+}
+
+/// Peers with documents on a small-world overlay.
+#[derive(Debug)]
+pub struct FasdNetwork {
+    /// Documents (with keys and ranks) per peer.
+    docs: Vec<Vec<(DocId, MetadataKey, f64)>>,
+    /// Neighbor lists (ring + shortcuts).
+    neighbors: Vec<Vec<PeerId>>,
+    max_rank: f64,
+    alpha: f64,
+}
+
+impl FasdNetwork {
+    /// Builds the network: documents are spread round-robin over
+    /// `num_peers` peers, each peer linked to its ring neighbors plus
+    /// `shortcuts` random long links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks.len() != corpus.num_docs()` or `num_peers < 2`.
+    pub fn build(
+        corpus: &Corpus,
+        ranks: &[f64],
+        num_peers: usize,
+        shortcuts: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(ranks.len(), corpus.num_docs());
+        assert!(num_peers >= 2, "need at least two peers");
+        assert!((0.0..=1.0).contains(&alpha));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut docs: Vec<Vec<(DocId, MetadataKey, f64)>> =
+            (0..num_peers).map(|_| Vec::new()).collect();
+        for d in 0..corpus.num_docs() {
+            let doc = DocId::from(d);
+            docs[d % num_peers].push((doc, MetadataKey::of_document(corpus, doc), ranks[d]));
+        }
+        let mut neighbors: Vec<Vec<PeerId>> = (0..num_peers)
+            .map(|i| {
+                let prev = PeerId(((i + num_peers - 1) % num_peers) as u32);
+                let next = PeerId(((i + 1) % num_peers) as u32);
+                vec![prev, next]
+            })
+            .collect();
+        let all: Vec<u32> = (0..num_peers as u32).collect();
+        for (i, nb) in neighbors.iter_mut().enumerate() {
+            for _ in 0..shortcuts {
+                let pick = *all.choose(&mut rng).expect("non-empty");
+                if pick as usize != i && !nb.contains(&PeerId(pick)) {
+                    nb.push(PeerId(pick));
+                }
+            }
+        }
+        let max_rank = ranks.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+        FasdNetwork { docs, neighbors, max_rank, alpha }
+    }
+
+    /// Number of peers.
+    pub fn num_peers(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Best local score for `query` at `peer`.
+    fn best_local(&self, peer: PeerId, query: &MetadataKey) -> f64 {
+        self.docs[peer.index()]
+            .iter()
+            .map(|(_, key, rank)| score(query.closeness(key), *rank, self.max_rank, self.alpha))
+            .fold(0.0, f64::max)
+    }
+
+    /// Collects `k` best local hits at `peer` into `acc`.
+    fn collect_local(&self, peer: PeerId, query: &MetadataKey, k: usize, acc: &mut Vec<FasdHit>) {
+        for (doc, key, rank) in &self.docs[peer.index()] {
+            let s = score(query.closeness(key), *rank, self.max_rank, self.alpha);
+            acc.push(FasdHit { doc: *doc, score: s });
+        }
+        acc.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
+        acc.truncate(k.max(1) * 4); // keep a working margin while routing
+    }
+
+    /// Routed search: start at `origin`, greedily hop to the neighbor
+    /// whose best local score improves on the current peer's, collect
+    /// the top hits along the way, stop at `ttl` hops or a local
+    /// maximum. Returns the best `k` hits found.
+    pub fn search(
+        &self,
+        origin: PeerId,
+        query: &MetadataKey,
+        k: usize,
+        ttl: u32,
+    ) -> FasdOutcome {
+        let mut visited = vec![false; self.num_peers()];
+        let mut current = origin;
+        visited[current.index()] = true;
+        let mut acc = Vec::new();
+        self.collect_local(current, query, k, &mut acc);
+        let mut hops = 0u32;
+        let mut peers_visited = 1usize;
+        while hops < ttl {
+            let here = self.best_local(current, query);
+            let next = self.neighbors[current.index()]
+                .iter()
+                .copied()
+                .filter(|p| !visited[p.index()])
+                .map(|p| (p, self.best_local(p, query)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN scores"));
+            match next {
+                Some((p, s)) if s > here => {
+                    current = p;
+                    visited[current.index()] = true;
+                    hops += 1;
+                    peers_visited += 1;
+                    self.collect_local(current, query, k, &mut acc);
+                }
+                // Local maximum (or nowhere unvisited): the query
+                // terminates here, as in Freenet's depth-limited walk.
+                _ => break,
+            }
+        }
+        acc.truncate(k);
+        FasdOutcome { hits: acc, peers_visited, hops }
+    }
+
+    /// Exhaustive reference: the true best `k` hits over all peers.
+    pub fn exhaustive(&self, query: &MetadataKey, k: usize) -> Vec<FasdHit> {
+        let mut all = Vec::new();
+        for p in 0..self.num_peers() {
+            self.collect_local(PeerId(p as u32), query, usize::MAX / 8, &mut all);
+        }
+        all.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn setup(alpha: f64) -> (Corpus, FasdNetwork) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_docs: 1_000,
+            vocab_size: 300,
+            tokens_per_doc: 40,
+            seed: 44,
+            ..Default::default()
+        });
+        let ranks: Vec<f64> = (0..1_000).map(|i| 0.15 + (i as f64 * 1.7) % 3.0).collect();
+        let net = FasdNetwork::build(&corpus, &ranks, 40, 4, alpha, 45);
+        (corpus, net)
+    }
+
+    #[test]
+    fn closeness_is_cosine_on_binary_vectors() {
+        let a = MetadataKey::new(vec![1, 2, 3, 4]);
+        let b = MetadataKey::new(vec![3, 4, 5, 6]);
+        // |a ∩ b| = 2, |a| = |b| = 4 -> 2/4.
+        assert!((a.closeness(&b) - 0.5).abs() < 1e-12);
+        assert!((a.closeness(&a) - 1.0).abs() < 1e-12);
+        let empty = MetadataKey::new(vec![]);
+        assert_eq!(a.closeness(&empty), 0.0);
+    }
+
+    #[test]
+    fn score_blends_closeness_and_rank() {
+        // alpha = 1: pure closeness; alpha = 0: pure pagerank.
+        assert_eq!(score(0.5, 2.0, 4.0, 1.0), 0.5);
+        assert_eq!(score(0.5, 2.0, 4.0, 0.0), 0.5);
+        let blended = score(0.8, 1.0, 4.0, 0.5);
+        assert!((blended - (0.4 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routed_search_visits_few_peers_and_finds_good_hits() {
+        let (corpus, net) = setup(0.7);
+        let query = MetadataKey::of_document(&corpus, DocId(123));
+        let out = net.search(PeerId(0), &query, 10, 20);
+        assert!(!out.hits.is_empty());
+        assert!(out.peers_visited <= 21);
+        // Hits are sorted by score.
+        for w in out.hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // The routed result's best hit scores at least half the true
+        // optimum (greedy routing is approximate by design).
+        let best = net.exhaustive(&query, 1)[0].score;
+        assert!(
+            out.hits[0].score >= 0.5 * best,
+            "routed {} vs exhaustive {}",
+            out.hits[0].score,
+            best
+        );
+    }
+
+    #[test]
+    fn searching_for_a_documents_own_key_finds_similar_documents() {
+        let (corpus, net) = setup(1.0);
+        let query = MetadataKey::of_document(&corpus, DocId(7));
+        let exact = net.exhaustive(&query, 1);
+        // With alpha = 1 (pure closeness), nothing beats the document
+        // itself (cosine 1.0).
+        assert_eq!(exact[0].doc, DocId(7));
+        assert!((exact[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_ranks_by_pagerank_only() {
+        let (corpus, net) = setup(0.0);
+        let query = MetadataKey::of_document(&corpus, DocId(3));
+        let top = net.exhaustive(&query, 1)[0];
+        // Highest pagerank in setup() is the doc maximizing the rank
+        // formula; its score must be 1.0 (rank / max_rank).
+        assert!((top.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttl_limits_the_walk() {
+        let (corpus, net) = setup(0.7);
+        let query = MetadataKey::of_document(&corpus, DocId(50));
+        let short = net.search(PeerId(5), &query, 5, 1);
+        assert!(short.hops <= 1);
+        let long = net.search(PeerId(5), &query, 5, 30);
+        assert!(long.hops >= short.hops);
+    }
+
+    #[test]
+    fn network_shape_is_small_world() {
+        let (_, net) = setup(0.5);
+        for p in 0..net.num_peers() {
+            let nb = &net.neighbors[p];
+            assert!(nb.len() >= 2, "ring links always present");
+            assert!(nb.iter().all(|q| q.index() != p), "no self loops");
+        }
+    }
+}

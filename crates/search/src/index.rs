@@ -1,0 +1,212 @@
+//! The distributed inverted index with pageranks (paper Sec. 2.4.2).
+//!
+//! "Keyword search on DHT based systems is typically implemented by
+//! using a distributed index, with the index entry for each keyword
+//! pointing to all documents containing that particular keyword. We
+//! propose adding an extra entry in the index to store the pageranks
+//! for documents. When the pagerank has been computed for a node, an
+//! index update message is sent, and the pagerank is noted in the
+//! index."
+//!
+//! Each term's posting list lives on the DHT successor of
+//! `Guid::for_term(term)`; postings carry `(DocId, pagerank)` and are
+//! kept sorted by pagerank descending so the incremental search can
+//! cut the top x % without re-sorting.
+
+use crate::{corpus::Corpus, TermId};
+use dpr_graph::DocId;
+use dpr_p2p::{guid::Guid, peer::PeerId, ring::Ring};
+
+/// One posting: a document and its pagerank.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// The document's pagerank as recorded in the index.
+    pub rank: f64,
+}
+
+/// The distributed inverted index.
+#[derive(Debug, Clone)]
+pub struct DistributedIndex {
+    /// Posting lists per term, sorted by rank descending.
+    postings: Vec<Vec<Posting>>,
+    /// The peer owning each term's index entry.
+    term_owner: Vec<PeerId>,
+    /// Index-update messages sent while building / refreshing ranks
+    /// (one per document per term entry, as in the paper's "an index
+    /// update message is sent").
+    update_messages: u64,
+}
+
+impl DistributedIndex {
+    /// Builds the index for `corpus`, placing each term's entry on its
+    /// DHT owner from `ring`, with all pageranks initialized from
+    /// `ranks` (one value per document).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks.len() != corpus.num_docs()`.
+    pub fn build(corpus: &Corpus, ranks: &[f64], ring: &Ring) -> Self {
+        assert_eq!(ranks.len(), corpus.num_docs(), "one rank per document");
+        let vocab = corpus.vocab_size() as usize;
+        let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); vocab];
+        let mut update_messages = 0u64;
+        for (d, &rank) in ranks.iter().enumerate() {
+            let doc = DocId::from(d);
+            for &t in corpus.terms_of(doc) {
+                postings[t as usize].push(Posting { doc, rank });
+                update_messages += 1;
+            }
+        }
+        for list in &mut postings {
+            sort_by_rank(list);
+        }
+        let term_owner = (0..vocab as u32)
+            .map(|t| ring.successor(Guid::for_term(&term_name(t))))
+            .collect();
+        DistributedIndex { postings, term_owner, update_messages }
+    }
+
+    /// The peer holding the index entry of `term`.
+    pub fn owner_of_term(&self, term: TermId) -> PeerId {
+        self.term_owner[term as usize]
+    }
+
+    /// Posting list of `term`, sorted by pagerank descending.
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        &self.postings[term as usize]
+    }
+
+    /// Number of documents containing `term`.
+    pub fn num_hits(&self, term: TermId) -> usize {
+        self.postings[term as usize].len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> u32 {
+        self.postings.len() as u32
+    }
+
+    /// Index-update messages sent so far (build + rank refreshes).
+    pub fn update_messages(&self) -> u64 {
+        self.update_messages
+    }
+
+    /// Records a new pagerank for `doc` in every term entry that lists
+    /// it, counting one index-update message per affected entry. This
+    /// is the paper's "when the pagerank has been computed for a node,
+    /// an index update message is sent".
+    pub fn refresh_rank(&mut self, corpus: &Corpus, doc: DocId, rank: f64) {
+        for &t in corpus.terms_of(doc) {
+            let list = &mut self.postings[t as usize];
+            if let Some(pos) = list.iter().position(|p| p.doc == doc) {
+                list[pos].rank = rank;
+                self.update_messages += 1;
+            }
+            sort_by_rank(list);
+        }
+    }
+}
+
+/// Deterministic printable name for a synthetic term, used as the
+/// DHT key ("term0017" etc.).
+pub fn term_name(t: TermId) -> String {
+    format!("term{t:04}")
+}
+
+fn sort_by_rank(list: &mut [Posting]) {
+    // Stable ordering: rank descending, doc id ascending as the tie
+    // breaker so results are deterministic.
+    list.sort_by(|a, b| {
+        b.rank
+            .partial_cmp(&a.rank)
+            .expect("NaN rank")
+            .then(a.doc.0.cmp(&b.doc.0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn setup() -> (Corpus, Vec<f64>, Ring) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_docs: 400,
+            vocab_size: 100,
+            tokens_per_doc: 40,
+            ..Default::default()
+        });
+        // Distinct, deterministic ranks.
+        let ranks: Vec<f64> = (0..400).map(|i| 0.15 + (i as f64 * 7.0) % 3.0).collect();
+        let ring = Ring::with_peers(50);
+        (corpus, ranks, ring)
+    }
+
+    #[test]
+    fn postings_cover_exactly_the_corpus() {
+        let (corpus, ranks, ring) = setup();
+        let idx = DistributedIndex::build(&corpus, &ranks, &ring);
+        for t in 0..100u32 {
+            assert_eq!(idx.num_hits(t) as u32, corpus.doc_freq(t));
+            for p in idx.postings(t) {
+                assert!(corpus.contains(p.doc, t));
+                assert_eq!(p.rank, ranks[p.doc.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn postings_sorted_by_rank_desc() {
+        let (corpus, ranks, ring) = setup();
+        let idx = DistributedIndex::build(&corpus, &ranks, &ring);
+        for t in 0..100u32 {
+            let list = idx.postings(t);
+            for w in list.windows(2) {
+                assert!(
+                    w[0].rank > w[1].rank
+                        || (w[0].rank == w[1].rank && w[0].doc.0 < w[1].doc.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn term_owners_follow_the_ring() {
+        let (corpus, ranks, ring) = setup();
+        let idx = DistributedIndex::build(&corpus, &ranks, &ring);
+        for t in [0u32, 13, 99] {
+            assert_eq!(
+                idx.owner_of_term(t),
+                ring.successor(Guid::for_term(&term_name(t)))
+            );
+        }
+        // Terms spread over many peers (not all on one).
+        let mut owners: Vec<PeerId> = (0..100u32).map(|t| idx.owner_of_term(t)).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert!(owners.len() > 10, "only {} distinct owners", owners.len());
+    }
+
+    #[test]
+    fn build_counts_one_update_message_per_posting() {
+        let (corpus, ranks, ring) = setup();
+        let idx = DistributedIndex::build(&corpus, &ranks, &ring);
+        let total_postings: u64 =
+            (0..100u32).map(|t| idx.num_hits(t) as u64).sum();
+        assert_eq!(idx.update_messages(), total_postings);
+    }
+
+    #[test]
+    fn refresh_rank_moves_a_document_up() {
+        let (corpus, ranks, ring) = setup();
+        let mut idx = DistributedIndex::build(&corpus, &ranks, &ring);
+        let doc = DocId(7);
+        let t = corpus.terms_of(doc)[0];
+        let before = idx.update_messages();
+        idx.refresh_rank(&corpus, doc, 1e9);
+        assert!(idx.update_messages() > before);
+        assert_eq!(idx.postings(t)[0].doc, doc, "doc with huge rank is first");
+    }
+}

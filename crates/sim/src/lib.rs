@@ -1,0 +1,30 @@
+//! # dpr-sim — scenario driver for the distributed PageRank experiments
+//!
+//! Ties the substrates together the way the paper's simulation does
+//! (Sec. 4.2): build a power-law document graph, assign documents
+//! randomly to peers, run the chaotic pagerank engine pass by pass
+//! with optional churn, and measure convergence, quality, traffic,
+//! incremental updates, and search behaviour.
+//!
+//! * [`workload`] — graph + placement construction for a given scale.
+//! * [`churn`] — per-pass peer presence schedules.
+//! * [`hops`] — overlay hop accounting: routed-every-message vs the
+//!   Sec. 3.2 address cache (the caching ablation).
+//! * [`scenario`] — one function per experiment family; each returns a
+//!   serializable record that the `table*` binaries print.
+//! * [`metrics`] — plain-text table rendering for experiment output.
+//! * [`report`] — JSON persistence of experiment records.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod hops;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod workload;
+
+pub use scenario::{
+    convergence_experiment, insert_experiment, quality_experiment, search_experiment,
+};
+pub use workload::Workload;

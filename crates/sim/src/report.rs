@@ -1,0 +1,82 @@
+//! JSON persistence of experiment records.
+//!
+//! Every `table*` binary can dump its rows as JSON next to the printed
+//! table, so EXPERIMENTS.md numbers are regenerable and diffable.
+
+use serde::Serialize;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A named experiment record with arbitrary serializable rows.
+#[derive(Debug, Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id, e.g. "table1".
+    pub experiment: String,
+    /// Free-form parameter description.
+    pub params: String,
+    /// The measured rows.
+    pub rows: Vec<T>,
+}
+
+impl<T: Serialize> ExperimentRecord<T> {
+    /// Creates a record.
+    pub fn new(experiment: impl Into<String>, params: impl Into<String>, rows: Vec<T>) -> Self {
+        ExperimentRecord {
+            experiment: experiment.into(),
+            params: params.into(),
+            rows,
+        }
+    }
+
+    /// Writes the record as pretty JSON to `dir/<experiment>.json`,
+    /// creating the directory if needed. Returns the path written.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        let mut f = fs::File::create(&path)?;
+        serde_json::to_writer_pretty(&mut f, self)
+            .map_err(io::Error::other)?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+/// Default output directory for experiment JSON (`results/` under the
+/// workspace, overridable with `DPR_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("DPR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        x: u32,
+    }
+
+    #[test]
+    fn writes_json_file() {
+        let dir = std::env::temp_dir().join(format!("dpr-report-test-{}", std::process::id()));
+        let rec = ExperimentRecord::new("table9", "demo", vec![Row { x: 1 }, Row { x: 2 }]);
+        let path = rec.write_to_dir(&dir).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"experiment\": \"table9\""));
+        assert!(text.contains("\"x\": 2"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn results_dir_env_override() {
+        // Don't mutate the process env (tests run in parallel); just
+        // check the default.
+        if std::env::var_os("DPR_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+}

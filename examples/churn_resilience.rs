@@ -1,0 +1,61 @@
+//! Churn resilience: convergence while peers leave and join.
+//!
+//! Reproduces the dynamic-effects experiment of paper Sec. 4.3 /
+//! Table 1 at example scale: between every pass a random subset of
+//! peers goes offline, rank updates addressed to them are parked by
+//! the store-and-resend protocol, and the computation still converges
+//! — at 50 % presence roughly 2x slower.
+//!
+//! ```text
+//! cargo run --release --example churn_resilience [nodes] [peers]
+//! ```
+
+use distributed_pagerank::prelude::*;
+use distributed_pagerank::sim::churn::Schedule;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let peers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    println!("== convergence under churn ({nodes} documents, {peers} peers, eps 1e-3) ==\n");
+    println!("{:>10}  {:>8}  {:>10}  {:>14}", "presence", "passes", "slowdown", "messages/node");
+
+    let workload = Workload::paper(nodes, peers, 3);
+    let mut full_passes = None;
+    for presence in [1.0f64, 0.75, 0.5] {
+        let mut engine = ChaoticEngine::new(
+            workload.graph.clone(),
+            workload.owners(),
+            EngineConfig::with_epsilon(1e-3),
+        );
+        let mut table = workload.peer_table();
+        let mut schedule = if presence < 1.0 {
+            Schedule::fraction(presence, 1234)
+        } else {
+            Schedule::always_on()
+        };
+        let mut churn = |_p: usize, t: &mut PeerTable| schedule.apply(t);
+        let run = engine.run_to_convergence(&mut table, Some(&mut churn));
+        assert!(run.converged, "store-and-resend keeps churn convergent");
+        let slowdown = match full_passes {
+            None => {
+                full_passes = Some(run.passes);
+                1.0
+            }
+            Some(f) => run.passes as f64 / f as f64,
+        };
+        println!(
+            "{:>9}%  {:>8}  {:>9.2}x  {:>14.1}",
+            (presence * 100.0) as u32,
+            run.passes,
+            slowdown,
+            run.messages_per_node(nodes)
+        );
+    }
+
+    println!(
+        "\nEvery run reaches quiescence: updates for offline peers are stored \
+         at the sender and redelivered when the peer returns (paper Sec. 3.1)."
+    );
+}

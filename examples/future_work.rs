@@ -1,0 +1,122 @@
+//! The paper's Sec. 6 future-work ideas, implemented and measured:
+//!
+//! 1. link-aware document→peer mapping (fewer network messages);
+//! 2. personalized (topic-sensitive) pagerank on the same protocol;
+//! 3. incremental result fetching (pay traffic only when paging deep).
+//!
+//! ```text
+//! cargo run --release --example future_work
+//! ```
+
+use distributed_pagerank::core::personalized::{personalized_engine, TeleportVector};
+use distributed_pagerank::prelude::*;
+use distributed_pagerank::search::cursor::ResultCursor;
+use distributed_pagerank::sim::workload::Workload;
+
+fn main() {
+    link_aware_placement();
+    personalized_ranks();
+    incremental_fetch();
+}
+
+fn link_aware_placement() {
+    println!("== 1. link-aware document placement ==\n");
+    let nodes = 20_000;
+    for (name, w) in [
+        ("random placement", Workload::paper(nodes, 500, 5)),
+        ("link-aware placement", Workload::build_link_aware(nodes, 500, 5, 6)),
+    ] {
+        let mut engine = ChaoticEngine::new(
+            w.graph.clone(),
+            w.owners(),
+            EngineConfig::with_epsilon(RECOMMENDED_EPSILON),
+        );
+        let mut peers = w.peer_table();
+        let run = engine.run_to_convergence(&mut peers, None);
+        println!(
+            "  {name:<22} {:>9} remote messages, {:>9} free local updates",
+            run.total_remote_messages, run.total_local_updates
+        );
+    }
+    println!("  (same ranks either way; locality turns messages into local updates)\n");
+}
+
+fn personalized_ranks() {
+    println!("== 2. personalized pagerank over the distributed protocol ==\n");
+    let nodes = 5_000;
+    let graph = std::sync::Arc::new(PowerLawConfig::paper(nodes, 6).generate());
+
+    // Preference set: documents 0..10 (imagine: one user's bookmarks).
+    let preferred: Vec<DocId> = (0..10u32).map(DocId).collect();
+    let teleport = TeleportVector::concentrated(nodes, &preferred);
+
+    let mut standard = ChaoticEngine::local(
+        graph.clone(),
+        EngineConfig::with_epsilon(1e-6),
+    );
+    standard.run_static();
+    let mut personal = personalized_engine(
+        graph,
+        vec![PeerId(0); nodes],
+        EngineConfig::with_epsilon(1e-6),
+        &teleport,
+    );
+    personal.run_static();
+
+    let rank_of = |ranks: &[f64], d: DocId| ranks[d.index()];
+    println!("  document   standard   personalized");
+    for &d in preferred.iter().take(3) {
+        println!(
+            "  {d:<9} {:>9.4} {:>13.4}",
+            rank_of(standard.ranks(), d),
+            rank_of(personal.ranks(), d)
+        );
+    }
+    let boost: f64 = preferred
+        .iter()
+        .map(|&d| personal.ranks()[d.index()] / standard.ranks()[d.index()])
+        .sum::<f64>()
+        / preferred.len() as f64;
+    println!("  preference set boosted {boost:.0}x on average — same message protocol\n");
+}
+
+fn incremental_fetch() {
+    println!("== 3. incremental result fetching ==\n");
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 8_000,
+        vocab_size: 900,
+        ..Default::default()
+    });
+    let graph = PowerLawConfig::paper(corpus.num_docs(), 7).generate();
+    let mut engine = ChaoticEngine::local(
+        std::sync::Arc::new(graph),
+        EngineConfig::with_epsilon(RECOMMENDED_EPSILON),
+    );
+    engine.run_static();
+    let ring = Ring::with_peers(50);
+    let index = DistributedIndex::build(&corpus, engine.ranks(), &ring);
+
+    let terms = corpus.top_terms(2);
+    let q = Query::new(terms.clone());
+    let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
+    println!("  query {terms:?}: first page costs {} ids", cursor.traffic_ids());
+    let first = cursor.fetch(10);
+    println!(
+        "  page 1 ({} hits, best rank {:.3}) — executions: {}",
+        first.len(),
+        first.first().map(|p| p.rank).unwrap_or(0.0),
+        cursor.executions()
+    );
+    // Page much deeper: the cursor escalates and pays only now.
+    for _ in 0..30 {
+        let _ = cursor.fetch(100);
+    }
+    println!(
+        "  after deep paging: {} hits served, {} total ids moved, {} executions, exact: {}",
+        cursor.served(),
+        cursor.traffic_ids(),
+        cursor.executions(),
+        cursor.is_exact()
+    );
+    println!("  shallow users never pay the deep cost; deep users converge to the baseline");
+}

@@ -1,0 +1,92 @@
+//! Incremental updates: documents entering and leaving a live system.
+//!
+//! The headline operational win of the paper: after the initial
+//! convergence, document inserts and deletes are absorbed by *local*
+//! increment waves — no global recompute, no crawler, pageranks stay
+//! continuously accurate. This example inserts and deletes documents
+//! and prints how far each wave travelled (the Table 4 quantities).
+//!
+//! ```text
+//! cargo run --release --example incremental_updates [nodes]
+//! ```
+
+use distributed_pagerank::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let eps = RECOMMENDED_EPSILON;
+    println!("== incremental document updates (eps {eps}) ==");
+
+    // Static convergence first.
+    let base = PowerLawConfig::paper(nodes, 7).generate();
+    let mut engine = ChaoticEngine::local(
+        std::sync::Arc::new(base.clone()),
+        EngineConfig::with_epsilon(eps),
+    );
+    let run = engine.run_static();
+    println!(
+        "initial convergence: {} passes over {} documents",
+        run.passes, nodes
+    );
+
+    // Switch to the dynamic graph and the live rank vector.
+    let mut graph = DynamicGraph::from_csr(&base);
+    let mut ranks = engine.ranks().to_vec();
+    let cfg = PropagationConfig { damping: DEFAULT_DAMPING, epsilon: eps };
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    // Insert a handful of documents with random out-links.
+    println!("\ninserting 5 documents:");
+    let mut inserted = Vec::new();
+    for _ in 0..5 {
+        let links: Vec<DocId> = (0..rng.gen_range(1..6))
+            .map(|_| DocId(rng.gen_range(0..nodes as u32)))
+            .collect();
+        let (id, wave) = insert_document(&mut graph, &links, &mut ranks, cfg);
+        println!(
+            "  {id}: {} out-links -> wave: path length {}, node coverage {}, {} messages",
+            links.len(),
+            wave.path_length,
+            wave.node_coverage,
+            wave.messages
+        );
+        inserted.push(id);
+    }
+
+    // Delete them again; the negated-rank waves cancel the inserts.
+    println!("\ndeleting the same 5 documents:");
+    for id in inserted {
+        let wave = delete_document(&mut graph, id, &mut ranks, cfg);
+        println!(
+            "  {id}: wave: path length {}, node coverage {}, {} messages",
+            wave.path_length, wave.node_coverage, wave.messages
+        );
+    }
+
+    // After insert + delete the original ranks are restored.
+    let max_drift = engine
+        .ranks()
+        .iter()
+        .zip(ranks.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax rank drift after insert+delete round-trip: {max_drift:.2e}");
+    println!("(the waves cancel exactly; drift is floating-point only)");
+
+    // Contrast with the cost of recomputing from scratch.
+    let mut fresh = ChaoticEngine::local(
+        std::sync::Arc::new(graph.to_csr()),
+        EngineConfig::with_epsilon(eps),
+    );
+    let fresh_run = fresh.run_static();
+    println!(
+        "\nfull recompute would take {} passes and {} local updates — the \
+         incremental waves above touched a few hundred documents instead",
+        fresh_run.passes, fresh_run.total_local_updates
+    );
+}

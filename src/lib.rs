@@ -1,0 +1,83 @@
+//! # distributed-pagerank
+//!
+//! A full reproduction of **"Distributed Pagerank for P2P Systems"**
+//! (Sankaralingam, Sethumadhavan, Browne — HPDC 2003): pageranks
+//! computed *by the peers themselves* through chaotic (asynchronous)
+//! iteration, incrementally updated as documents come and go, and used
+//! to cut multi-word keyword-search traffic by an order of magnitude.
+//!
+//! This crate is the façade over the workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`graph`] | power-law link graphs (Broder web model), CSR + dynamic storage |
+//! | [`p2p`] | GUIDs, Chord-style ring, O(log n) routing, churn-tolerant transport, address cache |
+//! | [`core`] | the chaotic pagerank engine, sync reference solver, incremental insert/delete, error stats, execution-time models |
+//! | [`search`] | synthetic corpus, distributed inverted index, Bloom filters, incremental top-x% search |
+//! | [`node`] | message-level peers: wire protocol, document handoff, Safra termination detection |
+//! | [`sim`] | experiment drivers for every table in the paper |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use distributed_pagerank::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A 1000-document web-like graph on 20 peers.
+//! let workload = Workload::paper(1000, 20, 42);
+//!
+//! // Run the distributed computation to quiescence at eps = 1e-3.
+//! let mut engine = ChaoticEngine::new(
+//!     workload.graph.clone(),
+//!     workload.owners(),
+//!     EngineConfig::with_epsilon(1e-3),
+//! );
+//! let mut peers = workload.peer_table();
+//! let run = engine.run_to_convergence(&mut peers, None);
+//! assert!(run.converged);
+//!
+//! // The result matches a conventional synchronous solve to ~eps.
+//! let reference = SyncSolver::new().solve(&workload.graph);
+//! let err = dpr_core::error_stats::compare(engine.ranks(), &reference.ranks);
+//! assert!(err.avg < 0.01);
+//! ```
+
+pub use dpr_core as core;
+pub use dpr_graph as graph;
+pub use dpr_node as node;
+pub use dpr_p2p as p2p;
+pub use dpr_search as search;
+pub use dpr_sim as sim;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use dpr_core::engine::{ChaoticEngine, EngineConfig, PassStats, RunStats};
+    pub use dpr_core::incremental::{
+        delete_document, insert_document, propagate, PropagationConfig,
+    };
+    pub use dpr_core::sync_solver::SyncSolver;
+    pub use dpr_core::{DEFAULT_DAMPING, INITIAL_RANK, RECOMMENDED_EPSILON};
+    pub use dpr_graph::{CsrGraph, DocId, DynamicGraph, Edge, GraphBuilder, PowerLawConfig};
+    pub use dpr_p2p::guid::Guid;
+    pub use dpr_p2p::peer::{PeerId, PeerTable, Placement, PlacementPolicy};
+    pub use dpr_p2p::ring::Ring;
+    pub use dpr_search::corpus::{Corpus, CorpusConfig};
+    pub use dpr_search::index::DistributedIndex;
+    pub use dpr_search::query::{
+        execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
+    };
+    pub use dpr_search::BloomFilter;
+    pub use dpr_sim::workload::Workload;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let g = PowerLawConfig::paper(100, 1).generate();
+        assert_eq!(g.num_nodes(), 100);
+        let _ = Ring::with_peers(3);
+        let _ = Query::new(vec![1, 2]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests for the extension subsystems working together:
+//! message-level cluster + termination detection + link-aware
+//! placement + Pastry routing + personalized ranks.
+
+use distributed_pagerank::core::personalized::{personalized_engine, TeleportVector};
+use distributed_pagerank::graph::partition::link_aware_partition;
+use distributed_pagerank::node::termination::{
+    run_with_termination_detection, TerminationDetector,
+};
+use distributed_pagerank::node::Cluster;
+use distributed_pagerank::p2p::pastry::PastryNetwork;
+use distributed_pagerank::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A link-aware-placed, message-level cluster with protocol-level
+/// termination detection still computes the correct ranks — and pays
+/// fewer wire messages than a randomly placed one.
+#[test]
+fn link_aware_cluster_with_termination_detection() {
+    let nodes = 1_200;
+    let num_peers = 10;
+    let graph = PowerLawConfig::paper(nodes, 201).generate();
+
+    let run = |placement: Placement| {
+        let mut cluster = Cluster::build(
+            &graph,
+            &placement,
+            num_peers,
+            EngineConfig::with_epsilon(1e-6),
+        );
+        let mut peers = PeerTable::new(num_peers);
+        let (rounds, announced) =
+            run_with_termination_detection(&mut cluster, &mut peers, 50_000);
+        assert!(announced, "termination detection stalled after {rounds} rounds");
+        assert!(cluster.is_quiescent(), "announcement must be sound");
+        (cluster.collect_ranks(nodes), cluster.traffic().sent)
+    };
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(202);
+    let ring = Ring::with_peers(num_peers);
+    let random = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+    let labels = link_aware_partition(&graph, num_peers, 6);
+    let aware = Placement::from_owner_vec(labels.into_iter().map(PeerId).collect());
+
+    let (ranks_random, wire_random) = run(random);
+    let (ranks_aware, wire_aware) = run(aware);
+
+    // Same answer, fewer wire messages.
+    for (a, b) in ranks_random.iter().zip(&ranks_aware) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+    assert!(
+        wire_aware < wire_random,
+        "link-aware {wire_aware} vs random {wire_random} wire messages"
+    );
+    // And the answer is the right one.
+    let reference = SyncSolver::new().solve(&graph).ranks;
+    for (a, b) in ranks_aware.iter().zip(&reference) {
+        assert!((a - b).abs() / b < 1e-4, "{a} vs {b}");
+    }
+}
+
+/// Pastry and Chord both resolve the same document lookups (to their
+/// respective owner definitions) with O(log n) cost — interchangeable
+/// as the routing substrate for the address-cache warm-up.
+#[test]
+fn pastry_as_alternative_routing_substrate() {
+    use distributed_pagerank::p2p::routing::Router;
+    let n = 100;
+    let pastry = PastryNetwork::new(n);
+    let ring = Ring::with_peers(n);
+    let mut chord = Router::new();
+    let (mut pastry_hops, mut chord_hops) = (0u64, 0u64);
+    for d in 0..300u32 {
+        let key = Guid::for_document(DocId(d));
+        let src = PeerId(d % n as u32);
+        let pr = pastry.route(src, key);
+        let cr = chord.route(&ring, src, key);
+        pastry_hops += pr.hops as u64;
+        chord_hops += cr.hops as u64;
+        // Owner definitions differ (numerically closest vs successor)
+        // but each discipline's route lands on its own owner.
+        assert_eq!(pr.owner, pastry.owner(key));
+        assert_eq!(cr.owner, ring.successor(key));
+    }
+    assert!(pastry_hops < 300 * 6, "pastry mean too high: {pastry_hops}");
+    assert!(chord_hops < 300 * 8, "chord mean too high: {chord_hops}");
+}
+
+/// Personalized pagerank runs on a multi-peer distributed system with
+/// churn, exactly like the standard computation.
+#[test]
+fn personalized_ranks_on_distributed_system_with_churn() {
+    use distributed_pagerank::core::personalized::solve_personalized_sync;
+    use distributed_pagerank::sim::churn::Schedule;
+
+    let nodes = 1_000;
+    let graph = Arc::new(PowerLawConfig::paper(nodes, 203).generate());
+    let preferred: Vec<DocId> = (0..25u32).map(DocId).collect();
+    let teleport = TeleportVector::concentrated(nodes, &preferred);
+    let reference = solve_personalized_sync(&graph, &teleport, 0.85, 1e-13);
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(204);
+    let ring = Ring::with_peers(40);
+    let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+    let owners: Vec<PeerId> =
+        (0..nodes).map(|d| placement.owner(DocId(d as u32))).collect();
+    let mut engine = personalized_engine(
+        graph,
+        owners,
+        EngineConfig::with_epsilon(1e-8),
+        &teleport,
+    );
+    let mut peers = PeerTable::new(40);
+    let mut schedule = Schedule::sessions(40.0, 15.0, 205);
+    let mut churn = |_p: usize, t: &mut PeerTable| schedule.apply(t);
+    let run = engine.run_to_convergence(&mut peers, Some(&mut churn));
+    assert!(run.converged);
+    for (a, b) in engine.ranks().iter().zip(&reference) {
+        let tol = 1e-4 * b.abs().max(1e-3);
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+    // Teleport mass concentrates rank around the preference set:
+    // every preferred document ranks far above the median (which is
+    // near zero — most documents receive no teleport mass at all).
+    let mut sorted: Vec<f64> = engine.ranks().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[nodes / 2];
+    for &d in &preferred {
+        assert!(
+            engine.ranks()[d.index()] > 10.0 * median.max(1e-6),
+            "preferred {d} rank {} vs median {median}",
+            engine.ranks()[d.index()]
+        );
+    }
+}
+
+/// Safra detection is sound under session churn: it never announces
+/// while the system has work, even when peers flap.
+#[test]
+fn termination_detection_sound_under_session_churn() {
+    use distributed_pagerank::sim::churn::Schedule;
+    let nodes = 600;
+    let num_peers = 8;
+    let graph = PowerLawConfig::paper(nodes, 206).generate();
+    let ring = Ring::with_peers(num_peers);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(207);
+    let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+    let mut cluster = Cluster::build(
+        &graph,
+        &placement,
+        num_peers,
+        EngineConfig::with_epsilon(1e-4),
+    );
+    let mut peers = PeerTable::new(num_peers);
+    let mut detector = TerminationDetector::new(num_peers);
+    let mut schedule = Schedule::sessions(25.0, 8.0, 208);
+    let mut rounds = 0usize;
+    while rounds < 50_000 && !detector.announced() {
+        cluster.round(&peers);
+        rounds += 1;
+        if rounds < 60 {
+            schedule.apply(&mut peers);
+        } else if rounds == 60 {
+            (0..num_peers as u32).for_each(|p| {
+                peers.go_online(PeerId(p));
+            });
+        }
+        detector.advance(&cluster, &peers);
+        if detector.announced() {
+            assert!(cluster.is_quiescent(), "unsound announcement at round {rounds}");
+        }
+    }
+    assert!(detector.announced(), "no announcement in {rounds} rounds");
+}

@@ -1,0 +1,343 @@
+//! Property-based tests over the core data structures and invariants.
+
+use distributed_pagerank::core::sync_solver::fixed_point_residual;
+use distributed_pagerank::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random directed graph as (n, edge list).
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = vec((0..n as u32, 0..n as u32), 0..max_edges);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(f, t) in edges {
+        b.add_edge(f, t);
+    }
+    b.build()
+}
+
+proptest! {
+    /// CSR construction: sorted, deduplicated adjacency; degree sums
+    /// equal the edge count; transpose is an involution.
+    #[test]
+    fn csr_invariants((n, edges) in arb_graph(60, 300)) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.num_nodes(), n);
+        let mut total = 0usize;
+        for v in g.nodes() {
+            let out = g.out_neighbors(v);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+            prop_assert!(out.iter().all(|&t| (t as usize) < n));
+            total += out.len();
+        }
+        prop_assert_eq!(total, g.num_edges());
+        prop_assert_eq!(g.transpose().transpose(), g.clone());
+        // Transpose preserves edge count and reverses membership.
+        let t = g.transpose();
+        prop_assert_eq!(t.num_edges(), g.num_edges());
+        for e in g.edges() {
+            prop_assert!(t.has_edge(e.to, e.from));
+        }
+    }
+
+    /// Graph IO round-trips losslessly in both formats.
+    #[test]
+    fn graph_io_roundtrip((n, edges) in arb_graph(40, 150)) {
+        use distributed_pagerank::graph::io;
+        let g = build(n, &edges);
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        prop_assert_eq!(&io::read_edge_list(text.as_slice()).unwrap(), &g);
+        let mut bin = Vec::new();
+        io::write_binary(&g, &mut bin).unwrap();
+        prop_assert_eq!(&io::read_binary(bin.as_slice()).unwrap(), &g);
+    }
+
+    /// The chaotic engine and the synchronous solver agree on any
+    /// random graph, and the chaotic result satisfies the fixed-point
+    /// equation to ~epsilon.
+    #[test]
+    fn chaotic_matches_sync((n, edges) in arb_graph(40, 200)) {
+        let g = build(n, &edges);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&g);
+        let mut engine = ChaoticEngine::local(
+            Arc::new(g.clone()),
+            EngineConfig { epsilon: 1e-10, max_passes: 20_000, ..Default::default() },
+        );
+        let run = engine.run_static();
+        prop_assert!(run.converged);
+        for (a, b) in engine.ranks().iter().zip(&reference.ranks) {
+            prop_assert!((a - b).abs() / b < 1e-6, "chaotic {} vs sync {}", a, b);
+        }
+        let res = fixed_point_residual(&g, engine.ranks(), DEFAULT_DAMPING);
+        prop_assert!(res < 1e-6, "residual {}", res);
+    }
+
+    /// Rank conservation: every rank is at least (1 - d), and the
+    /// total never exceeds n (dangling nodes only leak mass).
+    #[test]
+    fn rank_bounds((n, edges) in arb_graph(50, 250)) {
+        let g = build(n, &edges);
+        let r = SyncSolver::new().solve(&g);
+        for &x in &r.ranks {
+            prop_assert!(x >= 0.15 - 1e-9);
+        }
+        let total: f64 = r.ranks.iter().sum();
+        prop_assert!(total <= n as f64 + 1e-6);
+    }
+
+    /// Insert followed by delete of the same document restores every
+    /// rank exactly (the waves are mirror images).
+    #[test]
+    fn insert_delete_cancellation(
+        (n, edges) in arb_graph(40, 150),
+        link_picks in vec(any::<u32>(), 1..5),
+        eps in 1e-6f64..1e-2,
+    ) {
+        let g = build(n, &edges);
+        let mut dyn_graph = DynamicGraph::from_csr(&g);
+        let mut ranks = vec![1.0f64; n];
+        let before = ranks.clone();
+        let targets: Vec<DocId> = link_picks
+            .iter()
+            .map(|&x| DocId(x % n as u32))
+            .collect();
+        let cfg = PropagationConfig { damping: 0.85, epsilon: eps };
+        let (id, _) = insert_document(&mut dyn_graph, &targets, &mut ranks, cfg);
+        let _ = delete_document(&mut dyn_graph, id, &mut ranks, cfg);
+        for i in 0..n {
+            prop_assert!((ranks[i] - before[i]).abs() < 1e-9,
+                "rank {} drifted: {} vs {}", i, ranks[i], before[i]);
+        }
+        prop_assert!(dyn_graph.check_invariants().is_ok());
+    }
+
+    /// DynamicGraph invariants hold under arbitrary mutation sequences.
+    #[test]
+    fn dynamic_graph_mutations(
+        (n, edges) in arb_graph(30, 100),
+        ops in vec((0u8..4, any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let g = build(n, &edges);
+        let mut dg = DynamicGraph::from_csr(&g);
+        for (op, a, b) in ops {
+            let alive: Vec<DocId> = dg.alive().collect();
+            if alive.is_empty() { break; }
+            let pick = |x: u32| alive[x as usize % alive.len()];
+            match op {
+                0 => { dg.insert_document(&[pick(a)]); }
+                1 => { if alive.len() > 1 { dg.delete_document(pick(a)); } }
+                2 => { let (x, y) = (pick(a), pick(b)); dg.add_edge(x, y); }
+                _ => { let (x, y) = (pick(a), pick(b)); dg.remove_edge(x, y); }
+            }
+            prop_assert!(dg.check_invariants().is_ok(), "{:?}", dg.check_invariants());
+        }
+    }
+
+    /// Bloom filters never produce false negatives, at any size/rate.
+    #[test]
+    fn bloom_no_false_negatives(
+        items in vec(any::<u32>(), 1..300),
+        fp in 0.001f64..0.3,
+    ) {
+        let docs: Vec<DocId> = items.iter().map(|&x| DocId(x)).collect();
+        let f = BloomFilter::from_docs(&docs, fp);
+        for &d in &docs {
+            prop_assert!(f.contains(d));
+        }
+    }
+
+    /// Bloom-assisted intersection is always exact.
+    #[test]
+    fn bloom_intersection_exact(
+        a in vec(0u32..5_000, 0..400),
+        b in vec(0u32..5_000, 0..400),
+    ) {
+        use distributed_pagerank::search::bloom::bloom_intersect;
+        let mut a: Vec<DocId> = a.into_iter().map(DocId).collect();
+        let mut b: Vec<DocId> = b.into_iter().map(DocId).collect();
+        a.sort_unstable(); a.dedup();
+        b.sort_unstable(); b.dedup();
+        if a.is_empty() { return Ok(()); }
+        let (got, _) = bloom_intersect(&a, &b, 0.05);
+        let expect: Vec<DocId> = b.iter().copied()
+            .filter(|d| a.binary_search(d).is_ok())
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Ring successor is consistent with a brute-force linear scan and
+    /// ownership partitions the circle.
+    #[test]
+    fn ring_successor_correct(peers in 1usize..64, probes in vec(any::<u32>(), 1..50)) {
+        let ring = Ring::with_peers(peers);
+        let mut pts: Vec<(Guid, PeerId)> =
+            (0..peers as u32).map(|i| (Guid::for_peer(i), PeerId(i))).collect();
+        pts.sort_by_key(|&(g, _)| g);
+        for p in probes {
+            let id = Guid::for_document(DocId(p));
+            let expect = pts.iter().find(|&&(g, _)| g >= id).map(|&(_, p)| p)
+                .unwrap_or(pts[0].1);
+            prop_assert_eq!(ring.successor(id), expect);
+        }
+    }
+
+    /// Routing always terminates at the true owner within the O(log n)
+    /// hop bound.
+    #[test]
+    fn routing_terminates(peers in 2usize..128, probes in vec(any::<u32>(), 1..30)) {
+        use distributed_pagerank::p2p::routing::Router;
+        let ring = Ring::with_peers(peers);
+        let mut router = Router::new();
+        for p in probes {
+            let target = Guid::for_document(DocId(p));
+            let src = PeerId(p % peers as u32);
+            let route = router.route(&ring, src, target);
+            prop_assert_eq!(route.owner, ring.successor(target));
+            prop_assert!(route.hops <= 2 * 7 + 2,
+                "hops {} exceeds bound for {} peers", route.hops, peers);
+        }
+    }
+
+    /// The incremental top-x% search returns a rank-sorted subset of
+    /// the exact boolean answer, and never more traffic than baseline.
+    #[test]
+    fn incremental_search_is_sound(seed in 0u64..500, frac in 0.05f64..0.5) {
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_docs: 400, vocab_size: 80, tokens_per_doc: 25, seed,
+            ..Default::default()
+        });
+        let ranks: Vec<f64> = (0..400).map(|i| 0.15 + (i as f64 * 3.7) % 2.0).collect();
+        let ring = Ring::with_peers(10);
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![0, 1]);
+        let base = execute_baseline(&index, &q, TrafficModel::AllHopsRemote);
+        let cfg = IncrementalConfig {
+            forward_fraction: frac,
+            min_forward: 20,
+            traffic: TrafficModel::AllHopsRemote,
+        };
+        let incr = execute_incremental(&index, &q, cfg);
+        prop_assert!(incr.traffic_ids <= base.traffic_ids);
+        prop_assert!(incr.hits_returned() <= base.hits_returned());
+        // Subset of the exact answer, in rank order.
+        let base_docs: std::collections::HashSet<u32> =
+            base.hits.iter().map(|p| p.doc.0).collect();
+        for w in incr.hits.windows(2) {
+            prop_assert!(w[0].rank >= w[1].rank);
+        }
+        for h in &incr.hits {
+            prop_assert!(base_docs.contains(&h.doc.0));
+        }
+    }
+}
+
+proptest! {
+    /// Tarjan SCC: components partition the nodes, nodes in one
+    /// component reach each other, and the component ids respect
+    /// reverse topological order on the condensation.
+    #[test]
+    fn scc_partition_properties((n, edges) in arb_graph(40, 160)) {
+        use distributed_pagerank::graph::scc::tarjan_scc;
+        use distributed_pagerank::graph::stats::bfs_reach;
+        let g = build(n, &edges);
+        let scc = tarjan_scc(&g);
+        prop_assert_eq!(scc.component.len(), n);
+        prop_assert!(scc.num_components >= 1 && scc.num_components <= n);
+        prop_assert_eq!(scc.sizes().iter().sum::<usize>(), n);
+        // Mutual reachability within a component (spot check node 0's
+        // component against BFS both ways).
+        let c0 = scc.component[0];
+        let (fwd, _) = bfs_reach(&g, DocId(0));
+        let (bwd, _) = bfs_reach(&g.transpose(), DocId(0));
+        for v in 0..n {
+            let mutual = fwd[v] && bwd[v];
+            prop_assert_eq!(mutual, scc.component[v] == c0,
+                "node {} mutual={} but component match={}", v, mutual,
+                scc.component[v] == c0);
+        }
+    }
+
+    /// Partitioning: labels are complete and in range; refinement
+    /// never increases the edge cut; the cut is 0 for k = 1.
+    #[test]
+    fn partition_properties((n, edges) in arb_graph(60, 240), k in 1usize..8) {
+        use distributed_pagerank::graph::partition::*;
+        let g = build(n, &edges);
+        let mut labels = bfs_partition(&g, k);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < k));
+        prop_assert_eq!(partition_sizes(&labels, k).iter().sum::<usize>(), n);
+        let before = edge_cut(&g, &labels);
+        refine_partition(&g, &mut labels, k, 1.25);
+        let after = edge_cut(&g, &labels);
+        prop_assert!(after <= before);
+        if k == 1 {
+            prop_assert_eq!(after, 0);
+        }
+    }
+
+    /// Pastry routing always reaches the numerically closest peer and
+    /// stays within the hop bound, for any membership size.
+    #[test]
+    fn pastry_routes_terminate(n in 1usize..80, probes in vec(any::<u32>(), 1..25)) {
+        use distributed_pagerank::p2p::pastry::PastryNetwork;
+        let net = PastryNetwork::new(n);
+        for p in probes {
+            let key = Guid::for_document(DocId(p));
+            let from = PeerId(p % n as u32);
+            let r = net.route(from, key);
+            prop_assert_eq!(r.owner, net.owner(key));
+            prop_assert!((r.hops as usize) < n.max(16) * 2,
+                "hops {} for {} peers", r.hops, n);
+        }
+    }
+
+    /// The result cursor pages out exactly the baseline ranking, in
+    /// order, for any page size.
+    #[test]
+    fn cursor_pages_match_baseline(page in 1usize..40, seed in 0u64..200) {
+        use distributed_pagerank::search::cursor::ResultCursor;
+        let corpus = Corpus::generate(&CorpusConfig {
+            num_docs: 600, vocab_size: 120, tokens_per_doc: 30, seed,
+            ..Default::default()
+        });
+        let ranks: Vec<f64> = (0..600).map(|i| 0.15 + (i as f64 * 5.1) % 3.0).collect();
+        let ring = Ring::with_peers(8);
+        let index = DistributedIndex::build(&corpus, &ranks, &ring);
+        let q = Query::new(vec![0, 1]);
+        let baseline = execute_baseline(&index, &q, TrafficModel::AllHopsRemote);
+        let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
+        let mut collected = Vec::new();
+        loop {
+            let hits = cursor.fetch(page);
+            if hits.is_empty() { break; }
+            collected.extend(hits);
+        }
+        prop_assert_eq!(collected.len(), baseline.hits.len());
+        for (a, b) in collected.iter().zip(&baseline.hits) {
+            prop_assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    /// Personalized pagerank with a uniform teleport equals standard
+    /// pagerank on any graph.
+    #[test]
+    fn personalized_uniform_is_standard((n, edges) in arb_graph(30, 120)) {
+        use distributed_pagerank::core::personalized::{
+            solve_personalized_sync, TeleportVector,
+        };
+        let g = build(n, &edges);
+        let standard = SyncSolver::new().tolerance(1e-12).solve(&g).ranks;
+        let uniform = solve_personalized_sync(
+            &g, &TeleportVector::uniform(n), DEFAULT_DAMPING, 1e-12);
+        for (a, b) in uniform.iter().zip(&standard) {
+            prop_assert!((a - b).abs() < 1e-8, "{} vs {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Protocol-level integration: transport, store-and-resend, wire
+//! format, and the peer lifecycle — the Sec. 3 machinery exercised
+//! together.
+
+use distributed_pagerank::core::RankUpdate;
+use distributed_pagerank::p2p::transport::{RankUpdateWire, Transport};
+use distributed_pagerank::prelude::*;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A miniature message-level run of the distributed protocol: two
+/// peers exchange encoded 24-byte rank updates through the transport,
+/// with one peer going offline mid-run and the store-and-resend
+/// buffer carrying its updates.
+#[test]
+fn message_level_exchange_with_churn() {
+    let mut peers = PeerTable::new(2);
+    let mut transport: Transport<bytes::Bytes> = Transport::new(2);
+
+    // Peer 0 holds doc 0, peer 1 holds doc 1; 0 -> 1 -> 0 cycle.
+    let guid_index: HashMap<Guid, DocId> =
+        [(Guid::for_document(DocId(0)), DocId(0)), (Guid::for_document(DocId(1)), DocId(1))]
+            .into_iter()
+            .collect();
+
+    // Peer 0 advertises doc 0's base rank to doc 1.
+    let update = RankUpdate::new(DocId(1), 0.85 * 0.15);
+    transport.send(&peers, PeerId(0), PeerId(1), update.to_wire().encode());
+
+    // Peer 1 goes offline before processing; peer 0 sends another.
+    peers.go_offline(PeerId(1));
+    let update2 = RankUpdate::new(DocId(1), 0.85 * 0.05);
+    transport.send(&peers, PeerId(0), PeerId(1), update2.to_wire().encode());
+    assert_eq!(transport.pending_at(PeerId(0)), 1, "second update parked");
+
+    // Peer 1 returns; retry delivers the parked update.
+    peers.go_online(PeerId(1));
+    assert_eq!(transport.retry_pending(&peers), 1);
+
+    // Peer 1 decodes both updates and applies them.
+    let mut rank1 = 0.15f64;
+    let mut received = 0;
+    while let Some(env) = transport.receive(PeerId(1)) {
+        let wire = RankUpdateWire::decode(env.payload).expect("valid wire");
+        let upd = RankUpdate::from_wire(wire, |g| guid_index.get(&g).copied())
+            .expect("known guid");
+        assert_eq!(upd.doc, DocId(1));
+        rank1 += upd.delta;
+        received += 1;
+    }
+    assert_eq!(received, 2);
+    assert!((rank1 - (0.15 + 0.85 * 0.2)).abs() < 1e-12);
+    let stats = transport.stats();
+    assert_eq!(stats.sent, 2);
+    assert_eq!(stats.delivered, 1);
+    assert_eq!(stats.parked, 1);
+    assert_eq!(stats.redelivered, 1);
+}
+
+/// Ring membership changes re-home documents exactly as consistent
+/// hashing promises: only documents on the departed peer move.
+#[test]
+fn peer_departure_moves_only_its_documents() {
+    let mut ring = Ring::with_peers(32);
+    let docs: Vec<DocId> = (0..2_000u32).map(DocId).collect();
+    let before: Vec<PeerId> = docs
+        .iter()
+        .map(|&d| ring.successor(Guid::for_document(d)))
+        .collect();
+
+    let victim = before[0];
+    ring.leave(victim);
+    let after: Vec<PeerId> = docs
+        .iter()
+        .map(|&d| ring.successor(Guid::for_document(d)))
+        .collect();
+
+    for i in 0..docs.len() {
+        if before[i] == victim {
+            assert_ne!(after[i], victim, "doc {i} must be re-homed");
+        } else {
+            assert_eq!(after[i], before[i], "doc {i} must not move");
+        }
+    }
+}
+
+/// The address cache is coherent across a peer leave: invalidation
+/// drops exactly the dead entries and the next send re-routes.
+#[test]
+fn address_cache_invalidation_on_leave() {
+    use distributed_pagerank::p2p::cache::CacheSet;
+    use distributed_pagerank::p2p::routing::Router;
+
+    let mut ring = Ring::with_peers(16);
+    let mut router = Router::new();
+    let mut caches = CacheSet::new(16);
+
+    // Warm the cache from peer 0 for 100 documents.
+    for d in 0..100u32 {
+        let g = Guid::for_document(DocId(d));
+        let owner = ring.successor(g);
+        if owner != PeerId(0) {
+            router.route(&ring, PeerId(0), g);
+            caches.of(PeerId(0)).insert(g, owner);
+        }
+    }
+    let warm_entries = caches.of(PeerId(0)).len();
+    assert!(warm_entries > 50);
+
+    // A peer leaves: its entries are invalidated everywhere, the rest
+    // survive and re-routing finds the new owners.
+    let leaver = ring.successor(Guid::for_document(DocId(0)));
+    ring.leave(leaver);
+    router.invalidate();
+    let dropped = caches.invalidate_peer_everywhere(leaver);
+    assert!(dropped > 0);
+    assert_eq!(caches.of(PeerId(0)).len(), warm_entries - dropped);
+
+    let g0 = Guid::for_document(DocId(0));
+    assert_eq!(caches.of(PeerId(0)).lookup(g0), None, "dead entry gone");
+    let src = if leaver == PeerId(0) { PeerId(1) } else { PeerId(0) };
+    let new_owner = router.route(&ring, src, g0).owner;
+    assert_ne!(new_owner, leaver);
+    assert_eq!(new_owner, ring.successor(g0));
+}
+
+/// Store-and-resend vs dropping updates: the ablation shows why the
+/// paper's protocol exists — dropping parked updates loses rank mass
+/// permanently.
+#[test]
+fn store_and_resend_ablation() {
+    let nodes = 1_000;
+    let graph = PowerLawConfig::paper(nodes, 21).generate();
+    let arc = std::sync::Arc::new(graph);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    let ring = Ring::with_peers(20);
+    let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+    let owners: Vec<PeerId> = (0..nodes).map(|d| placement.owner(DocId(d as u32))).collect();
+
+    let run = |drop_parked: bool| {
+        let mut engine =
+            ChaoticEngine::new(arc.clone(), owners.clone(), EngineConfig::with_epsilon(1e-6));
+        let mut peers = PeerTable::new(20);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let mut pass = 0usize;
+        while !engine.is_quiescent() && pass < 5_000 {
+            engine.pass(&peers);
+            pass += 1;
+            peers.set_online_fraction(0.5, &mut rng);
+            if drop_parked {
+                engine.drop_parked(&peers);
+            }
+        }
+        // Finish with everyone online so parked mass can drain.
+        (0..20u32).for_each(|p| {
+            peers.go_online(PeerId(p));
+        });
+        let run = engine.run_to_convergence(&mut peers, None);
+        assert!(run.converged);
+        engine.ranks().iter().sum::<f64>()
+    };
+
+    let kept: f64 = run(false);
+    let dropped: f64 = run(true);
+    assert!(
+        dropped < kept * 0.999,
+        "dropping updates must lose rank mass: {dropped} vs {kept}"
+    );
+}
