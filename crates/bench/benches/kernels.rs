@@ -17,7 +17,9 @@ use dpr_p2p::routing::Router;
 use dpr_search::bloom::BloomFilter;
 use dpr_search::corpus::{generate_queries, Corpus, CorpusConfig};
 use dpr_search::index::DistributedIndex;
-use dpr_search::query::{execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel};
+use dpr_search::query::{
+    execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
+};
 use std::sync::Arc;
 
 fn bench_graph_generation(c: &mut Criterion) {
@@ -33,7 +35,9 @@ fn bench_graph_generation(c: &mut Criterion) {
 
 fn bench_transpose(c: &mut Criterion) {
     let graph = paper_graph(50_000, 1);
-    c.bench_function("transpose_50k", |b| b.iter(|| black_box(&graph).transpose()));
+    c.bench_function("transpose_50k", |b| {
+        b.iter(|| black_box(&graph).transpose())
+    });
 }
 
 fn bench_sync_solver(c: &mut Criterion) {
@@ -74,9 +78,62 @@ fn bench_chaotic_convergence(c: &mut Criterion) {
     });
 }
 
+/// Sequential engine vs the sharded executor at 1/2/4/8 threads, each
+/// running the same 50k-doc paper workload to convergence. Every
+/// configuration computes bit-identical ranks, so the timings are
+/// directly comparable; `continuous --pass-scaling` writes the same
+/// measurement to `BENCH_pass_scaling.json`.
+fn bench_pass_scaling(c: &mut Criterion) {
+    use dpr_core::parallel::ShardedExecutor;
+    use dpr_sim::workload::Workload;
+
+    let w = Workload::paper(50_000, 500, 6);
+    let mut g = c.benchmark_group("pass_scaling");
+    g.sample_size(10);
+    let fresh = |w: &Workload| {
+        (
+            ChaoticEngine::new(
+                w.graph.clone(),
+                w.owners(),
+                EngineConfig::with_epsilon(1e-3),
+            ),
+            w.peer_table(),
+        )
+    };
+    g.bench_function(BenchmarkId::new("converge_50k", "seq"), |b| {
+        b.iter_batched(
+            || fresh(&w),
+            |(mut eng, mut peers)| {
+                let run = eng.run_to_convergence(&mut peers, None);
+                assert!(run.converged);
+                eng
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_function(BenchmarkId::new("converge_50k", threads), |b| {
+            b.iter_batched(
+                || fresh(&w),
+                |(mut eng, mut peers)| {
+                    let run = ShardedExecutor::new(threads)
+                        .run_to_convergence(&mut eng, &mut peers, None);
+                    assert!(run.converged);
+                    eng
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_insert_wave(c: &mut Criterion) {
     let graph = paper_graph(100_000, 5);
-    let cfg = PropagationConfig { damping: 0.85, epsilon: 1e-3 };
+    let cfg = PropagationConfig {
+        damping: 0.85,
+        epsilon: 1e-3,
+    };
     c.bench_function("insert_wave_100k_1e-3", |b| {
         b.iter(|| propagate(black_box(&graph), DocId(17), 1.0, cfg, None))
     });
@@ -140,6 +197,7 @@ criterion_group! {
         bench_sync_solver,
         bench_chaotic_pass,
         bench_chaotic_convergence,
+        bench_pass_scaling,
         bench_insert_wave,
         bench_routing,
         bench_bloom,

@@ -78,7 +78,10 @@ fn ablation_sync_vs_async(nodes: usize, seed: u64) {
     // Synchronous distributed: every sweep, every document re-sends to
     // every remote out-link (no threshold gating possible because the
     // sweep is global).
-    let sync = SyncSolver::new().tolerance(1e-3).max_iterations(500).solve(&w.graph);
+    let sync = SyncSolver::new()
+        .tolerance(1e-3)
+        .max_iterations(500)
+        .solve(&w.graph);
     let sync_msgs = remote_links * sync.iterations as u64;
     let err = error_stats::compare(&sync.ranks, &reference.ranks);
     table.push([
@@ -95,7 +98,13 @@ fn ablation_sync_vs_async(nodes: usize, seed: u64) {
 fn ablation_epsilon_suppression(nodes: usize, seed: u64) {
     println!("== ablation 2: epsilon send-suppression trade-off ==\n");
     let sweep = dpr_sim::scenario::QualitySweep::new(nodes, 500, seed);
-    let mut table = TextTable::new(["eps", "remote msgs", "msgs/node", "avg rel err", "max rel err"]);
+    let mut table = TextTable::new([
+        "eps",
+        "remote msgs",
+        "msgs/node",
+        "avg rel err",
+        "max rel err",
+    ]);
     for eps in [0.2, 1e-2, 1e-4, 1e-6] {
         let r = sweep.run(eps);
         table.push([
@@ -177,7 +186,12 @@ fn ablation_store_and_resend(seed: u64) {
         eng.run_to_convergence(&mut peers, None);
         let err = error_stats::compare(eng.ranks(), &reference.ranks);
         table.push([
-            if drop { "drop parked updates" } else { "store-and-resend (paper)" }.to_string(),
+            if drop {
+                "drop parked updates"
+            } else {
+                "store-and-resend (paper)"
+            }
+            .to_string(),
             format!("{:.1}", eng.ranks().iter().sum::<f64>()),
             format!("{:.2e}", err.avg),
         ]);
@@ -196,10 +210,8 @@ fn ablation_min_forward_floor(seed: u64) {
         ..Default::default()
     });
     let graph = dpr_graph::powerlaw::PowerLawConfig::paper(5_000, seed ^ 2).generate();
-    let mut eng = ChaoticEngine::local(
-        std::sync::Arc::new(graph),
-        EngineConfig::with_epsilon(1e-3),
-    );
+    let mut eng =
+        ChaoticEngine::local(std::sync::Arc::new(graph), EngineConfig::with_epsilon(1e-3));
     eng.run_static();
     let ring = dpr_p2p::ring::Ring::with_peers(50);
     let index = DistributedIndex::build(&corpus, eng.ranks(), &ring);
@@ -244,7 +256,10 @@ fn ablation_link_aware_placement(nodes: usize, seed: u64) {
     ]);
     for (name, w) in [
         ("random (paper Sec. 4.2)", Workload::paper(nodes, 500, seed)),
-        ("link-aware (Sec. 6)", Workload::build_link_aware(nodes, 500, seed, 6)),
+        (
+            "link-aware (Sec. 6)",
+            Workload::build_link_aware(nodes, 500, seed, 6),
+        ),
     ] {
         let remote_links: u64 = w.remote_links_per_peer().iter().sum();
         let mut eng = ChaoticEngine::new(
@@ -273,7 +288,10 @@ fn ablation_acceleration(nodes: usize, seed: u64) {
     let w = Workload::paper(nodes, 500, seed);
     let mut table = TextTable::new(["solver", "sweeps/passes", "note"]);
 
-    let plain = SyncSolver::new().tolerance(1e-10).max_iterations(2_000).solve(&w.graph);
+    let plain = SyncSolver::new()
+        .tolerance(1e-10)
+        .max_iterations(2_000)
+        .solve(&w.graph);
     table.push([
         "plain power iteration".into(),
         plain.iterations.to_string(),

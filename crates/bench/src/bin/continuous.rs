@@ -11,16 +11,118 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin continuous \
-//!     [--nodes 20000] [--inserts 200] [--checkpoints 5] [--eps 1e-3] [--json]
+//!     [--nodes 20000] [--inserts 200] [--checkpoints 5] [--eps 1e-3] \
+//!     [--threads T] [--json]
+//! ```
+//!
+//! With `--pass-scaling`, instead runs the sequential engine and the
+//! sharded executor at 1/2/4/8 threads to convergence on a 50k-doc
+//! paper graph and writes `BENCH_pass_scaling.json` (passes/sec and
+//! speedup per thread count) so the perf trajectory is tracked:
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin continuous -- --pass-scaling \
+//!     [--nodes 50000] [--peers 500] [--eps 1e-3] [--seed N]
 //! ```
 
 use dpr_bench::Args;
+use dpr_core::engine::{ChaoticEngine, EngineConfig};
+use dpr_core::parallel::ShardedExecutor;
 use dpr_sim::metrics::TextTable;
 use dpr_sim::report::{results_dir, ExperimentRecord};
-use dpr_sim::scenario::continuous_update_experiment;
+use dpr_sim::scenario::continuous_update_experiment_with;
+use dpr_sim::workload::Workload;
+use serde::Serialize;
+
+/// One row of `BENCH_pass_scaling.json`: a full convergence run under
+/// one executor configuration (`threads == 0` is the sequential
+/// engine).
+#[derive(Debug, Clone, Serialize)]
+struct PassScalingRow {
+    threads: usize,
+    passes: usize,
+    secs: f64,
+    passes_per_sec: f64,
+    speedup_vs_seq: f64,
+}
+
+fn pass_scaling(args: &Args) {
+    let nodes: usize = args.get("nodes", 50_000);
+    let peers_n: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
+    let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON);
+    let w = Workload::paper(nodes, peers_n, args.seed());
+
+    println!("Pass-throughput scaling ({nodes} docs, {peers_n} peers, eps {eps})\n");
+    let run_once = |threads: usize| -> PassScalingRow {
+        let mut engine =
+            ChaoticEngine::new(w.graph.clone(), w.owners(), EngineConfig::with_epsilon(eps));
+        let mut peers = w.peer_table();
+        let start = std::time::Instant::now();
+        let run = if threads == 0 {
+            engine.run_to_convergence(&mut peers, None)
+        } else {
+            ShardedExecutor::new(threads).run_to_convergence(&mut engine, &mut peers, None)
+        };
+        let secs = start.elapsed().as_secs_f64();
+        assert!(run.converged, "scaling run must converge");
+        PassScalingRow {
+            threads,
+            passes: run.passes,
+            secs,
+            passes_per_sec: run.passes as f64 / secs,
+            speedup_vs_seq: 1.0, // filled in below
+        }
+    };
+
+    let mut rows = vec![run_once(0)];
+    for threads in [1usize, 2, 4, 8] {
+        rows.push(run_once(threads));
+    }
+    let seq_secs = rows[0].secs;
+    for row in &mut rows {
+        row.speedup_vs_seq = seq_secs / row.secs;
+    }
+
+    let mut table = TextTable::new(["executor", "passes", "secs", "passes/sec", "speedup"]);
+    for r in &rows {
+        let name = if r.threads == 0 {
+            "sequential".to_string()
+        } else {
+            format!("sharded x{}", r.threads)
+        };
+        table.push([
+            name,
+            r.passes.to_string(),
+            format!("{:.2}", r.secs),
+            format!("{:.2}", r.passes_per_sec),
+            format!("{:.2}x", r.speedup_vs_seq),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(every row computes bit-identical ranks; only the wall clock moves)");
+
+    let dir = std::env::var_os("DPR_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = ExperimentRecord::new(
+        "BENCH_pass_scaling",
+        format!(
+            "nodes={nodes} peers={peers_n} eps={eps} seed={}",
+            args.seed()
+        ),
+        rows,
+    )
+    .write_to_dir(dir)
+    .expect("write BENCH_pass_scaling.json");
+    println!("\nwrote {}", path.display());
+}
 
 fn main() {
     let args = Args::parse();
+    if args.has("pass-scaling") {
+        pass_scaling(&args);
+        return;
+    }
     let nodes: usize = args.get("nodes", 20_000);
     let inserts: usize = args.get("inserts", 200);
     let checkpoints: usize = args.get("checkpoints", 5);
@@ -30,7 +132,14 @@ fn main() {
         "Continuous accuracy under document churn \
          ({nodes} docs, {inserts} inserts, eps {eps})\n"
     );
-    let points = continuous_update_experiment(nodes, inserts, checkpoints, eps, args.seed());
+    let points = continuous_update_experiment_with(
+        nodes,
+        inserts,
+        checkpoints,
+        eps,
+        args.seed(),
+        args.exec_mode(),
+    );
 
     let mut table = TextTable::new([
         "inserts",
@@ -61,7 +170,10 @@ fn main() {
     if args.json() {
         let path = ExperimentRecord::new(
             "continuous",
-            format!("nodes={nodes} inserts={inserts} eps={eps} seed={}", args.seed()),
+            format!(
+                "nodes={nodes} inserts={inserts} eps={eps} seed={}",
+                args.seed()
+            ),
             points,
         )
         .write_to_dir(results_dir())

@@ -33,7 +33,10 @@ fn main() {
     println!("graph: G -> {{H, I, J}}, H -> {{K, L}}, I -> M\n");
 
     // The figure's fractions carry no damping factor.
-    let cfg = PropagationConfig { damping: 1.0, epsilon: 1e-9 };
+    let cfg = PropagationConfig {
+        damping: 1.0,
+        epsilon: 1e-9,
+    };
     let mut ranks = vec![0.0f64; 7];
     let stats = propagate(&graph, DocId(0), 1.0, cfg, Some(&mut ranks));
 

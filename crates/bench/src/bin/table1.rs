@@ -7,13 +7,13 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table1 [--sizes 10000,100000] \
-//!     [--peers 500] [--eps 1e-3] [--seed N] [--json] [--full]
+//!     [--peers 500] [--eps 1e-3] [--seed N] [--threads T] [--json] [--full]
 //! ```
 
 use dpr_bench::Args;
 use dpr_sim::metrics::TextTable;
 use dpr_sim::report::{results_dir, ExperimentRecord};
-use dpr_sim::scenario::{run_convergence, ConvergenceResult};
+use dpr_sim::scenario::{run_convergence_with, ConvergenceResult};
 use dpr_sim::workload::Workload;
 
 fn main() {
@@ -31,7 +31,7 @@ fn main() {
         let w = Workload::paper(size, peers, args.seed());
         let mut cells = vec![size.to_string()];
         for presence in presences {
-            let r = run_convergence(&w, eps, presence, args.seed());
+            let r = run_convergence_with(&w, eps, presence, args.seed(), args.exec_mode());
             assert!(r.converged, "run must converge");
             cells.push(r.passes.to_string());
             rows.push(r);

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table2 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--json] [--full]
+//!     [--peers 500] [--seed N] [--threads T] [--json] [--full]
 //! ```
 
 use dpr_bench::{Args, TABLE23_EPSILONS};
@@ -28,8 +28,10 @@ fn main() {
     for size in args.sizes() {
         eprintln!("  … building sweep for size {size}");
         let sweep = QualitySweep::new(size, peers, args.seed());
-        let results: Vec<QualityResult> =
-            TABLE23_EPSILONS.iter().map(|&eps| sweep.run(eps)).collect();
+        let results: Vec<QualityResult> = TABLE23_EPSILONS
+            .iter()
+            .map(|&eps| sweep.run_with(eps, args.exec_mode()))
+            .collect();
 
         let mut header = vec!["% pages".to_string()];
         header.extend(TABLE23_EPSILONS.iter().map(|&e| fmt_eps(e)));

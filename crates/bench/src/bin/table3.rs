@@ -11,8 +11,8 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table3 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--internet] [--json] [--full] \
-//!     [--paper-compute | --compute-secs N]
+//!     [--peers 500] [--seed N] [--threads T] [--internet] [--json] \
+//!     [--full] [--paper-compute | --compute-secs N]
 //! ```
 
 use dpr_bench::{Args, TABLE23_EPSILONS};
@@ -55,7 +55,7 @@ fn main() {
         ]);
         last_mpn.clear();
         for &eps in &TABLE23_EPSILONS {
-            let r = sweep.run(eps);
+            let r = sweep.run_with(eps, args.exec_mode());
             let t32 =
                 aggregate_time_secs(r.total_remote_messages, RATE_32KBS, r.passes, compute_secs)
                     / SECS_PER_HOUR;

@@ -34,10 +34,12 @@ fn main() {
         .collect();
 
     let mut records: Vec<InsertResult> = Vec::new();
-    let mut path_table =
-        TextTable::new(std::iter::once("eps".to_string()).chain(sizes.iter().map(|s| s.to_string())));
-    let mut cov_table =
-        TextTable::new(std::iter::once("eps".to_string()).chain(sizes.iter().map(|s| s.to_string())));
+    let mut path_table = TextTable::new(
+        std::iter::once("eps".to_string()).chain(sizes.iter().map(|s| s.to_string())),
+    );
+    let mut cov_table = TextTable::new(
+        std::iter::once("eps".to_string()).chain(sizes.iter().map(|s| s.to_string())),
+    );
     for &eps in &TABLE4_EPSILONS {
         let mut path_row = vec![fmt_eps(eps)];
         let mut cov_row = vec![fmt_eps(eps)];

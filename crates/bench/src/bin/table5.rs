@@ -21,7 +21,10 @@ fn load(name: &str) -> Option<Value> {
 }
 
 fn rows(v: &Value) -> &[Value] {
-    v.get("rows").and_then(Value::as_array).map(Vec::as_slice).unwrap_or(&[])
+    v.get("rows")
+        .and_then(Value::as_array)
+        .map(Vec::as_slice)
+        .unwrap_or(&[])
 }
 
 fn main() {
@@ -85,7 +88,10 @@ fn main() {
             println!(
                 "  reasonably low — {} messages/document at eps = 1e-3, nearly \
                  constant across graph sizes; logarithmic growth with accuracy.",
-                mpn.iter().map(|m| format!("{m:.1}")).collect::<Vec<_>>().join(" / ")
+                mpn.iter()
+                    .map(|m| format!("{m:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" / ")
             );
         }
         None => println!("Message traffic: (run table3 --json first)"),
@@ -103,7 +109,11 @@ fn main() {
             println!(
                 "  handled naturally — insert waves travel {} hops on average at \
                  eps = 1e-3; no global recomputes, ranks continuously updated.",
-                at_1e3.iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>().join(" / ")
+                at_1e3
+                    .iter()
+                    .map(|p| format!("{p:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" / ")
             );
         }
         None => println!("Document insertion/deletion: (run table4 --json first)"),

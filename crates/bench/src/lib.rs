@@ -16,8 +16,11 @@
 //!
 //! Every binary accepts `--sizes a,b,c`, `--seed n`, `--json` (dump a
 //! JSON record into `results/`), and `--full` (paper-scale sizes; slow
-//! on a laptop). `cargo bench -p dpr-bench` runs the criterion
-//! micro-benchmarks over the hot kernels.
+//! on a laptop). The engine-driving binaries (`table1`–`table3`,
+//! `continuous`) also take `--threads n` to run passes on the sharded
+//! executor — results are bit-identical to the default sequential run.
+//! `cargo bench -p dpr-bench` runs the criterion micro-benchmarks over
+//! the hot kernels.
 
 use std::collections::HashMap;
 
@@ -72,7 +75,9 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.values.get(name) {
-            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad --{name} {v}: {e:?}")),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --{name} {v}: {e:?}")),
             None => default,
         }
     }
@@ -100,6 +105,16 @@ impl Args {
     /// Whether to dump JSON records (`--json`).
     pub fn json(&self) -> bool {
         self.has("json")
+    }
+
+    /// Execution mode from `--threads n` (absent, `0` or `1` mean the
+    /// sequential engine; results are identical either way).
+    pub fn exec_mode(&self) -> dpr_core::parallel::ExecMode {
+        let threads = self.values.get("threads").map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|e| panic!("bad --threads {v}: {e:?}"))
+        });
+        dpr_core::parallel::ExecMode::from_threads(threads)
     }
 }
 
@@ -132,6 +147,14 @@ mod tests {
     fn full_selects_paper_sizes() {
         let a = args("--full");
         assert_eq!(a.sizes(), dpr_sim::workload::PAPER_GRAPH_SIZES.to_vec());
+    }
+
+    #[test]
+    fn threads_flag_selects_exec_mode() {
+        use dpr_core::parallel::ExecMode;
+        assert_eq!(args("").exec_mode(), ExecMode::Sequential);
+        assert_eq!(args("--threads 1").exec_mode(), ExecMode::Sequential);
+        assert_eq!(args("--threads 4").exec_mode(), ExecMode::Parallel(4));
     }
 
     #[test]

@@ -107,8 +107,7 @@ pub fn rank(args: &Args) -> Result<(), String> {
         let owners: Vec<PeerId> = (0..graph.num_nodes())
             .map(|d| placement.owner(DocId::from(d)))
             .collect();
-        let mut engine =
-            ChaoticEngine::new(graph.clone(), owners, EngineConfig::with_epsilon(eps));
+        let mut engine = ChaoticEngine::new(graph.clone(), owners, EngineConfig::with_epsilon(eps));
         let mut table = PeerTable::new(peers);
         let run = engine.run_to_convergence(&mut table, None);
         println!(
@@ -144,7 +143,9 @@ pub fn partition(args: &Args) -> Result<(), String> {
     if peers == 0 {
         return Err("--peers must be positive".into());
     }
-    let random: Vec<u32> = (0..graph.num_nodes() as u32).map(|i| i % peers as u32).collect();
+    let random: Vec<u32> = (0..graph.num_nodes() as u32)
+        .map(|i| i % peers as u32)
+        .collect();
     let bfs = partition::bfs_partition(&graph, peers);
     let refined = partition::link_aware_partition(&graph, peers, sweeps);
     let total = graph.num_edges();
@@ -192,9 +193,14 @@ pub fn insert(args: &Args) -> Result<(), String> {
         &mut ranks,
         cfg,
     );
-    println!("inserted {id} (eps {}, damping {})", cfg.epsilon, cfg.damping);
-    println!("update wave: path length {}, node coverage {}, {} messages",
-        wave.path_length, wave.node_coverage, wave.messages);
+    println!(
+        "inserted {id} (eps {}, damping {})",
+        cfg.epsilon, cfg.damping
+    );
+    println!(
+        "update wave: path length {}, node coverage {}, {} messages",
+        wave.path_length, wave.node_coverage, wave.messages
+    );
     Ok(())
 }
 
@@ -208,8 +214,10 @@ pub fn delete(args: &Args) -> Result<(), String> {
     let cfg = wave_cfg(args)?;
     // The negated-rank wave over the document's links (Sec. 3.1).
     let wave = propagate(&graph, DocId(doc), -dpr_core::INITIAL_RANK, cfg, None);
-    println!("delete wave for d{doc}: path length {}, node coverage {}, {} messages",
-        wave.path_length, wave.node_coverage, wave.messages);
+    println!(
+        "delete wave for d{doc}: path length {}, node coverage {}, {} messages",
+        wave.path_length, wave.node_coverage, wave.messages
+    );
     Ok(())
 }
 
@@ -231,8 +239,7 @@ pub fn search(args: &Args) -> Result<(), String> {
         ..Default::default()
     });
     let graph = PowerLawConfig::paper(docs, seed ^ 0xbeef).generate();
-    let mut engine =
-        ChaoticEngine::local(Arc::new(graph), EngineConfig::with_epsilon(1e-3));
+    let mut engine = ChaoticEngine::local(Arc::new(graph), EngineConfig::with_epsilon(1e-3));
     engine.run_static();
     let ring = Ring::with_peers(peers);
     let index = DistributedIndex::build(&corpus, engine.ranks(), &ring);

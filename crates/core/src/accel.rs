@@ -171,7 +171,10 @@ impl ExtrapolatedSolver {
                 break;
             }
 
-            if sweeps.is_multiple_of(self.period) && sweeps >= 3 && extrapolations < self.max_applications {
+            if sweeps.is_multiple_of(self.period)
+                && sweeps >= 3
+                && extrapolations < self.max_applications
+            {
                 match self.method {
                     Method::PowerD => {
                         // x* ≈ (x_k − d²·x_{k−2}) / (1 − d²): cancels
@@ -187,7 +190,8 @@ impl ExtrapolatedSolver {
                         extrapolations += 1;
                     }
                     Method::Quadratic => {
-                        if sweeps >= 4 && quadratic_extrapolate(&mut ranks, &prev1, &prev2, &prev3) {
+                        if sweeps >= 4 && quadratic_extrapolate(&mut ranks, &prev1, &prev2, &prev3)
+                        {
                             extrapolations += 1;
                         }
                     }
@@ -229,12 +233,7 @@ impl ExtrapolatedSolver {
 /// x_{k-3}`), form `β0 = γ1+γ2+1, β1 = γ2+1, β2 = 1`, and replace the
 /// iterate with the normalized combination `β0·x_{k-2} + β1·x_{k-1} +
 /// β2·x_k`. Returns false (no-op) when the 2×2 system is singular.
-fn quadratic_extrapolate(
-    ranks: &mut [f64],
-    prev1: &[f64],
-    prev2: &[f64],
-    prev3: &[f64],
-) -> bool {
+fn quadratic_extrapolate(ranks: &mut [f64], prev1: &[f64], prev2: &[f64], prev3: &[f64]) -> bool {
     let n = ranks.len();
     // Normal equations for [y1 y2] γ = −y3.
     let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
@@ -301,7 +300,10 @@ mod tests {
         // the implementation must guarantee is bounded harm and the
         // correct fixed point.
         let g = paper_graph(3_000, 92);
-        let plain = SyncSolver::new().tolerance(1e-12).max_iterations(2_000).solve(&g);
+        let plain = SyncSolver::new()
+            .tolerance(1e-12)
+            .max_iterations(2_000)
+            .solve(&g);
         for method in [Method::PowerD, Method::Quadratic] {
             let accel = ExtrapolatedSolver::new()
                 .method(method)
@@ -326,7 +328,10 @@ mod tests {
     fn aitken_converges_but_is_not_reliably_faster() {
         // The textbook method still lands on the right answer …
         let g = paper_graph(1_500, 94);
-        let plain = SyncSolver::new().tolerance(1e-10).max_iterations(2_000).solve(&g);
+        let plain = SyncSolver::new()
+            .tolerance(1e-10)
+            .max_iterations(2_000)
+            .solve(&g);
         let aitken = ExtrapolatedSolver::new()
             .method(Method::Aitken)
             .tolerance(1e-10)
@@ -343,7 +348,10 @@ mod tests {
     #[test]
     fn sweep_budget_respected() {
         let g = paper_graph(500, 93);
-        let r = ExtrapolatedSolver::new().tolerance(1e-15).max_sweeps(4).solve(&g);
+        let r = ExtrapolatedSolver::new()
+            .tolerance(1e-15)
+            .max_sweeps(4)
+            .solve(&g);
         assert_eq!(r.sweeps, 4);
         assert!(!r.converged);
     }

@@ -59,7 +59,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Config with a specific ε and defaults elsewhere.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        EngineConfig { epsilon, ..Default::default() }
+        EngineConfig {
+            epsilon,
+            ..Default::default()
+        }
     }
 }
 
@@ -121,8 +124,8 @@ pub type ChurnFn<'a> = dyn FnMut(usize, &mut PeerTable) + 'a;
 /// The distributed pagerank engine.
 #[derive(Clone)]
 pub struct ChaoticEngine {
-    graph: Arc<CsrGraph>,
-    owner: Vec<PeerId>,
+    pub(crate) graph: Arc<CsrGraph>,
+    pub(crate) owner: Vec<PeerId>,
     cfg: EngineConfig,
     /// Current rank per document.
     pub(crate) ranks: Vec<f64>,
@@ -134,6 +137,10 @@ pub struct ChaoticEngine {
     pub(crate) dirty: Vec<u32>,
     pub(crate) queued: Vec<bool>,
     pub(crate) passes: usize,
+    /// Pass-scratch buffers, kept on the engine so steady-state passes
+    /// allocate nothing: next-pass dirty list and applied-docs list.
+    scratch_carry: Vec<u32>,
+    scratch_applied: Vec<u32>,
 }
 
 impl ChaoticEngine {
@@ -171,6 +178,8 @@ impl ChaoticEngine {
             dirty: (0..n as u32).collect(),
             queued: vec![true; n],
             passes: 0,
+            scratch_carry: Vec::new(),
+            scratch_applied: Vec::new(),
         };
         eng.pending.iter_mut().for_each(|p| *p = base);
         eng
@@ -267,7 +276,10 @@ impl ChaoticEngine {
         mut hop_model: Option<&mut HopModel<'_>>,
     ) -> PassStats {
         self.passes += 1;
-        let mut stats = PassStats { pass: self.passes, ..Default::default() };
+        let mut stats = PassStats {
+            pass: self.passes,
+            ..Default::default()
+        };
         let eps = self.cfg.epsilon;
         let damping = self.cfg.damping;
 
@@ -275,9 +287,18 @@ impl ChaoticEngine {
         // sender emits below lands in the *next* pass's working set —
         // the pass is strictly two-phase (apply all, then send all) so
         // that execution order within a pass cannot change the result.
-        let work = std::mem::take(&mut self.dirty);
-        let mut carry = Vec::new();
-        let mut applied: Vec<u32> = Vec::with_capacity(work.len());
+        //
+        // The work list is canonicalized to ascending document order.
+        // This makes the floating-point fold order of the pass a
+        // function of the *set* of dirty documents alone, which is
+        // what lets the sharded executor (`parallel.rs`) reproduce
+        // this engine's output bit-for-bit from per-shard pieces.
+        let mut work = std::mem::take(&mut self.dirty);
+        work.sort_unstable();
+        let mut carry = std::mem::take(&mut self.scratch_carry);
+        let mut applied = std::mem::take(&mut self.scratch_applied);
+        carry.clear();
+        applied.clear();
 
         // Phase 1: deliver parked increments to documents on online
         // peers; increments for offline peers stay parked
@@ -336,6 +357,10 @@ impl ChaoticEngine {
         }
 
         self.dirty = carry;
+        // Rotate the spent work list back in as next pass's scratch.
+        work.clear();
+        self.scratch_carry = work;
+        self.scratch_applied = applied;
         stats
     }
 
@@ -367,9 +392,7 @@ impl ChaoticEngine {
 
     /// Convenience: run with all peers online and no churn.
     pub fn run_static(&mut self) -> RunStats {
-        let mut peers = PeerTable::new(
-            self.owner.iter().map(|p| p.index() + 1).max().unwrap_or(1),
-        );
+        let mut peers = PeerTable::new(self.owner.iter().map(|p| p.index() + 1).max().unwrap_or(1));
         self.run_to_convergence(&mut peers, None)
     }
 }
@@ -435,11 +458,7 @@ mod tests {
         let n = g.num_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..10))).collect();
-        let mut e = ChaoticEngine::new(
-            Arc::new(g),
-            owner,
-            EngineConfig::with_epsilon(1e-4),
-        );
+        let mut e = ChaoticEngine::new(Arc::new(g), owner, EngineConfig::with_epsilon(1e-4));
         let mut peers = PeerTable::new(10);
         let run = e.run_to_convergence(&mut peers, None);
         assert!(run.converged);
@@ -459,11 +478,7 @@ mod tests {
         e1.run_static();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..50))).collect();
-        let mut e2 = ChaoticEngine::new(
-            Arc::new(g),
-            owner,
-            EngineConfig::with_epsilon(1e-9),
-        );
+        let mut e2 = ChaoticEngine::new(Arc::new(g), owner, EngineConfig::with_epsilon(1e-9));
         let mut peers = PeerTable::new(50);
         e2.run_to_convergence(&mut peers, None);
         for (a, b) in e1.ranks().iter().zip(e2.ranks()) {
@@ -557,11 +572,7 @@ mod tests {
     fn hop_model_is_consulted_per_remote_message() {
         let g = from_edges(2, [Edge::new(0u32, 1u32), Edge::new(1u32, 0u32)]);
         let owner = vec![PeerId(0), PeerId(1)];
-        let mut e = ChaoticEngine::new(
-            Arc::new(g),
-            owner,
-            EngineConfig::with_epsilon(1e-6),
-        );
+        let mut e = ChaoticEngine::new(Arc::new(g), owner, EngineConfig::with_epsilon(1e-6));
         let peers = PeerTable::new(2);
         let mut calls = 0u64;
         let mut model = |_s: PeerId, _d: PeerId, _doc: DocId| {
@@ -584,7 +595,11 @@ mod tests {
         let g = paper_graph(500, 37);
         let mut e = ChaoticEngine::local(
             Arc::new(g),
-            EngineConfig { epsilon: 1e-12, max_passes: 5, ..Default::default() },
+            EngineConfig {
+                epsilon: 1e-12,
+                max_passes: 5,
+                ..Default::default()
+            },
         );
         let run = e.run_static();
         assert_eq!(run.passes, 5);
@@ -597,7 +612,11 @@ mod tests {
         let g = from_edges(2, [Edge::new(0u32, 1u32), Edge::new(1u32, 0u32)]);
         let _ = ChaoticEngine::local(
             Arc::new(g),
-            EngineConfig { damping: 1.0, epsilon: 1e-3, max_passes: 100 },
+            EngineConfig {
+                damping: 1.0,
+                epsilon: 1e-3,
+                max_passes: 100,
+            },
         );
     }
 
@@ -607,11 +626,7 @@ mod tests {
         let n = g.num_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..4))).collect();
-        let mut e = ChaoticEngine::new(
-            Arc::new(g),
-            owner,
-            EngineConfig::with_epsilon(1e-6),
-        );
+        let mut e = ChaoticEngine::new(Arc::new(g), owner, EngineConfig::with_epsilon(1e-6));
         let mut peers = PeerTable::new(4);
         e.pass(&peers); // generate in-flight increments
         peers.go_offline(PeerId(0));
@@ -636,7 +651,10 @@ mod tests {
 
     #[test]
     fn messages_per_node_metric() {
-        let run = RunStats { total_remote_messages: 500, ..RunStats::default() };
+        let run = RunStats {
+            total_remote_messages: 500,
+            ..RunStats::default()
+        };
         assert!((run.messages_per_node(100) - 5.0).abs() < 1e-12);
         assert_eq!(RunStats::default().messages_per_node(0), 0.0);
     }

@@ -62,7 +62,12 @@ pub fn summarize(mut errors: Vec<f64>) -> ErrorDistribution {
             (p, errors[idx])
         })
         .collect();
-    ErrorDistribution { percentiles, max, avg, count }
+    ErrorDistribution {
+        percentiles,
+        max,
+        avg,
+        count,
+    }
 }
 
 /// Convenience: full Table 2 cell set from two rank vectors.

@@ -258,7 +258,10 @@ mod tests {
         // H, I, J get 1/3; K, L get 1/6; M gets 1/3 * 1/1 = 1/3.
         let g = figure2();
         let mut ranks = vec![0.0; 7];
-        let cfg = PropagationConfig { damping: 1.0, epsilon: 1e-9 };
+        let cfg = PropagationConfig {
+            damping: 1.0,
+            epsilon: 1e-9,
+        };
         let stats = propagate(&g, DocId(0), 1.0, cfg, Some(&mut ranks));
         assert!((ranks[1] - 1.0 / 3.0).abs() < 1e-12);
         assert!((ranks[2] - 1.0 / 3.0).abs() < 1e-12);
@@ -278,7 +281,10 @@ mod tests {
         // would forward only if 1/6 > 0.3 — it is not, and they have
         // no out-links anyway. With eps = 0.4 the wave stops at depth 1.
         let g = figure2();
-        let cfg = PropagationConfig { damping: 1.0, epsilon: 0.4 };
+        let cfg = PropagationConfig {
+            damping: 1.0,
+            epsilon: 0.4,
+        };
         let stats = propagate(&g, DocId(0), 1.0, cfg, None);
         assert_eq!(stats.path_length, 1);
         assert_eq!(stats.node_coverage, 3);
@@ -291,14 +297,20 @@ mod tests {
             &g,
             DocId(17),
             1.0,
-            PropagationConfig { damping: 0.85, epsilon: 0.2 },
+            PropagationConfig {
+                damping: 0.85,
+                epsilon: 0.2,
+            },
             None,
         );
         let tight = propagate(
             &g,
             DocId(17),
             1.0,
-            PropagationConfig { damping: 0.85, epsilon: 1e-4 },
+            PropagationConfig {
+                damping: 0.85,
+                epsilon: 1e-4,
+            },
             None,
         );
         assert!(tight.node_coverage >= loose.node_coverage);
@@ -324,7 +336,10 @@ mod tests {
         // Insert and delete waves are mirror images (same links, same
         // magnitude, opposite sign, same truncation), so cancellation
         // is exact regardless of epsilon.
-        let cfg = PropagationConfig { damping: 0.85, epsilon: 1e-6 };
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-6,
+        };
         let targets = [DocId(3), DocId(7), DocId(11)];
         let (id, ins) = insert_document(&mut graph, &targets, &mut ranks, cfg);
         assert!(ins.messages > 0);
@@ -348,7 +363,10 @@ mod tests {
         let base = from_edges(2, [Edge::new(0u32, 1u32)]);
         let mut graph = DynamicGraph::from_csr(&base);
         let mut ranks = vec![2.0, 5.0];
-        let cfg = PropagationConfig { damping: 1.0, epsilon: 1e-9 };
+        let cfg = PropagationConfig {
+            damping: 1.0,
+            epsilon: 1e-9,
+        };
         delete_document(&mut graph, DocId(0), &mut ranks, cfg);
         // Document 1 received -2.0 (0's whole rank over 1 out-link).
         assert!((ranks[1] - 3.0).abs() < 1e-12);
@@ -363,7 +381,10 @@ mod tests {
             &g,
             DocId(0),
             1.0,
-            PropagationConfig { damping: 0.85, epsilon: 1e-12 },
+            PropagationConfig {
+                damping: 0.85,
+                epsilon: 1e-12,
+            },
             None,
         );
         assert!(stats.node_coverage <= 200);

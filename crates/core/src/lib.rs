@@ -33,9 +33,10 @@
 //!   and the aggregate serialized-transfer model behind Table 3's
 //!   hours columns, plus the Sec. 4.6.2 Internet-scale estimate).
 //! * [`message`] — the update-message type and its 24-byte wire form.
-//! * [`parallel`] — a multi-threaded pass executor (crossbeam scoped
-//!   threads, per-thread accumulation buffers) that computes exactly
-//!   the same pass as the sequential engine.
+//! * [`parallel`] — the owner-sharded pass executor: contiguous
+//!   document shards, per-(source, target) mailbox buffers, and a
+//!   deterministic merge order that makes every pass bit-identical to
+//!   the sequential engine at any thread count.
 //! * [`personalized`] — teleport-vector (topic-sensitive) pagerank on
 //!   the same protocol, per the related-work directions.
 //! * [`accel`] — an Aitken-extrapolated synchronous solver, the
@@ -56,6 +57,7 @@ pub mod sync_solver;
 
 pub use engine::{ChaoticEngine, EngineConfig, PassStats, RunStats};
 pub use message::RankUpdate;
+pub use parallel::{ExecMode, ParallelExecutor, ShardedExecutor};
 pub use sync_solver::SyncSolver;
 
 /// Google's customary damping factor; the paper does not give its

@@ -29,7 +29,10 @@ impl RankUpdate {
     /// Serializes to the paper's 24-byte wire form (128-bit GUID +
     /// 64-bit value).
     pub fn to_wire(self) -> RankUpdateWire {
-        RankUpdateWire { guid: Guid::for_document(self.doc).0, value: self.delta }
+        RankUpdateWire {
+            guid: Guid::for_document(self.doc).0,
+            value: self.delta,
+        }
     }
 
     /// Recovers the in-memory form from the wire, resolving the GUID
@@ -40,7 +43,10 @@ impl RankUpdate {
         resolve: impl Fn(Guid) -> Option<DocId>,
     ) -> Result<Self, MessageError> {
         let doc = resolve(Guid(wire.guid)).ok_or(MessageError::UnknownGuid(Guid(wire.guid)))?;
-        Ok(RankUpdate { doc, delta: wire.value })
+        Ok(RankUpdate {
+            doc,
+            delta: wire.value,
+        })
     }
 }
 
@@ -80,8 +86,9 @@ mod tests {
         let m = RankUpdate::new(DocId(17), 0.25);
         let wire = m.to_wire();
         // A peer's local guid index.
-        let index: HashMap<Guid, DocId> =
-            (0..32u32).map(|i| (Guid::for_document(DocId(i)), DocId(i))).collect();
+        let index: HashMap<Guid, DocId> = (0..32u32)
+            .map(|i| (Guid::for_document(DocId(i)), DocId(i)))
+            .collect();
         let back = RankUpdate::from_wire(wire, |g| index.get(&g).copied()).unwrap();
         assert_eq!(back, m);
     }
@@ -96,8 +103,7 @@ mod tests {
     #[test]
     fn negative_delta_survives_the_wire() {
         let m = RankUpdate::new(DocId(3), -1.5);
-        let back =
-            RankUpdate::from_wire(m.to_wire(), |_| Some(DocId(3))).unwrap();
+        let back = RankUpdate::from_wire(m.to_wire(), |_| Some(DocId(3))).unwrap();
         assert!(back.delta < 0.0);
         assert_eq!(back.delta, -1.5);
     }

@@ -1,150 +1,465 @@
-//! Multi-threaded pass execution.
+//! Owner-sharded fully-parallel pass execution.
 //!
 //! A peer in the real system is an independent machine; inside the
 //! simulator, one pass is a large data-parallel job (millions of
-//! documents for the paper's biggest graphs). [`ParallelExecutor`]
-//! splits the pass's working set across crossbeam scoped threads.
+//! documents for the paper's biggest graphs). [`ShardedExecutor`]
+//! partitions the document space into `S` contiguous shards (one per
+//! worker thread) and runs **both** phases of a pass in parallel —
+//! unlike the earlier design, which parallelized only the read-only
+//! scan and serialized the entire fan-out commit on one thread.
 //!
-//! The design is two-phase to stay safe and *bit-identical* to the
-//! sequential engine:
+//! ## Pass structure
 //!
-//! 1. **Scan (parallel)** — each thread takes a contiguous chunk of
-//!    the dirty list and, reading the frozen pass-start state,
-//!    computes for each document whether it carries (owner offline),
-//!    what its new rank is, and the exact `(target, delta)` emissions
-//!    it would send. Documents appear in the dirty list at most once,
-//!    so chunk outputs touch disjoint documents.
-//! 2. **Commit (sequential)** — chunk outputs are replayed in chunk
-//!    order, which reproduces the sequential engine's floating-point
-//!    addition order exactly; equality tests can use `==` on ranks.
+//! 1. **Bucket** (main thread, `O(work)`): dirty documents are routed
+//!    to their owning shard (`doc_id / shard_size`).
+//! 2. **Apply + emit** (parallel over *source* shards): each shard
+//!    sorts its work list ascending, then for each document applies
+//!    the parked increment, and — if the rank moved more than ε —
+//!    appends `(target, delta)` emissions into its private
+//!    per-target-shard *mailbox* row of the `S × S` mailbox grid.
+//!    Every write (`ranks`, `advertised`, `pending`, `queued`) lands
+//!    in the shard's own slice, so no synchronization is needed.
+//! 3. **Merge** (parallel over *target* shards): each shard folds its
+//!    inbound mailbox column in fixed source-shard order into a dense
+//!    accumulator seeded from the document's current `pending`,
+//!    coalescing all increments for a document into a single
+//!    write-back, and queues newly dirtied documents.
 //!
-//! The commit phase serializes the fan-out merge; the scan phase
-//! (rank computation, neighbor enumeration, message accounting)
-//! parallelizes. This mirrors how a real multi-core simulator host
-//! would batch per-peer work, and keeps the engine free of atomics.
+//! ## Determinism
+//!
+//! Results are **bit-identical** to [`ChaoticEngine::pass`] at every
+//! thread count. The sequential engine canonicalizes its work list to
+//! ascending document order; shards are contiguous ascending ranges,
+//! so concatenating the sorted per-shard sender lists in shard order
+//! reproduces the global sequential sender order exactly. For any one
+//! target document, merging its mailbox contributions in (source
+//! shard, mailbox position) order therefore replays the sequential
+//! `pending += delta` folds in the same order on the same starting
+//! value — floating-point addition order is preserved, independent of
+//! both the shard count and the thread count. Statistics are sums and
+//! maxima of per-shard values, which are order-independent. See
+//! DESIGN.md ("Execution architecture") for the full argument.
+//!
+//! Hop models (`dyn FnMut`, deliberately not thread-safe) keep exact
+//! parity: emissions record `(src, dst, doc)` events per shard, and
+//! the model is charged sequentially after the joins, in the same
+//! order the sequential engine would have called it.
 
-use crate::engine::{ChaoticEngine, PassStats};
-use dpr_graph::DocId;
-use dpr_p2p::peer::PeerTable;
+use crate::engine::{ChaoticEngine, ChurnFn, HopModel, PassStats};
+use crate::RunStats;
+use dpr_graph::{CsrGraph, DocId};
+use dpr_p2p::peer::{PeerId, PeerTable};
 
-/// What the scan phase decided for one dirty document.
-#[derive(Debug, Clone, Copy)]
-enum Outcome {
-    /// Owner offline; stays dirty.
-    Carried(u32),
-    /// Increment applied; optionally re-advertised (its emissions sit
-    /// in the chunk's emit buffer, in document order).
-    Applied { doc: u32, new_rank: f64, rel: f64, advertise: Option<f64> },
+/// Work-list size below which a pass runs on the calling thread.
+/// The sharded algorithm is identical either way (same shard layout,
+/// same merge order); this only skips thread spawn overhead on the
+/// small tail passes of a converging run.
+const INLINE_WORK_THRESHOLD: usize = 4096;
+
+/// Back-compat alias for the pre-shard executor name.
+pub type ParallelExecutor = ShardedExecutor;
+
+/// How a scenario executes engine passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded [`ChaoticEngine::pass`] on the calling thread.
+    Sequential,
+    /// [`ShardedExecutor`] with this many worker threads.
+    Parallel(usize),
 }
 
-/// Per-chunk scan output.
-#[derive(Debug, Default)]
-struct ChunkResult {
-    outcomes: Vec<Outcome>,
-    emits: Vec<(u32, f64)>,
+impl ExecMode {
+    /// Parallel mode sized to the host's available parallelism.
+    pub fn host_parallel() -> Self {
+        ExecMode::Parallel(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Mode from an optional thread count (CLI `--threads` flag):
+    /// `None` or `Some(1)` is sequential.
+    pub fn from_threads(threads: Option<usize>) -> Self {
+        match threads {
+            None | Some(0) | Some(1) => ExecMode::Sequential,
+            Some(t) => ExecMode::Parallel(t),
+        }
+    }
+
+    /// Runs `eng` to convergence under this mode.
+    pub fn run(
+        &self,
+        eng: &mut ChaoticEngine,
+        peers: &mut PeerTable,
+        churn: Option<&mut ChurnFn<'_>>,
+    ) -> RunStats {
+        match *self {
+            ExecMode::Sequential => eng.run_to_convergence(peers, churn),
+            ExecMode::Parallel(t) => ShardedExecutor::new(t).run_to_convergence(eng, peers, churn),
+        }
+    }
+
+    /// [`ChaoticEngine::run_static`] under this mode: every peer stays
+    /// online for the whole run.
+    pub fn run_static(&self, eng: &mut ChaoticEngine) -> RunStats {
+        match *self {
+            ExecMode::Sequential => eng.run_static(),
+            ExecMode::Parallel(t) => {
+                let mut peers =
+                    PeerTable::new(eng.owner.iter().map(|p| p.index() + 1).max().unwrap_or(1));
+                ShardedExecutor::new(t).run_to_convergence(eng, &mut peers, None)
+            }
+        }
+    }
+}
+
+/// Order-independent tallies of one shard's apply+emit phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardStats {
+    applied: u64,
+    senders: u64,
     remote: u64,
     local: u64,
-    senders: u64,
+    max_rel: f64,
 }
 
-/// Parallel pass executor.
-#[derive(Debug, Clone, Copy)]
-pub struct ParallelExecutor {
+/// Everything one source shard mutates during apply+emit: its slices
+/// of the engine state plus its private outputs.
+struct SrcShard<'a> {
+    /// First document id of the shard.
+    base: usize,
+    /// This shard's portion of the pass work list (unsorted on entry).
+    work: &'a mut Vec<u32>,
+    ranks: &'a mut [f64],
+    advertised: &'a mut [f64],
+    pending: &'a mut [f64],
+    queued: &'a mut [bool],
+    /// Documents whose owner is offline this pass (stay dirty).
+    carry: &'a mut Vec<u32>,
+    /// Mailbox row: emissions bucketed by target shard.
+    mail_row: &'a mut [Vec<(u32, f64)>],
+    /// `(src peer, dst peer, target doc)` per remote message, in
+    /// emission order; only filled when a hop model is installed.
+    hop_events: &'a mut Vec<(PeerId, PeerId, u32)>,
+}
+
+/// Everything one target shard mutates during the mailbox merge.
+struct DstShard<'a> {
+    base: usize,
+    pending: &'a mut [f64],
+    queued: &'a mut [bool],
+    /// Dense coalescing accumulator (shard slice).
+    acc: &'a mut [f64],
+    /// Pass stamp per document; `== stamp` means `acc` holds its sum.
+    seen: &'a mut [u64],
+    /// Documents that received at least one emission this pass.
+    touched: &'a mut Vec<u32>,
+    /// Subset of `touched` that was not queued before (newly dirty).
+    fresh: &'a mut Vec<u32>,
+}
+
+/// Multi-threaded pass executor over contiguous document shards.
+///
+/// Holds all cross-pass scratch (work buckets, mailbox grid, merge
+/// accumulators), so `pass` allocates nothing in steady state; hence
+/// the `&mut self` receiver. Construct once per run and reuse.
+#[derive(Debug)]
+pub struct ShardedExecutor {
     threads: usize,
+    /// Engine size the scratch is currently sized for.
+    sized_for: usize,
+    shard_size: usize,
+    /// Per-source-shard work buckets.
+    work: Vec<Vec<u32>>,
+    /// Per-source-shard carried (owner-offline) documents.
+    carry: Vec<Vec<u32>>,
+    /// `mail[src][dst]` → emissions from shard `src` into shard `dst`.
+    mail: Vec<Vec<Vec<(u32, f64)>>>,
+    /// Per-source-shard hop-charge events.
+    hop_events: Vec<Vec<(PeerId, PeerId, u32)>>,
+    /// Per-target-shard merge outputs.
+    touched: Vec<Vec<u32>>,
+    fresh: Vec<Vec<u32>>,
+    /// Dense accumulator + stamp, both `sized_for` documents long.
+    acc: Vec<f64>,
+    seen: Vec<u64>,
+    stamp: u64,
 }
 
-impl ParallelExecutor {
-    /// An executor with `threads` worker threads (at least 1).
+impl ShardedExecutor {
+    /// An executor with `threads` worker threads (at least 1), one
+    /// document shard per thread.
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor { threads: threads.max(1) }
+        let threads = threads.max(1);
+        ShardedExecutor {
+            threads,
+            sized_for: 0,
+            shard_size: 1,
+            work: Vec::new(),
+            carry: Vec::new(),
+            mail: Vec::new(),
+            hop_events: Vec::new(),
+            touched: Vec::new(),
+            fresh: Vec::new(),
+            acc: Vec::new(),
+            seen: Vec::new(),
+            stamp: 0,
+        }
     }
 
     /// An executor sized to the host's available parallelism.
     pub fn host_sized() -> Self {
-        let t = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ParallelExecutor::new(t)
+        let t = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardedExecutor::new(t)
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (== number of shards).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Executes one pass, semantically identical to
-    /// [`ChaoticEngine::pass`] (no hop model support — hops equal
-    /// remote messages).
-    pub fn pass(&self, eng: &mut ChaoticEngine, peers: &PeerTable) -> PassStats {
+    /// (Re)sizes scratch for an engine over `n` documents.
+    fn ensure_sized(&mut self, n: usize) {
+        if self.sized_for == n {
+            return;
+        }
+        let s = self.threads;
+        self.sized_for = n;
+        self.shard_size = n.div_ceil(s).max(1);
+        self.work = (0..s).map(|_| Vec::new()).collect();
+        self.carry = (0..s).map(|_| Vec::new()).collect();
+        self.mail = (0..s)
+            .map(|_| (0..s).map(|_| Vec::new()).collect())
+            .collect();
+        self.hop_events = (0..s).map(|_| Vec::new()).collect();
+        self.touched = (0..s).map(|_| Vec::new()).collect();
+        self.fresh = (0..s).map(|_| Vec::new()).collect();
+        self.acc = vec![0.0; n];
+        self.seen = vec![0; n];
+        self.stamp = 0;
+    }
+
+    /// Executes one pass, bit-identical to [`ChaoticEngine::pass`]
+    /// (see the module docs for why).
+    pub fn pass(&mut self, eng: &mut ChaoticEngine, peers: &PeerTable) -> PassStats {
+        self.pass_with_hops(eng, peers, None)
+    }
+
+    /// [`ShardedExecutor::pass`] with an optional hop model, charged
+    /// in the sequential engine's exact call order.
+    pub fn pass_with_hops(
+        &mut self,
+        eng: &mut ChaoticEngine,
+        peers: &PeerTable,
+        hop_model: Option<&mut HopModel<'_>>,
+    ) -> PassStats {
         eng.passes += 1;
-        let mut stats = PassStats { pass: eng.passes, ..Default::default() };
-        let work = std::mem::take(&mut eng.dirty);
+        let mut stats = PassStats {
+            pass: eng.passes,
+            ..Default::default()
+        };
+        let mut work = std::mem::take(&mut eng.dirty);
         if work.is_empty() {
             return stats;
         }
+        let n = eng.graph().num_nodes();
+        self.ensure_sized(n);
+        let ssize = self.shard_size;
+        let shards = self.threads;
+        let inline = shards == 1 || work.len() < INLINE_WORK_THRESHOLD;
+        let collect_hops = hop_model.is_some();
 
-        let chunk_size = work.len().div_ceil(self.threads);
-        let chunks: Vec<&[u32]> = work.chunks(chunk_size).collect();
+        // Bucket the work list by owning shard.
+        for &d in &work {
+            self.work[d as usize / ssize].push(d);
+        }
 
-        // Scan phase: frozen reads of ranks / advertised / pending.
-        let results: Vec<ChunkResult> = crossbeam::thread::scope(|s| {
-            let eng = &*eng;
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|chunk| s.spawn(move |_| scan_chunk(eng, peers, chunk)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
-        })
-        .expect("crossbeam scope failed");
-
-        // Commit phase, mirroring the sequential engine's two phases:
-        // first apply every outcome (carried pushes + state updates)
-        // in chunk order, then merge every emission in chunk order.
-        let mut carry: Vec<u32> = Vec::new();
-        for res in &results {
-            stats.remote_messages += res.remote;
-            stats.local_updates += res.local;
-            stats.senders += res.senders;
-            for &outcome in &res.outcomes {
-                match outcome {
-                    Outcome::Carried(doc) => carry.push(doc),
-                    Outcome::Applied { doc, new_rank, rel, advertise } => {
-                        let i = doc as usize;
-                        eng.queued[i] = false;
-                        eng.pending[i] = 0.0;
-                        eng.ranks[i] = new_rank;
-                        stats.applied += 1;
-                        stats.max_relative_change = stats.max_relative_change.max(rel);
-                        if let Some(adv) = advertise {
-                            eng.advertised[i] = adv;
-                        }
-                    }
-                }
+        // Split every per-document array into one disjoint mutable
+        // slice per shard; disjointness is what makes the parallel
+        // phases race-free without atomics.
+        let cfg = eng.config();
+        let graph: &CsrGraph = eng.graph.as_ref();
+        let owner: &[PeerId] = &eng.owner;
+        let mut src_shards: Vec<SrcShard<'_>> = Vec::with_capacity(shards);
+        {
+            let ranks = split_shards(&mut eng.ranks, ssize, shards);
+            let advertised = split_shards(&mut eng.advertised, ssize, shards);
+            let pending = split_shards(&mut eng.pending, ssize, shards);
+            let queued = split_shards(&mut eng.queued, ssize, shards);
+            let parts = ranks
+                .into_iter()
+                .zip(advertised)
+                .zip(pending)
+                .zip(queued)
+                .zip(self.work.iter_mut())
+                .zip(self.carry.iter_mut())
+                .zip(self.mail.iter_mut())
+                .zip(self.hop_events.iter_mut());
+            for (s, p) in parts.enumerate() {
+                let (((((((ranks, advertised), pending), queued), work), carry), mail), hop_events) =
+                    p;
+                src_shards.push(SrcShard {
+                    base: s * ssize,
+                    work,
+                    ranks,
+                    advertised,
+                    pending,
+                    queued,
+                    carry,
+                    mail_row: mail.as_mut_slice(),
+                    hop_events,
+                });
             }
         }
-        for res in &results {
-            for &(t, delta) in &res.emits {
-                let ti = t as usize;
-                eng.pending[ti] += delta;
-                if !eng.queued[ti] {
-                    eng.queued[ti] = true;
-                    carry.push(t);
+
+        // Phase 1: apply + emit, parallel over source shards.
+        let shard_stats: Vec<ShardStats> = if inline {
+            src_shards
+                .iter_mut()
+                .map(|sh| {
+                    apply_and_emit(
+                        sh,
+                        graph,
+                        owner,
+                        peers,
+                        cfg.epsilon,
+                        cfg.damping,
+                        ssize,
+                        collect_hops,
+                    )
+                })
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = src_shards
+                    .iter_mut()
+                    .map(|sh| {
+                        scope.spawn(move || {
+                            apply_and_emit(
+                                sh,
+                                graph,
+                                owner,
+                                peers,
+                                cfg.epsilon,
+                                cfg.damping,
+                                ssize,
+                                collect_hops,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("apply+emit shard panicked"))
+                    .collect()
+            })
+        };
+        drop(src_shards);
+
+        for st in &shard_stats {
+            stats.applied += st.applied;
+            stats.senders += st.senders;
+            stats.remote_messages += st.remote;
+            stats.local_updates += st.local;
+            stats.max_relative_change = stats.max_relative_change.max(st.max_rel);
+        }
+
+        // Hop charging: the model is `FnMut` and stateful, so it runs
+        // on this thread — but in the exact emission order the
+        // sequential engine would have used (shards are ascending
+        // ranges, events within a shard are in emission order).
+        if let Some(model) = hop_model {
+            for events in &mut self.hop_events {
+                for &(src, dst, doc) in events.iter() {
+                    stats.hops += u64::from(model(src, dst, DocId(doc)));
                 }
+                events.clear();
+            }
+        } else {
+            stats.hops = stats.remote_messages;
+        }
+
+        // Phase 2: mailbox merge, parallel over target shards.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mail: &[Vec<Vec<(u32, f64)>>] = &self.mail;
+        let mut dst_shards: Vec<DstShard<'_>> = Vec::with_capacity(shards);
+        {
+            let pending = split_shards(&mut eng.pending, ssize, shards);
+            let queued = split_shards(&mut eng.queued, ssize, shards);
+            let acc = split_shards(&mut self.acc, ssize, shards);
+            let seen = split_shards(&mut self.seen, ssize, shards);
+            let parts = pending
+                .into_iter()
+                .zip(queued)
+                .zip(acc)
+                .zip(seen)
+                .zip(self.touched.iter_mut())
+                .zip(self.fresh.iter_mut());
+            for (t, p) in parts.enumerate() {
+                let (((((pending, queued), acc), seen), touched), fresh) = p;
+                dst_shards.push(DstShard {
+                    base: t * ssize,
+                    pending,
+                    queued,
+                    acc,
+                    seen,
+                    touched,
+                    fresh,
+                });
             }
         }
-        stats.hops = stats.remote_messages;
-        eng.dirty = carry;
+
+        if inline {
+            for (t, sh) in dst_shards.iter_mut().enumerate() {
+                merge_mailboxes(sh, mail, t, stamp);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (t, sh) in dst_shards.iter_mut().enumerate() {
+                    scope.spawn(move || merge_mailboxes(sh, mail, t, stamp));
+                }
+            });
+        }
+        drop(dst_shards);
+
+        // Next pass's dirty list: carried documents plus newly queued
+        // targets. Order is irrelevant — every pass re-canonicalizes.
+        work.clear();
+        for carry in &mut self.carry {
+            work.append(carry);
+        }
+        for fresh in &mut self.fresh {
+            work.append(fresh);
+        }
+        for row in &mut self.mail {
+            for cell in row {
+                cell.clear();
+            }
+        }
+        for bucket in &mut self.work {
+            bucket.clear();
+        }
+        for touched in &mut self.touched {
+            touched.clear();
+        }
+        eng.dirty = work;
         stats
     }
 
     /// Runs parallel passes until quiescence or the engine's pass
-    /// budget is exhausted. Returns the same [`crate::RunStats`] shape
-    /// as the sequential runner.
+    /// budget is exhausted. Returns the same [`RunStats`] shape as the
+    /// sequential runner; `churn` runs between passes.
     pub fn run_to_convergence(
-        &self,
+        &mut self,
         eng: &mut ChaoticEngine,
         peers: &mut PeerTable,
-        mut churn: Option<&mut crate::engine::ChurnFn<'_>>,
-    ) -> crate::RunStats {
-        let mut run = crate::RunStats::default();
+        mut churn: Option<&mut ChurnFn<'_>>,
+    ) -> RunStats {
+        let mut run = RunStats::default();
         let budget = eng.config().max_passes;
         while !eng.is_quiescent() && run.passes < budget {
             let stats = self.pass(eng, peers);
@@ -162,55 +477,114 @@ impl ParallelExecutor {
     }
 }
 
-/// The read-only per-document work of one chunk.
-fn scan_chunk(eng: &ChaoticEngine, peers: &PeerTable, chunk: &[u32]) -> ChunkResult {
-    let cfg = eng.config();
-    let mut res = ChunkResult {
-        outcomes: Vec::with_capacity(chunk.len()),
-        ..Default::default()
-    };
-    for &doc in chunk {
-        let i = doc as usize;
-        let p = eng.owner_of(DocId(doc));
+/// Splits `data` into exactly `shards` mutable slices of `size`
+/// documents each (the last possibly shorter, trailing ones possibly
+/// empty).
+fn split_shards<T>(mut data: &mut [T], size: usize, shards: usize) -> Vec<&mut [T]> {
+    let mut out = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let cut = size.min(data.len());
+        let (head, tail) = data.split_at_mut(cut);
+        out.push(head);
+        data = tail;
+    }
+    out
+}
+
+/// Phase 1 for one source shard: canonicalize its work list, apply
+/// parked increments, emit contribution changes into the mailbox row.
+/// Mirrors [`ChaoticEngine::pass_with_hops`] exactly — any semantic
+/// change there must be replicated here (the differential tests in
+/// `tests/` enforce this).
+#[allow(clippy::too_many_arguments)]
+fn apply_and_emit(
+    shard: &mut SrcShard<'_>,
+    graph: &CsrGraph,
+    owner: &[PeerId],
+    peers: &PeerTable,
+    eps: f64,
+    damping: f64,
+    ssize: usize,
+    collect_hops: bool,
+) -> ShardStats {
+    let mut st = ShardStats::default();
+    // Ascending document order: concatenated across shards this is
+    // the sequential engine's canonical work order.
+    shard.work.sort_unstable();
+    for &d in shard.work.iter() {
+        let i = d as usize;
+        let li = i - shard.base;
+        let p = owner[i];
         if !peers.is_online(p) {
-            res.outcomes.push(Outcome::Carried(doc));
+            shard.carry.push(d);
             continue;
         }
-        let new_rank = eng.ranks[i] + eng.pending[i];
-        let rel =
-            (new_rank - eng.advertised[i]).abs() / new_rank.abs().max(f64::MIN_POSITIVE);
-        if rel <= cfg.epsilon {
-            res.outcomes.push(Outcome::Applied { doc, new_rank, rel, advertise: None });
+        shard.queued[li] = false;
+        let delta = std::mem::take(&mut shard.pending[li]);
+        let rank = shard.ranks[li] + delta;
+        shard.ranks[li] = rank;
+        st.applied += 1;
+        let rel = (rank - shard.advertised[li]).abs() / rank.abs().max(f64::MIN_POSITIVE);
+        st.max_rel = st.max_rel.max(rel);
+        if rel <= eps {
             continue;
         }
-        let out = eng.graph().out_neighbors(DocId(doc));
+        let out = graph.out_neighbors(DocId(d));
         if out.is_empty() {
-            res.outcomes.push(Outcome::Applied {
-                doc,
-                new_rank,
-                rel,
-                advertise: Some(new_rank),
-            });
+            // Dangling document: nothing to forward, but the rank is
+            // now advertised (prevents re-evaluation forever).
+            shard.advertised[li] = rank;
             continue;
         }
-        let send = cfg.damping * (new_rank - eng.advertised[i]) / out.len() as f64;
-        res.senders += 1;
+        let send = damping * (rank - shard.advertised[li]) / out.len() as f64;
+        shard.advertised[li] = rank;
+        st.senders += 1;
         for &t in out {
-            res.emits.push((t, send));
-            if eng.owner_of(DocId(t)) == p {
-                res.local += 1;
+            shard.mail_row[t as usize / ssize].push((t, send));
+            let tp = owner[t as usize];
+            if tp == p {
+                st.local += 1;
             } else {
-                res.remote += 1;
+                st.remote += 1;
+                if collect_hops {
+                    shard.hop_events.push((p, tp, t));
+                }
             }
         }
-        res.outcomes.push(Outcome::Applied {
-            doc,
-            new_rank,
-            rel,
-            advertise: Some(new_rank),
-        });
     }
-    res
+    st
+}
+
+/// Phase 2 for one target shard: fold the inbound mailbox column in
+/// source-shard order into the dense accumulator (seeded from the
+/// document's current `pending`, so carried/injected mass folds in
+/// the same position as sequentially), then commit one coalesced
+/// write per document and queue the newly dirty ones.
+fn merge_mailboxes(
+    shard: &mut DstShard<'_>,
+    mail: &[Vec<Vec<(u32, f64)>>],
+    dst: usize,
+    stamp: u64,
+) {
+    for row in mail {
+        for &(d, delta) in &row[dst] {
+            let li = d as usize - shard.base;
+            if shard.seen[li] != stamp {
+                shard.seen[li] = stamp;
+                shard.acc[li] = shard.pending[li];
+                shard.touched.push(d);
+            }
+            shard.acc[li] += delta;
+        }
+    }
+    for &d in shard.touched.iter() {
+        let li = d as usize - shard.base;
+        shard.pending[li] = shard.acc[li];
+        if !shard.queued[li] {
+            shard.queued[li] = true;
+            shard.fresh.push(d);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -237,17 +611,14 @@ mod tests {
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
         let peers = PeerTable::new(20);
-        let exec = ParallelExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4);
         for pass in 0..200 {
             if seq.is_quiescent() {
                 break;
             }
             let s1 = seq.pass(&peers);
             let s2 = exec.pass(&mut par, &peers);
-            assert_eq!(s1.remote_messages, s2.remote_messages, "pass {pass}");
-            assert_eq!(s1.local_updates, s2.local_updates, "pass {pass}");
-            assert_eq!(s1.senders, s2.senders, "pass {pass}");
-            assert_eq!(s1.applied, s2.applied, "pass {pass}");
+            assert_eq!(s1, s2, "pass {pass}");
         }
         assert!(seq.is_quiescent() && par.is_quiescent());
         // Bit-identical final state.
@@ -262,7 +633,7 @@ mod tests {
         let cfg = EngineConfig::with_epsilon(1e-3);
         let mut eng = ChaoticEngine::new(Arc::new(g), own, cfg);
         let mut peers = PeerTable::new(10);
-        let exec = ParallelExecutor::new(3);
+        let mut exec = ShardedExecutor::new(3);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut churn = move |_pass: usize, p: &mut PeerTable| {
             p.set_online_fraction(0.5, &mut rng);
@@ -270,6 +641,35 @@ mod tests {
         let run = exec.run_to_convergence(&mut eng, &mut peers, Some(&mut churn));
         assert!(run.converged, "passes {}", run.passes);
         assert!(run.passes > 0);
+    }
+
+    #[test]
+    fn churned_run_matches_sequential_bitwise() {
+        let g = paper_graph(1_200, 55);
+        let n = g.num_nodes();
+        let own = owners(n, 16, 7);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut exec = ShardedExecutor::new(4);
+        let mut peers_seq = PeerTable::new(16);
+        let mut peers_par = PeerTable::new(16);
+        // Identical churn schedules on both sides (independent rngs,
+        // same seed).
+        let mut rng_seq = ChaCha8Rng::seed_from_u64(9);
+        let mut rng_par = ChaCha8Rng::seed_from_u64(9);
+        let mut churn_seq = move |_p: usize, t: &mut PeerTable| {
+            t.set_online_fraction(0.6, &mut rng_seq);
+        };
+        let mut churn_par = move |_p: usize, t: &mut PeerTable| {
+            t.set_online_fraction(0.6, &mut rng_par);
+        };
+        let r1 = seq.run_to_convergence(&mut peers_seq, Some(&mut churn_seq));
+        let r2 = exec.run_to_convergence(&mut par, &mut peers_par, Some(&mut churn_par));
+        assert!(r1.converged && r2.converged);
+        assert_eq!(r1.passes, r2.passes);
+        assert_eq!(r1.per_pass, r2.per_pass);
+        assert_eq!(seq.ranks(), par.ranks());
     }
 
     #[test]
@@ -283,9 +683,59 @@ mod tests {
         let mut peers1 = PeerTable::new(5);
         let mut peers2 = PeerTable::new(5);
         let run1 = seq.run_to_convergence(&mut peers1, None);
-        let run2 = ParallelExecutor::new(1).run_to_convergence(&mut par, &mut peers2, None);
+        let run2 = ShardedExecutor::new(1).run_to_convergence(&mut par, &mut peers2, None);
         assert_eq!(run1.passes, run2.passes);
         assert_eq!(run1.total_remote_messages, run2.total_remote_messages);
+        assert_eq!(seq.ranks(), par.ranks());
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let g = paper_graph(1_500, 56);
+        let n = g.num_nodes();
+        let own = owners(n, 12, 5);
+        let cfg = EngineConfig::with_epsilon(1e-5);
+        let mut reference: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut eng = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+            let mut peers = PeerTable::new(12);
+            let run = ShardedExecutor::new(threads).run_to_convergence(&mut eng, &mut peers, None);
+            assert!(run.converged);
+            match &reference {
+                None => reference = Some(eng.ranks().to_vec()),
+                Some(r) => assert_eq!(r.as_slice(), eng.ranks(), "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hop_model_charged_in_sequential_order() {
+        let g = paper_graph(600, 57);
+        let n = g.num_nodes();
+        let own = owners(n, 8, 6);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let peers = PeerTable::new(8);
+        let mut exec = ShardedExecutor::new(4);
+        // A stateful model whose answer depends on call order: parity
+        // of calls so far. Any reordering shows up in `hops`.
+        let mut calls_seq = 0u64;
+        let mut model_seq = |_s: PeerId, _d: PeerId, _doc: DocId| {
+            calls_seq += 1;
+            (calls_seq % 3) as u32
+        };
+        let mut calls_par = 0u64;
+        let mut model_par = |_s: PeerId, _d: PeerId, _doc: DocId| {
+            calls_par += 1;
+            (calls_par % 3) as u32
+        };
+        while !seq.is_quiescent() {
+            let s1 = seq.pass_with_hops(&peers, Some(&mut model_seq));
+            let s2 = exec.pass_with_hops(&mut par, &peers, Some(&mut model_par));
+            assert_eq!(s1, s2);
+        }
+        assert!(par.is_quiescent());
         assert_eq!(seq.ranks(), par.ranks());
     }
 
@@ -295,7 +745,7 @@ mod tests {
         let mut eng = ChaoticEngine::local(Arc::new(g), EngineConfig::with_epsilon(1e-3));
         eng.run_static();
         assert!(eng.is_quiescent());
-        let exec = ParallelExecutor::new(2);
+        let mut exec = ShardedExecutor::new(2);
         let peers = PeerTable::new(1);
         let before = eng.ranks().to_vec();
         let s = exec.pass(&mut eng, &peers);
@@ -304,7 +754,54 @@ mod tests {
     }
 
     #[test]
+    fn executor_reuse_across_engines_of_different_sizes() {
+        let mut exec = ShardedExecutor::new(3);
+        for (n, seed) in [(300usize, 60u64), (900, 61), (300, 62)] {
+            let g = paper_graph(n, seed);
+            let own = owners(n, 6, seed);
+            let cfg = EngineConfig::with_epsilon(1e-4);
+            let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+            let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+            let mut p1 = PeerTable::new(6);
+            let mut p2 = PeerTable::new(6);
+            seq.run_to_convergence(&mut p1, None);
+            exec.run_to_convergence(&mut par, &mut p2, None);
+            assert_eq!(seq.ranks(), par.ranks(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exec_mode_from_threads() {
+        assert_eq!(ExecMode::from_threads(None), ExecMode::Sequential);
+        assert_eq!(ExecMode::from_threads(Some(1)), ExecMode::Sequential);
+        assert_eq!(ExecMode::from_threads(Some(4)), ExecMode::Parallel(4));
+        assert!(matches!(ExecMode::host_parallel(), ExecMode::Parallel(t) if t >= 1));
+    }
+
+    #[test]
+    fn exec_modes_produce_identical_ranks() {
+        let g = paper_graph(700, 58);
+        let n = g.num_nodes();
+        let own = owners(n, 9, 8);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut ranks: Vec<Vec<f64>> = Vec::new();
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel(2),
+            ExecMode::Parallel(5),
+        ] {
+            let mut eng = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+            let mut peers = PeerTable::new(9);
+            let run = mode.run(&mut eng, &mut peers, None);
+            assert!(run.converged);
+            ranks.push(eng.ranks().to_vec());
+        }
+        assert_eq!(ranks[0], ranks[1]);
+        assert_eq!(ranks[0], ranks[2]);
+    }
+
+    #[test]
     fn host_sized_has_at_least_one_thread() {
-        assert!(ParallelExecutor::host_sized().threads() >= 1);
+        assert!(ShardedExecutor::host_sized().threads() >= 1);
     }
 }

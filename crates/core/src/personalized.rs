@@ -27,7 +27,9 @@ pub struct TeleportVector {
 impl TeleportVector {
     /// The uniform vector (standard PageRank).
     pub fn uniform(n: usize) -> Self {
-        TeleportVector { weights: vec![1.0; n] }
+        TeleportVector {
+            weights: vec![1.0; n],
+        }
     }
 
     /// A vector concentrated on `preferred`: those documents share the
@@ -53,7 +55,10 @@ impl TeleportVector {
     ///
     /// Panics on negative weights or an all-zero vector.
     pub fn from_weights(weights: Vec<f64>) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");
         let n = weights.len() as f64;

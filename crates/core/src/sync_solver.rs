@@ -208,13 +208,19 @@ mod tests {
         assert!(r.converged, "residual {}", r.final_residual);
         let res = fixed_point_residual(&g, &r.ranks, crate::DEFAULT_DAMPING);
         assert!(res < 1e-10, "fixed point residual {res}");
-        assert!(r.ranks.iter().all(|&x| x >= 0.15 - 1e-12), "ranks below base");
+        assert!(
+            r.ranks.iter().all(|&x| x >= 0.15 - 1e-12),
+            "ranks below base"
+        );
     }
 
     #[test]
     fn iteration_budget_is_respected() {
         let g = paper_graph(1_000, 22);
-        let r = SyncSolver::new().tolerance(1e-15).max_iterations(3).solve(&g);
+        let r = SyncSolver::new()
+            .tolerance(1e-15)
+            .max_iterations(3)
+            .solve(&g);
         assert_eq!(r.iterations, 3);
         assert!(!r.converged);
     }

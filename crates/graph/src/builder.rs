@@ -20,7 +20,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph with `num_nodes` documents.
     pub fn new(num_nodes: usize) -> Self {
-        GraphBuilder { num_nodes, edges: Vec::new(), keep_self_loops: false }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            keep_self_loops: false,
+        }
     }
 
     /// Pre-allocates room for `n` edges.
@@ -51,7 +55,10 @@ impl GraphBuilder {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: impl Into<DocId>, to: impl Into<DocId>) {
-        let e = Edge { from: from.into(), to: to.into() };
+        let e = Edge {
+            from: from.into(),
+            to: to.into(),
+        };
         assert!(
             e.from.index() < self.num_nodes && e.to.index() < self.num_nodes,
             "edge {} -> {} out of range for {} nodes",

@@ -51,7 +51,10 @@ impl CsrGraph {
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        CsrGraph { offsets: vec![0; n + 1], targets: Vec::new() }
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of nodes (documents).
@@ -95,7 +98,10 @@ impl CsrGraph {
     /// Iterator over all edges in node order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.nodes().flat_map(move |v| {
-            self.out_neighbors(v).iter().map(move |&t| Edge { from: v, to: DocId(t) })
+            self.out_neighbors(v).iter().map(move |&t| Edge {
+                from: v,
+                to: DocId(t),
+            })
         })
     }
 

@@ -86,7 +86,9 @@ impl PowerLaw {
 
     /// Expected value of the distribution.
     pub fn mean(&self) -> f64 {
-        (self.min..=self.max()).map(|i| i as f64 * self.pmf(i)).sum()
+        (self.min..=self.max())
+            .map(|i| i as f64 * self.pmf(i))
+            .sum()
     }
 }
 
@@ -104,7 +106,9 @@ pub struct Zipf {
 impl Zipf {
     /// A Zipf law over `1..=n` with skew `s` (classic Zipf has `s = 1`).
     pub fn new(n: u32, s: f64) -> Self {
-        Zipf { inner: PowerLaw::new(s, 1, n) }
+        Zipf {
+            inner: PowerLaw::new(s, 1, n),
+        }
     }
 
     /// Draws a rank in `1 ..= n`.

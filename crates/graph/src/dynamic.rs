@@ -38,7 +38,9 @@ impl DynamicGraph {
     /// Builds a dynamic graph mirroring a static one.
     pub fn from_csr(g: &CsrGraph) -> Self {
         let mut dg = DynamicGraph {
-            nodes: (0..g.num_nodes()).map(|_| Some(NodeData::default())).collect(),
+            nodes: (0..g.num_nodes())
+                .map(|_| Some(NodeData::default()))
+                .collect(),
             num_edges: 0,
             num_alive: g.num_nodes(),
         };
@@ -75,7 +77,9 @@ impl DynamicGraph {
     }
 
     fn node(&self, v: DocId) -> &NodeData {
-        self.nodes[v.index()].as_ref().expect("document was deleted")
+        self.nodes[v.index()]
+            .as_ref()
+            .expect("document was deleted")
     }
 
     /// Out-links of `v`.
@@ -140,7 +144,10 @@ impl DynamicGraph {
         };
         out.swap_remove(pos);
         let inn = &mut self.nodes[to.index()].as_mut().unwrap().inn;
-        let ipos = inn.iter().position(|&s| s == from.0).expect("in-link desync");
+        let ipos = inn
+            .iter()
+            .position(|&s| s == from.0)
+            .expect("in-link desync");
         inn.swap_remove(ipos);
         self.num_edges -= 1;
         true
@@ -181,8 +188,8 @@ impl DynamicGraph {
     /// Snapshot into CSR form. Tombstoned ids appear as isolated nodes
     /// so `DocId` values stay valid indices.
     pub fn to_csr(&self) -> CsrGraph {
-        let mut b = crate::builder::GraphBuilder::new(self.nodes.len())
-            .with_edge_capacity(self.num_edges);
+        let mut b =
+            crate::builder::GraphBuilder::new(self.nodes.len()).with_edge_capacity(self.num_edges);
         for (i, n) in self.nodes.iter().enumerate() {
             if let Some(data) = n {
                 for &t in &data.out {

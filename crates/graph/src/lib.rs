@@ -49,7 +49,9 @@ pub use powerlaw::PowerLawConfig;
 /// pagerank. The id is dense (`0..n`) within a generated graph, which
 /// lets both graph representations use it as a direct index. The paper's
 /// largest experiment uses 5,000,000 documents, far below `u32::MAX`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DocId(pub u32);
 
 impl DocId {
@@ -94,7 +96,10 @@ impl Edge {
     /// Convenience constructor.
     #[inline]
     pub fn new(from: impl Into<DocId>, to: impl Into<DocId>) -> Self {
-        Edge { from: from.into(), to: to.into() }
+        Edge {
+            from: from.into(),
+            to: to.into(),
+        }
     }
 }
 

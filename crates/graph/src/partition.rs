@@ -70,12 +70,7 @@ pub fn bfs_partition(graph: &CsrGraph, k: usize) -> Vec<u32> {
 /// One refinement sweep: each node moves to the partition holding the
 /// plurality of its neighbors, provided the target stays under
 /// `cap = ceil(n/k) * slack`. Returns the number of moves made.
-pub fn refine_partition(
-    graph: &CsrGraph,
-    labels: &mut [u32],
-    k: usize,
-    slack: f64,
-) -> usize {
+pub fn refine_partition(graph: &CsrGraph, labels: &mut [u32], k: usize, slack: f64) -> usize {
     assert_eq!(labels.len(), graph.num_nodes());
     assert!(slack >= 1.0, "slack must be >= 1");
     let n = graph.num_nodes();

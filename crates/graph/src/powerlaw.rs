@@ -77,10 +77,8 @@ impl PowerLawConfig {
         let out_law = PowerLaw::new(self.out_exponent, 1, dmax);
         let in_law = PowerLaw::new(self.in_exponent, 1, dmax);
 
-        let mut out_deg: Vec<u32> =
-            (0..self.nodes).map(|_| out_law.sample(&mut rng)).collect();
-        let mut in_deg: Vec<u32> =
-            (0..self.nodes).map(|_| in_law.sample(&mut rng)).collect();
+        let mut out_deg: Vec<u32> = (0..self.nodes).map(|_| out_law.sample(&mut rng)).collect();
+        let mut in_deg: Vec<u32> = (0..self.nodes).map(|_| in_law.sample(&mut rng)).collect();
 
         balance_stub_counts(&mut out_deg, &mut in_deg, &mut rng);
 
@@ -220,7 +218,10 @@ mod tests {
 
     #[test]
     fn max_degree_cutoff_is_respected() {
-        let cfg = PowerLawConfig { max_degree: Some(5), ..PowerLawConfig::paper(3_000, 3) };
+        let cfg = PowerLawConfig {
+            max_degree: Some(5),
+            ..PowerLawConfig::paper(3_000, 3)
+        };
         let g = cfg.generate();
         // Balancing adds stubs, so allow a small overshoot above the
         // sampling cutoff, but nothing pathological.

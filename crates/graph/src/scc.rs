@@ -90,8 +90,7 @@ pub fn tarjan_scc(graph: &CsrGraph) -> SccDecomposition {
                 // v is finished.
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v is a component root: pop its members.
@@ -109,7 +108,10 @@ pub fn tarjan_scc(graph: &CsrGraph) -> SccDecomposition {
         }
     }
 
-    SccDecomposition { component, num_components: num_components as usize }
+    SccDecomposition {
+        component,
+        num_components: num_components as usize,
+    }
 }
 
 /// Broder et al.'s bow-tie regions, by node count.
@@ -134,7 +136,9 @@ pub fn bow_tie(graph: &CsrGraph) -> BowTie {
     // OUT: BFS forward from any core node.
     let mut reached_fwd = vec![false; n];
     let mut reached_bwd = vec![false; n];
-    let seed = (0..n).find(|&v| scc.component[v] == core_id).expect("core non-empty");
+    let seed = (0..n)
+        .find(|&v| scc.component[v] == core_id)
+        .expect("core non-empty");
     let mut queue = std::collections::VecDeque::from([seed as u32]);
     reached_fwd[seed] = true;
     while let Some(v) = queue.pop_front() {
@@ -171,7 +175,12 @@ pub fn bow_tie(graph: &CsrGraph) -> BowTie {
             _ => other += 1,
         }
     }
-    BowTie { core: core_size, in_set, out_set, other }
+    BowTie {
+        core: core_size,
+        in_set,
+        out_set,
+        other,
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +249,15 @@ mod tests {
             ],
         );
         let bt = bow_tie(&g);
-        assert_eq!(bt, BowTie { core: 2, in_set: 1, out_set: 1, other: 1 });
+        assert_eq!(
+            bt,
+            BowTie {
+                core: 2,
+                in_set: 1,
+                out_set: 1,
+                other: 1
+            }
+        );
     }
 
     #[test]

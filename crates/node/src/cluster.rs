@@ -13,7 +13,7 @@ use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable, Placement};
-use dpr_p2p::transport::{Transport, TrafficStats};
+use dpr_p2p::transport::{TrafficStats, Transport};
 
 /// Statistics of one cluster round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -49,8 +49,9 @@ impl Cluster {
         cfg: EngineConfig,
     ) -> Self {
         assert_eq!(placement.num_docs(), graph.num_nodes());
-        let mut nodes: Vec<PeerNode> =
-            (0..num_peers as u32).map(|i| PeerNode::new(PeerId(i), cfg)).collect();
+        let mut nodes: Vec<PeerNode> = (0..num_peers as u32)
+            .map(|i| PeerNode::new(PeerId(i), cfg))
+            .collect();
         for d in 0..graph.num_nodes() {
             let doc = DocId::from(d);
             let holder = placement.owner(doc);
@@ -61,7 +62,11 @@ impl Cluster {
                 .collect();
             nodes[holder.index()].add_document(doc, out);
         }
-        Cluster { nodes, transport: Transport::new(num_peers), rounds: 0 }
+        Cluster {
+            nodes,
+            transport: Transport::new(num_peers),
+            rounds: 0,
+        }
     }
 
     /// Number of peers.
@@ -149,7 +154,10 @@ impl Cluster {
                 }
             }
         }
-        assert!(ranks.iter().all(|r| !r.is_nan()), "every document stored somewhere");
+        assert!(
+            ranks.iter().all(|r| !r.is_nan()),
+            "every document stored somewhere"
+        );
         ranks
     }
 
@@ -262,13 +270,11 @@ mod tests {
         let (_, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
         assert!(ok);
 
-        let owners: Vec<PeerId> =
-            (0..nodes).map(|d| placement.owner(DocId::from(d))).collect();
-        let mut engine = dpr_core::engine::ChaoticEngine::new(
-            std::sync::Arc::new(graph),
-            owners,
-            cfg,
-        );
+        let owners: Vec<PeerId> = (0..nodes)
+            .map(|d| placement.owner(DocId::from(d)))
+            .collect();
+        let mut engine =
+            dpr_core::engine::ChaoticEngine::new(std::sync::Arc::new(graph), owners, cfg);
         let run = engine.run_static();
         assert!(run.converged);
 
@@ -326,8 +332,7 @@ mod tests {
         let ring = Ring::with_peers(8);
         let mut rng = ChaCha8Rng::seed_from_u64(69);
         let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
-        let mut cluster =
-            Cluster::build(&graph, &placement, 8, EngineConfig::with_epsilon(1e-8));
+        let mut cluster = Cluster::build(&graph, &placement, 8, EngineConfig::with_epsilon(1e-8));
         let mut peers = PeerTable::new(8);
 
         // A few rounds to get messages in flight.

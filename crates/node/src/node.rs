@@ -94,9 +94,18 @@ impl PeerNode {
         let base = 1.0 - self.cfg.damping;
         let prev = self.docs.insert(
             doc,
-            DocState { rank: 0.0, advertised: 0.0, pending: base, out },
+            DocState {
+                rank: 0.0,
+                advertised: 0.0,
+                pending: base,
+                out,
+            },
         );
-        assert!(prev.is_none(), "document {doc} already stored on {}", self.id);
+        assert!(
+            prev.is_none(),
+            "document {doc} already stored on {}",
+            self.id
+        );
         self.guid_index.insert(Guid::for_document(doc), doc);
         self.dirty.push(doc);
     }
@@ -147,8 +156,8 @@ impl PeerNode {
             let state = self.docs.get_mut(&doc).expect("dirty doc stored here");
             let delta = std::mem::take(&mut state.pending);
             state.rank += delta;
-            let rel = (state.rank - state.advertised).abs()
-                / state.rank.abs().max(f64::MIN_POSITIVE);
+            let rel =
+                (state.rank - state.advertised).abs() / state.rank.abs().max(f64::MIN_POSITIVE);
             if rel > self.cfg.epsilon {
                 senders.push((doc, state.rank));
             }
@@ -206,9 +215,27 @@ impl PeerNode {
     ///
     /// Panics if the document is already stored here.
     pub fn import_document(&mut self, export: DocExport) {
-        let DocExport { doc, rank, advertised, pending, out } = export;
-        let prev = self.docs.insert(doc, DocState { rank, advertised, pending, out });
-        assert!(prev.is_none(), "document {doc} already stored on {}", self.id);
+        let DocExport {
+            doc,
+            rank,
+            advertised,
+            pending,
+            out,
+        } = export;
+        let prev = self.docs.insert(
+            doc,
+            DocState {
+                rank,
+                advertised,
+                pending,
+                out,
+            },
+        );
+        assert!(
+            prev.is_none(),
+            "document {doc} already stored on {}",
+            self.id
+        );
         self.guid_index.insert(Guid::for_document(doc), doc);
         if self.docs[&doc].pending != 0.0 {
             self.dirty.push(doc);
@@ -220,11 +247,7 @@ impl PeerNode {
     /// updated. This is the address-cache refresh every remaining peer
     /// performs after a permanent departure (Sec. 3.2 invalidation +
     /// fresh lookup, done eagerly here).
-    pub fn rehome_links(
-        &mut self,
-        departed: PeerId,
-        reassign: &dyn Fn(DocId) -> PeerId,
-    ) -> usize {
+    pub fn rehome_links(&mut self, departed: PeerId, reassign: &dyn Fn(DocId) -> PeerId) -> usize {
         let mut updated = 0;
         for state in self.docs.values_mut() {
             for (target, holder) in state.out.iter_mut() {

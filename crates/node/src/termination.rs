@@ -76,7 +76,10 @@ impl TerminationDetector {
             color: vec![Color::Black; num_peers],
             last_received: vec![0; num_peers],
             holder: PeerId(0),
-            token: Token { count: 0, color: Color::Black },
+            token: Token {
+                count: 0,
+                color: Color::Black,
+            },
             initiator: PeerId(0),
             announced: false,
             circuits: 0,
@@ -106,7 +109,10 @@ impl TerminationDetector {
         if self.departed[self.initiator.index()] {
             self.initiator = self.next_alive(self.initiator, n);
             // The new initiator must complete a fresh circuit.
-            self.token = Token { count: 0, color: Color::Black };
+            self.token = Token {
+                count: 0,
+                color: Color::Black,
+            };
         }
     }
 
@@ -180,7 +186,10 @@ impl TerminationDetector {
                     return;
                 }
                 // Failed circuit: start a fresh one.
-                self.token = Token { count: 0, color: Color::White };
+                self.token = Token {
+                    count: 0,
+                    color: Color::White,
+                };
                 self.color[h.index()] = Color::White;
                 self.circuits += 1;
                 self.holder = self.next_alive(h, n);
@@ -236,15 +245,19 @@ mod tests {
         let ring = Ring::with_peers(num_peers);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
         let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
-        Cluster::build(&graph, &placement, num_peers, EngineConfig::with_epsilon(eps))
+        Cluster::build(
+            &graph,
+            &placement,
+            num_peers,
+            EngineConfig::with_epsilon(eps),
+        )
     }
 
     #[test]
     fn detector_announces_and_is_sound() {
         let mut cluster = build(600, 12, 1e-5, 101);
         let mut peers = PeerTable::new(12);
-        let (rounds, announced) =
-            run_with_termination_detection(&mut cluster, &mut peers, 50_000);
+        let (rounds, announced) = run_with_termination_detection(&mut cluster, &mut peers, 50_000);
         assert!(announced, "no announcement in {rounds} rounds");
         // Soundness: the protocol may only announce when the system is
         // actually quiescent.
@@ -310,9 +323,7 @@ mod tests {
                 peers.go_offline(victim);
                 let mut shrunk = ring.clone();
                 shrunk.leave(victim);
-                cluster.peer_depart(victim, &peers, &|d| {
-                    shrunk.successor(Guid::for_document(d))
-                });
+                cluster.peer_depart(victim, &peers, &|d| shrunk.successor(Guid::for_document(d)));
                 detector.peer_departed(victim, &cluster);
             }
             detector.advance(&cluster, &peers);

@@ -106,7 +106,9 @@ pub struct CacheSet {
 impl CacheSet {
     /// Caches for `n` peers.
     pub fn new(n: usize) -> Self {
-        CacheSet { caches: (0..n).map(|_| AddressCache::new()).collect() }
+        CacheSet {
+            caches: (0..n).map(|_| AddressCache::new()).collect(),
+        }
     }
 
     /// The cache belonging to `p`.
@@ -116,7 +118,10 @@ impl CacheSet {
 
     /// Invalidates `peer` in every cache (it left the network).
     pub fn invalidate_peer_everywhere(&mut self, peer: PeerId) -> usize {
-        self.caches.iter_mut().map(|c| c.invalidate_peer(peer)).sum()
+        self.caches
+            .iter_mut()
+            .map(|c| c.invalidate_peer(peer))
+            .sum()
     }
 
     /// Aggregated statistics across all caches.

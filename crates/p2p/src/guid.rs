@@ -14,7 +14,9 @@
 use dpr_graph::DocId;
 
 /// A 128-bit identifier on the DHT circle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Guid(pub u128);
 
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;

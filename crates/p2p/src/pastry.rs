@@ -94,8 +94,9 @@ impl PastryNetwork {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one peer");
-        let mut points: Vec<(u128, PeerId)> =
-            (0..n as u32).map(|i| (Guid::for_peer(i).0, PeerId(i))).collect();
+        let mut points: Vec<(u128, PeerId)> = (0..n as u32)
+            .map(|i| (Guid::for_peer(i).0, PeerId(i)))
+            .collect();
         points.sort_unstable_by_key(|&(id, _)| id);
         let mut states = HashMap::with_capacity(n);
         for (pos, &(id, peer)) in points.iter().enumerate() {
@@ -128,7 +129,13 @@ impl PastryNetwork {
             }
             states.insert(
                 peer,
-                NodeState { table, leaves, arc_lo, arc_hi, covers_all },
+                NodeState {
+                    table,
+                    leaves,
+                    arc_lo,
+                    arc_hi,
+                    covers_all,
+                },
             );
         }
         PastryNetwork { points, states }

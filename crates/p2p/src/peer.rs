@@ -14,7 +14,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Identifier of a peer computer in the P2P system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct PeerId(pub u32);
 
 impl PeerId {
@@ -44,7 +46,9 @@ pub struct PeerTable {
 impl PeerTable {
     /// `n` peers, all online.
     pub fn new(n: usize) -> Self {
-        PeerTable { online: vec![true; n] }
+        PeerTable {
+            online: vec![true; n],
+        }
     }
 
     /// Total number of peers (online or not).
@@ -159,7 +163,10 @@ impl Placement {
     /// Wraps an externally computed owner vector (e.g. a link-aware
     /// partitioning) as a placement.
     pub fn from_owner_vec(owner: Vec<PeerId>) -> Self {
-        Placement { owner, policy: PlacementPolicy::Custom }
+        Placement {
+            owner,
+            policy: PlacementPolicy::Custom,
+        }
     }
 
     /// The peer holding document `d`.

@@ -193,7 +193,10 @@ mod tests {
             let pred = r.predecessor(id);
             // pred's successor arc must contain id.
             let (lo, hi) = r.owned_interval(succ).unwrap();
-            assert!(id.in_interval(lo, hi) || id == hi, "id {id} not in ({lo}, {hi}]");
+            assert!(
+                id.in_interval(lo, hi) || id == hi,
+                "id {id} not in ({lo}, {hi}]"
+            );
             assert_ne!(
                 pred, succ,
                 "with 16 peers pred and succ of a random id differ"
@@ -233,10 +236,7 @@ mod tests {
     #[test]
     fn peers_iterate_in_guid_order() {
         let r = Ring::with_peers(6);
-        let guids: Vec<Guid> = r
-            .peers()
-            .map(|p| r.guid_of(p).unwrap())
-            .collect();
+        let guids: Vec<Guid> = r.peers().map(|p| r.guid_of(p).unwrap()).collect();
         assert!(guids.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -198,11 +198,7 @@ mod tests {
         let mut router = Router::new();
         let mut stats = HopStats::default();
         for d in 0..500u32 {
-            let r = router.route(
-                &ring,
-                PeerId(d % 256),
-                Guid::for_document(DocId(d)),
-            );
+            let r = router.route(&ring, PeerId(d % 256), Guid::for_document(DocId(d)));
             stats.record(&r);
         }
         assert!(stats.mean() <= 8.0, "mean hops {}", stats.mean());

@@ -284,7 +284,10 @@ mod tests {
 
     #[test]
     fn wire_roundtrip_is_24_bytes() {
-        let m = RankUpdateWire { guid: 0x0000_dead_beef_cafe_babe_0123, value: -0.125 };
+        let m = RankUpdateWire {
+            guid: 0x0000_dead_beef_cafe_babe_0123,
+            value: -0.125,
+        };
         let b = m.encode();
         assert_eq!(b.len(), RANK_UPDATE_WIRE_BYTES);
         assert_eq!(RankUpdateWire::decode(b).unwrap(), m);
@@ -296,7 +299,11 @@ mod tests {
             RankUpdateWire::decode(Bytes::from_static(b"short")),
             Err(WireError::BadLength(5))
         );
-        let nan = RankUpdateWire { guid: 1, value: f64::NAN }.encode();
+        let nan = RankUpdateWire {
+            guid: 1,
+            value: f64::NAN,
+        }
+        .encode();
         assert_eq!(RankUpdateWire::decode(nan), Err(WireError::NonFiniteValue));
     }
 

@@ -10,9 +10,7 @@
 //! up front.
 
 use crate::index::{DistributedIndex, Posting};
-use crate::query::{
-    execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
-};
+use crate::query::{execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel};
 
 /// A pageable view over a query's results.
 #[derive(Debug)]
@@ -185,7 +183,11 @@ mod tests {
         let t0 = cursor.traffic_ids();
         let _ = cursor.fetch(5);
         let _ = cursor.fetch(5);
-        assert_eq!(cursor.traffic_ids(), t0, "shallow paging costs nothing extra");
+        assert_eq!(
+            cursor.traffic_ids(),
+            t0,
+            "shallow paging costs nothing extra"
+        );
         assert_eq!(cursor.served(), 10);
     }
 

@@ -46,7 +46,9 @@ impl MetadataKey {
 
     /// Key of a corpus document.
     pub fn of_document(corpus: &Corpus, d: DocId) -> Self {
-        MetadataKey { terms: corpus.terms_of(d).to_vec() }
+        MetadataKey {
+            terms: corpus.terms_of(d).to_vec(),
+        }
     }
 
     /// Number of distinct terms.
@@ -163,7 +165,12 @@ impl FasdNetwork {
             }
         }
         let max_rank = ranks.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
-        FasdNetwork { docs, neighbors, max_rank, alpha }
+        FasdNetwork {
+            docs,
+            neighbors,
+            max_rank,
+            alpha,
+        }
     }
 
     /// Number of peers.
@@ -183,7 +190,10 @@ impl FasdNetwork {
     fn collect_local(&self, peer: PeerId, query: &MetadataKey, k: usize, acc: &mut Vec<FasdHit>) {
         for (doc, key, rank) in &self.docs[peer.index()] {
             let s = score(query.closeness(key), *rank, self.max_rank, self.alpha);
-            acc.push(FasdHit { doc: *doc, score: s });
+            acc.push(FasdHit {
+                doc: *doc,
+                score: s,
+            });
         }
         acc.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
         acc.truncate(k.max(1) * 4); // keep a working margin while routing
@@ -193,13 +203,7 @@ impl FasdNetwork {
     /// whose best local score improves on the current peer's, collect
     /// the top hits along the way, stop at `ttl` hops or a local
     /// maximum. Returns the best `k` hits found.
-    pub fn search(
-        &self,
-        origin: PeerId,
-        query: &MetadataKey,
-        k: usize,
-        ttl: u32,
-    ) -> FasdOutcome {
+    pub fn search(&self, origin: PeerId, query: &MetadataKey, k: usize, ttl: u32) -> FasdOutcome {
         let mut visited = vec![false; self.num_peers()];
         let mut current = origin;
         visited[current.index()] = true;
@@ -229,7 +233,11 @@ impl FasdNetwork {
             }
         }
         acc.truncate(k);
-        FasdOutcome { hits: acc, peers_visited, hops }
+        FasdOutcome {
+            hits: acc,
+            peers_visited,
+            hops,
+        }
     }
 
     /// Exhaustive reference: the true best `k` hits over all peers.

@@ -65,7 +65,11 @@ impl DistributedIndex {
         let term_owner = (0..vocab as u32)
             .map(|t| ring.successor(Guid::for_term(&term_name(t))))
             .collect();
-        DistributedIndex { postings, term_owner, update_messages }
+        DistributedIndex {
+            postings,
+            term_owner,
+            update_messages,
+        }
     }
 
     /// The peer holding the index entry of `term`.
@@ -165,8 +169,7 @@ mod tests {
             let list = idx.postings(t);
             for w in list.windows(2) {
                 assert!(
-                    w[0].rank > w[1].rank
-                        || (w[0].rank == w[1].rank && w[0].doc.0 < w[1].doc.0)
+                    w[0].rank > w[1].rank || (w[0].rank == w[1].rank && w[0].doc.0 < w[1].doc.0)
                 );
             }
         }
@@ -193,8 +196,7 @@ mod tests {
     fn build_counts_one_update_message_per_posting() {
         let (corpus, ranks, ring) = setup();
         let idx = DistributedIndex::build(&corpus, &ranks, &ring);
-        let total_postings: u64 =
-            (0..100u32).map(|t| idx.num_hits(t) as u64).sum();
+        let total_postings: u64 = (0..100u32).map(|t| idx.num_hits(t) as u64).sum();
         assert_eq!(idx.update_messages(), total_postings);
     }
 

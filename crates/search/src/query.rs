@@ -161,7 +161,11 @@ pub fn execute_baseline(
     let final_ids = current.len() as u64;
     per_hop.push(final_ids);
     traffic += final_ids;
-    SearchOutcome { traffic_ids: traffic, per_hop_ids: per_hop, hits: current }
+    SearchOutcome {
+        traffic_ids: traffic,
+        per_hop_ids: per_hop,
+        hits: current,
+    }
 }
 
 /// Executes `query` with the incremental top-x% strategy.
@@ -194,7 +198,11 @@ pub fn execute_incremental(
     let final_ids = current.len() as u64;
     per_hop.push(final_ids);
     traffic += final_ids;
-    SearchOutcome { traffic_ids: traffic, per_hop_ids: per_hop, hits: current }
+    SearchOutcome {
+        traffic_ids: traffic,
+        per_hop_ids: per_hop,
+        hits: current,
+    }
 }
 
 #[cfg(test)]
@@ -212,8 +220,9 @@ mod tests {
             seed: 5,
             ..Default::default()
         });
-        let ranks: Vec<f64> =
-            (0..2_000).map(|i| 0.15 + ((i as f64) * 13.37) % 5.0).collect();
+        let ranks: Vec<f64> = (0..2_000)
+            .map(|i| 0.15 + ((i as f64) * 13.37) % 5.0)
+            .collect();
         let ring = Ring::with_peers(50);
         let idx = DistributedIndex::build(&corpus, &ranks, &ring);
         (corpus, idx)
@@ -233,10 +242,7 @@ mod tests {
             .count();
         assert_eq!(out.hits_returned(), expect);
         // Traffic = |hits(term0)| shipped + |intersection| to user.
-        assert_eq!(
-            out.traffic_ids,
-            idx.num_hits(0) as u64 + expect as u64
-        );
+        assert_eq!(out.traffic_ids, idx.num_hits(0) as u64 + expect as u64);
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl SessionChurn {
     ///
     /// Panics unless both means are at least 1.
     pub fn new(mean_online: f64, mean_offline: f64, seed: u64) -> Self {
-        assert!(mean_online >= 1.0 && mean_offline >= 1.0, "means must be >= 1 pass");
+        assert!(
+            mean_online >= 1.0 && mean_offline >= 1.0,
+            "means must be >= 1 pass"
+        );
         SessionChurn {
             leave_prob: 1.0 / mean_online,
             join_prob: 1.0 / mean_offline,
@@ -93,7 +96,10 @@ impl Schedule {
     /// Panics unless `0 < fraction <= 1`.
     pub fn fraction(fraction: f64, seed: u64) -> Self {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
-        Schedule::Fraction { fraction, rng: ChaCha8Rng::seed_from_u64(seed) }
+        Schedule::Fraction {
+            fraction,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// A session-based schedule with the given mean online/offline

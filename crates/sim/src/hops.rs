@@ -155,7 +155,10 @@ mod tests {
             .peers()
             .find(|&p| p != successor)
             .expect("more than one peer");
-        let src = ring.peers().find(|&p| p != successor && p != other).unwrap();
+        let src = ring
+            .peers()
+            .find(|&p| p != successor && p != other)
+            .unwrap();
         let mut direct = HopAccounting::routed(ring.clone());
         let mut indirect = HopAccounting::routed(ring.clone());
         let h_direct = direct.charge(src, successor, doc);

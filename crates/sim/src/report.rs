@@ -36,8 +36,7 @@ impl<T: Serialize> ExperimentRecord<T> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.experiment));
         let mut f = fs::File::create(&path)?;
-        serde_json::to_writer_pretty(&mut f, self)
-            .map_err(io::Error::other)?;
+        serde_json::to_writer_pretty(&mut f, self).map_err(io::Error::other)?;
         f.write_all(b"\n")?;
         Ok(path)
     }

@@ -9,6 +9,7 @@ use crate::workload::Workload;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::error_stats::{self, ErrorDistribution};
 use dpr_core::incremental::{propagate, PropagationConfig};
+use dpr_core::parallel::ExecMode;
 use dpr_core::sync_solver::SyncSolver;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::ring::Ring;
@@ -59,11 +60,19 @@ pub fn convergence_experiment(
 
 /// Table 1 cell on a pre-built workload (lets one graph serve several
 /// presence levels, as in the paper).
-pub fn run_convergence(
+pub fn run_convergence(w: &Workload, epsilon: f64, presence: f64, seed: u64) -> ConvergenceResult {
+    run_convergence_with(w, epsilon, presence, seed, ExecMode::Sequential)
+}
+
+/// [`run_convergence`] under an explicit execution mode. The sharded
+/// executor is bit-identical to the sequential engine, so the result
+/// is the same for every mode — parallel only arrives sooner.
+pub fn run_convergence_with(
     w: &Workload,
     epsilon: f64,
     presence: f64,
     seed: u64,
+    mode: ExecMode,
 ) -> ConvergenceResult {
     let mut engine = ChaoticEngine::new(
         w.graph.clone(),
@@ -77,7 +86,7 @@ pub fn run_convergence(
         Schedule::always_on()
     };
     let mut churn = |_pass: usize, p: &mut dpr_p2p::peer::PeerTable| schedule.apply(p);
-    let run = engine.run_to_convergence(&mut peers, Some(&mut churn));
+    let run = mode.run(&mut engine, &mut peers, Some(&mut churn));
     ConvergenceResult {
         graph_size: w.graph.num_nodes(),
         num_peers: w.num_peers,
@@ -128,7 +137,10 @@ impl QualitySweep {
             .max_iterations(1000)
             .solve(&workload.graph)
             .ranks;
-        QualitySweep { workload, reference }
+        QualitySweep {
+            workload,
+            reference,
+        }
     }
 
     /// The workload under test.
@@ -143,13 +155,19 @@ impl QualitySweep {
 
     /// Runs the distributed engine at `epsilon` and scores it.
     pub fn run(&self, epsilon: f64) -> QualityResult {
+        self.run_with(epsilon, ExecMode::Sequential)
+    }
+
+    /// [`QualitySweep::run`] under an explicit execution mode; scores
+    /// are identical for every mode (bit-identical executor).
+    pub fn run_with(&self, epsilon: f64, mode: ExecMode) -> QualityResult {
         let mut engine = ChaoticEngine::new(
             self.workload.graph.clone(),
             self.workload.owners(),
             EngineConfig::with_epsilon(epsilon),
         );
         let mut peers = self.workload.peer_table();
-        let run = engine.run_to_convergence(&mut peers, None);
+        let run = mode.run(&mut engine, &mut peers, None);
         assert!(run.converged, "static run must converge");
         let distribution = error_stats::compare(engine.ranks(), &self.reference);
         QualityResult {
@@ -371,6 +389,28 @@ pub fn continuous_update_experiment(
     epsilon: f64,
     seed: u64,
 ) -> Vec<ContinuousPoint> {
+    continuous_update_experiment_with(
+        nodes,
+        inserts,
+        checkpoints,
+        epsilon,
+        seed,
+        ExecMode::Sequential,
+    )
+}
+
+/// [`continuous_update_experiment`] under an explicit execution mode.
+/// Both the initial solve and every checkpoint's from-scratch
+/// reference recompute run through `mode`; the measured numbers are
+/// identical for every mode (bit-identical executor).
+pub fn continuous_update_experiment_with(
+    nodes: usize,
+    inserts: usize,
+    checkpoints: usize,
+    epsilon: f64,
+    seed: u64,
+    mode: ExecMode,
+) -> Vec<ContinuousPoint> {
     use dpr_core::incremental::insert_document;
     assert!(checkpoints >= 1 && inserts >= checkpoints);
     let base = dpr_graph::powerlaw::PowerLawConfig::paper(nodes, seed).generate();
@@ -378,12 +418,15 @@ pub fn continuous_update_experiment(
         std::sync::Arc::new(base.clone()),
         EngineConfig::with_epsilon(epsilon),
     );
-    let initial_run = engine.run_static();
+    let initial_run = mode.run_static(&mut engine);
     assert!(initial_run.converged);
 
     let mut graph = dpr_graph::DynamicGraph::from_csr(&base);
     let mut ranks = engine.ranks().to_vec();
-    let cfg = PropagationConfig { damping: dpr_core::DEFAULT_DAMPING, epsilon };
+    let cfg = PropagationConfig {
+        damping: dpr_core::DEFAULT_DAMPING,
+        epsilon,
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xabc);
     let mut wave_messages = 0u64;
     let mut points = Vec::with_capacity(checkpoints);
@@ -394,7 +437,11 @@ pub fn continuous_update_experiment(
             .map(|_| DocId(rng.gen_range(0..graph.id_bound() as u32)))
             .filter(|d| graph.is_alive(*d))
             .collect();
-        let links = if links.is_empty() { vec![DocId(0)] } else { links };
+        let links = if links.is_empty() {
+            vec![DocId(0)]
+        } else {
+            links
+        };
         let (_, wave) = insert_document(&mut graph, &links, &mut ranks, cfg);
         wave_messages += wave.messages;
 
@@ -405,7 +452,7 @@ pub fn continuous_update_experiment(
                 std::sync::Arc::new(snapshot),
                 EngineConfig::with_epsilon(epsilon),
             );
-            let recompute_run = fresh.run_static();
+            let recompute_run = mode.run_static(&mut fresh);
             assert!(recompute_run.converged);
             let errs = error_stats::compare(&ranks, fresh.ranks());
             points.push(ContinuousPoint {
@@ -447,11 +494,33 @@ mod tests {
         let full = run_convergence(&w, 1e-3, 1.0, 1);
         let half = run_convergence(&w, 1e-3, 0.5, 1);
         assert!(full.converged && half.converged);
-        assert!(half.passes > full.passes, "{} vs {}", half.passes, full.passes);
+        assert!(
+            half.passes > full.passes,
+            "{} vs {}",
+            half.passes,
+            full.passes
+        );
         // The paper sees about a 2x slowdown at 50% presence; allow a
         // broad band around that.
         let ratio = half.passes as f64 / full.passes as f64;
         assert!((1.2..6.0).contains(&ratio), "slowdown ratio {ratio}");
+    }
+
+    #[test]
+    fn exec_modes_agree_on_every_reported_number() {
+        let w = Workload::paper(2_000, 100, 4);
+        let seq = run_convergence_with(&w, 1e-3, 0.75, 4, ExecMode::Sequential);
+        let par = run_convergence_with(&w, 1e-3, 0.75, 4, ExecMode::Parallel(4));
+        assert_eq!(seq.passes, par.passes);
+        assert_eq!(seq.total_remote_messages, par.total_remote_messages);
+        assert_eq!(seq.messages_per_node, par.messages_per_node);
+
+        let sweep = QualitySweep::new(2_000, 100, 4);
+        let seq = sweep.run_with(1e-3, ExecMode::Sequential);
+        let par = sweep.run_with(1e-3, ExecMode::Parallel(3));
+        assert_eq!(seq.passes, par.passes);
+        assert_eq!(seq.distribution.max, par.distribution.max);
+        assert_eq!(seq.distribution.avg, par.distribution.avg);
     }
 
     #[test]
@@ -460,7 +529,11 @@ mod tests {
         let loose = sweep.run(0.2);
         let tight = sweep.run(1e-4);
         assert!(tight.distribution.avg < loose.distribution.avg);
-        assert!(tight.distribution.max < 0.05, "max err {}", tight.distribution.max);
+        assert!(
+            tight.distribution.max < 0.05,
+            "max err {}",
+            tight.distribution.max
+        );
         assert!(tight.total_remote_messages > loose.total_remote_messages);
     }
 

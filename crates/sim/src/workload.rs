@@ -38,18 +38,18 @@ impl Workload {
     }
 
     /// Builds a workload with an explicit placement policy.
-    pub fn build(
-        nodes: usize,
-        num_peers: usize,
-        seed: u64,
-        policy: PlacementPolicy,
-    ) -> Self {
+    pub fn build(nodes: usize, num_peers: usize, seed: u64, policy: PlacementPolicy) -> Self {
         assert!(num_peers > 0, "need at least one peer");
         let graph = Arc::new(PowerLawConfig::paper(nodes, seed).generate());
         let ring = Ring::with_peers(num_peers);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9);
         let placement = Placement::assign(nodes, &ring, policy, &mut rng);
-        Workload { graph, ring, placement, num_peers }
+        Workload {
+            graph,
+            ring,
+            placement,
+            num_peers,
+        }
     }
 
     /// Builds a workload placed by the *link-aware* partitioner (the
@@ -61,10 +61,14 @@ impl Workload {
         assert!(num_peers > 0, "need at least one peer");
         let graph = Arc::new(PowerLawConfig::paper(nodes, seed).generate());
         let labels = dpr_graph::partition::link_aware_partition(&graph, num_peers, sweeps);
-        let placement =
-            Placement::from_owner_vec(labels.into_iter().map(PeerId).collect());
+        let placement = Placement::from_owner_vec(labels.into_iter().map(PeerId).collect());
         let ring = Ring::with_peers(num_peers);
-        Workload { graph, ring, placement, num_peers }
+        Workload {
+            graph,
+            ring,
+            placement,
+            num_peers,
+        }
     }
 
     /// Owner vector for the engine (one peer per document).
@@ -144,12 +148,7 @@ mod tests {
 
     #[test]
     fn dht_placement_variant() {
-        let w = Workload::build(
-            500,
-            20,
-            3,
-            dpr_p2p::peer::PlacementPolicy::DhtSuccessor,
-        );
+        let w = Workload::build(500, 20, 3, dpr_p2p::peer::PlacementPolicy::DhtSuccessor);
         // Placement must match ring successors.
         for d in 0..500u32 {
             let doc = dpr_graph::DocId(d);

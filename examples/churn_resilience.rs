@@ -19,7 +19,10 @@ fn main() {
     let peers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(500);
 
     println!("== convergence under churn ({nodes} documents, {peers} peers, eps 1e-3) ==\n");
-    println!("{:>10}  {:>8}  {:>10}  {:>14}", "presence", "passes", "slowdown", "messages/node");
+    println!(
+        "{:>10}  {:>8}  {:>10}  {:>14}",
+        "presence", "passes", "slowdown", "messages/node"
+    );
 
     let workload = Workload::paper(nodes, peers, 3);
     let mut full_passes = None;

@@ -24,7 +24,10 @@ fn link_aware_placement() {
     let nodes = 20_000;
     for (name, w) in [
         ("random placement", Workload::paper(nodes, 500, 5)),
-        ("link-aware placement", Workload::build_link_aware(nodes, 500, 5, 6)),
+        (
+            "link-aware placement",
+            Workload::build_link_aware(nodes, 500, 5, 6),
+        ),
     ] {
         let mut engine = ChaoticEngine::new(
             w.graph.clone(),
@@ -50,10 +53,7 @@ fn personalized_ranks() {
     let preferred: Vec<DocId> = (0..10u32).map(DocId).collect();
     let teleport = TeleportVector::concentrated(nodes, &preferred);
 
-    let mut standard = ChaoticEngine::local(
-        graph.clone(),
-        EngineConfig::with_epsilon(1e-6),
-    );
+    let mut standard = ChaoticEngine::local(graph.clone(), EngineConfig::with_epsilon(1e-6));
     standard.run_static();
     let mut personal = personalized_engine(
         graph,
@@ -99,7 +99,10 @@ fn incremental_fetch() {
     let terms = corpus.top_terms(2);
     let q = Query::new(terms.clone());
     let mut cursor = ResultCursor::open(&index, q, IncrementalConfig::top10());
-    println!("  query {terms:?}: first page costs {} ids", cursor.traffic_ids());
+    println!(
+        "  query {terms:?}: first page costs {} ids",
+        cursor.traffic_ids()
+    );
     let first = cursor.fetch(10);
     println!(
         "  page 1 ({} hits, best rank {:.3}) — executions: {}",

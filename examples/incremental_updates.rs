@@ -37,7 +37,10 @@ fn main() {
     // Switch to the dynamic graph and the live rank vector.
     let mut graph = DynamicGraph::from_csr(&base);
     let mut ranks = engine.ranks().to_vec();
-    let cfg = PropagationConfig { damping: DEFAULT_DAMPING, epsilon: eps };
+    let cfg = PropagationConfig {
+        damping: DEFAULT_DAMPING,
+        epsilon: eps,
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(99);
 
     // Insert a handful of documents with random out-links.

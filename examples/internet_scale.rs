@@ -20,7 +20,10 @@ fn main() {
     // paper observes this metric is nearly graph-size independent
     // (Table 3), which is what makes the extrapolation meaningful.
     println!("measuring per-node message cost (50k documents, 500 peers):");
-    println!("{:>10}  {:>10}  {:>16}", "epsilon", "passes", "messages/node");
+    println!(
+        "{:>10}  {:>10}  {:>16}",
+        "epsilon", "passes", "messages/node"
+    );
     let workload = Workload::paper(50_000, 500, 17);
     let mut measured = Vec::new();
     for eps in [0.2, 1e-1, 1e-2, 1e-3] {

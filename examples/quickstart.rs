@@ -47,10 +47,7 @@ fn main() {
     // 3. Compare against the centralized synchronous solver (the
     //    paper's R_c).
     let reference = SyncSolver::new().solve(&workload.graph);
-    let err = distributed_pagerank::core::error_stats::compare(
-        engine.ranks(),
-        &reference.ranks,
-    );
+    let err = distributed_pagerank::core::error_stats::compare(engine.ranks(), &reference.ranks);
     println!(
         "quality vs synchronous reference: avg rel err {:.2e}, max {:.2e}",
         err.avg, err.max

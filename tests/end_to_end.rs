@@ -2,9 +2,9 @@
 
 use distributed_pagerank::core::error_stats;
 use distributed_pagerank::prelude::*;
-use rand::SeedableRng;
 use distributed_pagerank::search::corpus::generate_queries;
 use distributed_pagerank::sim::churn::Schedule;
+use rand::SeedableRng;
 
 /// Static pagerank + quality + incremental update + search, end to end.
 #[test]
@@ -34,7 +34,10 @@ fn full_pipeline() {
     // 4. Incremental insert on the live system: wave is small & local.
     let mut dyn_graph = DynamicGraph::from_csr(&workload.graph);
     let mut ranks = engine.ranks().to_vec();
-    let cfg = PropagationConfig { damping: DEFAULT_DAMPING, epsilon: 1e-3 };
+    let cfg = PropagationConfig {
+        damping: DEFAULT_DAMPING,
+        epsilon: 1e-3,
+    };
     let (id, wave) = insert_document(
         &mut dyn_graph,
         &[DocId(1), DocId(2), DocId(3)],
@@ -43,7 +46,10 @@ fn full_pipeline() {
     );
     assert_eq!(id.index(), nodes);
     assert!(wave.node_coverage < nodes / 2, "wave stays local: {wave:?}");
-    assert!(wave.path_length <= 20, "paper: under ~15 even for large nets");
+    assert!(
+        wave.path_length <= 20,
+        "paper: under ~15 even for large nets"
+    );
 
     // 5. Search over the ranked corpus: incremental beats baseline.
     let corpus = Corpus::generate(&CorpusConfig {
@@ -77,7 +83,9 @@ fn placement_and_churn_invariance() {
     let ring = Ring::with_peers(500);
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(10);
     let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
-    let owners: Vec<PeerId> = (0..nodes).map(|d| placement.owner(DocId(d as u32))).collect();
+    let owners: Vec<PeerId> = (0..nodes)
+        .map(|d| placement.owner(DocId(d as u32)))
+        .collect();
     let mut churned = ChaoticEngine::new(arc, owners, EngineConfig::with_epsilon(1e-6));
     let mut peers = PeerTable::new(500);
     let mut schedule = Schedule::fraction(0.6, 11);
@@ -170,19 +178,18 @@ fn exec_time_model_consistency() {
     );
     assert!(t200 < t32);
     let ratio = t32 / t200;
-    assert!((ratio - 200.0 / 32.0).abs() < 1e-9, "pure bandwidth scaling");
+    assert!(
+        (ratio - 200.0 / 32.0).abs() < 1e-9,
+        "pure bandwidth scaling"
+    );
 
     // Eq. 4 per-pass time: concurrent peers, so a pass costs the
     // slowest peer's serialized transfer — strictly less than pushing
     // every peer's links through one pipe.
     let per_peer = workload.remote_links_per_peer();
-    let pass_time =
-        exec_model::eq4_system_pass_time_secs(0.0, &per_peer, exec_model::RATE_32KBS);
-    let serialized_pass_time = exec_model::eq4_pass_time_secs(
-        0.0,
-        per_peer.iter().sum::<u64>(),
-        exec_model::RATE_32KBS,
-    );
+    let pass_time = exec_model::eq4_system_pass_time_secs(0.0, &per_peer, exec_model::RATE_32KBS);
+    let serialized_pass_time =
+        exec_model::eq4_pass_time_secs(0.0, per_peer.iter().sum::<u64>(), exec_model::RATE_32KBS);
     assert!(pass_time > 0.0);
     assert!(pass_time < serialized_pass_time);
 }

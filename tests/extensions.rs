@@ -30,9 +30,11 @@ fn link_aware_cluster_with_termination_detection() {
             EngineConfig::with_epsilon(1e-6),
         );
         let mut peers = PeerTable::new(num_peers);
-        let (rounds, announced) =
-            run_with_termination_detection(&mut cluster, &mut peers, 50_000);
-        assert!(announced, "termination detection stalled after {rounds} rounds");
+        let (rounds, announced) = run_with_termination_detection(&mut cluster, &mut peers, 50_000);
+        assert!(
+            announced,
+            "termination detection stalled after {rounds} rounds"
+        );
         assert!(cluster.is_quiescent(), "announcement must be sound");
         (cluster.collect_ranks(nodes), cluster.traffic().sent)
     };
@@ -104,14 +106,11 @@ fn personalized_ranks_on_distributed_system_with_churn() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(204);
     let ring = Ring::with_peers(40);
     let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
-    let owners: Vec<PeerId> =
-        (0..nodes).map(|d| placement.owner(DocId(d as u32))).collect();
-    let mut engine = personalized_engine(
-        graph,
-        owners,
-        EngineConfig::with_epsilon(1e-8),
-        &teleport,
-    );
+    let owners: Vec<PeerId> = (0..nodes)
+        .map(|d| placement.owner(DocId(d as u32)))
+        .collect();
+    let mut engine =
+        personalized_engine(graph, owners, EngineConfig::with_epsilon(1e-8), &teleport);
     let mut peers = PeerTable::new(40);
     let mut schedule = Schedule::sessions(40.0, 15.0, 205);
     let mut churn = |_p: usize, t: &mut PeerTable| schedule.apply(t);
@@ -169,7 +168,10 @@ fn termination_detection_sound_under_session_churn() {
         }
         detector.advance(&cluster, &peers);
         if detector.announced() {
-            assert!(cluster.is_quiescent(), "unsound announcement at round {rounds}");
+            assert!(
+                cluster.is_quiescent(),
+                "unsound announcement at round {rounds}"
+            );
         }
     }
     assert!(detector.announced(), "no announcement in {rounds} rounds");

@@ -7,7 +7,10 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 /// Strategy: a random directed graph as (n, edge list).
-fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+fn arb_graph(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (2..max_nodes).prop_flat_map(move |n| {
         let edges = vec((0..n as u32, 0..n as u32), 0..max_edges);
         (Just(n), edges)

@@ -18,10 +18,12 @@ fn message_level_exchange_with_churn() {
     let mut transport: Transport<bytes::Bytes> = Transport::new(2);
 
     // Peer 0 holds doc 0, peer 1 holds doc 1; 0 -> 1 -> 0 cycle.
-    let guid_index: HashMap<Guid, DocId> =
-        [(Guid::for_document(DocId(0)), DocId(0)), (Guid::for_document(DocId(1)), DocId(1))]
-            .into_iter()
-            .collect();
+    let guid_index: HashMap<Guid, DocId> = [
+        (Guid::for_document(DocId(0)), DocId(0)),
+        (Guid::for_document(DocId(1)), DocId(1)),
+    ]
+    .into_iter()
+    .collect();
 
     // Peer 0 advertises doc 0's base rank to doc 1.
     let update = RankUpdate::new(DocId(1), 0.85 * 0.15);
@@ -42,8 +44,7 @@ fn message_level_exchange_with_churn() {
     let mut received = 0;
     while let Some(env) = transport.receive(PeerId(1)) {
         let wire = RankUpdateWire::decode(env.payload).expect("valid wire");
-        let upd = RankUpdate::from_wire(wire, |g| guid_index.get(&g).copied())
-            .expect("known guid");
+        let upd = RankUpdate::from_wire(wire, |g| guid_index.get(&g).copied()).expect("known guid");
         assert_eq!(upd.doc, DocId(1));
         rank1 += upd.delta;
         received += 1;
@@ -118,7 +119,11 @@ fn address_cache_invalidation_on_leave() {
 
     let g0 = Guid::for_document(DocId(0));
     assert_eq!(caches.of(PeerId(0)).lookup(g0), None, "dead entry gone");
-    let src = if leaver == PeerId(0) { PeerId(1) } else { PeerId(0) };
+    let src = if leaver == PeerId(0) {
+        PeerId(1)
+    } else {
+        PeerId(0)
+    };
     let new_owner = router.route(&ring, src, g0).owner;
     assert_ne!(new_owner, leaver);
     assert_eq!(new_owner, ring.successor(g0));
@@ -135,11 +140,16 @@ fn store_and_resend_ablation() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
     let ring = Ring::with_peers(20);
     let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
-    let owners: Vec<PeerId> = (0..nodes).map(|d| placement.owner(DocId(d as u32))).collect();
+    let owners: Vec<PeerId> = (0..nodes)
+        .map(|d| placement.owner(DocId(d as u32)))
+        .collect();
 
     let run = |drop_parked: bool| {
-        let mut engine =
-            ChaoticEngine::new(arc.clone(), owners.clone(), EngineConfig::with_epsilon(1e-6));
+        let mut engine = ChaoticEngine::new(
+            arc.clone(),
+            owners.clone(),
+            EngineConfig::with_epsilon(1e-6),
+        );
         let mut peers = PeerTable::new(20);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
         let mut pass = 0usize;

@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`bytes`] crate: the subset this
+//! workspace's wire codecs use.
+//!
+//! [`Bytes`] here is a plain boxed slice with an offset cursor rather
+//! than upstream's refcounted view machinery — clones copy. All
+//! workspace payloads are tens of bytes, so the simplification is
+//! irrelevant to behavior and performance.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Consumed prefix (advanced by [`Buf`] reads).
+    offset: usize,
+}
+
+impl Bytes {
+    /// A buffer viewing a static slice.
+    pub fn from_static(slice: &'static [u8]) -> Self {
+        Bytes {
+            data: slice.into(),
+            offset: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.offset
+    }
+
+    /// True if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..]
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: v.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes {
+            data: v.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte buffer for building payloads.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read access to a byte buffer with an advancing cursor.
+pub trait Buf {
+    /// Unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor past `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a little-endian `u128`, advancing 16 bytes.
+    fn get_u128_le(&mut self) -> u128 {
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(&self.chunk()[..16]);
+        self.advance(16);
+        u128::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`, advancing 8 bytes.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `f64`, advancing 8 bytes.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.offset += cnt;
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u128_f64_roundtrip() {
+        let mut b = BytesMut::with_capacity(24);
+        b.put_u128_le(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff);
+        b.put_f64_le(-2.5);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 24);
+        assert_eq!(
+            frozen.get_u128_le(),
+            0x0011_2233_4455_6677_8899_aabb_ccdd_eeff
+        );
+        assert_eq!(frozen.get_f64_le(), -2.5);
+        assert_eq!(frozen.len(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_cursor_independence() {
+        let mut a = Bytes::from(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+        let b = a.clone();
+        a.advance(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 8);
+        assert_eq!(Bytes::from_static(b"junk").len(), 4);
+    }
+}

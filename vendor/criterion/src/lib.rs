@@ -1,0 +1,328 @@
+//! Offline stand-in for [`criterion`]: a small wall-clock benchmark
+//! harness exposing the criterion API surface this workspace uses
+//! (`bench_function`, `benchmark_group`, `iter`/`iter_batched`,
+//! throughput annotation, `criterion_group!`/`criterion_main!`).
+//!
+//! Reports median time per iteration (and derived throughput) to
+//! stdout; no HTML reports, statistics, or baseline storage.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b.samples, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark input.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input size in abstract elements.
+    Elements(u64),
+    /// Input size in bytes.
+    Bytes(u64),
+}
+
+/// Identifier of one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (upstream `IntoBenchmarkId`):
+/// a [`BenchmarkId`] or a plain string.
+pub trait IntoBenchmarkId {
+    /// Converts to the rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, name.into_id()),
+            &b.samples,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (stdout reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup cost (kept for API parity; the
+/// shim always uses one input per measurement).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per sample.
+    SmallInput,
+    /// Large inputs: one per sample.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.1, 16.0)).ceil() as u64
+            };
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let best = sorted[0];
+    let human = |ns: f64| -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        } else {
+            format!("{:.3} s", ns / 1_000_000_000.0)
+        }
+    };
+    let rate = throughput
+        .map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / (median / 1e9))
+            }
+            Throughput::Bytes(n) => {
+                format!("  {:>12.0} B/s", n as f64 / (median / 1e9))
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{name:<40} median {:>12}  best {:>12}{rate}",
+        human(median),
+        human(best)
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // CLI flags (`--bench`, filters) are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

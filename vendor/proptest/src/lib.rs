@@ -1,0 +1,377 @@
+//! Offline stand-in for [`proptest`]: deterministic property testing
+//! with the API surface this workspace uses.
+//!
+//! Differences from upstream: no shrinking (failures report the seed
+//! and case index instead of a minimized input), fixed per-(test,
+//! case) ChaCha8 seeds rather than an OS-entropy run seed, and a
+//! smaller default case count. `PROPTEST_CASES` is honored.
+
+#![warn(missing_docs)]
+
+use rand_chacha::ChaCha8Rng;
+
+/// Number of cases per property unless `PROPTEST_CASES` overrides it.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Strategies: samplable distributions over test-case inputs.
+pub mod strategy {
+    use super::ChaCha8Rng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// A distribution over values of `Self::Value`.
+    pub trait Strategy: Sized {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+        /// Strategy whose distribution depends on a sampled value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { outer: self, f }
+        }
+
+        /// Pointwise transformation of sampled values.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        outer: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> S2::Value {
+            (self.f)(self.outer.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// The strategy producing exactly one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut ChaCha8Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    /// Types with a canonical full-domain strategy (see [`any`]).
+    pub trait ArbitraryValue {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut ChaCha8Rng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut ChaCha8Rng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut ChaCha8Rng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// Full-domain strategy marker; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy over all values of `T`.
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::ChaCha8Rng;
+    use rand::Rng;
+
+    /// Strategy for vectors with element strategy `S` and a length
+    /// drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: `len ∈ sizes`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let len = if self.sizes.is_empty() {
+                0
+            } else {
+                rng.gen_range(self.sizes.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, TestCaseError};
+}
+
+/// Runs `property` over the configured number of cases with
+/// deterministic per-case seeds; panics on the first failure.
+pub fn run_cases<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut ChaCha8Rng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES);
+
+    // FNV-1a over the test name keeps seeds distinct per property but
+    // stable across runs, so failures reproduce exactly.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    for case in 0..cases {
+        let seed = name_hash ^ (u64::from(case) << 32 | u64::from(case));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        if let Err(e) = property(&mut rng) {
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#x}):\n{e}\n\
+                 (vendored proptest: no shrinking; rerun reproduces deterministically)"
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from
+/// strategies: `proptest! { #[test] fn p(x in 0..10usize) { ... } }`.
+///
+/// The body runs with result type `Result<(), TestCaseError>`, so
+/// `prop_assert*` and early `return Ok(())` work as in upstream.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&$strat, __rng);)*
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __result
+                });
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn strategies_deterministic_per_seed() {
+        let strat =
+            (2..50usize).prop_flat_map(|n| (Just(n), prop_vec((0..n as u32, 0..n as u32), 0..100)));
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = prop_vec(any::<u32>(), 3..7);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_accepts_multiple_bindings(
+            x in 1usize..10,
+            (a, b) in (0u8..4, 0.0f64..1.0),
+            v in prop_vec(any::<u32>(), 0..5),
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            prop_assert!((0.0..1.0).contains(&b), "b = {}", b);
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert_eq!(v.len(), v.capacity().min(v.len()));
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the item shapes this workspace actually derives on:
+//!
+//! - structs with named fields (optionally generic, e.g.
+//!   `ExperimentRecord<T: Serialize>`),
+//! - newtype tuple structs (`DocId(pub u32)`, `Guid(pub u128)`), which
+//!   serialize transparently as their inner value,
+//! - enums whose variants are all units, which serialize as the
+//!   variant-name string.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed
+//! directly from the `proc_macro` token stream. Unsupported shapes
+//! produce a `compile_error!` naming this file rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive target looks like.
+enum Kind {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T);` — transparent newtype.
+    Newtype,
+    /// `enum E { A, B }` — unit variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Generic type parameter names (e.g. `["T"]`), empty if none.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Skips attributes (`#[...]`, incl. doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Splits a token slice at top-level commas (commas outside `<...>`;
+/// grouped tokens are atomic so only angle depth needs tracking).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let item_kw = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if item_kw != "struct" && item_kw != "enum" {
+        return Err(format!("expected `struct` or `enum`, got `{item_kw}`"));
+    }
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    // Generic parameter list: collect `<...>` and keep the leading
+    // ident of each comma-separated parameter as its name.
+    let mut generics = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut inner = Vec::new();
+        while depth > 0 {
+            let t = tokens
+                .get(i)
+                .ok_or_else(|| "unterminated generic parameter list".to_string())?;
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth > 0 {
+                inner.push(t.clone());
+            }
+            i += 1;
+        }
+        for param in split_top_level_commas(&inner) {
+            match param.first() {
+                Some(TokenTree::Ident(id)) if id.to_string() != "const" => {
+                    generics.push(id.to_string());
+                }
+                other => {
+                    return Err(format!(
+                        "unsupported generic parameter starting at {other:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Body: first brace/paren group after name, generics and any
+    // `where` clause (none of the workspace's derives use `where`,
+    // but a clause without grouped tokens would be skipped here).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                Some(g.clone())
+            }
+            _ => None,
+        })
+        .ok_or_else(|| format!("no body found for `{name}`"))?;
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    let kind = if item_kw == "enum" {
+        let mut variants = Vec::new();
+        for part in split_top_level_commas(&body_tokens) {
+            let j = skip_attrs(&part, 0);
+            match part.get(j) {
+                Some(TokenTree::Ident(id)) if part.len() == j + 1 => {
+                    variants.push(id.to_string());
+                }
+                None => {}
+                _ => {
+                    return Err(format!(
+                        "enum `{name}`: only unit variants are supported by the vendored derive"
+                    ));
+                }
+            }
+        }
+        Kind::UnitEnum(variants)
+    } else if body.delimiter() == Delimiter::Parenthesis {
+        let fields = split_top_level_commas(&body_tokens);
+        if fields.len() != 1 {
+            return Err(format!(
+                "tuple struct `{name}`: only single-field newtypes are supported by the vendored derive"
+            ));
+        }
+        Kind::Newtype
+    } else {
+        let mut fields = Vec::new();
+        // Named fields: `[attrs] [vis] name : Type`, comma-separated.
+        for part in split_top_level_commas(&body_tokens) {
+            let j = skip_vis(&part, skip_attrs(&part, 0));
+            match part.get(j) {
+                Some(TokenTree::Ident(id)) if matches!(part.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') =>
+                {
+                    fields.push(id.to_string());
+                }
+                None => {}
+                other => {
+                    return Err(format!("struct `{name}`: unparsable field at {other:?}"));
+                }
+            }
+        }
+        Kind::Named(fields)
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// `<A: BOUND, B: BOUND>` / `<A, B>` pair for the impl header, empty
+/// strings when the item is not generic.
+fn generics_for_impl(generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", generics.join(", ")),
+    )
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("literal error token")
+}
+
+/// Derives `serde::Serialize` (vendored shim; see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&format!("derive(Serialize) shim: {e}")),
+    };
+    let (impl_g, ty_g) = generics_for_impl(&input.generics, "::serde::Serialize");
+    let name = &input.name;
+
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored shim; see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&format!("derive(Deserialize) shim: {e}")),
+    };
+    let (impl_g, ty_g) = generics_for_impl(&input.generics, "::serde::Deserialize");
+    let name = &input.name;
+
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(&v[{f:?}])?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Kind::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{ {}, _ => ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant: {{v:?}}\"))) }}",
+                arms.join(", ")
+            )
+        }
+    };
+
+    format!(
+        "impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
