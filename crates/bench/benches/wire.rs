@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the aggregation wire path: frame
+//! encode/decode and the per-destination flush buffer.
+//!
+//! `cargo bench -p dpr-bench --bench wire` (or `-- --test` in CI for a
+//! single-shot smoke run).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpr_core::message::{FlushBuffer, UpdateFrame};
+use dpr_graph::DocId;
+use dpr_p2p::guid::Guid;
+use dpr_p2p::transport::UpdateFrameWire;
+use std::collections::HashMap;
+
+/// A frame of `n` distinct-document updates, as the flush path builds
+/// them.
+fn frame(n: u32) -> UpdateFrame {
+    let mut buf = FlushBuffer::default();
+    for d in 0..n {
+        buf.push(DocId(d), 0.15 + d as f64 * 1e-3);
+    }
+    buf.flush(usize::MAX).remove(0)
+}
+
+fn bench_frame_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_encode");
+    for &n in &[1u32, 16, 87, 1024] {
+        let f = frame(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &f, |b, f| {
+            b.iter(|| black_box(f).to_wire().encode())
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_decode");
+    for &n in &[1u32, 16, 87, 1024] {
+        let payload = frame(n).to_wire().encode();
+        let tags: HashMap<u64, DocId> = (0..n)
+            .map(|d| (Guid::for_document(DocId(d)).frame_tag(), DocId(d)))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &payload, |b, payload| {
+            b.iter(|| {
+                let wire =
+                    UpdateFrameWire::decode(black_box(payload).clone()).expect("well-formed frame");
+                UpdateFrame::from_wire(&wire, |t| tags.get(&t).copied()).expect("known tags")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flush_buffer(c: &mut Criterion) {
+    // The coalescing hot path: every remote emission of a pass goes
+    // through push(); repeated documents fold in place.
+    c.bench_function("flush_buffer_push_1k_x4", |b| {
+        b.iter(|| {
+            let mut buf = FlushBuffer::default();
+            for round in 0..4u32 {
+                for d in 0..1_000u32 {
+                    buf.push(DocId(d), round as f64 + 1e-3);
+                }
+            }
+            assert_eq!(buf.len(), 1_000);
+            buf.flush(1400)
+        })
+    });
+}
+
+criterion_group! {
+    name = wire;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frame_encode, bench_frame_decode, bench_flush_buffer,
+}
+criterion_main!(wire);

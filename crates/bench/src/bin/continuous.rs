@@ -24,11 +24,25 @@
 //! cargo run --release -p dpr-bench --bin continuous -- --pass-scaling \
 //!     [--nodes 50000] [--peers 500] [--eps 1e-3] [--seed N]
 //! ```
+//!
+//! With `--batch-scaling`, runs the message-level cluster on the
+//! Table 3 default scenario unbatched and then batched at a sweep of
+//! frame-size caps, asserts every cap converges to bit-identical
+//! ranks, and writes `BENCH_node_batching.json` (frames, measured
+//! bytes vs the 24-byte baseline, routed overlay transmissions, and
+//! the reduction factors per cap):
+//!
+//! ```text
+//! cargo run --release -p dpr-bench --bin continuous -- --batch-scaling \
+//!     [--nodes 10000] [--peers 500] [--eps 1e-3] [--seed N]
+//! ```
 
 use dpr_bench::Args;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::parallel::ShardedExecutor;
-use dpr_sim::metrics::TextTable;
+use dpr_node::node::{WireMode, DEFAULT_MAX_FRAME_BYTES};
+use dpr_sim::batch::{compare_runs, run_wire_mode};
+use dpr_sim::metrics::{fmt_bytes, TextTable};
 use dpr_sim::report::{results_dir, ExperimentRecord};
 use dpr_sim::scenario::continuous_update_experiment_with;
 use dpr_sim::workload::Workload;
@@ -117,10 +131,138 @@ fn pass_scaling(args: &Args) {
     println!("\nwrote {}", path.display());
 }
 
+/// One row of `BENCH_node_batching.json`: a full cluster convergence
+/// run at one frame-size cap (`max_frame_bytes == 0` is the unbatched
+/// single-message baseline).
+#[derive(Debug, Clone, Serialize)]
+struct BatchScalingRow {
+    max_frame_bytes: usize,
+    updates: u64,
+    entries: u64,
+    frames: u64,
+    payloads: u64,
+    bytes_on_wire: u64,
+    baseline_bytes: u64,
+    routed_messages: u64,
+    routed_reduction: f64,
+    byte_reduction: f64,
+}
+
+fn batch_scaling(args: &Args) {
+    let nodes: usize = args.get("nodes", 10_000);
+    let peers_n: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
+    let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON);
+    let w = Workload::paper(nodes, peers_n, args.seed());
+    // 36 B = 2 entries/frame (the worst useful cap) up to 64 KiB
+    // (effectively uncapped at this scale); 1400 B is the default
+    // Ethernet-MTU-ish cap.
+    let caps = [36usize, 164, DEFAULT_MAX_FRAME_BYTES, 65_536];
+
+    println!("Frame-cap scaling on the message-level cluster ({nodes} docs, {peers_n} peers, eps {eps})\n");
+    eprintln!("  … unbatched baseline");
+    let unbatched = run_wire_mode(&w, eps, WireMode::Single, false);
+    let t = unbatched.traffic;
+    let mut rows = vec![BatchScalingRow {
+        max_frame_bytes: 0,
+        updates: t.updates,
+        entries: t.entries,
+        frames: 0,
+        payloads: t.payloads,
+        bytes_on_wire: t.bytes_on_wire,
+        baseline_bytes: t.bytes_on_wire,
+        routed_messages: t.routed_messages,
+        routed_reduction: 1.0,
+        byte_reduction: 1.0,
+    }];
+    for cap in caps {
+        eprintln!("  … frames capped at {cap} B");
+        let batched = run_wire_mode(
+            &w,
+            eps,
+            WireMode::Frames {
+                max_frame_bytes: cap,
+            },
+            true,
+        );
+        let r = compare_runs(&w, eps, cap, &unbatched, &batched);
+        assert!(
+            r.batched.bytes_on_wire < r.baseline_bytes,
+            "cap {cap}: frame bytes must beat the 24-byte-per-update baseline"
+        );
+        rows.push(BatchScalingRow {
+            max_frame_bytes: cap,
+            updates: r.batched.updates,
+            entries: r.batched.entries,
+            frames: r.batched.frames,
+            payloads: r.batched.payloads,
+            bytes_on_wire: r.batched.bytes_on_wire,
+            baseline_bytes: r.baseline_bytes,
+            routed_messages: r.batched.routed_messages,
+            routed_reduction: r.routed_reduction,
+            byte_reduction: r.byte_reduction,
+        });
+    }
+    let default_row = rows
+        .iter()
+        .find(|r| r.max_frame_bytes == DEFAULT_MAX_FRAME_BYTES)
+        .expect("default cap is in the sweep");
+    assert!(
+        default_row.routed_reduction >= 5.0,
+        "default cap must cut routed transport messages at least 5x, got {:.1}x",
+        default_row.routed_reduction
+    );
+
+    let mut table = TextTable::new([
+        "frame cap",
+        "entries",
+        "frames",
+        "payloads",
+        "bytes on wire",
+        "routed msgs",
+        "reduction",
+    ]);
+    for r in &rows {
+        table.push([
+            if r.max_frame_bytes == 0 {
+                "unbatched".to_string()
+            } else {
+                format!("{} B", r.max_frame_bytes)
+            },
+            r.entries.to_string(),
+            r.frames.to_string(),
+            r.payloads.to_string(),
+            fmt_bytes(r.bytes_on_wire),
+            r.routed_messages.to_string(),
+            format!("{:.1}x", r.routed_reduction),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(every cap converges to bit-identical ranks; only the wire framing moves)");
+
+    let dir = std::env::var_os("DPR_RESULTS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = ExperimentRecord::new(
+        "BENCH_node_batching",
+        format!(
+            "nodes={nodes} peers={peers_n} eps={eps} seed={}",
+            args.seed()
+        ),
+        rows,
+    )
+    .write_to_dir(dir)
+    .expect("write BENCH_node_batching.json");
+    println!("\nwrote {}", path.display());
+}
+
 fn main() {
     let args = Args::parse();
     if args.has("pass-scaling") {
         pass_scaling(&args);
+        return;
+    }
+    if args.has("batch-scaling") {
+        batch_scaling(&args);
         return;
     }
     let nodes: usize = args.get("nodes", 20_000);

@@ -9,22 +9,105 @@
 //! With `--internet`, also prints the Sec. 4.6.2 extrapolation: a
 //! 3-billion-document web served by web servers over T3 links.
 //!
+//! With `--batch`, runs the *message-level cluster* in both wire modes
+//! instead of the array engine, and prints the aggregation columns:
+//! logical messages, coalesced entries, frames, measured bytes on the
+//! wire vs the paper's 24-byte-per-update baseline, and routed overlay
+//! transmissions (per-update DHT routing vs one route — then one
+//! cached IP send — per frame). Ranks are asserted bit-identical
+//! between the modes. `--frame-bytes N` sets the frame size cap.
+//!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table3 [--sizes ...] \
 //!     [--peers 500] [--seed N] [--threads T] [--internet] [--json] \
-//!     [--full] [--paper-compute | --compute-secs N]
+//!     [--full] [--paper-compute | --compute-secs N] \
+//!     [--batch [--frame-bytes 1400] [--eps e1,e2,...]]
 //! ```
 
 use dpr_bench::{Args, TABLE23_EPSILONS};
 use dpr_core::exec_model::{
     aggregate_time_secs, internet_scale_days, RATE_200KBS, RATE_32KBS, RATE_T3, SECS_PER_HOUR,
 };
-use dpr_sim::metrics::{fmt_eps, TextTable};
+use dpr_node::node::DEFAULT_MAX_FRAME_BYTES;
+use dpr_sim::metrics::{fmt_bytes, fmt_eps, TextTable};
 use dpr_sim::report::{results_dir, ExperimentRecord};
-use dpr_sim::scenario::{QualityResult, QualitySweep};
+use dpr_sim::scenario::{BatchedQualityResult, QualityResult, QualitySweep};
+
+/// The ε sweep of the `--batch` mode. The cluster simulates every
+/// wire payload individually (twice — once per mode), so the sweep
+/// stops at 1e-3; override with `--eps`.
+const BATCH_EPSILONS: [f64; 4] = [0.2, 1e-1, 1e-2, 1e-3];
+
+fn batch_mode(args: &Args) {
+    let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
+    let cap: usize = args.get("frame-bytes", DEFAULT_MAX_FRAME_BYTES);
+    let epsilons: Vec<f64> = match args.get("eps", String::new()) {
+        s if s.is_empty() => BATCH_EPSILONS.to_vec(),
+        s => s
+            .split(',')
+            .map(|e| e.trim().parse().expect("bad --eps entry"))
+            .collect(),
+    };
+
+    println!("Table 3 (batched wire path) — traffic vs eps, frames capped at {cap} B");
+    println!("(both wire modes converge to bit-identical ranks; asserted per row)\n");
+
+    let mut records: Vec<BatchedQualityResult> = Vec::new();
+    for size in args.sizes() {
+        eprintln!("  … running batched sweep for size {size}");
+        let sweep = QualitySweep::new(size, peers, args.seed());
+        let mut table = TextTable::new([
+            "eps",
+            "msgs",
+            "entries",
+            "frames",
+            "bytes on wire",
+            "24-B baseline",
+            "routed unbatched",
+            "routed batched",
+            "reduction",
+            "max rel err",
+        ]);
+        for &eps in &epsilons {
+            let r = sweep.run_batched(eps, cap);
+            table.push([
+                fmt_eps(eps),
+                r.report.batched.updates.to_string(),
+                r.report.batched.entries.to_string(),
+                r.report.batched.frames.to_string(),
+                fmt_bytes(r.report.batched.bytes_on_wire),
+                fmt_bytes(r.report.baseline_bytes),
+                r.report.unbatched.routed_messages.to_string(),
+                r.report.batched.routed_messages.to_string(),
+                format!("{:.1}x", r.report.routed_reduction),
+                format!("{:.2e}", r.distribution.max),
+            ]);
+            records.push(r);
+        }
+        println!("{size} nodes:");
+        println!("{}", table.render());
+    }
+    println!("aggregation coalesces each pass's updates per destination peer and pays one");
+    println!("route (then one cached IP send) per frame instead of one route per update");
+
+    if args.json() {
+        let path = ExperimentRecord::new(
+            "table3_batch",
+            format!("peers={peers} frame_bytes={cap} seed={}", args.seed()),
+            records,
+        )
+        .write_to_dir(results_dir())
+        .expect("write results");
+        println!("wrote {}", path.display());
+    }
+}
 
 fn main() {
     let args = Args::parse();
+    if args.has("batch") {
+        batch_mode(&args);
+        return;
+    }
     let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
     // Per-pass computation time added to the transfer model. The paper
     // estimates "a minute or less" per pass for the 5000k graph;

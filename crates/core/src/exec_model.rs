@@ -21,6 +21,14 @@
 /// The paper's message size: 128-bit GUID + 64-bit rank = 24 bytes.
 pub const MESSAGE_BYTES: f64 = 24.0;
 
+/// Frame header size under per-peer aggregation (magic + version +
+/// entry count), in bytes. Mirrors `dpr_p2p::transport::FRAME_HEADER_BYTES`.
+pub const FRAME_HEADER_BYTES: f64 = 4.0;
+
+/// Per-update cost inside a frame: 64-bit demux tag + 64-bit rank.
+/// Mirrors `dpr_p2p::transport::FRAME_ENTRY_BYTES`.
+pub const FRAME_ENTRY_BYTES: f64 = 16.0;
+
 /// Conservative P2P transfer rate used in Table 3 (bytes/second).
 pub const RATE_32KBS: f64 = 32.0 * 1024.0;
 
@@ -45,6 +53,39 @@ pub fn aggregate_time_secs(
 ) -> f64 {
     assert!(rate > 0.0, "rate must be positive");
     total_messages as f64 * MESSAGE_BYTES / rate + passes as f64 * compute_per_pass
+}
+
+/// Aggregate serialized-transfer model under per-peer aggregation:
+/// the run's traffic is `total_frames` frame headers plus
+/// `total_entries` packed 16-byte updates instead of
+/// `total_entries` (or more — coalescing also removes duplicates)
+/// 24-byte singles.
+pub fn batched_aggregate_time_secs(
+    total_frames: u64,
+    total_entries: u64,
+    rate: f64,
+    passes: usize,
+    compute_per_pass: f64,
+) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let bytes = total_frames as f64 * FRAME_HEADER_BYTES + total_entries as f64 * FRAME_ENTRY_BYTES;
+    bytes / rate + passes as f64 * compute_per_pass
+}
+
+/// Per-pass time at one peer under Equation 4 with aggregation:
+/// `T_i + Σ_j (H + E_ij·s')/r` — one frame header per destination
+/// peer the pass actually sends to (`frames_out`), plus the packed
+/// entries (`entries_out` = distinct remote documents updated, which
+/// replaces the raw link count `Σ_j L_ij` of the unbatched model).
+pub fn eq4_batched_pass_time_secs(
+    compute: f64,
+    frames_out: u64,
+    entries_out: u64,
+    rate: f64,
+) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    compute
+        + (frames_out as f64 * FRAME_HEADER_BYTES + entries_out as f64 * FRAME_ENTRY_BYTES) / rate
 }
 
 /// Per-pass time at one peer under Equation 4: `T_i + Σ_j L_ij·s/r`.
@@ -144,5 +185,29 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn rejects_nonpositive_rate() {
         aggregate_time_secs(1, 0.0, 0, 0.0);
+    }
+
+    #[test]
+    fn batched_model_beats_unbatched_for_any_grouping() {
+        // k entries in one frame: 4 + 16k bytes < 24k bytes for k >= 1,
+        // so the batched time is strictly below the unbatched time even
+        // in the worst case of one entry per frame.
+        for k in [1u64, 2, 10, 87, 1000] {
+            let unbatched = aggregate_time_secs(k, RATE_32KBS, 0, 0.0);
+            let batched = batched_aggregate_time_secs(1, k, RATE_32KBS, 0, 0.0);
+            assert!(batched < unbatched, "k={k}: {batched} !< {unbatched}");
+        }
+        // Exact bytes: 3 frames x 4 B + 100 entries x 16 B = 1612 B.
+        let t = batched_aggregate_time_secs(3, 100, RATE_32KBS, 0, 0.0);
+        assert!((t - 1612.0 / RATE_32KBS).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq4_batched_matches_hand_computation() {
+        // 5 destination peers, 100 distinct remote docs: 5*4 + 100*16
+        // = 1620 B on the wire, vs 2400 B unbatched.
+        let t = eq4_batched_pass_time_secs(1.0, 5, 100, RATE_32KBS);
+        assert!((t - (1.0 + 1620.0 / 32768.0)).abs() < 1e-12);
+        assert!(t < eq4_pass_time_secs(1.0, 100, RATE_32KBS));
     }
 }

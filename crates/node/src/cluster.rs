@@ -8,7 +8,7 @@
 //! deployable shape of the algorithm — nothing in it reads global
 //! state except the test-only convergence check.
 
-use crate::node::PeerNode;
+use crate::node::{PeerNode, WireMode};
 use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
@@ -18,13 +18,23 @@ use dpr_p2p::transport::{TrafficStats, Transport};
 /// Statistics of one cluster round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct RoundStats {
-    /// Wire messages handed to the transport this round.
+    /// Wire payloads handed to the transport this round (frames count
+    /// once each).
     pub sent: u64,
-    /// Messages applied from inboxes this round.
+    /// Payloads applied from inboxes this round.
     pub delivered: u64,
-    /// Parked messages re-delivered this round.
+    /// Parked payloads re-delivered this round.
     pub redelivered: u64,
+    /// Overlay hops charged by the hop model for this round's sends
+    /// (zero when no model is installed).
+    pub hops: u64,
 }
+
+/// Per-payload overlay hop model: `(from, to, payload) -> hops`. The
+/// cluster charges it once per transport send — which is once per
+/// *frame* under aggregation, the routing saving the paper's Sec. 4.6
+/// aggregation assumption is after.
+pub type HopHook<'a> = dyn FnMut(PeerId, PeerId, &Bytes) -> u32 + 'a;
 
 /// A full message-level system: peers + transport.
 #[derive(Debug)]
@@ -48,9 +58,20 @@ impl Cluster {
         num_peers: usize,
         cfg: EngineConfig,
     ) -> Self {
+        Cluster::build_with(graph, placement, num_peers, cfg, WireMode::Single)
+    }
+
+    /// [`Cluster::build`] with an explicit wire mode for every node.
+    pub fn build_with(
+        graph: &CsrGraph,
+        placement: &Placement,
+        num_peers: usize,
+        cfg: EngineConfig,
+        wire: WireMode,
+    ) -> Self {
         assert_eq!(placement.num_docs(), graph.num_nodes());
         let mut nodes: Vec<PeerNode> = (0..num_peers as u32)
-            .map(|i| PeerNode::new(PeerId(i), cfg))
+            .map(|i| PeerNode::with_wire(PeerId(i), cfg, wire))
             .collect();
         for d in 0..graph.num_nodes() {
             let doc = DocId::from(d);
@@ -86,6 +107,16 @@ impl Cluster {
 
     /// Executes one round over the online peers.
     pub fn round(&mut self, peers: &PeerTable) -> RoundStats {
+        self.round_with_hops(peers, None)
+    }
+
+    /// [`Cluster::round`] with an optional overlay hop model charged
+    /// once per transport send.
+    pub fn round_with_hops(
+        &mut self,
+        peers: &PeerTable,
+        mut hops: Option<&mut HopHook<'_>>,
+    ) -> RoundStats {
         self.rounds += 1;
         // Parked messages whose destination returned get delivered
         // first (the periodic resend of Sec. 3.1).
@@ -110,6 +141,9 @@ impl Cluster {
             self.nodes[i].step();
             // Outbox -> transport.
             for (to, payload) in self.nodes[i].drain_outbox() {
+                if let Some(model) = hops.as_deref_mut() {
+                    stats.hops += model(pid, to, &payload) as u64;
+                }
                 self.transport.send(peers, pid, to, payload);
                 stats.sent += 1;
             }
@@ -205,20 +239,51 @@ impl Cluster {
             node.rehome_links(p, reassign);
         }
         // 3. Redirect in-flight traffic: p's inbox plus everything
-        //    parked for p. The payload's GUID names the document; its
-        //    new holder is found via `reassign`, mirroring a fresh DHT
-        //    lookup.
+        //    parked for p. A single's GUID (or a frame entry's tag)
+        //    names the document; its new holder is found via
+        //    `reassign`, mirroring a fresh DHT lookup. A stranded
+        //    *frame* may cover documents that re-homed to different
+        //    peers, so it is split: one frame per new holder, entries
+        //    kept in original order, each original frame split
+        //    independently (no cross-frame coalescing — the increments
+        //    were separate sends and must stay separate folds).
+        use dpr_p2p::guid::Guid;
+        use dpr_p2p::transport::{RankUpdateWire, UpdateFrameWire, RANK_UPDATE_WIRE_BYTES};
+        let guid_home: std::collections::HashMap<u128, PeerId> = new_home
+            .iter()
+            .map(|&(d, h)| (Guid::for_document(d).0, h))
+            .collect();
+        let tag_home: std::collections::HashMap<u64, PeerId> = new_home
+            .iter()
+            .map(|&(d, h)| (Guid::for_document(d).frame_tag(), h))
+            .collect();
         let mut stranded = self.transport.drain_inbox(p);
         stranded.extend(self.transport.take_pending_for(p));
         for env in stranded {
-            let wire = dpr_p2p::transport::RankUpdateWire::decode(env.payload.clone())
-                .expect("cluster messages are well-formed");
-            let doc = new_home
-                .iter()
-                .find(|&&(d, _)| dpr_p2p::guid::Guid::for_document(d).0 == wire.guid)
-                .map(|&(_, holder)| holder)
-                .expect("stranded message must target a migrated document");
-            self.transport.send(peers, env.from, doc, env.payload);
+            if env.payload.len() == RANK_UPDATE_WIRE_BYTES {
+                let wire = RankUpdateWire::decode(env.payload.clone())
+                    .expect("cluster messages are well-formed");
+                let holder = *guid_home
+                    .get(&wire.guid)
+                    .expect("stranded message must target a migrated document");
+                self.transport.send(peers, env.from, holder, env.payload);
+            } else {
+                let wire =
+                    UpdateFrameWire::decode(env.payload).expect("cluster messages are well-formed");
+                let mut split: Vec<(PeerId, UpdateFrameWire)> = Vec::new();
+                for e in wire.entries {
+                    let holder = *tag_home
+                        .get(&e.tag)
+                        .expect("stranded frame entry must target a migrated document");
+                    match split.iter_mut().find(|(h, _)| *h == holder) {
+                        Some((_, f)) => f.entries.push(e),
+                        None => split.push((holder, UpdateFrameWire { entries: vec![e] })),
+                    }
+                }
+                for (holder, frame) in split {
+                    self.transport.send(peers, env.from, holder, frame.encode());
+                }
+            }
         }
         migrated
     }
@@ -274,7 +339,7 @@ mod tests {
             .map(|d| placement.owner(DocId::from(d)))
             .collect();
         let mut engine =
-            dpr_core::engine::ChaoticEngine::new(std::sync::Arc::new(graph), owners, cfg);
+            dpr_core::engine::ChaoticEngine::new(std::sync::Arc::new(graph.clone()), owners, cfg);
         let run = engine.run_static();
         assert!(run.converged);
 
@@ -294,6 +359,38 @@ mod tests {
         // staleness costs fewer messages, never more.
         let ratio = cluster.traffic().sent as f64 / run.total_remote_messages as f64;
         assert!((0.3..=1.05).contains(&ratio), "traffic ratio {ratio}");
+
+        // The batched wire path runs the same schedule through frames:
+        // ranks must agree with the unbatched cluster *bit for bit*
+        // (the aggregation determinism claim), and hence also
+        // cross-validate against the array engine to O(eps). It also
+        // must be strictly cheaper in payloads and bytes.
+        let mut batched = Cluster::build_with(&graph, &placement, 10, cfg, WireMode::frames());
+        let mut peers_b = PeerTable::new(10);
+        let (_, ok) = batched.run_to_convergence(&mut peers_b, 10_000, None);
+        assert!(ok);
+        assert_eq!(
+            batched.collect_ranks(nodes),
+            ranks,
+            "batched and unbatched ranks must be bit-identical"
+        );
+        for (a, b) in batched.collect_ranks(nodes).iter().zip(engine.ranks()) {
+            let rel = (a - b).abs() / b.abs().max(1e-12);
+            assert!(rel < 1e-4, "{a} vs {b}");
+        }
+        let (tu, tb) = (cluster.traffic(), batched.traffic());
+        assert!(
+            tb.sent < tu.sent,
+            "frames: {} !< singles: {}",
+            tb.sent,
+            tu.sent
+        );
+        assert!(
+            tb.bytes_sent < tu.bytes_sent,
+            "frame bytes {} !< 24k baseline {}",
+            tb.bytes_sent,
+            tu.bytes_sent
+        );
     }
 
     #[test]
@@ -313,6 +410,40 @@ mod tests {
         for (a, b) in ranks.iter().zip(&reference) {
             assert!((a - b).abs() / b < 0.01, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn batched_cluster_survives_churn_identically() {
+        // Same churn schedule (same RNG seed), both wire modes: parked
+        // frames redeliver whole, and the converged ranks stay
+        // bit-identical to the unbatched run.
+        let run = |wire: WireMode| {
+            let graph = paper_graph(500, 64);
+            let ring = Ring::with_peers(8);
+            let mut rng = ChaCha8Rng::seed_from_u64(64 ^ 1);
+            let placement = Placement::assign(500, &ring, PlacementPolicy::Random, &mut rng);
+            let mut cluster = Cluster::build_with(
+                &graph,
+                &placement,
+                8,
+                EngineConfig::with_epsilon(1e-4),
+                wire,
+            );
+            let mut peers = PeerTable::new(8);
+            let mut churn_rng = ChaCha8Rng::seed_from_u64(65);
+            let mut churn = move |_r: usize, p: &mut PeerTable| {
+                p.set_online_fraction(0.5, &mut churn_rng);
+            };
+            let (rounds, ok) = cluster.run_to_convergence(&mut peers, 50_000, Some(&mut churn));
+            assert!(ok, "no convergence in {rounds} rounds");
+            (cluster.collect_ranks(500), cluster.traffic())
+        };
+        let (single, ts) = run(WireMode::Single);
+        let (framed, tf) = run(WireMode::frames());
+        assert_eq!(framed, single, "churned ranks must be bit-identical");
+        assert!(tf.parked > 0, "churn must park frames");
+        assert_eq!(tf.parked, tf.redelivered);
+        assert!(tf.sent < ts.sent);
     }
 
     #[test]

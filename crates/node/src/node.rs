@@ -7,15 +7,64 @@
 //! updates; outgoing messages are the same. The node is completely
 //! ignorant of any global state — everything it does is local, which
 //! is the property that makes the algorithm deployable.
+//!
+//! # Per-peer aggregation and [`WireMode`]
+//!
+//! Peers holding many documents send many updates to the same
+//! destination peer each pass (Sec. 4.6 assumes this traffic is
+//! combined). Every node therefore accumulates outbound increments
+//! per destination in a [`FlushBuffer`] during phase 2, coalescing
+//! same-document increments into one entry (added in emission order),
+//! and flushes at the end of the step. Aggregation is part of the
+//! protocol; [`WireMode`] only chooses the *wire format* of a flush:
+//!
+//! * [`WireMode::Single`] — each coalesced entry leaves as its own
+//!   24-byte `(GUID, f64)` message (the paper's wire format);
+//! * [`WireMode::Frames`] — each destination's entries leave packed
+//!   into length-prefixed multi-update frames of at most
+//!   `max_frame_bytes`, one routed payload per frame.
+//!
+//! Because both modes emit the *same coalesced group sums in the same
+//! order* and the receiver folds them into `pending` one addition per
+//! entry in arrival order, converged ranks are bit-identical across
+//! wire modes and frame-size caps (see DESIGN.md "Wire protocol &
+//! aggregation").
 
 use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
-use dpr_core::message::{MessageError, RankUpdate};
+use dpr_core::message::{FlushBuffer, MessageError, RankUpdate, UpdateFrame};
 use dpr_graph::DocId;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::peer::PeerId;
-use dpr_p2p::transport::RankUpdateWire;
+use dpr_p2p::transport::{RankUpdateWire, UpdateFrameWire, RANK_UPDATE_WIRE_BYTES};
 use std::collections::HashMap;
+
+/// How a node puts updates on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// One 24-byte message per update (the paper's baseline).
+    Single,
+    /// Per-destination aggregation: updates accumulate in flush
+    /// buffers and leave as multi-update frames of at most
+    /// `max_frame_bytes` each at the end of every step.
+    Frames {
+        /// Size cap per frame, in wire bytes (at least one entry is
+        /// always allowed).
+        max_frame_bytes: usize,
+    },
+}
+
+/// Default frame-size cap: one MTU-sized payload (87 entries).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1400;
+
+impl WireMode {
+    /// Frames mode with the default MTU-sized cap.
+    pub fn frames() -> WireMode {
+        WireMode::Frames {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
 
 /// Per-document protocol state.
 #[derive(Debug, Clone)]
@@ -31,12 +80,22 @@ struct DocState {
 /// Counters a node keeps about its own behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct NodeStats {
-    /// Wire messages received and applied.
+    /// Rank updates received over the wire and applied (frame entries
+    /// count individually).
     pub received: u64,
-    /// Wire messages emitted to other peers.
+    /// Rank updates put on the wire — coalesced flush-buffer entries,
+    /// whether they travelled as singles or frame entries. Conserved
+    /// against `received` (Safra's termination detection counts on
+    /// this invariant).
     pub sent_remote: u64,
+    /// Remote link emissions before coalescing — the number of wire
+    /// messages the paper's one-message-per-update model would have
+    /// sent (Table 3's message metric).
+    pub emitted_remote: u64,
     /// Same-peer link updates (no wire message).
     pub local_updates: u64,
+    /// Multi-update frames emitted (zero in [`WireMode::Single`]).
+    pub frames_sent: u64,
     /// Messages that failed to decode or referenced unknown GUIDs.
     pub rejected: u64,
 }
@@ -46,26 +105,47 @@ pub struct NodeStats {
 pub struct PeerNode {
     id: PeerId,
     cfg: EngineConfig,
+    wire: WireMode,
     docs: HashMap<DocId, DocState>,
     guid_index: HashMap<Guid, DocId>,
+    /// Frame-entry demultiplexer: 64-bit tag -> local document.
+    tag_index: HashMap<u64, DocId>,
     /// Documents with nonzero pending, processed on the next step.
     dirty: Vec<DocId>,
+    /// Per-destination aggregation buffers (empty between steps).
+    flush: HashMap<PeerId, FlushBuffer>,
+    /// Destinations touched this step, in first-touch order.
+    flush_order: Vec<PeerId>,
     outbox: Vec<(PeerId, Bytes)>,
     stats: NodeStats,
 }
 
 impl PeerNode {
-    /// A node with no documents.
+    /// A node with no documents, sending unbatched single messages.
     pub fn new(id: PeerId, cfg: EngineConfig) -> Self {
+        PeerNode::with_wire(id, cfg, WireMode::Single)
+    }
+
+    /// A node with no documents and an explicit wire mode.
+    pub fn with_wire(id: PeerId, cfg: EngineConfig, wire: WireMode) -> Self {
         PeerNode {
             id,
             cfg,
+            wire,
             docs: HashMap::new(),
             guid_index: HashMap::new(),
+            tag_index: HashMap::new(),
             dirty: Vec::new(),
+            flush: HashMap::new(),
+            flush_order: Vec::new(),
             outbox: Vec::new(),
             stats: NodeStats::default(),
         }
+    }
+
+    /// This node's wire mode.
+    pub fn wire_mode(&self) -> WireMode {
+        self.wire
     }
 
     /// This node's peer id.
@@ -106,8 +186,23 @@ impl PeerNode {
             "document {doc} already stored on {}",
             self.id
         );
-        self.guid_index.insert(Guid::for_document(doc), doc);
+        self.register_guid(doc);
         self.dirty.push(doc);
+    }
+
+    /// Indexes a stored document's GUID and frame tag, rejecting the
+    /// ~2^-64 event of a same-peer 64-bit tag collision (a colliding
+    /// frame entry would silently credit the wrong document).
+    fn register_guid(&mut self, doc: DocId) {
+        let guid = Guid::for_document(doc);
+        self.guid_index.insert(guid, doc);
+        let prev = self.tag_index.insert(guid.frame_tag(), doc);
+        assert!(
+            prev.is_none(),
+            "frame tag collision between {doc} and {} on {}",
+            prev.unwrap(),
+            self.id
+        );
     }
 
     /// Current rank of a local document, if stored here.
@@ -115,8 +210,20 @@ impl PeerNode {
         self.docs.get(&doc).map(|d| d.rank)
     }
 
-    /// Handles one incoming wire message.
+    /// Handles one incoming wire payload, dispatching on length: a
+    /// 24-byte payload is a single `(GUID, f64)` update, anything else
+    /// is parsed as a multi-update frame (frame lengths are
+    /// `4 + 16k`, never 24, so the dispatch is unambiguous).
     pub fn handle_message(&mut self, payload: Bytes) -> Result<(), MessageError> {
+        if payload.len() == RANK_UPDATE_WIRE_BYTES {
+            self.handle_single(payload)
+        } else {
+            self.handle_frame(payload)
+        }
+    }
+
+    /// Handles one 24-byte single-update message.
+    fn handle_single(&mut self, payload: Bytes) -> Result<(), MessageError> {
         let wire = RankUpdateWire::decode(payload).map_err(|e| {
             self.stats.rejected += 1;
             MessageError::Wire(e)
@@ -125,6 +232,24 @@ impl PeerNode {
             .inspect_err(|_| self.stats.rejected += 1)?;
         self.apply(update.doc, update.delta);
         self.stats.received += 1;
+        Ok(())
+    }
+
+    /// Handles one multi-update frame: all entries must resolve before
+    /// any is applied (a frame is atomic), then they fold into
+    /// `pending` in entry order — the same one-addition-per-entry fold
+    /// the entries would have produced as single messages.
+    fn handle_frame(&mut self, payload: Bytes) -> Result<(), MessageError> {
+        let wire = UpdateFrameWire::decode(payload).map_err(|e| {
+            self.stats.rejected += 1;
+            MessageError::Wire(e)
+        })?;
+        let frame = UpdateFrame::from_wire(&wire, |t| self.tag_index.get(&t).copied())
+            .inspect_err(|_| self.stats.rejected += 1)?;
+        self.stats.received += frame.updates.len() as u64;
+        for u in frame.updates {
+            self.apply(u.doc, u.delta);
+        }
         Ok(())
     }
 
@@ -144,10 +269,14 @@ impl PeerNode {
     }
 
     /// One local pass: apply every pending increment, then emit
-    /// updates for documents whose rank moved more than ε. Encoded
-    /// remote messages accumulate in the outbox; same-peer updates are
-    /// applied directly (visible on the *next* step, matching the
-    /// engine's two-phase pass).
+    /// updates for documents whose rank moved more than ε. Remote
+    /// emissions accumulate in per-destination flush buffers
+    /// (coalescing same-document increments) and leave in the outbox
+    /// at pass end — one 24-byte message per coalesced entry in
+    /// [`WireMode::Single`], packed multi-update frames in
+    /// [`WireMode::Frames`]. Same-peer updates are applied directly
+    /// (visible on the *next* step, matching the engine's two-phase
+    /// pass).
     pub fn step(&mut self) {
         let work = std::mem::take(&mut self.dirty);
         // Phase 1: apply.
@@ -177,9 +306,36 @@ impl PeerNode {
                     self.apply(target, send);
                     self.stats.local_updates += 1;
                 } else {
-                    let wire = RankUpdate::new(target, send).to_wire().encode();
-                    self.outbox.push((holder, wire));
-                    self.stats.sent_remote += 1;
+                    let buf = self.flush.entry(holder).or_default();
+                    if buf.is_empty() {
+                        self.flush_order.push(holder);
+                    }
+                    buf.push(target, send);
+                    self.stats.emitted_remote += 1;
+                }
+            }
+        }
+        // Phase 3: flush-on-pass-end. Destinations leave in
+        // first-touch order, entries within a destination in
+        // first-emission order — the canonical fold order both wire
+        // formats serialize.
+        for dst in std::mem::take(&mut self.flush_order) {
+            let buf = self.flush.get_mut(&dst).expect("touched buffer exists");
+            match self.wire {
+                WireMode::Single => {
+                    for frame in buf.flush(usize::MAX) {
+                        self.stats.sent_remote += frame.updates.len() as u64;
+                        for u in frame.updates {
+                            self.outbox.push((dst, u.to_wire().encode()));
+                        }
+                    }
+                }
+                WireMode::Frames { max_frame_bytes } => {
+                    for frame in buf.flush(max_frame_bytes) {
+                        self.stats.sent_remote += frame.updates.len() as u64;
+                        self.outbox.push((dst, frame.to_wire().encode()));
+                        self.stats.frames_sent += 1;
+                    }
                 }
             }
         }
@@ -197,6 +353,7 @@ impl PeerNode {
     pub fn export_documents(&mut self) -> Vec<DocExport> {
         self.dirty.clear();
         self.guid_index.clear();
+        self.tag_index.clear();
         self.docs
             .drain()
             .map(|(doc, s)| DocExport {
@@ -236,7 +393,7 @@ impl PeerNode {
             "document {doc} already stored on {}",
             self.id
         );
-        self.guid_index.insert(Guid::for_document(doc), doc);
+        self.register_guid(doc);
         if self.docs[&doc].pending != 0.0 {
             self.dirty.push(doc);
         }
@@ -349,6 +506,120 @@ mod tests {
         let mut n = PeerNode::new(PeerId(1), cfg(1e-3));
         assert!(n.handle_message(Bytes::from_static(b"junk")).is_err());
         assert_eq!(n.stats().rejected, 1);
+    }
+
+    #[test]
+    fn frames_mode_coalesces_per_destination() {
+        // Two docs on peer 0 both link to docs on peer 1, one of them
+        // twice to the same target: one frame, coalesced entries.
+        let mut n = PeerNode::with_wire(PeerId(0), cfg(1e-6), WireMode::frames());
+        n.add_document(
+            DocId(1),
+            vec![(DocId(10), PeerId(1)), (DocId(11), PeerId(1))],
+        );
+        n.add_document(DocId(2), vec![(DocId(10), PeerId(1))]);
+        n.step();
+        let out = n.drain_outbox();
+        assert_eq!(out.len(), 1, "one destination -> one frame");
+        assert_eq!(out[0].0, PeerId(1));
+        // Two coalesced entries (docs 10 and 11): 4 + 16*2 bytes.
+        assert_eq!(out[0].1.len(), 4 + 16 * 2);
+        let s = n.stats();
+        assert_eq!(s.emitted_remote, 3, "logical updates, pre-coalescing");
+        assert_eq!(s.sent_remote, 2, "coalesced entries on the wire");
+        assert_eq!(s.frames_sent, 1);
+
+        // The receiver resolves and folds both entries.
+        let mut m = PeerNode::with_wire(PeerId(1), cfg(1e-6), WireMode::frames());
+        m.add_document(DocId(10), vec![]);
+        m.add_document(DocId(11), vec![]);
+        m.step(); // absorb base
+        let (r10, r11) = (m.rank_of(DocId(10)).unwrap(), m.rank_of(DocId(11)).unwrap());
+        m.handle_message(out.into_iter().next().unwrap().1).unwrap();
+        assert_eq!(m.stats().received, 2);
+        m.step();
+        // doc 10 got 0.85*0.15/2 (from doc 1) + 0.85*0.15 (from doc 2).
+        let exp10 = 0.85 * 0.15 / 2.0 + 0.85 * 0.15;
+        assert!((m.rank_of(DocId(10)).unwrap() - r10 - exp10).abs() < 1e-12);
+        assert!((m.rank_of(DocId(11)).unwrap() - r11 - 0.85 * 0.15 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_size_cap_splits_the_flush() {
+        // Cap fits one entry per frame: two targets -> two frames.
+        let mut n = PeerNode::with_wire(
+            PeerId(0),
+            cfg(1e-6),
+            WireMode::Frames {
+                max_frame_bytes: 20,
+            },
+        );
+        n.add_document(
+            DocId(1),
+            vec![(DocId(10), PeerId(1)), (DocId(11), PeerId(1))],
+        );
+        n.step();
+        let out = n.drain_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(p, b)| *p == PeerId(1) && b.len() == 20));
+        assert_eq!(n.stats().frames_sent, 2);
+    }
+
+    #[test]
+    fn frame_with_unknown_tag_is_rejected_atomically() {
+        let mut n = PeerNode::with_wire(PeerId(1), cfg(1e-6), WireMode::frames());
+        n.add_document(DocId(2), vec![]);
+        n.step();
+        let frame = UpdateFrame {
+            updates: vec![
+                RankUpdate::new(DocId(2), 0.5),
+                RankUpdate::new(DocId(99), 0.5),
+            ],
+        };
+        let err = n.handle_message(frame.to_wire().encode()).unwrap_err();
+        assert!(matches!(err, MessageError::UnknownTag(_)));
+        assert_eq!(n.stats().rejected, 1);
+        assert!(!n.has_work(), "no entry applied from a bad frame");
+    }
+
+    #[test]
+    fn single_mode_node_accepts_frames_too() {
+        // Wire mode governs sending; any node can receive frames.
+        let mut n = PeerNode::new(PeerId(1), cfg(1e-6));
+        n.add_document(DocId(2), vec![]);
+        n.step();
+        let frame = UpdateFrame {
+            updates: vec![RankUpdate::new(DocId(2), 0.25)],
+        };
+        n.handle_message(frame.to_wire().encode()).unwrap();
+        n.step();
+        assert!((n.rank_of(DocId(2)).unwrap() - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_mode_coalesces_before_sending() {
+        // Two docs linking the same remote target: one coalesced
+        // 24-byte message, not two — aggregation is part of the
+        // protocol in both wire modes, so ranks cannot depend on the
+        // wire format.
+        let mut n = PeerNode::new(PeerId(0), cfg(1e-6));
+        n.add_document(DocId(1), vec![(DocId(10), PeerId(1))]);
+        n.add_document(DocId(2), vec![(DocId(10), PeerId(1))]);
+        n.step();
+        let out = n.drain_outbox();
+        assert_eq!(out.len(), 1, "coalesced into one single");
+        assert_eq!(out[0].1.len(), 24);
+        assert_eq!(n.stats().emitted_remote, 2, "logical updates still 2");
+        assert_eq!(n.stats().sent_remote, 1, "one coalesced entry on the wire");
+        assert_eq!(n.stats().frames_sent, 0);
+        // The payload carries the sum of both contributions.
+        let mut m = PeerNode::new(PeerId(1), cfg(1e-6));
+        m.add_document(DocId(10), vec![]);
+        m.step();
+        m.handle_message(out.into_iter().next().unwrap().1).unwrap();
+        m.step();
+        let exp = 0.85 * 0.15 + 0.85 * 0.15;
+        assert!((m.rank_of(DocId(10)).unwrap() - 0.15 - exp).abs() < 1e-12);
     }
 
     #[test]

@@ -70,6 +70,20 @@ impl Guid {
         Guid(avalanche(fnv1a_128(&bytes)))
     }
 
+    /// The 64-bit demultiplexing tag used inside multi-update frames.
+    ///
+    /// A frame is already addressed to the one peer holding all its
+    /// target documents, so entries do not need the full 128-bit GUID
+    /// that DHT *routing* needs — the low half identifies a document
+    /// within one peer's document set. Receivers keep a `tag -> doc`
+    /// index and check for collisions when documents are registered
+    /// (see `PeerNode::add_document`); the avalanche mix makes a
+    /// same-peer collision a ~2^-64 event.
+    #[inline]
+    pub fn frame_tag(self) -> u64 {
+        self.0 as u64
+    }
+
     /// Clockwise distance from `self` to `other` on the circle.
     #[inline]
     pub fn distance_to(self, other: Guid) -> u128 {

@@ -41,6 +41,24 @@ pub struct TrafficStats {
     pub redelivered: u64,
     /// Retry attempts that found the destination still offline.
     pub retry_failures: u64,
+    /// Payload bytes handed to `send`.
+    pub bytes_sent: u64,
+    /// Payload bytes placed in destination inboxes (first delivery and
+    /// redelivery both count: a resent frame crosses the wire again).
+    pub bytes_delivered: u64,
+}
+
+/// Payload byte size as it would appear on the wire, so the transport
+/// can keep byte-accurate traffic counters for any payload type.
+pub trait WireSize {
+    /// Serialized size of this payload in bytes.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl WireSize for Bytes {
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
 }
 
 /// Per-peer inboxes plus the store-and-resend buffer.
@@ -68,41 +86,6 @@ impl<M> Transport<M> {
     /// Number of peers.
     pub fn num_peers(&self) -> usize {
         self.inboxes.len()
-    }
-
-    /// Sends `payload` from `from` to `to`. If `to` is offline the
-    /// message is parked at the sender for later retry.
-    pub fn send(&mut self, peers: &PeerTable, from: PeerId, to: PeerId, payload: M) {
-        self.stats.sent += 1;
-        let env = Envelope { from, to, payload };
-        if peers.is_online(to) {
-            self.stats.delivered += 1;
-            self.inboxes[to.index()].push_back(env);
-        } else {
-            self.stats.parked += 1;
-            self.pending[from.index()].push(env);
-        }
-    }
-
-    /// Retries every parked message; messages whose destination is now
-    /// online are delivered. Returns the number re-delivered.
-    pub fn retry_pending(&mut self, peers: &PeerTable) -> u64 {
-        let mut redelivered = 0u64;
-        for sender in 0..self.pending.len() {
-            let mut still_parked = Vec::new();
-            for env in self.pending[sender].drain(..) {
-                if peers.is_online(env.to) {
-                    self.inboxes[env.to.index()].push_back(env);
-                    redelivered += 1;
-                } else {
-                    self.stats.retry_failures += 1;
-                    still_parked.push(env);
-                }
-            }
-            self.pending[sender] = still_parked;
-        }
-        self.stats.redelivered += redelivered;
-        redelivered
     }
 
     /// Removes and returns every message addressed to `dst` that is
@@ -168,6 +151,48 @@ impl<M> Transport<M> {
     }
 }
 
+impl<M: WireSize> Transport<M> {
+    /// Sends `payload` from `from` to `to`. If `to` is offline the
+    /// message is parked at the sender for later retry. Whole payloads
+    /// park and resend as units — for multi-update frames this is the
+    /// store-and-resend of entire frames.
+    pub fn send(&mut self, peers: &PeerTable, from: PeerId, to: PeerId, payload: M) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += payload.wire_bytes() as u64;
+        let env = Envelope { from, to, payload };
+        if peers.is_online(to) {
+            self.stats.delivered += 1;
+            self.stats.bytes_delivered += env.payload.wire_bytes() as u64;
+            self.inboxes[to.index()].push_back(env);
+        } else {
+            self.stats.parked += 1;
+            self.pending[from.index()].push(env);
+        }
+    }
+
+    /// Retries every parked message; messages whose destination is now
+    /// online are delivered. Returns the number re-delivered.
+    pub fn retry_pending(&mut self, peers: &PeerTable) -> u64 {
+        let mut redelivered = 0u64;
+        for sender in 0..self.pending.len() {
+            let mut still_parked = Vec::new();
+            for env in self.pending[sender].drain(..) {
+                if peers.is_online(env.to) {
+                    self.stats.bytes_delivered += env.payload.wire_bytes() as u64;
+                    self.inboxes[env.to.index()].push_back(env);
+                    redelivered += 1;
+                } else {
+                    self.stats.retry_failures += 1;
+                    still_parked.push(env);
+                }
+            }
+            self.pending[sender] = still_parked;
+        }
+        self.stats.redelivered += redelivered;
+        redelivered
+    }
+}
+
 /// The paper's pagerank update message: "128 bits for GUID, 64 bits
 /// for pagerank value" — 24 bytes on the wire (Sec. 4.6.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -206,20 +231,142 @@ impl RankUpdateWire {
     }
 }
 
+/// A multi-update frame: the per-destination aggregated form of k
+/// rank updates.
+///
+/// Layout: `[magic u8][version u8][count u16 LE]` followed by `count`
+/// entries of `[tag u64 LE][value f64 LE]`. The full 128-bit GUID is
+/// what DHT *routing* needs; once a frame is addressed to the one peer
+/// holding every target document, the 64-bit [`Guid::frame_tag`]
+/// suffices to demultiplex within that peer's document set — so a
+/// packed entry is 16 bytes against the 24-byte single-update message,
+/// and a frame of k updates costs `4 + 16k < 24k` bytes for every
+/// k ≥ 1.
+///
+/// Frame lengths are `4 + 16k` (20, 36, 52, …) and a single update is
+/// exactly 24 bytes, so the two payload kinds never collide on length;
+/// receivers dispatch on `len == RANK_UPDATE_WIRE_BYTES`.
+///
+/// [`Guid::frame_tag`]: crate::guid::Guid::frame_tag
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UpdateFrameWire {
+    /// The packed updates, in the sender's flush order.
+    pub entries: Vec<FrameEntry>,
+}
+
+/// One packed update inside an [`UpdateFrameWire`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameEntry {
+    /// [`Guid::frame_tag`] of the target document.
+    ///
+    /// [`Guid::frame_tag`]: crate::guid::Guid::frame_tag
+    pub tag: u64,
+    /// The coalesced rank contribution for that document.
+    pub value: f64,
+}
+
+/// First byte of every frame.
+pub const FRAME_MAGIC: u8 = 0xF7;
+/// Wire-protocol version of the frame layout.
+pub const FRAME_VERSION: u8 = 1;
+/// Frame header size: magic + version + u16 entry count.
+pub const FRAME_HEADER_BYTES: usize = 4;
+/// Size of one packed entry: 64-bit tag + 64-bit value.
+pub const FRAME_ENTRY_BYTES: usize = 16;
+/// Hard cap on entries per frame (the count field is a u16).
+pub const FRAME_MAX_ENTRIES: usize = u16::MAX as usize;
+
+/// Bytes a frame of `k` entries occupies on the wire.
+pub const fn frame_wire_bytes(k: usize) -> usize {
+    FRAME_HEADER_BYTES + k * FRAME_ENTRY_BYTES
+}
+
+/// Largest entry count whose frame fits in `max_frame_bytes` — the
+/// flush-policy size cap. Never below 1 (an undersized cap still has
+/// to move single updates) and never above [`FRAME_MAX_ENTRIES`].
+pub fn max_entries_for(max_frame_bytes: usize) -> usize {
+    (max_frame_bytes.saturating_sub(FRAME_HEADER_BYTES) / FRAME_ENTRY_BYTES)
+        .clamp(1, FRAME_MAX_ENTRIES)
+}
+
+impl UpdateFrameWire {
+    /// Serializes to the length-implied wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is empty or exceeds [`FRAME_MAX_ENTRIES`].
+    pub fn encode(&self) -> Bytes {
+        assert!(!self.entries.is_empty(), "empty frame");
+        assert!(self.entries.len() <= FRAME_MAX_ENTRIES, "oversized frame");
+        let mut b = BytesMut::with_capacity(frame_wire_bytes(self.entries.len()));
+        b.put_u8(FRAME_MAGIC);
+        b.put_u8(FRAME_VERSION);
+        b.put_u16_le(self.entries.len() as u16);
+        for e in &self.entries {
+            b.put_u64_le(e.tag);
+            b.put_f64_le(e.value);
+        }
+        b.freeze()
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, WireError> {
+        let len = bytes.len();
+        if len < FRAME_HEADER_BYTES {
+            return Err(WireError::BadLength(len));
+        }
+        let magic = bytes.get_u8();
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = bytes.get_u8();
+        if version != FRAME_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let count = bytes.get_u16_le() as usize;
+        if count == 0 {
+            return Err(WireError::EmptyFrame);
+        }
+        if len != frame_wire_bytes(count) {
+            return Err(WireError::BadLength(len));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = bytes.get_u64_le();
+            let value = bytes.get_f64_le();
+            if !value.is_finite() {
+                return Err(WireError::NonFiniteValue);
+            }
+            entries.push(FrameEntry { tag, value });
+        }
+        Ok(UpdateFrameWire { entries })
+    }
+}
+
 /// Wire decoding failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// Payload was not exactly 24 bytes.
+    /// Payload length fits neither a 24-byte single update nor the
+    /// declared frame entry count.
     BadLength(usize),
     /// Rank value was NaN or infinite.
     NonFiniteValue,
+    /// Frame payload did not start with [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// Frame protocol version not understood.
+    BadVersion(u8),
+    /// Frame declared zero entries.
+    EmptyFrame,
 }
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::BadLength(n) => write!(f, "expected 24-byte rank update, got {n}"),
+            WireError::BadLength(n) => write!(f, "payload length {n} fits no update message"),
             WireError::NonFiniteValue => write!(f, "rank value is not finite"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            WireError::EmptyFrame => write!(f, "frame declares zero entries"),
         }
     }
 }
@@ -229,6 +376,24 @@ impl std::error::Error for WireError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    // Toy payloads for transport-mechanics tests report their
+    // in-memory size.
+    impl WireSize for u8 {
+        fn wire_bytes(&self) -> usize {
+            1
+        }
+    }
+    impl WireSize for u32 {
+        fn wire_bytes(&self) -> usize {
+            4
+        }
+    }
+    impl WireSize for &str {
+        fn wire_bytes(&self) -> usize {
+            self.len()
+        }
+    }
 
     #[test]
     fn send_and_receive_in_order() {
@@ -321,6 +486,114 @@ mod tests {
         assert!(taken.iter().all(|e| e.to == PeerId(1)));
         assert_eq!(t.total_pending(), 1, "message for peer 2 stays parked");
         assert!(t.take_pending_for(PeerId(1)).is_empty());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_length_discipline() {
+        let f = UpdateFrameWire {
+            entries: vec![
+                FrameEntry {
+                    tag: 0xdead_beef_cafe_f00d,
+                    value: 0.5,
+                },
+                FrameEntry {
+                    tag: 1,
+                    value: -2.0,
+                },
+            ],
+        };
+        let b = f.encode();
+        assert_eq!(b.len(), frame_wire_bytes(2));
+        assert_eq!(b.len(), FRAME_HEADER_BYTES + 2 * FRAME_ENTRY_BYTES);
+        assert_eq!(UpdateFrameWire::decode(b).unwrap(), f);
+        // A packed frame always undercuts the 24-byte-per-update
+        // baseline, even at k = 1, and never collides with the
+        // single-update length.
+        for k in 1..300 {
+            assert!(frame_wire_bytes(k) < k * RANK_UPDATE_WIRE_BYTES);
+            assert_ne!(frame_wire_bytes(k), RANK_UPDATE_WIRE_BYTES);
+        }
+    }
+
+    #[test]
+    fn frame_rejects_malformed_payloads() {
+        let one = UpdateFrameWire {
+            entries: vec![FrameEntry { tag: 7, value: 1.0 }],
+        };
+        let good = one.encode();
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] = 0x00;
+        assert_eq!(
+            UpdateFrameWire::decode(Bytes::from(bad_magic)),
+            Err(WireError::BadMagic(0x00))
+        );
+
+        let mut bad_version = good.to_vec();
+        bad_version[1] = 9;
+        assert_eq!(
+            UpdateFrameWire::decode(Bytes::from(bad_version)),
+            Err(WireError::BadVersion(9))
+        );
+
+        let mut zero_count = good.to_vec();
+        zero_count[2] = 0;
+        zero_count[3] = 0;
+        assert_eq!(
+            UpdateFrameWire::decode(Bytes::from(zero_count)),
+            Err(WireError::EmptyFrame)
+        );
+
+        // Count says 2 but only one entry's bytes follow.
+        let mut short = good.to_vec();
+        short[2] = 2;
+        assert_eq!(
+            UpdateFrameWire::decode(Bytes::from(short)),
+            Err(WireError::BadLength(frame_wire_bytes(1)))
+        );
+
+        let nan = UpdateFrameWire {
+            entries: vec![FrameEntry {
+                tag: 7,
+                value: f64::NAN,
+            }],
+        }
+        .encode();
+        assert_eq!(UpdateFrameWire::decode(nan), Err(WireError::NonFiniteValue));
+        assert_eq!(
+            UpdateFrameWire::decode(Bytes::from_static(b"ab")),
+            Err(WireError::BadLength(2))
+        );
+    }
+
+    #[test]
+    fn size_cap_maps_to_entry_budget() {
+        // Below one entry's worth of space the cap still moves one
+        // update per frame.
+        assert_eq!(max_entries_for(0), 1);
+        assert_eq!(max_entries_for(FRAME_HEADER_BYTES + FRAME_ENTRY_BYTES), 1);
+        assert_eq!(max_entries_for(frame_wire_bytes(2)), 2);
+        // A 1400-byte MTU-sized cap carries 87 packed updates.
+        assert_eq!(max_entries_for(1400), 87);
+        assert_eq!(max_entries_for(usize::MAX), FRAME_MAX_ENTRIES);
+    }
+
+    #[test]
+    fn transport_counts_payload_bytes() {
+        let mut peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        t.send(&peers, PeerId(0), PeerId(1), Bytes::from_static(&[0; 24]));
+        peers.go_offline(PeerId(1));
+        t.send(&peers, PeerId(0), PeerId(1), Bytes::from_static(&[0; 20]));
+        assert_eq!(t.stats().bytes_sent, 44);
+        assert_eq!(
+            t.stats().bytes_delivered,
+            24,
+            "parked bytes not yet on the wire"
+        );
+        peers.go_online(PeerId(1));
+        t.retry_pending(&peers);
+        assert_eq!(t.stats().bytes_delivered, 44);
     }
 
     #[test]

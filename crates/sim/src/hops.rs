@@ -88,6 +88,31 @@ impl HopAccounting {
         }
     }
 
+    /// Charges one *frame* from `src` to destination peer `dst`,
+    /// returning the overlay hops consumed. A frame is addressed to a
+    /// peer, not a document, so it routes on the peer's own GUID
+    /// (every peer is its own successor — no pointer indirection) and,
+    /// under the caching policy, one cache entry per destination
+    /// *peer* makes every later frame a single direct hop. This is the
+    /// per-frame charge that replaces per-update routing when
+    /// aggregation is on.
+    pub fn charge_peer(&mut self, src: PeerId, dst: PeerId) -> u32 {
+        let guid = Guid::for_peer(dst.0);
+        match self.policy {
+            Policy::RouteEveryMessage => self.route_cost(src, dst, guid),
+            Policy::CacheAfterFirst => {
+                if let Some(peer) = self.caches.of(src).lookup(guid) {
+                    debug_assert_eq!(peer, dst, "stale peer cache in static run");
+                    1
+                } else {
+                    let hops = self.route_cost(src, dst, guid);
+                    self.caches.of(src).insert(guid, dst);
+                    hops
+                }
+            }
+        }
+    }
+
     fn route_cost(&mut self, src: PeerId, actual_owner: PeerId, guid: Guid) -> u32 {
         let route = self.router.route(&self.ring, src, guid);
         // If the document does not physically live on its DHT
@@ -142,6 +167,30 @@ mod tests {
         let stats = acc.cache_stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn peer_charge_caches_per_destination_peer() {
+        let ring = Ring::with_peers(128);
+        // Peers sit at their own GUIDs, so the route lands exactly on
+        // the destination — no indirection hop.
+        let mut routed = HopAccounting::routed(ring.clone());
+        let h1 = routed.charge_peer(PeerId(0), PeerId(77));
+        let h2 = routed.charge_peer(PeerId(0), PeerId(77));
+        assert!(h1 >= 1);
+        assert_eq!(h1, h2, "routing every frame costs the same every time");
+
+        let mut cached = HopAccounting::cached(ring);
+        let first = cached.charge_peer(PeerId(0), PeerId(77));
+        assert_eq!(first, h1, "first frame pays the same route");
+        assert_eq!(cached.charge_peer(PeerId(0), PeerId(77)), 1);
+        assert_eq!(cached.charge_peer(PeerId(0), PeerId(77)), 1);
+        // A different destination peer is a separate cache entry.
+        let other_first = cached.charge_peer(PeerId(0), PeerId(33));
+        assert!(other_first >= 1);
+        let stats = cached.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]

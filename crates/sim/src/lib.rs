@@ -10,6 +10,8 @@
 //! * [`churn`] — per-pass peer presence schedules.
 //! * [`hops`] — overlay hop accounting: routed-every-message vs the
 //!   Sec. 3.2 address cache (the caching ablation).
+//! * [`batch`] — batched vs unbatched wire traffic on the
+//!   message-level cluster (the per-peer aggregation experiment).
 //! * [`scenario`] — one function per experiment family; each returns a
 //!   serializable record that the `table*` binaries print.
 //! * [`metrics`] — plain-text table rendering for experiment output.
@@ -17,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod churn;
 pub mod hops;
 pub mod metrics;

@@ -103,6 +103,23 @@ pub fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Formats a byte count with a binary-unit suffix ("712 B",
+/// "3.4 KiB", "1.2 MiB"), for the bytes-on-wire columns.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} {}", v, UNITS[unit])
+    }
+}
+
 /// Formats an epsilon threshold the way the paper writes them
 /// ("0.2", "1e-3", …).
 pub fn fmt_eps(eps: f64) -> String {
@@ -153,6 +170,15 @@ mod tests {
         assert_eq!(fmt_f64(33.71), "33.7");
         assert!(fmt_f64(1.0e-6).contains('e'));
         assert!(fmt_f64(2.0e7).contains('e'));
+    }
+
+    #[test]
+    fn byte_formatting_scales_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(712), "712 B");
+        assert_eq!(fmt_bytes(3 * 1024 + 512), "3.5 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
     }
 
     #[test]

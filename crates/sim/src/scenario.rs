@@ -181,6 +181,54 @@ impl QualitySweep {
     }
 }
 
+/// One (graph, ε, frame-cap) run of the *batched* wire path: the
+/// quality scoring of [`QualityResult`] plus the batched-vs-unbatched
+/// traffic comparison — a Table 3 row with frames and bytes columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchedQualityResult {
+    /// Error threshold ε.
+    pub epsilon: f64,
+    /// The wire-traffic comparison (both modes run to quiescence).
+    pub report: crate::batch::BatchReport,
+    /// Relative-error distribution of the batched cluster's ranks vs
+    /// the synchronous reference.
+    pub distribution: ErrorDistribution,
+}
+
+impl QualitySweep {
+    /// Runs the message-level cluster at `epsilon` in both wire modes
+    /// (unbatched singles and frames capped at `max_frame_bytes`),
+    /// asserts their ranks are bit-identical, and scores them against
+    /// the synchronous reference.
+    ///
+    /// Cluster rounds deliver within the round (a different, equally
+    /// valid chaotic schedule than the array engine), so the scored
+    /// error matches [`QualitySweep::run`] to O(ε), not bitwise.
+    pub fn run_batched(&self, epsilon: f64, max_frame_bytes: usize) -> BatchedQualityResult {
+        use dpr_node::node::WireMode;
+        let unbatched =
+            crate::batch::run_wire_mode(&self.workload, epsilon, WireMode::Single, false);
+        let batched = crate::batch::run_wire_mode(
+            &self.workload,
+            epsilon,
+            WireMode::Frames { max_frame_bytes },
+            true,
+        );
+        let report = crate::batch::compare_runs(
+            &self.workload,
+            epsilon,
+            max_frame_bytes,
+            &unbatched,
+            &batched,
+        );
+        BatchedQualityResult {
+            epsilon,
+            report,
+            distribution: error_stats::compare(&batched.ranks, &self.reference),
+        }
+    }
+}
+
 /// Single-shot convenience for one (size, ε) cell.
 pub fn quality_experiment(
     nodes: usize,

@@ -1,0 +1,232 @@
+//! Differential tests for the per-peer aggregation wire path.
+//!
+//! The contract under test is *bit* identity, not approximation: on
+//! arbitrary graphs, under arbitrary churn schedules, at every frame
+//! size cap, the batched cluster must converge to exactly the ranks
+//! (`==` on every `f64`) of the unbatched single-message cluster. The
+//! coalesced per-destination group sums are the canonical fold in both
+//! wire modes, so framing only changes payload packing — never a rank
+//! bit.
+
+use distributed_pagerank::node::node::{PeerNode, WireMode};
+use distributed_pagerank::node::Cluster;
+use distributed_pagerank::prelude::*;
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+
+/// The frame-size caps under differential test: 64 B (3 entries),
+/// 256 B (15), 1024 B (63), and effectively uncapped.
+const CAPS: [usize; 4] = [64, 256, 1024, 1 << 20];
+
+/// Strategy: a random directed graph as (n, edge list).
+fn arb_graph(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = prop_vec((0..n as u32, 0..n as u32), 0..max_edges);
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a cyclic churn plan — per round, per peer, online?
+fn arb_churn_plan(num_peers: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    prop_vec(prop_vec(any::<bool>(), num_peers..num_peers + 1), 1..6)
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(f, t) in edges {
+        b.add_edge(f, t);
+    }
+    b.build()
+}
+
+fn round_robin_placement(n: usize, num_peers: usize) -> Placement {
+    Placement::from_owner_vec((0..n).map(|d| PeerId((d % num_peers) as u32)).collect())
+}
+
+/// Applies one row of the churn plan, keeping at least one peer
+/// online so every run can terminate.
+fn apply_mask(peers: &mut PeerTable, mask: &[bool]) {
+    for (i, &on) in mask.iter().enumerate().take(peers.len()) {
+        if on {
+            peers.go_online(PeerId(i as u32));
+        } else {
+            peers.go_offline(PeerId(i as u32));
+        }
+    }
+    if peers.num_online() == 0 {
+        peers.go_online(PeerId(0));
+    }
+}
+
+/// Runs a cluster under the (cycled) churn plan for `churn_rounds`,
+/// then brings every peer back and runs to quiescence. Returns the
+/// converged ranks.
+fn run_churned(
+    graph: &CsrGraph,
+    placement: &Placement,
+    num_peers: usize,
+    wire: WireMode,
+    plan: &[Vec<bool>],
+    churn_rounds: usize,
+) -> Vec<f64> {
+    let mut cluster = Cluster::build_with(
+        graph,
+        placement,
+        num_peers,
+        EngineConfig::with_epsilon(RECOMMENDED_EPSILON),
+        wire,
+    );
+    let mut peers = PeerTable::new(num_peers);
+    for r in 0..churn_rounds {
+        apply_mask(&mut peers, &plan[r % plan.len()]);
+        cluster.round(&peers);
+    }
+    for p in 0..num_peers as u32 {
+        peers.go_online(PeerId(p));
+    }
+    let (rounds, ok) = cluster.run_to_convergence(&mut peers, 100_000, None);
+    assert!(ok, "no quiescence in {rounds} rounds");
+    cluster.collect_ranks(graph.num_nodes())
+}
+
+proptest! {
+    /// Random graph, random churn, every cap: batched == unbatched,
+    /// bit for bit.
+    #[test]
+    fn batched_matches_unbatched_under_churn(
+        (n, edges) in arb_graph(48, 120),
+        plan in arb_churn_plan(4),
+        churn_rounds in 0usize..12,
+    ) {
+        let graph = build_graph(n, &edges);
+        let placement = round_robin_placement(n, 4);
+        let single = run_churned(
+            &graph, &placement, 4, WireMode::Single, &plan, churn_rounds,
+        );
+        for cap in CAPS {
+            let framed = run_churned(
+                &graph,
+                &placement,
+                4,
+                WireMode::Frames { max_frame_bytes: cap },
+                &plan,
+                churn_rounds,
+            );
+            prop_assert_eq!(
+                &framed, &single,
+                "cap {} diverged from the single-message wire", cap
+            );
+        }
+    }
+}
+
+/// Fixed-seed regression: a real power-law workload, all caps agree
+/// with the unbatched run (and stay correct vs the synchronous
+/// solver) — pins the shared reference so it cannot drift silently.
+#[test]
+fn fixed_workload_all_caps_identical() {
+    let workload = Workload::paper(600, 12, 21);
+    let run = |wire: WireMode| {
+        let mut cluster = Cluster::build_with(
+            &workload.graph,
+            &workload.placement,
+            12,
+            EngineConfig::with_epsilon(1e-5),
+            wire,
+        );
+        let mut peers = workload.peer_table();
+        let (_, ok) = cluster.run_to_convergence(&mut peers, 100_000, None);
+        assert!(ok);
+        cluster.collect_ranks(600)
+    };
+    let single = run(WireMode::Single);
+    for cap in CAPS {
+        assert_eq!(
+            run(WireMode::Frames {
+                max_frame_bytes: cap
+            }),
+            single,
+            "cap {cap}"
+        );
+    }
+    let reference = SyncSolver::new().tolerance(1e-12).solve(&workload.graph);
+    for (a, b) in single.iter().zip(&reference.ranks) {
+        assert!((a - b).abs() / b < 1e-4, "{a} vs {b}");
+    }
+}
+
+/// Permanent departure with frames in flight: stranded frames are
+/// split per new holder without re-coalescing, so the batched run
+/// still lands bit-identical to the unbatched one.
+#[test]
+fn departure_with_frames_in_flight_stays_identical() {
+    let workload = Workload::paper(400, 8, 33);
+    let victim = PeerId(5);
+    let reassign = |d: DocId| {
+        let mut h = (d.0 as usize) % 8;
+        if h == victim.index() {
+            h = (h + 1) % 8;
+        }
+        PeerId(h as u32)
+    };
+    let run = |wire: WireMode| {
+        let mut cluster = Cluster::build_with(
+            &workload.graph,
+            &workload.placement,
+            8,
+            EngineConfig::with_epsilon(1e-6),
+            wire,
+        );
+        let mut peers = workload.peer_table();
+        // A few rounds to get traffic flowing, then park some of it
+        // for the victim before it departs for good.
+        for _ in 0..3 {
+            cluster.round(&peers);
+        }
+        peers.go_offline(victim);
+        cluster.round(&peers);
+        let migrated = cluster.peer_depart(victim, &peers, &reassign);
+        assert!(migrated > 0);
+        let (rounds, ok) = cluster.run_to_convergence(&mut peers, 100_000, None);
+        assert!(ok, "no quiescence in {rounds} rounds");
+        cluster.collect_ranks(400)
+    };
+    let single = run(WireMode::Single);
+    // A tight cap forces multi-frame flushes so departures actually
+    // split frames.
+    for cap in [64usize, 1 << 20] {
+        assert_eq!(
+            run(WireMode::Frames {
+                max_frame_bytes: cap
+            }),
+            single,
+            "cap {cap}"
+        );
+    }
+}
+
+/// The caps under test are honest: a PeerNode in frames mode at cap
+/// 64 really emits multi-update frames (guards against a future
+/// regression that silently falls back to singles).
+#[test]
+fn frames_mode_really_frames() {
+    let workload = Workload::paper(300, 3, 44);
+    let mut cluster = Cluster::build_with(
+        &workload.graph,
+        &workload.placement,
+        3,
+        EngineConfig::with_epsilon(1e-3),
+        WireMode::Frames {
+            max_frame_bytes: 64,
+        },
+    );
+    let mut peers = workload.peer_table();
+    let (_, ok) = cluster.run_to_convergence(&mut peers, 100_000, None);
+    assert!(ok);
+    let stats: Vec<_> = (0..3u32).map(|p| cluster.node(PeerId(p)).stats()).collect();
+    assert!(stats.iter().all(|s| s.frames_sent > 0));
+    let _: &PeerNode = cluster.node(PeerId(0));
+}

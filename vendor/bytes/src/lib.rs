@@ -151,6 +151,14 @@ pub trait Buf {
         f64::from_bits(self.get_u64_le())
     }
 
+    /// Reads a little-endian `u16`, advancing 2 bytes.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(raw)
+    }
+
     /// Reads a single byte.
     fn get_u8(&mut self) -> u8 {
         let b = self.chunk()[0];
@@ -192,6 +200,11 @@ pub trait BufMut {
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a single byte.
