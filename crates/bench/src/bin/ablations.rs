@@ -26,7 +26,7 @@
 //! cargo run --release -p dpr-bench --bin ablations [--nodes 20000] [--seed N]
 //! ```
 
-use dpr_bench::Args;
+use dpr_bench::{Args, Trace};
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::error_stats;
 use dpr_core::sync_solver::SyncSolver;
@@ -44,17 +44,19 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace();
     let nodes: usize = args.get("nodes", 20_000);
     let seed = args.seed();
 
     ablation_sync_vs_async(nodes, seed);
     ablation_epsilon_suppression(nodes, seed);
-    ablation_caching(seed);
+    ablation_caching(seed, &trace);
     ablation_store_and_resend(seed);
     ablation_min_forward_floor(seed);
     ablation_link_aware_placement(nodes, seed);
     ablation_acceleration(nodes, seed);
-    ablation_aggregation_grid(seed);
+    ablation_aggregation_grid(seed, &trace);
+    trace.finish();
 }
 
 /// 1. Chaotic+threshold vs synchronous all-send.
@@ -125,7 +127,7 @@ fn ablation_epsilon_suppression(nodes: usize, seed: u64) {
 }
 
 /// 3. Address caching vs routing every message.
-fn ablation_caching(seed: u64) {
+fn ablation_caching(seed: u64, trace: &Trace) {
     println!("== ablation 3: address caching vs routing every message ==\n");
     let w = Workload::build(
         3_000,
@@ -138,6 +140,9 @@ fn ablation_caching(seed: u64) {
         ("route every message", HopAccounting::routed(w.ring.clone())),
         ("cache after first", HopAccounting::cached(w.ring.clone())),
     ] {
+        if let Some(rec) = trace.recorder_arc() {
+            acc.set_recorder(rec);
+        }
         let mut eng = ChaoticEngine::new(
             w.graph.clone(),
             w.owners(),
@@ -287,9 +292,13 @@ fn ablation_link_aware_placement(nodes: usize, seed: u64) {
 }
 
 /// 8. Per-peer aggregation × IP caching, on the message-level cluster.
-fn ablation_aggregation_grid(seed: u64) {
+///
+/// When tracing is on, the "frames + IP cache" cell (the shipping
+/// configuration) runs observed so the trace describes one coherent
+/// run rather than four interleaved ones.
+fn ablation_aggregation_grid(seed: u64, trace: &Trace) {
     use dpr_node::node::WireMode;
-    use dpr_sim::batch::run_wire_mode;
+    use dpr_sim::batch::{run_wire_mode, run_wire_mode_observed};
     println!("\n== ablation 8: per-peer aggregation x IP caching ==\n");
     let w = Workload::paper(2_000, 64, seed);
     let mut table = TextTable::new([
@@ -306,7 +315,11 @@ fn ablation_aggregation_grid(seed: u64) {
         ("frames, route every frame", WireMode::frames(), false),
         ("frames + IP cache", WireMode::frames(), true),
     ] {
-        let run = run_wire_mode(&w, 1e-3, wire, cache);
+        let observe = cache && matches!(wire, WireMode::Frames { .. });
+        let run = match trace.recorder_arc().filter(|_| observe) {
+            Some(rec) => run_wire_mode_observed(&w, 1e-3, wire, cache, rec),
+            None => run_wire_mode(&w, 1e-3, wire, cache),
+        };
         match &ranks {
             Some(r) => assert_eq!(r, &run.ranks, "all four cells must agree bitwise"),
             None => ranks = Some(run.ranks),

@@ -41,10 +41,10 @@ use dpr_bench::Args;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::parallel::ShardedExecutor;
 use dpr_node::node::{WireMode, DEFAULT_MAX_FRAME_BYTES};
-use dpr_sim::batch::{compare_runs, run_wire_mode};
+use dpr_sim::batch::{compare_runs, run_wire_mode, run_wire_mode_observed};
 use dpr_sim::metrics::{fmt_bytes, TextTable};
 use dpr_sim::report::{results_dir, ExperimentRecord};
-use dpr_sim::scenario::continuous_update_experiment_with;
+use dpr_sim::scenario::continuous_update_experiment_observed;
 use dpr_sim::workload::Workload;
 use serde::Serialize;
 
@@ -149,6 +149,7 @@ struct BatchScalingRow {
 }
 
 fn batch_scaling(args: &Args) {
+    let trace = args.trace();
     let nodes: usize = args.get("nodes", 10_000);
     let peers_n: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
     let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON);
@@ -176,14 +177,13 @@ fn batch_scaling(args: &Args) {
     }];
     for cap in caps {
         eprintln!("  … frames capped at {cap} B");
-        let batched = run_wire_mode(
-            &w,
-            eps,
-            WireMode::Frames {
-                max_frame_bytes: cap,
-            },
-            true,
-        );
+        let frames = WireMode::Frames {
+            max_frame_bytes: cap,
+        };
+        let batched = match trace.recorder_arc() {
+            Some(rec) => run_wire_mode_observed(&w, eps, frames, true, rec),
+            None => run_wire_mode(&w, eps, frames, true),
+        };
         let r = compare_runs(&w, eps, cap, &unbatched, &batched);
         assert!(
             r.batched.bytes_on_wire < r.baseline_bytes,
@@ -253,6 +253,7 @@ fn batch_scaling(args: &Args) {
     .write_to_dir(dir)
     .expect("write BENCH_node_batching.json");
     println!("\nwrote {}", path.display());
+    trace.finish();
 }
 
 fn main() {
@@ -265,6 +266,7 @@ fn main() {
         batch_scaling(&args);
         return;
     }
+    let trace = args.trace();
     let nodes: usize = args.get("nodes", 20_000);
     let inserts: usize = args.get("inserts", 200);
     let checkpoints: usize = args.get("checkpoints", 5);
@@ -274,13 +276,14 @@ fn main() {
         "Continuous accuracy under document churn \
          ({nodes} docs, {inserts} inserts, eps {eps})\n"
     );
-    let points = continuous_update_experiment_with(
+    let points = continuous_update_experiment_observed(
         nodes,
         inserts,
         checkpoints,
         eps,
         args.seed(),
         args.exec_mode(),
+        trace.recorder(),
     );
 
     let mut table = TextTable::new([
@@ -322,4 +325,5 @@ fn main() {
         .expect("write results");
         println!("\nwrote {}", path.display());
     }
+    trace.finish();
 }

@@ -13,11 +13,12 @@
 use dpr_bench::Args;
 use dpr_sim::metrics::TextTable;
 use dpr_sim::report::{results_dir, ExperimentRecord};
-use dpr_sim::scenario::{run_convergence_with, ConvergenceResult};
+use dpr_sim::scenario::{run_convergence_observed, ConvergenceResult};
 use dpr_sim::workload::Workload;
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace();
     let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
     let eps: f64 = args.get("eps", 1e-3);
     let presences = [1.0f64, 0.75, 0.5];
@@ -31,7 +32,16 @@ fn main() {
         let w = Workload::paper(size, peers, args.seed());
         let mut cells = vec![size.to_string()];
         for presence in presences {
-            let r = run_convergence_with(&w, eps, presence, args.seed(), args.exec_mode());
+            let label = format!("{size}@{:.0}%", presence * 100.0);
+            let r = run_convergence_observed(
+                &w,
+                eps,
+                presence,
+                args.seed(),
+                args.exec_mode(),
+                trace.recorder(),
+                &label,
+            );
             assert!(r.converged, "run must converge");
             cells.push(r.passes.to_string());
             rows.push(r);
@@ -52,4 +62,5 @@ fn main() {
         .expect("write results");
         println!("\nwrote {}", path.display());
     }
+    trace.finish();
 }

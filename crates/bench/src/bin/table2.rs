@@ -19,6 +19,7 @@ use dpr_sim::scenario::{QualityResult, QualitySweep};
 
 fn main() {
     let args = Args::parse();
+    let trace = args.trace();
     let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
 
     println!("Table 2 — relative error distribution (vs synchronous R_c)");
@@ -30,7 +31,10 @@ fn main() {
         let sweep = QualitySweep::new(size, peers, args.seed());
         let results: Vec<QualityResult> = TABLE23_EPSILONS
             .iter()
-            .map(|&eps| sweep.run_with(eps, args.exec_mode()))
+            .map(|&eps| {
+                let label = format!("{size}@{}", fmt_eps(eps));
+                sweep.run_observed(eps, args.exec_mode(), trace.recorder(), &label)
+            })
             .collect();
 
         let mut header = vec!["% pages".to_string()];
@@ -68,4 +72,5 @@ fn main() {
         .expect("write results");
         println!("wrote {}", path.display());
     }
+    trace.finish();
 }

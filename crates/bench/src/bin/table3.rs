@@ -39,6 +39,7 @@ use dpr_sim::scenario::{BatchedQualityResult, QualityResult, QualitySweep};
 const BATCH_EPSILONS: [f64; 4] = [0.2, 1e-1, 1e-2, 1e-3];
 
 fn batch_mode(args: &Args) {
+    let trace = args.trace();
     let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
     let cap: usize = args.get("frame-bytes", DEFAULT_MAX_FRAME_BYTES);
     let epsilons: Vec<f64> = match args.get("eps", String::new()) {
@@ -69,7 +70,10 @@ fn batch_mode(args: &Args) {
             "max rel err",
         ]);
         for &eps in &epsilons {
-            let r = sweep.run_batched(eps, cap);
+            let r = match trace.recorder_arc() {
+                Some(rec) => sweep.run_batched_observed(eps, cap, rec),
+                None => sweep.run_batched(eps, cap),
+            };
             table.push([
                 fmt_eps(eps),
                 r.report.batched.updates.to_string(),
@@ -100,6 +104,7 @@ fn batch_mode(args: &Args) {
         .expect("write results");
         println!("wrote {}", path.display());
     }
+    trace.finish();
 }
 
 fn main() {
@@ -108,6 +113,7 @@ fn main() {
         batch_mode(&args);
         return;
     }
+    let trace = args.trace();
     let peers: usize = args.get("peers", dpr_sim::workload::PAPER_NUM_PEERS);
     // Per-pass computation time added to the transfer model. The paper
     // estimates "a minute or less" per pass for the 5000k graph;
@@ -138,7 +144,8 @@ fn main() {
         ]);
         last_mpn.clear();
         for &eps in &TABLE23_EPSILONS {
-            let r = sweep.run_with(eps, args.exec_mode());
+            let label = format!("{size}@{}", fmt_eps(eps));
+            let r = sweep.run_observed(eps, args.exec_mode(), trace.recorder(), &label);
             let t32 =
                 aggregate_time_secs(r.total_remote_messages, RATE_32KBS, r.passes, compute_secs)
                     / SECS_PER_HOUR;
@@ -185,4 +192,5 @@ fn main() {
         .expect("write results");
         println!("wrote {}", path.display());
     }
+    trace.finish();
 }

@@ -17,12 +17,17 @@
 //! Every binary accepts `--sizes a,b,c`, `--seed n`, `--json` (dump a
 //! JSON record into `results/`), and `--full` (paper-scale sizes; slow
 //! on a laptop). The engine-driving binaries (`table1`–`table3`,
-//! `continuous`) also take `--threads n` to run passes on the sharded
-//! executor — results are bit-identical to the default sequential run.
-//! `cargo bench -p dpr-bench` runs the criterion micro-benchmarks over
-//! the hot kernels.
+//! `continuous`, `ablations`) also take `--trace-out FILE` (JSONL
+//! telemetry event trace, viewable with `dpr trace`) and `--prom-out
+//! FILE` (Prometheus text snapshot of the run's metrics), and
+//! `table1`–`table3`/`continuous` take `--threads n` to run passes on
+//! the sharded executor — results are bit-identical to the default
+//! sequential run. `cargo bench -p dpr-bench` runs the criterion
+//! micro-benchmarks over the hot kernels.
 
+use dpr_telemetry::{Recorder, TraceRecorder, NOOP};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The ε sweep of Tables 2 and 3.
 pub const TABLE23_EPSILONS: [f64; 7] = [0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6];
@@ -116,6 +121,76 @@ impl Args {
         });
         dpr_core::parallel::ExecMode::from_threads(threads)
     }
+
+    /// The telemetry side-channel from `--trace-out FILE` (JSONL event
+    /// trace) and `--prom-out FILE` (Prometheus snapshot, written at
+    /// [`Trace::finish`]). Without either flag the returned handle is
+    /// the no-op recorder and `finish` does nothing.
+    pub fn trace(&self) -> Trace {
+        let trace_out = self.values.get("trace-out").cloned();
+        let prom_out = self.values.get("prom-out").cloned();
+        let rec = match &trace_out {
+            Some(p) => Some(Arc::new(
+                TraceRecorder::with_jsonl(p).unwrap_or_else(|e| panic!("create {p}: {e}")),
+            )),
+            None if prom_out.is_some() => Some(Arc::new(TraceRecorder::new())),
+            None => None,
+        };
+        Trace {
+            rec,
+            trace_out,
+            prom_out,
+        }
+    }
+}
+
+/// The optional telemetry trace of one experiment binary run; see
+/// [`Args::trace`].
+pub struct Trace {
+    rec: Option<Arc<TraceRecorder>>,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+}
+
+impl Trace {
+    /// The recorder to thread into observed run loops (no-op when no
+    /// trace flag was given).
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.rec {
+            Some(r) => r.as_ref() as &dyn Recorder,
+            None => &NOOP,
+        }
+    }
+
+    /// Shared handle for components that store their recorder (the
+    /// cluster transport and hop models); `None` when tracing is off.
+    pub fn recorder_arc(&self) -> Option<Arc<dyn Recorder>> {
+        self.rec.as_ref().map(|r| r.clone() as Arc<dyn Recorder>)
+    }
+
+    /// The live aggregate, for cross-checking printed numbers against
+    /// the recorder's counters; `None` when tracing is off.
+    pub fn aggregate(&self) -> Option<&TraceRecorder> {
+        self.rec.as_deref()
+    }
+
+    /// Flushes the JSONL sink and writes the Prometheus snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a sink cannot be written — these are experiment
+    /// binaries, so failing loudly beats losing a trace silently.
+    pub fn finish(&self) {
+        let Some(rec) = &self.rec else { return };
+        rec.flush().expect("flush trace sink");
+        if let Some(p) = &self.prom_out {
+            std::fs::write(p, rec.prometheus_text()).unwrap_or_else(|e| panic!("write {p}: {e}"));
+            println!("wrote {p} (prometheus snapshot)");
+        }
+        if let Some(p) = &self.trace_out {
+            println!("wrote {p} ({} events)", rec.event_count());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +245,23 @@ mod tests {
     #[should_panic(expected = "unexpected positional")]
     fn rejects_positional() {
         args("loose");
+    }
+
+    #[test]
+    fn trace_flag_builds_a_live_recorder() {
+        let dir = std::env::temp_dir().join(format!("dpr-bench-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.jsonl");
+        let t = args(&format!("--trace-out {}", p.display())).trace();
+        assert!(t.recorder().enabled());
+        assert!(t.recorder_arc().is_some());
+        t.finish();
+        assert!(p.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let off = args("").trace();
+        assert!(!off.recorder().enabled());
+        assert!(off.recorder_arc().is_none());
+        off.finish();
     }
 }

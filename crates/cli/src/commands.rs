@@ -1,8 +1,10 @@
 //! The `dpr` subcommand implementations.
 
 use crate::args::Args;
+use crate::report::Reporter;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::incremental::{propagate, PropagationConfig};
+use dpr_core::parallel::ExecMode;
 use dpr_core::sync_solver::SyncSolver;
 use dpr_graph::{io, partition, powerlaw::PowerLawConfig, stats, CsrGraph, DocId, DynamicGraph};
 use dpr_p2p::peer::{PeerId, PeerTable, Placement, PlacementPolicy};
@@ -12,6 +14,7 @@ use dpr_search::index::DistributedIndex;
 use dpr_search::query::{
     execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
 };
+use dpr_telemetry::{Event, TraceSummary};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fs::File;
@@ -31,7 +34,12 @@ commands:
   delete     --graph FILE --doc ID [--eps 1e-3] [--damping 0.85]
   search     [--docs 11000] [--vocab 1880] [--peers 50] [--query t1,t2]
              [--top-percent 10] [--seed S]
-  help       this text";
+  trace      --input trace.jsonl [--validate] [--run LABEL] [--top K]
+  help       this text
+
+every command also accepts: --quiet (suppress stdout),
+  --trace-out FILE (JSONL event trace), --prom-out FILE (Prometheus
+  text snapshot of the run's metrics)";
 
 fn load_graph(args: &Args) -> Result<CsrGraph, String> {
     let path = args.required("graph")?;
@@ -41,51 +49,58 @@ fn load_graph(args: &Args) -> Result<CsrGraph, String> {
 
 /// `dpr generate` — write a power-law graph to disk.
 pub fn generate(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let nodes: usize = args.get_required("nodes")?;
     let out = args.required("out")?;
     let seed: u64 = args.get("seed", 2003)?;
     let graph = PowerLawConfig::paper(nodes, seed).generate();
     let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
     io::write_binary(&graph, file).map_err(|e| format!("write {out}: {e}"))?;
-    println!(
+    rep.say(format!(
         "wrote {out}: {} documents, {} links ({} bytes in memory)",
         graph.num_nodes(),
         graph.num_edges(),
         graph.heap_bytes()
-    );
+    ));
     if let Some(edges_out) = args.optional("edges-out") {
         let f = File::create(edges_out).map_err(|e| format!("create {edges_out}: {e}"))?;
         io::write_edge_list(&graph, f).map_err(|e| format!("write {edges_out}: {e}"))?;
-        println!("wrote {edges_out} (text edge list)");
+        rep.say(format!("wrote {edges_out} (text edge list)"));
     }
-    Ok(())
+    rep.finish()
 }
 
 /// `dpr stats` — summarize a graph file.
 pub fn stats(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let graph = load_graph(args)?;
     let s = stats::summarize(&graph);
-    println!("documents:        {}", s.nodes);
-    println!("links:            {}", s.edges);
-    println!("mean out-degree:  {:.2}", s.mean_out_degree);
-    println!("max out-degree:   {}", s.max_out_degree);
-    println!("max in-degree:    {}", s.max_in_degree);
-    println!("dangling docs:    {}", s.dangling);
+    rep.say(format!("documents:        {}", s.nodes));
+    rep.say(format!("links:            {}", s.edges));
+    rep.say(format!("mean out-degree:  {:.2}", s.mean_out_degree));
+    rep.say(format!("max out-degree:   {}", s.max_out_degree));
+    rep.say(format!("max in-degree:    {}", s.max_in_degree));
+    rep.say(format!("dangling docs:    {}", s.dangling));
     if let Some(a) = s.out_exponent_fit {
-        println!("out-degree power-law fit: {a:.2} (paper model: 2.4)");
+        rep.say(format!(
+            "out-degree power-law fit: {a:.2} (paper model: 2.4)"
+        ));
     }
     if let Some(a) = s.in_exponent_fit {
-        println!("in-degree power-law fit:  {a:.2} (paper model: 2.1)");
+        rep.say(format!(
+            "in-degree power-law fit:  {a:.2} (paper model: 2.1)"
+        ));
     }
-    println!(
+    rep.say(format!(
         "weakly connected components: {}",
         stats::weakly_connected_components(&graph)
-    );
-    Ok(())
+    ));
+    rep.finish()
 }
 
 /// `dpr rank` — run the distributed computation (or `--sync` solver).
 pub fn rank(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let graph = Arc::new(load_graph(args)?);
     let eps: f64 = args.get("eps", dpr_core::RECOMMENDED_EPSILON)?;
     let peers: usize = args.get("peers", 500)?;
@@ -94,10 +109,10 @@ pub fn rank(args: &Args) -> Result<(), String> {
 
     let ranks: Vec<f64> = if args.has("sync") {
         let r = SyncSolver::new().tolerance(eps).solve(&graph);
-        println!(
+        rep.say(format!(
             "synchronous solve: {} iterations, residual {:.2e}",
             r.iterations, r.final_residual
-        );
+        ));
         r.ranks
     } else {
         let ring = Ring::with_peers(peers);
@@ -109,34 +124,35 @@ pub fn rank(args: &Args) -> Result<(), String> {
             .collect();
         let mut engine = ChaoticEngine::new(graph.clone(), owners, EngineConfig::with_epsilon(eps));
         let mut table = PeerTable::new(peers);
-        let run = engine.run_to_convergence(&mut table, None);
-        println!(
+        let run = engine.run_observed(&mut table, None, rep.recorder(), "rank");
+        rep.say(format!(
             "distributed solve: {} passes, {} remote messages ({:.1}/doc), converged: {}",
             run.passes,
             run.total_remote_messages,
             run.messages_per_node(graph.num_nodes()),
             run.converged
-        );
+        ));
         engine.ranks().to_vec()
     };
 
     let mut order: Vec<usize> = (0..ranks.len()).collect();
     order.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).expect("no NaN ranks"));
-    println!("top {top} documents:");
+    rep.say(format!("top {top} documents:"));
     for &d in order.iter().take(top) {
-        println!("  d{d:<10} {:.6}", ranks[d]);
+        rep.say(format!("  d{d:<10} {:.6}", ranks[d]));
     }
 
     if let Some(out) = args.optional("out") {
         let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
         serde_json::to_writer(f, &ranks).map_err(|e| format!("write {out}: {e}"))?;
-        println!("wrote {out} ({} ranks)", ranks.len());
+        rep.say(format!("wrote {out} ({} ranks)", ranks.len()));
     }
-    Ok(())
+    rep.finish()
 }
 
 /// `dpr partition` — link-aware partitioning report.
 pub fn partition(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let graph = load_graph(args)?;
     let peers: usize = args.get_required("peers")?;
     let sweeps: usize = args.get("sweeps", 6)?;
@@ -151,18 +167,18 @@ pub fn partition(args: &Args) -> Result<(), String> {
     let total = graph.num_edges();
     for (name, labels) in [("random", &random), ("bfs", &bfs), ("link-aware", &refined)] {
         let cut = partition::edge_cut(&graph, labels);
-        println!(
+        rep.say(format!(
             "{name:>11}: {cut} cross-peer links of {total} ({:.1}%)",
             100.0 * cut as f64 / total.max(1) as f64
-        );
+        ));
     }
     let sizes = partition::partition_sizes(&refined, peers);
-    println!(
+    rep.say(format!(
         "link-aware partition sizes: min {}, max {}",
         sizes.iter().min().unwrap(),
         sizes.iter().max().unwrap()
-    );
-    Ok(())
+    ));
+    rep.finish()
 }
 
 fn wave_cfg(args: &Args) -> Result<PropagationConfig, String> {
@@ -174,6 +190,7 @@ fn wave_cfg(args: &Args) -> Result<PropagationConfig, String> {
 
 /// `dpr insert` — simulate inserting a document with given out-links.
 pub fn insert(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let graph = load_graph(args)?;
     let links: Vec<u32> = args.get_list("links")?;
     if links.is_empty() {
@@ -193,19 +210,24 @@ pub fn insert(args: &Args) -> Result<(), String> {
         &mut ranks,
         cfg,
     );
-    println!(
+    rep.recorder().event(&Event::DocInserted {
+        seq: 1,
+        doc: u64::from(id.0),
+    });
+    rep.say(format!(
         "inserted {id} (eps {}, damping {})",
         cfg.epsilon, cfg.damping
-    );
-    println!(
+    ));
+    rep.say(format!(
         "update wave: path length {}, node coverage {}, {} messages",
         wave.path_length, wave.node_coverage, wave.messages
-    );
-    Ok(())
+    ));
+    rep.finish()
 }
 
 /// `dpr delete` — simulate the delete wave of a document.
 pub fn delete(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let graph = load_graph(args)?;
     let doc: u32 = args.get_required("doc")?;
     if doc as usize >= graph.num_nodes() {
@@ -214,15 +236,16 @@ pub fn delete(args: &Args) -> Result<(), String> {
     let cfg = wave_cfg(args)?;
     // The negated-rank wave over the document's links (Sec. 3.1).
     let wave = propagate(&graph, DocId(doc), -dpr_core::INITIAL_RANK, cfg, None);
-    println!(
+    rep.say(format!(
         "delete wave for d{doc}: path length {}, node coverage {}, {} messages",
         wave.path_length, wave.node_coverage, wave.messages
-    );
-    Ok(())
+    ));
+    rep.finish()
 }
 
 /// `dpr search` — demo incremental search over a synthetic corpus.
 pub fn search(args: &Args) -> Result<(), String> {
+    let rep = Reporter::from_args(args)?;
     let docs: usize = args.get("docs", 11_000)?;
     let vocab: u32 = args.get("vocab", 1880)?;
     let peers: usize = args.get("peers", 50)?;
@@ -240,7 +263,7 @@ pub fn search(args: &Args) -> Result<(), String> {
     });
     let graph = PowerLawConfig::paper(docs, seed ^ 0xbeef).generate();
     let mut engine = ChaoticEngine::local(Arc::new(graph), EngineConfig::with_epsilon(1e-3));
-    engine.run_static();
+    ExecMode::Sequential.run_static_observed(&mut engine, rep.recorder(), "search-pagerank");
     let ring = Ring::with_peers(peers);
     let index = DistributedIndex::build(&corpus, engine.ranks(), &ring);
 
@@ -261,24 +284,80 @@ pub fn search(args: &Args) -> Result<(), String> {
         traffic: TrafficModel::AllHopsRemote,
     };
     let incr = execute_incremental(&index, &q, cfg);
-    println!("query {terms:?} over {docs} docs / {peers} peers:");
-    println!(
+    rep.say(format!("query {terms:?} over {docs} docs / {peers} peers:"));
+    rep.say(format!(
         "  baseline:    {} ids moved, {} hits returned",
         base.traffic_ids,
         base.hits_returned()
-    );
-    println!(
+    ));
+    rep.say(format!(
         "  top-{pct:.0}%:     {} ids moved, {} hits returned ({:.1}x less traffic)",
         incr.traffic_ids,
         incr.hits_returned(),
         base.traffic_ids as f64 / incr.traffic_ids.max(1) as f64
-    );
+    ));
     if let (Some(b), Some(i)) = (base.hits.first(), incr.hits.first()) {
-        println!(
+        rep.say(format!(
             "  best hit under both strategies: {} (rank {:.4})",
             b.doc, b.rank
-        );
+        ));
         assert_eq!(b.doc, i.doc, "top hit must survive the cut");
+    }
+    rep.finish()
+}
+
+/// `dpr trace` — summarize (or validate) a JSONL telemetry trace
+/// written by `--trace-out` or [`dpr_telemetry::TraceRecorder`].
+pub fn trace(args: &Args) -> Result<(), String> {
+    let input = args.required("input")?;
+    let top: usize = args.get("top", 5)?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("open {input}: {e}"))?;
+    let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
+
+    if args.has("validate") {
+        summary
+            .residual_monotone_after_last_injection()
+            .map_err(|(run, pass, prev, next)| {
+                format!(
+                    "{input}: residual of run '{run}' increases at pass {pass}: {prev:e} -> {next:e}"
+                )
+            })?;
+        println!(
+            "{input}: {} events, schema-valid, residual monotone after last injection",
+            summary.events().len()
+        );
+        return Ok(());
+    }
+
+    println!(
+        "{input}: {} events, {} engine runs",
+        summary.events().len(),
+        summary.runs().len()
+    );
+    let runs: Vec<String> = match args.optional("run") {
+        Some(r) => {
+            if !summary.runs().iter().any(|x| x == r) {
+                return Err(format!("no run labeled '{r}' in {input}"));
+            }
+            vec![r.to_string()]
+        }
+        None => summary.runs().to_vec(),
+    };
+    for run in &runs {
+        let curve = summary.convergence_curve(run);
+        if curve.is_empty() {
+            continue;
+        }
+        println!("\nconvergence of run '{run}':");
+        print!("{}", summary.render_convergence(run).render());
+    }
+    if !summary.traffic_by_round().is_empty() {
+        println!("\nwire traffic by round:");
+        print!("{}", summary.render_traffic().render());
+    }
+    if !summary.hottest_peers(top).is_empty() {
+        println!("\ntop {top} hottest peers:");
+        print!("{}", summary.render_hottest_peers(top).render());
     }
     Ok(())
 }
@@ -361,5 +440,45 @@ mod tests {
     fn missing_graph_file_is_a_clean_error() {
         let e = stats(&args("--graph /nonexistent/g.bin")).unwrap_err();
         assert!(e.contains("open"), "{e}");
+    }
+
+    #[test]
+    fn rank_trace_roundtrips_through_trace_subcommand() {
+        let dir = tmpdir("trace");
+        let g = graph_file(&dir, 400);
+        let trace_out = dir.join("trace.jsonl");
+        let prom_out = dir.join("metrics.prom");
+        rank(&args(&format!(
+            "--graph {g} --eps 1e-4 --peers 10 --quiet --trace-out {} --prom-out {}",
+            trace_out.display(),
+            prom_out.display()
+        )))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&trace_out).unwrap();
+        let summary = TraceSummary::from_jsonl(&text).unwrap();
+        assert_eq!(summary.runs(), ["rank".to_string()]);
+        assert!(!summary.convergence_curve("rank").is_empty());
+        summary.residual_monotone_after_last_injection().unwrap();
+
+        let prom = std::fs::read_to_string(&prom_out).unwrap();
+        assert!(prom.contains("dpr_events_recorded_total"), "{prom}");
+
+        let input = trace_out.display().to_string();
+        trace(&args(&format!("--input {input}"))).unwrap();
+        trace(&args(&format!("--input {input} --validate"))).unwrap();
+        trace(&args(&format!("--input {input} --run rank"))).unwrap();
+        assert!(trace(&args(&format!("--input {input} --run nope"))).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_trace_is_a_clean_error() {
+        let dir = tmpdir("badtrace");
+        let p = dir.join("bad.jsonl");
+        std::fs::write(&p, "{\"type\":\"mystery\"}\n").unwrap();
+        let e = trace(&args(&format!("--input {}", p.display()))).unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

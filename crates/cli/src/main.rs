@@ -8,13 +8,19 @@
 //! dpr insert    --graph graph.bin --links 1,2,3 [--eps 1e-3]
 //! dpr delete    --graph graph.bin --doc 42 [--eps 1e-3]
 //! dpr search    [--docs 11000] [--terms t1,t2] [--top-percent 10]
+//! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K]
 //! ```
+//!
+//! Every command also takes `--quiet`, `--trace-out FILE` (JSONL event
+//! trace) and `--prom-out FILE` (Prometheus metrics snapshot); see
+//! [`report::Reporter`].
 //!
 //! Subcommand implementations live in [`commands`]; this file only
 //! dispatches and reports errors.
 
 mod args;
 mod commands;
+mod report;
 
 use std::process::ExitCode;
 
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
         "insert" => commands::insert(&parsed),
         "delete" => commands::delete(&parsed),
         "search" => commands::search(&parsed),
+        "trace" => commands::trace(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

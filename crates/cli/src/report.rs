@@ -1,0 +1,79 @@
+//! Output routing for the `dpr` subcommands.
+//!
+//! Every command prints through one [`Reporter`] instead of raw
+//! `println!`: the default path is byte-identical stdout, `--quiet`
+//! silences it, and `--trace-out FILE` / `--prom-out FILE` attach a
+//! live [`TraceRecorder`] whose handle the command threads into the
+//! observed engine/cluster entry points. [`Reporter::finish`] flushes
+//! the sinks and writes the Prometheus snapshot.
+
+use crate::args::Args;
+use dpr_telemetry::{Recorder, TraceRecorder, NOOP};
+use std::sync::Arc;
+
+/// Stdout verbosity plus the optional telemetry trace of one command
+/// invocation.
+pub struct Reporter {
+    quiet: bool,
+    rec: Option<Arc<TraceRecorder>>,
+    trace_out: Option<String>,
+    prom_out: Option<String>,
+}
+
+impl Reporter {
+    /// Builds the reporter from the shared flags: `--quiet`,
+    /// `--trace-out FILE` (JSONL event trace) and `--prom-out FILE`
+    /// (Prometheus text snapshot, implies an in-memory recorder even
+    /// without a trace file).
+    pub fn from_args(args: &Args) -> Result<Self, String> {
+        let trace_out = args.optional("trace-out").map(String::from);
+        let prom_out = args.optional("prom-out").map(String::from);
+        let rec = match &trace_out {
+            Some(p) => Some(Arc::new(
+                TraceRecorder::with_jsonl(p).map_err(|e| format!("create {p}: {e}"))?,
+            )),
+            None if prom_out.is_some() => Some(Arc::new(TraceRecorder::new())),
+            None => None,
+        };
+        Ok(Reporter {
+            quiet: args.has("quiet"),
+            rec,
+            trace_out,
+            prom_out,
+        })
+    }
+
+    /// Prints one line unless `--quiet`.
+    pub fn say(&self, line: impl AsRef<str>) {
+        if !self.quiet {
+            println!("{}", line.as_ref());
+        }
+    }
+
+    /// The recorder to thread into observed run loops: the live trace
+    /// when one was requested, the no-op recorder otherwise.
+    pub fn recorder(&self) -> &dyn Recorder {
+        match &self.rec {
+            Some(r) => r.as_ref() as &dyn Recorder,
+            None => &NOOP,
+        }
+    }
+
+    /// Flushes the JSONL sink, writes the Prometheus snapshot, and
+    /// reports where they went. A no-op without trace flags, keeping
+    /// default stdout untouched.
+    pub fn finish(&self) -> Result<(), String> {
+        let Some(rec) = &self.rec else {
+            return Ok(());
+        };
+        rec.flush().map_err(|e| format!("flush trace: {e}"))?;
+        if let Some(p) = &self.prom_out {
+            std::fs::write(p, rec.prometheus_text()).map_err(|e| format!("write {p}: {e}"))?;
+            self.say(format!("wrote {p} (prometheus snapshot)"));
+        }
+        if let Some(p) = &self.trace_out {
+            self.say(format!("wrote {p} ({} events)", rec.event_count()));
+        }
+        Ok(())
+    }
+}

@@ -32,7 +32,9 @@
 
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable};
+use dpr_telemetry::{Event, Metric, Recorder, NOOP};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning of the chaotic engine.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -223,6 +225,35 @@ impl ChaoticEngine {
         self.dirty.is_empty()
     }
 
+    /// Documents currently scheduled for the next pass (nonzero
+    /// parked/in-flight increments).
+    pub fn active_docs(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Unpropagated rank mass: Σ|rank − advertised| + Σ|pending|.
+    ///
+    /// Applying an increment moves mass 1:1 from `pending` into the
+    /// rank/advertised gap; emitting multiplies the gap by the
+    /// damping factor on its way back into `pending`; ε-absorption
+    /// and dangling-document advertisement only remove mass. Absent
+    /// injections ([`ChaoticEngine::inject_delta`]) the residual is
+    /// therefore non-increasing pass over pass — the monotone
+    /// convergence trajectory the telemetry layer records.
+    ///
+    /// O(n) scan: call it at pass boundaries, not in hot loops (the
+    /// observed run loop gates it on `Recorder::enabled`).
+    pub fn residual_mass(&self) -> f64 {
+        let gap: f64 = self
+            .ranks
+            .iter()
+            .zip(&self.advertised)
+            .map(|(r, a)| (r - a).abs())
+            .sum();
+        let parked: f64 = self.pending.iter().map(|p| p.abs()).sum();
+        gap + parked
+    }
+
     /// Parks an externally generated increment for `doc` (document
     /// insert/delete protocols, Sec. 3.1). Not counted as a network
     /// message; the network cost of inserts is measured by
@@ -372,18 +403,74 @@ impl ChaoticEngine {
     pub fn run_to_convergence(
         &mut self,
         peers: &mut PeerTable,
+        churn: Option<&mut ChurnFn<'_>>,
+    ) -> RunStats {
+        self.run_observed(peers, churn, &NOOP, "run")
+    }
+
+    /// [`ChaoticEngine::run_to_convergence`] recording telemetry: one
+    /// `PassCompleted` + `ConvergenceCheck` per pass (tagged with
+    /// `run_label` so multi-run traces keep their curves apart) and a
+    /// `PeerChurn` event per presence flip the churn callback makes.
+    ///
+    /// Recording never touches the computation — with the no-op
+    /// recorder this *is* `run_to_convergence`, and with a real one
+    /// the ranks stay bit-identical (asserted by the telemetry
+    /// differential test).
+    pub fn run_observed<R: Recorder + ?Sized>(
+        &mut self,
+        peers: &mut PeerTable,
         mut churn: Option<&mut ChurnFn<'_>>,
+        rec: &R,
+        run_label: &str,
     ) -> RunStats {
         let mut run = RunStats::default();
         while !self.is_quiescent() && run.passes < self.cfg.max_passes {
+            let t0 = rec.enabled().then(Instant::now);
             let stats = self.pass(peers);
             run.passes += 1;
             run.total_remote_messages += stats.remote_messages;
             run.total_local_updates += stats.local_updates;
             run.total_hops += stats.hops;
+            if let Some(t0) = t0 {
+                let duration_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                rec.observe(Metric::PassDurationNs, duration_ns);
+                rec.event(&Event::PassCompleted {
+                    run: run_label.to_string(),
+                    pass: stats.pass as u64,
+                    applied: stats.applied,
+                    remote_messages: stats.remote_messages,
+                    local_updates: stats.local_updates,
+                    senders: stats.senders,
+                    max_relative_change: stats.max_relative_change,
+                    hops: stats.hops,
+                    duration_ns,
+                });
+                rec.event(&Event::ConvergenceCheck {
+                    run: run_label.to_string(),
+                    pass: stats.pass as u64,
+                    active_docs: self.active_docs() as u64,
+                    residual: self.residual_mass(),
+                });
+            }
             run.per_pass.push(stats);
             if let Some(f) = churn.as_deref_mut() {
-                f(run.passes, peers);
+                if rec.enabled() {
+                    let before: Vec<bool> = peers.peers().map(|p| peers.is_online(p)).collect();
+                    f(run.passes, peers);
+                    for (i, was) in before.iter().enumerate() {
+                        let now = peers.is_online(PeerId(i as u32));
+                        if now != *was {
+                            rec.event(&Event::PeerChurn {
+                                round: run.passes as u64,
+                                peer: i as u32,
+                                online: now,
+                            });
+                        }
+                    }
+                } else {
+                    f(run.passes, peers);
+                }
             }
         }
         run.converged = self.is_quiescent();

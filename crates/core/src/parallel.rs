@@ -49,6 +49,8 @@ use crate::engine::{ChaoticEngine, ChurnFn, HopModel, PassStats};
 use crate::RunStats;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable};
+use dpr_telemetry::{Event, Metric, Recorder, NOOP};
+use std::time::Instant;
 
 /// Work-list size below which a pass runs on the calling thread.
 /// The sharded algorithm is identical either way (same shard layout,
@@ -94,23 +96,43 @@ impl ExecMode {
         peers: &mut PeerTable,
         churn: Option<&mut ChurnFn<'_>>,
     ) -> RunStats {
+        self.run_observed(eng, peers, churn, &NOOP, "run")
+    }
+
+    /// [`ExecMode::run`] recording telemetry into `rec` under
+    /// `run_label` (per-pass events from either executor; the sharded
+    /// one adds per-shard phase timings).
+    pub fn run_observed<R: Recorder + ?Sized>(
+        &self,
+        eng: &mut ChaoticEngine,
+        peers: &mut PeerTable,
+        churn: Option<&mut ChurnFn<'_>>,
+        rec: &R,
+        run_label: &str,
+    ) -> RunStats {
         match *self {
-            ExecMode::Sequential => eng.run_to_convergence(peers, churn),
-            ExecMode::Parallel(t) => ShardedExecutor::new(t).run_to_convergence(eng, peers, churn),
+            ExecMode::Sequential => eng.run_observed(peers, churn, rec, run_label),
+            ExecMode::Parallel(t) => {
+                ShardedExecutor::new(t).run_observed(eng, peers, churn, rec, run_label)
+            }
         }
     }
 
     /// [`ChaoticEngine::run_static`] under this mode: every peer stays
     /// online for the whole run.
     pub fn run_static(&self, eng: &mut ChaoticEngine) -> RunStats {
-        match *self {
-            ExecMode::Sequential => eng.run_static(),
-            ExecMode::Parallel(t) => {
-                let mut peers =
-                    PeerTable::new(eng.owner.iter().map(|p| p.index() + 1).max().unwrap_or(1));
-                ShardedExecutor::new(t).run_to_convergence(eng, &mut peers, None)
-            }
-        }
+        self.run_static_observed(eng, &NOOP, "run")
+    }
+
+    /// [`ExecMode::run_static`] recording telemetry into `rec`.
+    pub fn run_static_observed<R: Recorder + ?Sized>(
+        &self,
+        eng: &mut ChaoticEngine,
+        rec: &R,
+        run_label: &str,
+    ) -> RunStats {
+        let mut peers = PeerTable::new(eng.owner.iter().map(|p| p.index() + 1).max().unwrap_or(1));
+        self.run_observed(eng, &mut peers, None, rec, run_label)
     }
 }
 
@@ -256,6 +278,22 @@ impl ShardedExecutor {
         peers: &PeerTable,
         hop_model: Option<&mut HopModel<'_>>,
     ) -> PassStats {
+        self.pass_timed(eng, peers, hop_model, None)
+    }
+
+    /// [`ShardedExecutor::pass_with_hops`] optionally collecting
+    /// per-shard `(apply_ns, merge_ns)` wall-clock timings. Timing is
+    /// measured around each shard's phase closure (inside the worker
+    /// when the pass runs threaded), so it reflects real per-shard
+    /// cost, not join skew. With `timings == None` no clock is read.
+    fn pass_timed(
+        &mut self,
+        eng: &mut ChaoticEngine,
+        peers: &PeerTable,
+        hop_model: Option<&mut HopModel<'_>>,
+        mut timings: Option<&mut Vec<(u64, u64)>>,
+    ) -> PassStats {
+        let time_phases = timings.is_some();
         eng.passes += 1;
         let mut stats = PassStats {
             pass: eng.passes,
@@ -263,6 +301,9 @@ impl ShardedExecutor {
         };
         let mut work = std::mem::take(&mut eng.dirty);
         if work.is_empty() {
+            if let Some(tv) = timings.as_deref_mut() {
+                tv.clear();
+            }
             return stats;
         }
         let n = eng.graph().num_nodes();
@@ -315,21 +356,25 @@ impl ShardedExecutor {
             }
         }
 
-        // Phase 1: apply + emit, parallel over source shards.
-        let shard_stats: Vec<ShardStats> = if inline {
+        // Phase 1: apply + emit, parallel over source shards. Each
+        // shard optionally times its own phase closure (on the worker
+        // thread), so telemetry sees per-shard cost, not join skew.
+        let shard_stats: Vec<(ShardStats, u64)> = if inline {
             src_shards
                 .iter_mut()
                 .map(|sh| {
-                    apply_and_emit(
-                        sh,
-                        graph,
-                        owner,
-                        peers,
-                        cfg.epsilon,
-                        cfg.damping,
-                        ssize,
-                        collect_hops,
-                    )
+                    timed(time_phases, || {
+                        apply_and_emit(
+                            sh,
+                            graph,
+                            owner,
+                            peers,
+                            cfg.epsilon,
+                            cfg.damping,
+                            ssize,
+                            collect_hops,
+                        )
+                    })
                 })
                 .collect()
         } else {
@@ -338,16 +383,18 @@ impl ShardedExecutor {
                     .iter_mut()
                     .map(|sh| {
                         scope.spawn(move || {
-                            apply_and_emit(
-                                sh,
-                                graph,
-                                owner,
-                                peers,
-                                cfg.epsilon,
-                                cfg.damping,
-                                ssize,
-                                collect_hops,
-                            )
+                            timed(time_phases, || {
+                                apply_and_emit(
+                                    sh,
+                                    graph,
+                                    owner,
+                                    peers,
+                                    cfg.epsilon,
+                                    cfg.damping,
+                                    ssize,
+                                    collect_hops,
+                                )
+                            })
                         })
                     })
                     .collect();
@@ -359,7 +406,7 @@ impl ShardedExecutor {
         };
         drop(src_shards);
 
-        for st in &shard_stats {
+        for (st, _) in &shard_stats {
             stats.applied += st.applied;
             stats.senders += st.senders;
             stats.remote_messages += st.remote;
@@ -413,18 +460,40 @@ impl ShardedExecutor {
             }
         }
 
-        if inline {
-            for (t, sh) in dst_shards.iter_mut().enumerate() {
-                merge_mailboxes(sh, mail, t, stamp);
-            }
+        let merge_ns: Vec<u64> = if inline {
+            dst_shards
+                .iter_mut()
+                .enumerate()
+                .map(|(t, sh)| timed(time_phases, || merge_mailboxes(sh, mail, t, stamp)).1)
+                .collect()
         } else {
             std::thread::scope(|scope| {
-                for (t, sh) in dst_shards.iter_mut().enumerate() {
-                    scope.spawn(move || merge_mailboxes(sh, mail, t, stamp));
-                }
-            });
-        }
+                let handles: Vec<_> = dst_shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(t, sh)| {
+                        scope.spawn(move || {
+                            timed(time_phases, || merge_mailboxes(sh, mail, t, stamp)).1
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge shard panicked"))
+                    .collect()
+            })
+        };
         drop(dst_shards);
+
+        if let Some(tv) = timings {
+            tv.clear();
+            tv.extend(
+                shard_stats
+                    .iter()
+                    .zip(&merge_ns)
+                    .map(|(&(_, apply_ns), &merge_ns)| (apply_ns, merge_ns)),
+            );
+        }
 
         // Next pass's dirty list: carried documents plus newly queued
         // targets. Order is irrelevant — every pass re-canonicalizes.
@@ -457,23 +526,112 @@ impl ShardedExecutor {
         &mut self,
         eng: &mut ChaoticEngine,
         peers: &mut PeerTable,
+        churn: Option<&mut ChurnFn<'_>>,
+    ) -> RunStats {
+        self.run_observed(eng, peers, churn, &NOOP, "run")
+    }
+
+    /// [`ShardedExecutor::run_to_convergence`] recording telemetry:
+    /// the same per-pass `PassCompleted`/`ConvergenceCheck` and
+    /// per-flip `PeerChurn` events as the sequential
+    /// [`ChaoticEngine::run_observed`], plus one `ShardPhase` event
+    /// per shard per pass with that shard's apply/merge wall-clock.
+    ///
+    /// Recording never touches the computation: the ranks stay
+    /// bit-identical to the unobserved run (and to the sequential
+    /// engine) at every thread count.
+    pub fn run_observed<R: Recorder + ?Sized>(
+        &mut self,
+        eng: &mut ChaoticEngine,
+        peers: &mut PeerTable,
         mut churn: Option<&mut ChurnFn<'_>>,
+        rec: &R,
+        run_label: &str,
     ) -> RunStats {
         let mut run = RunStats::default();
         let budget = eng.config().max_passes;
+        let mut timings: Vec<(u64, u64)> = Vec::new();
         while !eng.is_quiescent() && run.passes < budget {
-            let stats = self.pass(eng, peers);
+            let t0 = rec.enabled().then(Instant::now);
+            let stats = if t0.is_some() {
+                self.pass_timed(eng, peers, None, Some(&mut timings))
+            } else {
+                self.pass(eng, peers)
+            };
             run.passes += 1;
             run.total_remote_messages += stats.remote_messages;
             run.total_local_updates += stats.local_updates;
             run.total_hops += stats.hops;
+            if let Some(t0) = t0 {
+                let duration_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                rec.observe(Metric::PassDurationNs, duration_ns);
+                for (shard, &(apply_ns, merge_ns)) in timings.iter().enumerate() {
+                    rec.observe(Metric::ShardApplyNs, apply_ns);
+                    rec.observe(Metric::ShardMergeNs, merge_ns);
+                    rec.event(&Event::ShardPhase {
+                        run: run_label.to_string(),
+                        pass: stats.pass as u64,
+                        shard: shard as u32,
+                        apply_ns,
+                        merge_ns,
+                    });
+                }
+                rec.event(&Event::PassCompleted {
+                    run: run_label.to_string(),
+                    pass: stats.pass as u64,
+                    applied: stats.applied,
+                    remote_messages: stats.remote_messages,
+                    local_updates: stats.local_updates,
+                    senders: stats.senders,
+                    max_relative_change: stats.max_relative_change,
+                    hops: stats.hops,
+                    duration_ns,
+                });
+                rec.event(&Event::ConvergenceCheck {
+                    run: run_label.to_string(),
+                    pass: stats.pass as u64,
+                    active_docs: eng.active_docs() as u64,
+                    residual: eng.residual_mass(),
+                });
+            }
             run.per_pass.push(stats);
             if let Some(f) = churn.as_deref_mut() {
-                f(run.passes, peers);
+                if rec.enabled() {
+                    let before: Vec<bool> = peers.peers().map(|p| peers.is_online(p)).collect();
+                    f(run.passes, peers);
+                    for (i, was) in before.iter().enumerate() {
+                        let now = peers.is_online(PeerId(i as u32));
+                        if now != *was {
+                            rec.event(&Event::PeerChurn {
+                                round: run.passes as u64,
+                                peer: i as u32,
+                                online: now,
+                            });
+                        }
+                    }
+                } else {
+                    f(run.passes, peers);
+                }
             }
         }
         run.converged = eng.is_quiescent();
         run
+    }
+}
+
+/// Runs `f`, optionally measuring wall-clock nanoseconds around it.
+/// With `measure == false` no clock is read and the cost is one
+/// branch — the zero-overhead path for unobserved passes.
+fn timed<T>(measure: bool, f: impl FnOnce() -> T) -> (T, u64) {
+    if measure {
+        let t0 = Instant::now();
+        let v = f();
+        (
+            v,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
+    } else {
+        (f(), 0)
     }
 }
 
@@ -803,5 +961,74 @@ mod tests {
     #[test]
     fn host_sized_has_at_least_one_thread() {
         assert!(ShardedExecutor::host_sized().threads() >= 1);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_emits_shard_phases() {
+        use dpr_telemetry::{Event, TraceRecorder};
+        let g = paper_graph(1_000, 59);
+        let n = g.num_nodes();
+        let own = owners(n, 10, 11);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut plain = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut obs = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut p1 = PeerTable::new(10);
+        let mut p2 = PeerTable::new(10);
+        let r1 = ShardedExecutor::new(4).run_to_convergence(&mut plain, &mut p1, None);
+        let rec = TraceRecorder::new();
+        let r2 = ShardedExecutor::new(4).run_observed(&mut obs, &mut p2, None, &rec, "t");
+        assert_eq!(r1.per_pass, r2.per_pass);
+        assert_eq!(plain.ranks(), obs.ranks());
+        let events = rec.events();
+        let shard_phases: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ShardPhase { pass, shard, .. } => Some((*pass, *shard)),
+                _ => None,
+            })
+            .collect();
+        // 4 shards per pass, in ascending shard order within a pass.
+        assert_eq!(shard_phases.len(), 4 * r2.passes);
+        for w in shard_phases.chunks(4) {
+            assert_eq!(w.iter().map(|&(_, s)| s).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        }
+        let passes_done = events
+            .iter()
+            .filter(|e| matches!(e, Event::PassCompleted { .. }))
+            .count();
+        assert_eq!(passes_done, r2.passes);
+    }
+
+    #[test]
+    fn observed_residual_series_is_monotone_non_increasing() {
+        use dpr_telemetry::{Event, TraceRecorder};
+        let g = paper_graph(900, 63);
+        let n = g.num_nodes();
+        let own = owners(n, 8, 13);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let eng = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let rec = TraceRecorder::new();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel(3)] {
+            let mut fresh = eng.clone();
+            let run = mode.run_static_observed(&mut fresh, &rec, "mono");
+            assert!(run.converged);
+        }
+        let mut prev: Option<f64> = None;
+        let mut pass_seen = 0u64;
+        for e in rec.events() {
+            if let Event::ConvergenceCheck { pass, residual, .. } = e {
+                // Two back-to-back runs share the label; reset the
+                // baseline when the pass counter restarts.
+                if pass <= pass_seen {
+                    prev = None;
+                }
+                pass_seen = pass;
+                if let Some(p) = prev {
+                    assert!(residual <= p * (1.0 + 1e-9) + 1e-12, "{residual} > {p}");
+                }
+                prev = Some(residual);
+            }
+        }
+        assert!(pass_seen > 1);
     }
 }

@@ -13,7 +13,11 @@ use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable, Placement};
-use dpr_p2p::transport::{TrafficStats, Transport};
+use dpr_p2p::transport::{
+    TrafficStats, Transport, FRAME_ENTRY_BYTES, FRAME_HEADER_BYTES, RANK_UPDATE_WIRE_BYTES,
+};
+use dpr_telemetry::{Event, Metric, Recorder, NOOP};
+use std::sync::Arc;
 
 /// Statistics of one cluster round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -95,6 +99,14 @@ impl Cluster {
         self.nodes.len()
     }
 
+    /// Installs a telemetry recorder on the underlying transport, so
+    /// every wire send feeds the payload/byte/parked series. Round- and
+    /// node-level events still require driving the cluster through
+    /// [`Cluster::round_observed`] / [`Cluster::run_observed`].
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.transport.set_recorder(rec);
+    }
+
     /// Rounds executed.
     pub fn rounds_run(&self) -> usize {
         self.rounds
@@ -115,7 +127,21 @@ impl Cluster {
     pub fn round_with_hops(
         &mut self,
         peers: &PeerTable,
+        hops: Option<&mut HopHook<'_>>,
+    ) -> RoundStats {
+        self.round_observed(peers, hops, &NOOP)
+    }
+
+    /// [`Cluster::round_with_hops`] recording telemetry: one
+    /// [`Event::FrameSent`] per wire payload leaving an outbox, one
+    /// [`Event::RoundCompleted`] per round, and the store-and-resend
+    /// depth into [`Metric::PendingDepth`]. With the no-op recorder
+    /// this *is* `round_with_hops` — the protocol never sees `rec`.
+    pub fn round_observed<R: Recorder + ?Sized>(
+        &mut self,
+        peers: &PeerTable,
         mut hops: Option<&mut HopHook<'_>>,
+        rec: &R,
     ) -> RoundStats {
         self.rounds += 1;
         // Parked messages whose destination returned get delivered
@@ -138,15 +164,36 @@ impl Cluster {
                 stats.delivered += 1;
             }
             // Local pass.
-            self.nodes[i].step();
+            self.nodes[i].step_observed(rec);
             // Outbox -> transport.
             for (to, payload) in self.nodes[i].drain_outbox() {
                 if let Some(model) = hops.as_deref_mut() {
                     stats.hops += model(pid, to, &payload) as u64;
                 }
+                if rec.enabled() {
+                    rec.event(&Event::FrameSent {
+                        round: self.rounds as u64,
+                        from: pid.0,
+                        to: to.0,
+                        entries: payload_entries(payload.len()),
+                        bytes: payload.len() as u64,
+                    });
+                }
                 self.transport.send(peers, pid, to, payload);
                 stats.sent += 1;
             }
+        }
+        if rec.enabled() {
+            let pending = self.transport.total_pending() as u64;
+            rec.observe(Metric::PendingDepth, pending);
+            rec.event(&Event::RoundCompleted {
+                round: self.rounds as u64,
+                sent: stats.sent,
+                delivered: stats.delivered,
+                redelivered: stats.redelivered,
+                hops: stats.hops,
+                pending,
+            });
         }
         stats
     }
@@ -158,14 +205,42 @@ impl Cluster {
         &mut self,
         peers: &mut PeerTable,
         max_rounds: usize,
+        churn: Option<&mut dpr_core::engine::ChurnFn<'_>>,
+    ) -> (usize, bool) {
+        self.run_observed(peers, max_rounds, churn, &NOOP)
+    }
+
+    /// [`Cluster::run_to_convergence`] recording telemetry: observed
+    /// rounds plus one [`Event::PeerChurn`] per presence flip the
+    /// churn callback makes.
+    pub fn run_observed<R: Recorder + ?Sized>(
+        &mut self,
+        peers: &mut PeerTable,
+        max_rounds: usize,
         mut churn: Option<&mut dpr_core::engine::ChurnFn<'_>>,
+        rec: &R,
     ) -> (usize, bool) {
         let mut executed = 0;
         while executed < max_rounds && !self.is_quiescent() {
-            self.round(peers);
+            self.round_observed(peers, None, rec);
             executed += 1;
             if let Some(f) = churn.as_deref_mut() {
-                f(executed, peers);
+                if rec.enabled() {
+                    let before: Vec<bool> = peers.peers().map(|p| peers.is_online(p)).collect();
+                    f(executed, peers);
+                    for (i, was) in before.iter().enumerate() {
+                        let now = peers.is_online(PeerId(i as u32));
+                        if now != *was {
+                            rec.event(&Event::PeerChurn {
+                                round: executed as u64,
+                                peer: i as u32,
+                                online: now,
+                            });
+                        }
+                    }
+                } else {
+                    f(executed, peers);
+                }
             }
         }
         (executed, self.is_quiescent())
@@ -286,6 +361,18 @@ impl Cluster {
             }
         }
         migrated
+    }
+}
+
+/// Coalesced updates in a wire payload, inferred from its length: a
+/// 24-byte payload is one single update, anything else is a frame of
+/// `(len − header) / entry_size` entries (frame lengths are `4 + 16k`,
+/// never 24, so the inference is unambiguous).
+fn payload_entries(len: usize) -> u64 {
+    if len == RANK_UPDATE_WIRE_BYTES {
+        1
+    } else {
+        ((len - FRAME_HEADER_BYTES) / FRAME_ENTRY_BYTES) as u64
     }
 }
 
@@ -502,6 +589,58 @@ mod tests {
         let (mut cluster, _) = build(100, 4, 1e-3, 70);
         let peers = PeerTable::new(4);
         cluster.peer_depart(PeerId(2), &peers, &|_| PeerId(0));
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_traces_traffic() {
+        use dpr_telemetry::{Event, Metric, TraceRecorder};
+        let build_pair = || build(400, 8, 1e-5, 71).0;
+        let mut plain = build_pair();
+        let mut peers1 = PeerTable::new(8);
+        let (rounds1, ok1) = plain.run_to_convergence(&mut peers1, 10_000, None);
+        assert!(ok1);
+
+        let mut observed = build_pair();
+        let rec = Arc::new(TraceRecorder::new());
+        observed.set_recorder(rec.clone());
+        let mut peers2 = PeerTable::new(8);
+        let (rounds2, ok2) = observed.run_observed(&mut peers2, 10_000, None, rec.as_ref());
+        assert!(ok2);
+        assert_eq!(rounds1, rounds2);
+        assert_eq!(
+            plain.collect_ranks(400),
+            observed.collect_ranks(400),
+            "telemetry must not perturb the computation"
+        );
+        assert_eq!(plain.traffic(), observed.traffic());
+
+        // The event stream accounts for every payload, byte for byte.
+        let events = rec.events();
+        let (mut frames, mut frame_bytes, mut round_sent) = (0u64, 0u64, 0u64);
+        let mut rounds_completed = 0usize;
+        for e in &events {
+            match e {
+                Event::FrameSent { entries, bytes, .. } => {
+                    frames += 1;
+                    frame_bytes += bytes;
+                    assert!(*entries >= 1);
+                }
+                Event::RoundCompleted { sent, .. } => {
+                    rounds_completed += 1;
+                    round_sent += sent;
+                }
+                _ => {}
+            }
+        }
+        let traffic = observed.traffic();
+        assert_eq!(rounds_completed, rounds2);
+        assert_eq!(frames, traffic.sent);
+        assert_eq!(round_sent, traffic.sent);
+        assert_eq!(frame_bytes, traffic.bytes_sent);
+        // The transport recorder mirrors the same totals as counters.
+        assert_eq!(rec.counter(Metric::PayloadsSent), traffic.sent);
+        assert_eq!(rec.counter(Metric::BytesOnWire), traffic.bytes_sent);
+        assert_eq!(rec.histogram(Metric::PendingDepth).count(), rounds2 as u64);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use dpr_graph::DocId;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::peer::PeerId;
 use dpr_p2p::transport::{RankUpdateWire, UpdateFrameWire, RANK_UPDATE_WIRE_BYTES};
+use dpr_telemetry::{Metric, Recorder, NOOP};
 use std::collections::HashMap;
 
 /// How a node puts updates on the wire.
@@ -278,6 +279,16 @@ impl PeerNode {
     /// (visible on the *next* step, matching the engine's two-phase
     /// pass).
     pub fn step(&mut self) {
+        self.step_observed(&NOOP)
+    }
+
+    /// [`PeerNode::step`] recording telemetry: the flush-occupancy
+    /// distribution (coalesced entries per destination buffer at flush
+    /// time — the live view of how much aggregation is buying) plus
+    /// the remote/local/frame counters. With the no-op recorder this
+    /// *is* `step` — the protocol state machine never sees `rec`.
+    pub fn step_observed<R: Recorder + ?Sized>(&mut self, rec: &R) {
+        let before = self.stats;
         let work = std::mem::take(&mut self.dirty);
         // Phase 1: apply.
         let mut senders: Vec<(DocId, f64)> = Vec::new();
@@ -321,6 +332,9 @@ impl PeerNode {
         // formats serialize.
         for dst in std::mem::take(&mut self.flush_order) {
             let buf = self.flush.get_mut(&dst).expect("touched buffer exists");
+            if rec.enabled() {
+                rec.observe(Metric::FlushOccupancy, buf.len() as u64);
+            }
             match self.wire {
                 WireMode::Single => {
                     for frame in buf.flush(usize::MAX) {
@@ -338,6 +352,20 @@ impl PeerNode {
                     }
                 }
             }
+        }
+        if rec.enabled() {
+            rec.counter_add(
+                Metric::RemoteUpdates,
+                self.stats.emitted_remote - before.emitted_remote,
+            );
+            rec.counter_add(
+                Metric::LocalUpdates,
+                self.stats.local_updates - before.local_updates,
+            );
+            rec.counter_add(
+                Metric::FramesSent,
+                self.stats.frames_sent - before.frames_sent,
+            );
         }
     }
 

@@ -27,6 +27,7 @@
 
 use crate::cluster::Cluster;
 use dpr_p2p::peer::{PeerId, PeerTable};
+use dpr_telemetry::{Event, Recorder, NOOP};
 
 /// Peer color in Safra's algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +150,21 @@ impl TerminationDetector {
     /// peer on the ring. Stops when the holder is offline or busy, or
     /// when termination is announced. Call between cluster rounds.
     pub fn advance(&mut self, cluster: &Cluster, peers: &PeerTable) {
+        self.advance_observed(cluster, peers, &NOOP, 0)
+    }
+
+    /// [`TerminationDetector::advance`] recording telemetry: one
+    /// [`Event::TerminationProbe`] per initiator evaluation, carrying
+    /// the token state and the detector's view of the Safra invariant
+    /// Σ sent − Σ received (0 exactly when nothing is in flight).
+    /// `round` labels the probes with the caller's round counter.
+    pub fn advance_observed<R: Recorder + ?Sized>(
+        &mut self,
+        cluster: &Cluster,
+        peers: &PeerTable,
+        rec: &R,
+        round: u64,
+    ) {
         if self.announced {
             return;
         }
@@ -181,7 +197,29 @@ impl TerminationDetector {
                 let total = self.token.count + local_count + self.base_count;
                 let all_white =
                     self.token.color == Color::White && self.color[h.index()] == Color::White;
-                if all_white && total == 0 {
+                let announce = all_white && total == 0;
+                if rec.enabled() {
+                    // The detector's ground-truth invariant: lifetime
+                    // Σ sent − Σ received over every live peer plus
+                    // the folded-in counters of departed ones.
+                    let invariant: i64 = self.base_count
+                        + (0..n)
+                            .filter(|&i| !self.departed[i])
+                            .map(|i| {
+                                let s = cluster.node(PeerId(i as u32)).stats();
+                                s.sent_remote as i64 - s.received as i64
+                            })
+                            .sum::<i64>();
+                    rec.event(&Event::TerminationProbe {
+                        round,
+                        circuits: self.circuits,
+                        token_count: total,
+                        token_black: self.token.color == Color::Black,
+                        announced: announce,
+                        invariant,
+                    });
+                }
+                if announce {
                     self.announced = true;
                     return;
                 }
@@ -220,12 +258,23 @@ pub fn run_with_termination_detection(
     peers: &mut PeerTable,
     max_rounds: usize,
 ) -> (usize, bool) {
+    run_with_termination_detection_observed(cluster, peers, max_rounds, &NOOP)
+}
+
+/// [`run_with_termination_detection`] recording telemetry: observed
+/// cluster rounds plus one termination probe per token evaluation.
+pub fn run_with_termination_detection_observed<R: Recorder + ?Sized>(
+    cluster: &mut Cluster,
+    peers: &mut PeerTable,
+    max_rounds: usize,
+    rec: &R,
+) -> (usize, bool) {
     let mut detector = TerminationDetector::new(cluster.num_peers());
     let mut rounds = 0;
     while rounds < max_rounds && !detector.announced() {
-        cluster.round(peers);
+        cluster.round_observed(peers, None, rec);
         rounds += 1;
-        detector.advance(cluster, peers);
+        detector.advance_observed(cluster, peers, rec, rounds as u64);
     }
     (rounds, detector.announced())
 }
@@ -330,6 +379,38 @@ mod tests {
         }
         assert!(detector.announced(), "no announcement in {rounds} rounds");
         assert!(cluster.is_quiescent(), "announcement must be sound");
+    }
+
+    #[test]
+    fn probes_carry_a_sound_invariant() {
+        use dpr_telemetry::{Event, TraceRecorder};
+        let mut cluster = build(500, 10, 1e-5, 107);
+        let mut peers = PeerTable::new(10);
+        let rec = TraceRecorder::new();
+        let (rounds, announced) =
+            run_with_termination_detection_observed(&mut cluster, &mut peers, 50_000, &rec);
+        assert!(announced, "no announcement in {rounds} rounds");
+        let probes: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::TerminationProbe {
+                    token_count,
+                    announced,
+                    invariant,
+                    ..
+                } => Some((token_count, announced, invariant)),
+                _ => None,
+            })
+            .collect();
+        assert!(!probes.is_empty(), "every evaluation emits a probe");
+        // Exactly the last probe announces, with both the token total
+        // and the ground-truth invariant at zero.
+        let (count, ann, inv) = *probes.last().unwrap();
+        assert!(ann && count == 0 && inv == 0, "{probes:?}");
+        for &(_, ann, _) in &probes[..probes.len() - 1] {
+            assert!(!ann);
+        }
     }
 
     #[test]

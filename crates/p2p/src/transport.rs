@@ -15,7 +15,9 @@
 
 use crate::peer::{PeerId, PeerTable};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dpr_telemetry::{Metric, Recorder};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A message in flight or delivered.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +64,6 @@ impl WireSize for Bytes {
 }
 
 /// Per-peer inboxes plus the store-and-resend buffer.
-#[derive(Debug)]
 pub struct Transport<M> {
     inboxes: Vec<VecDeque<Envelope<M>>>,
     /// Messages waiting for an offline destination, stored at the
@@ -71,6 +72,20 @@ pub struct Transport<M> {
     /// audited via [`Transport::pending_at`].
     pending: Vec<Vec<Envelope<M>>>,
     stats: TrafficStats,
+    /// Optional telemetry recorder mirroring [`TrafficStats`] into the
+    /// shared metric registry (`None` costs one branch per send).
+    rec: Option<Arc<dyn Recorder>>,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Transport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transport")
+            .field("inboxes", &self.inboxes)
+            .field("pending", &self.pending)
+            .field("stats", &self.stats)
+            .field("observed", &self.rec.is_some())
+            .finish()
+    }
 }
 
 impl<M> Transport<M> {
@@ -80,7 +95,16 @@ impl<M> Transport<M> {
             inboxes: (0..n).map(|_| VecDeque::new()).collect(),
             pending: (0..n).map(|_| Vec::new()).collect(),
             stats: TrafficStats::default(),
+            rec: None,
         }
+    }
+
+    /// Installs a telemetry recorder: every subsequent send observes
+    /// [`Metric::PayloadsSent`], [`Metric::BytesOnWire`],
+    /// [`Metric::FrameBytes`] and [`Metric::ParkedMessages`]. Purely
+    /// additive — [`TrafficStats`] is kept identically either way.
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.rec = Some(rec);
     }
 
     /// Number of peers.
@@ -157,12 +181,22 @@ impl<M: WireSize> Transport<M> {
     /// park and resend as units — for multi-update frames this is the
     /// store-and-resend of entire frames.
     pub fn send(&mut self, peers: &PeerTable, from: PeerId, to: PeerId, payload: M) {
+        let wire = payload.wire_bytes() as u64;
         self.stats.sent += 1;
-        self.stats.bytes_sent += payload.wire_bytes() as u64;
+        self.stats.bytes_sent += wire;
+        let online = peers.is_online(to);
+        if let Some(rec) = &self.rec {
+            rec.counter_add(Metric::PayloadsSent, 1);
+            rec.counter_add(Metric::BytesOnWire, wire);
+            rec.observe(Metric::FrameBytes, wire);
+            if !online {
+                rec.counter_add(Metric::ParkedMessages, 1);
+            }
+        }
         let env = Envelope { from, to, payload };
-        if peers.is_online(to) {
+        if online {
             self.stats.delivered += 1;
-            self.stats.bytes_delivered += env.payload.wire_bytes() as u64;
+            self.stats.bytes_delivered += wire;
             self.inboxes[to.index()].push_back(env);
         } else {
             self.stats.parked += 1;
@@ -594,6 +628,28 @@ mod tests {
         peers.go_online(PeerId(1));
         t.retry_pending(&peers);
         assert_eq!(t.stats().bytes_delivered, 44);
+    }
+
+    #[test]
+    fn recorder_mirrors_traffic_counters() {
+        use dpr_telemetry::TraceRecorder;
+        let mut peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        let rec = Arc::new(TraceRecorder::new());
+        t.set_recorder(rec.clone());
+        t.send(&peers, PeerId(0), PeerId(1), Bytes::from_static(&[0; 24]));
+        peers.go_offline(PeerId(1));
+        t.send(&peers, PeerId(0), PeerId(1), Bytes::from_static(&[0; 20]));
+        assert_eq!(rec.counter(Metric::PayloadsSent), 2);
+        assert_eq!(rec.counter(Metric::BytesOnWire), 44);
+        assert_eq!(rec.counter(Metric::ParkedMessages), 1);
+        let h = rec.histogram(Metric::FrameBytes);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 44);
+        // The mirrored series agree with the transport's own stats.
+        assert_eq!(rec.counter(Metric::PayloadsSent), t.stats().sent);
+        assert_eq!(rec.counter(Metric::BytesOnWire), t.stats().bytes_sent);
+        assert_eq!(rec.counter(Metric::ParkedMessages), t.stats().parked);
     }
 
     #[test]

@@ -33,8 +33,10 @@ use dpr_node::cluster::Cluster;
 use dpr_node::node::WireMode;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::transport::{RankUpdateWire, RANK_UPDATE_WIRE_BYTES};
+use dpr_telemetry::Recorder;
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Measured traffic of one cluster convergence run.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -72,6 +74,31 @@ pub struct ClusterRun {
 /// `cache_ips`, the first send per destination routes and caches the
 /// address (paper Sec. 3.2) and later sends go direct in one hop.
 pub fn run_wire_mode(w: &Workload, epsilon: f64, wire: WireMode, cache_ips: bool) -> ClusterRun {
+    run_wire_mode_inner(w, epsilon, wire, cache_ips, None)
+}
+
+/// [`run_wire_mode`] traced through `rec`: the cluster's transport
+/// mirrors its byte counters into the recorder, every round emits
+/// `frame_sent` / `round_completed` events, and the hop model feeds
+/// the route/cache metrics. The measured run is unchanged by
+/// observation (same rounds, ranks, and traffic).
+pub fn run_wire_mode_observed(
+    w: &Workload,
+    epsilon: f64,
+    wire: WireMode,
+    cache_ips: bool,
+    rec: Arc<dyn Recorder>,
+) -> ClusterRun {
+    run_wire_mode_inner(w, epsilon, wire, cache_ips, Some(rec))
+}
+
+fn run_wire_mode_inner(
+    w: &Workload,
+    epsilon: f64,
+    wire: WireMode,
+    cache_ips: bool,
+    rec: Option<Arc<dyn Recorder>>,
+) -> ClusterRun {
     let mut cluster = Cluster::build_with(
         &w.graph,
         &w.placement,
@@ -84,6 +111,10 @@ pub fn run_wire_mode(w: &Workload, epsilon: f64, wire: WireMode, cache_ips: bool
     } else {
         HopAccounting::routed(w.ring.clone())
     };
+    if let Some(rec) = &rec {
+        cluster.set_recorder(rec.clone());
+        acc.set_recorder(rec.clone());
+    }
     // Singles name their document only by GUID on the wire; map them
     // back so the hop model can route on the document as a real DHT
     // lookup would.
@@ -104,7 +135,10 @@ pub fn run_wire_mode(w: &Workload, epsilon: f64, wire: WireMode, cache_ips: bool
     let mut rounds = 0usize;
     let mut routed = 0u64;
     while !cluster.is_quiescent() {
-        let stats = cluster.round_with_hops(&peers, Some(&mut hook));
+        let stats = match &rec {
+            Some(r) => cluster.round_observed(&peers, Some(&mut hook), r.as_ref()),
+            None => cluster.round_with_hops(&peers, Some(&mut hook)),
+        };
         routed += stats.hops;
         rounds += 1;
         assert!(rounds < 100_000, "static cluster run must quiesce");

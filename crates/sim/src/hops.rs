@@ -28,6 +28,8 @@ use dpr_p2p::guid::Guid;
 use dpr_p2p::peer::PeerId;
 use dpr_p2p::ring::Ring;
 use dpr_p2p::routing::Router;
+use dpr_telemetry::{Event, Metric, Recorder};
+use std::sync::Arc;
 
 /// Which delivery policy is modeled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,12 +39,24 @@ enum Policy {
 }
 
 /// Hop-charging state shared across a run.
-#[derive(Debug)]
 pub struct HopAccounting {
     ring: Ring,
     router: Router,
     caches: CacheSet,
     policy: Policy,
+    rec: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for HopAccounting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HopAccounting")
+            .field("ring", &self.ring)
+            .field("router", &self.router)
+            .field("caches", &self.caches)
+            .field("policy", &self.policy)
+            .field("observed", &self.rec.is_some())
+            .finish()
+    }
 }
 
 impl HopAccounting {
@@ -54,6 +68,7 @@ impl HopAccounting {
             router: Router::new(),
             caches: CacheSet::new(n),
             policy: Policy::RouteEveryMessage,
+            rec: None,
         }
     }
 
@@ -66,7 +81,19 @@ impl HopAccounting {
             router: Router::new(),
             caches: CacheSet::new(n),
             policy: Policy::CacheAfterFirst,
+            rec: None,
         }
+    }
+
+    /// Attaches a recorder. Every charged hop feeds
+    /// [`Metric::RoutedHops`]; overlay routes additionally observe
+    /// [`Metric::RouteHops`], and under the caching policy hits and
+    /// misses feed [`Metric::RouteCacheHits`] /
+    /// [`Metric::RouteCacheMisses`], each miss emitting one
+    /// [`Event::RouteResolved`] (events stay bounded by the cache
+    /// population, never per message).
+    pub fn set_recorder(&mut self, rec: Arc<dyn Recorder>) {
+        self.rec = Some(rec);
     }
 
     /// Charges one message from `src` to the peer holding `doc`
@@ -78,10 +105,12 @@ impl HopAccounting {
             Policy::CacheAfterFirst => {
                 if let Some(peer) = self.caches.of(src).lookup(guid) {
                     debug_assert_eq!(peer, actual_owner, "stale cache in static run");
+                    self.record_hit();
                     1
                 } else {
                     let hops = self.route_cost(src, actual_owner, guid);
                     self.caches.of(src).insert(guid, actual_owner);
+                    self.record_miss(src, actual_owner, hops);
                     hops
                 }
             }
@@ -103,10 +132,12 @@ impl HopAccounting {
             Policy::CacheAfterFirst => {
                 if let Some(peer) = self.caches.of(src).lookup(guid) {
                     debug_assert_eq!(peer, dst, "stale peer cache in static run");
+                    self.record_hit();
                     1
                 } else {
                     let hops = self.route_cost(src, dst, guid);
                     self.caches.of(src).insert(guid, dst);
+                    self.record_miss(src, dst, hops);
                     hops
                 }
             }
@@ -120,7 +151,32 @@ impl HopAccounting {
         // chased with one extra hop.
         let indirection = u32::from(route.owner != actual_owner);
         // Delivery of at least one hop even if src is the successor.
-        (route.hops + indirection).max(1)
+        let cost = (route.hops + indirection).max(1);
+        if let Some(rec) = self.rec.as_deref().filter(|r| r.enabled()) {
+            rec.counter_add(Metric::RoutedHops, u64::from(cost));
+            rec.observe(Metric::RouteHops, u64::from(cost));
+        }
+        cost
+    }
+
+    fn record_hit(&self) {
+        if let Some(rec) = self.rec.as_deref().filter(|r| r.enabled()) {
+            rec.counter_add(Metric::RouteCacheHits, 1);
+            // The cached address still costs one direct transmission.
+            rec.counter_add(Metric::RoutedHops, 1);
+        }
+    }
+
+    fn record_miss(&self, src: PeerId, dst: PeerId, hops: u32) {
+        if let Some(rec) = self.rec.as_deref().filter(|r| r.enabled()) {
+            rec.counter_add(Metric::RouteCacheMisses, 1);
+            rec.event(&Event::RouteResolved {
+                src: src.0,
+                dst: dst.0,
+                hops,
+                cached: false,
+            });
+        }
     }
 
     /// Aggregate cache statistics (hits/misses/invalidations).
@@ -213,6 +269,46 @@ mod tests {
         let h_direct = direct.charge(src, successor, doc);
         let h_indirect = indirect.charge(src, other, doc);
         assert_eq!(h_indirect, h_direct + 1);
+    }
+
+    #[test]
+    fn observed_charges_match_and_feed_cache_metrics() {
+        use dpr_telemetry::TraceRecorder;
+
+        let ring = Ring::with_peers(128);
+        let doc = DocId(5);
+        let owner = ring.successor(Guid::for_document(doc));
+        let src = PeerId(if owner == PeerId(0) { 1 } else { 0 });
+
+        let mut plain = HopAccounting::cached(ring.clone());
+        let expected: Vec<u32> = (0..3).map(|_| plain.charge(src, owner, doc)).collect();
+
+        let rec = Arc::new(TraceRecorder::new());
+        let mut acc = HopAccounting::cached(ring);
+        acc.set_recorder(rec.clone());
+        let got: Vec<u32> = (0..3).map(|_| acc.charge(src, owner, doc)).collect();
+        assert_eq!(got, expected, "recorder must not perturb charges");
+
+        assert_eq!(rec.counter(Metric::RouteCacheMisses), 1);
+        assert_eq!(rec.counter(Metric::RouteCacheHits), 2);
+        // One routed miss plus one direct hop per hit.
+        assert_eq!(rec.counter(Metric::RoutedHops), u64::from(expected[0]) + 2);
+        assert_eq!(rec.histogram(Metric::RouteHops).count(), 1);
+        let events = rec.events();
+        assert_eq!(events.len(), 1, "events only on actual routes");
+        match &events[0] {
+            Event::RouteResolved {
+                src: s,
+                dst,
+                hops,
+                cached,
+            } => {
+                assert_eq!((*s, *dst), (src.0, owner.0));
+                assert_eq!(*hops, expected[0]);
+                assert!(!cached);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

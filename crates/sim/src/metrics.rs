@@ -1,190 +1,7 @@
-//! Plain-text table rendering for experiment output.
-//!
-//! The `table*` binaries print the same rows the paper's tables
-//! report; this module keeps the formatting in one place.
+//! Plain-text table rendering and number formatting for experiment
+//! output — now thin re-exports of the shared [`dpr_telemetry`]
+//! implementations, kept so `dpr_sim::metrics::{TextTable, fmt_bytes,
+//! …}` stays a stable import path for the bench binaries.
 
-/// A simple right-aligned text table.
-#[derive(Debug, Default, Clone)]
-pub struct TextTable {
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl TextTable {
-    /// A table with the given column headers.
-    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        TextTable {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends a row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row width differs from the header width.
-    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
-        let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.header.len(), "row width mismatch");
-        self.rows.push(row);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders with aligned columns.
-    pub fn render(&self) -> String {
-        let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for c in 0..cols {
-                widths[c] = widths[c].max(row[c].len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, s)| format!("{:>width$}", s, width = widths[i]))
-                .collect::<Vec<_>>()
-                .join("  ")
-        };
-        out.push_str(&fmt_row(&self.header, &widths));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-
-    /// Renders as a GitHub-flavoured markdown table (for
-    /// EXPERIMENTS.md).
-    pub fn render_markdown(&self) -> String {
-        let mut out = String::new();
-        out.push_str("| ");
-        out.push_str(&self.header.join(" | "));
-        out.push_str(" |\n|");
-        for _ in &self.header {
-            out.push_str("---|");
-        }
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str("| ");
-            out.push_str(&row.join(" | "));
-            out.push_str(" |\n");
-        }
-        out
-    }
-}
-
-/// Formats a float compactly: scientific for very small/large, fixed
-/// otherwise.
-pub fn fmt_f64(v: f64) -> String {
-    if v == 0.0 {
-        "0".into()
-    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
-        format!("{v:.2e}")
-    } else if v.abs() < 1.0 {
-        format!("{v:.4}")
-    } else {
-        format!("{v:.1}")
-    }
-}
-
-/// Formats a byte count with a binary-unit suffix ("712 B",
-/// "3.4 KiB", "1.2 MiB"), for the bytes-on-wire columns.
-pub fn fmt_bytes(bytes: u64) -> String {
-    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
-    let mut v = bytes as f64;
-    let mut unit = 0;
-    while v >= 1024.0 && unit < UNITS.len() - 1 {
-        v /= 1024.0;
-        unit += 1;
-    }
-    if unit == 0 {
-        format!("{bytes} B")
-    } else {
-        format!("{:.1} {}", v, UNITS[unit])
-    }
-}
-
-/// Formats an epsilon threshold the way the paper writes them
-/// ("0.2", "1e-3", …).
-pub fn fmt_eps(eps: f64) -> String {
-    if eps >= 0.01 {
-        format!("{eps}")
-    } else {
-        format!("1e{}", eps.log10().round() as i32)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn render_aligns_columns() {
-        let mut t = TextTable::new(["size", "passes"]);
-        t.push(["10000", "74"]);
-        t.push(["100", "1"]);
-        let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("size"));
-        assert!(lines[2].ends_with("74"));
-        assert!(lines[3].ends_with(" 1"));
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "row width mismatch")]
-    fn rejects_ragged_rows() {
-        let mut t = TextTable::new(["a", "b"]);
-        t.push(["only one"]);
-    }
-
-    #[test]
-    fn markdown_has_separator() {
-        let mut t = TextTable::new(["a", "b"]);
-        t.push(["1", "2"]);
-        let md = t.render_markdown();
-        assert!(md.starts_with("| a | b |\n|---|---|\n| 1 | 2 |"));
-    }
-
-    #[test]
-    fn float_formatting() {
-        assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(0.25), "0.2500");
-        assert_eq!(fmt_f64(33.71), "33.7");
-        assert!(fmt_f64(1.0e-6).contains('e'));
-        assert!(fmt_f64(2.0e7).contains('e'));
-    }
-
-    #[test]
-    fn byte_formatting_scales_units() {
-        assert_eq!(fmt_bytes(0), "0 B");
-        assert_eq!(fmt_bytes(712), "712 B");
-        assert_eq!(fmt_bytes(3 * 1024 + 512), "3.5 KiB");
-        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0 MiB");
-        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
-    }
-
-    #[test]
-    fn eps_formatting_matches_paper_style() {
-        assert_eq!(fmt_eps(0.2), "0.2");
-        assert_eq!(fmt_eps(1e-3), "1e-3");
-        assert_eq!(fmt_eps(1e-6), "1e-6");
-    }
-}
+pub use dpr_telemetry::fmt::{fmt_bytes, fmt_eps, fmt_f64};
+pub use dpr_telemetry::table::TextTable;

@@ -18,6 +18,7 @@ use dpr_search::index::DistributedIndex;
 use dpr_search::query::{
     execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
 };
+use dpr_telemetry::{Event, Recorder, NOOP};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -74,6 +75,22 @@ pub fn run_convergence_with(
     seed: u64,
     mode: ExecMode,
 ) -> ConvergenceResult {
+    run_convergence_observed(w, epsilon, presence, seed, mode, &NOOP, "convergence")
+}
+
+/// [`run_convergence_with`] traced through `rec`: every pass emits
+/// `pass_completed` / `convergence_check` events under `run_label`,
+/// and presence churn shows up as `peer_churn` flips. With the no-op
+/// recorder this is exactly [`run_convergence_with`].
+pub fn run_convergence_observed<R: Recorder + ?Sized>(
+    w: &Workload,
+    epsilon: f64,
+    presence: f64,
+    seed: u64,
+    mode: ExecMode,
+    rec: &R,
+    run_label: &str,
+) -> ConvergenceResult {
     let mut engine = ChaoticEngine::new(
         w.graph.clone(),
         w.owners(),
@@ -86,7 +103,7 @@ pub fn run_convergence_with(
         Schedule::always_on()
     };
     let mut churn = |_pass: usize, p: &mut dpr_p2p::peer::PeerTable| schedule.apply(p);
-    let run = mode.run(&mut engine, &mut peers, Some(&mut churn));
+    let run = mode.run_observed(&mut engine, &mut peers, Some(&mut churn), rec, run_label);
     ConvergenceResult {
         graph_size: w.graph.num_nodes(),
         num_peers: w.num_peers,
@@ -161,13 +178,25 @@ impl QualitySweep {
     /// [`QualitySweep::run`] under an explicit execution mode; scores
     /// are identical for every mode (bit-identical executor).
     pub fn run_with(&self, epsilon: f64, mode: ExecMode) -> QualityResult {
+        self.run_observed(epsilon, mode, &NOOP, "quality")
+    }
+
+    /// [`QualitySweep::run_with`] traced through `rec` under
+    /// `run_label`; the scored result is unchanged by observation.
+    pub fn run_observed<R: Recorder + ?Sized>(
+        &self,
+        epsilon: f64,
+        mode: ExecMode,
+        rec: &R,
+        run_label: &str,
+    ) -> QualityResult {
         let mut engine = ChaoticEngine::new(
             self.workload.graph.clone(),
             self.workload.owners(),
             EngineConfig::with_epsilon(epsilon),
         );
         let mut peers = self.workload.peer_table();
-        let run = mode.run(&mut engine, &mut peers, None);
+        let run = mode.run_observed(&mut engine, &mut peers, None, rec, run_label);
         assert!(run.converged, "static run must converge");
         let distribution = error_stats::compare(engine.ranks(), &self.reference);
         QualityResult {
@@ -205,15 +234,37 @@ impl QualitySweep {
     /// valid chaotic schedule than the array engine), so the scored
     /// error matches [`QualitySweep::run`] to O(ε), not bitwise.
     pub fn run_batched(&self, epsilon: f64, max_frame_bytes: usize) -> BatchedQualityResult {
+        self.batched_inner(epsilon, max_frame_bytes, None)
+    }
+
+    /// [`QualitySweep::run_batched`] with the *batched* run traced
+    /// through `rec` (the unbatched baseline stays untraced so the
+    /// trace's frame/round series describes one coherent run).
+    pub fn run_batched_observed(
+        &self,
+        epsilon: f64,
+        max_frame_bytes: usize,
+        rec: std::sync::Arc<dyn Recorder>,
+    ) -> BatchedQualityResult {
+        self.batched_inner(epsilon, max_frame_bytes, Some(rec))
+    }
+
+    fn batched_inner(
+        &self,
+        epsilon: f64,
+        max_frame_bytes: usize,
+        rec: Option<std::sync::Arc<dyn Recorder>>,
+    ) -> BatchedQualityResult {
         use dpr_node::node::WireMode;
         let unbatched =
             crate::batch::run_wire_mode(&self.workload, epsilon, WireMode::Single, false);
-        let batched = crate::batch::run_wire_mode(
-            &self.workload,
-            epsilon,
-            WireMode::Frames { max_frame_bytes },
-            true,
-        );
+        let frames = WireMode::Frames { max_frame_bytes };
+        let batched = match rec {
+            Some(rec) => {
+                crate::batch::run_wire_mode_observed(&self.workload, epsilon, frames, true, rec)
+            }
+            None => crate::batch::run_wire_mode(&self.workload, epsilon, frames, true),
+        };
         let report = crate::batch::compare_runs(
             &self.workload,
             epsilon,
@@ -459,6 +510,25 @@ pub fn continuous_update_experiment_with(
     seed: u64,
     mode: ExecMode,
 ) -> Vec<ContinuousPoint> {
+    continuous_update_experiment_observed(nodes, inserts, checkpoints, epsilon, seed, mode, &NOOP)
+}
+
+/// [`continuous_update_experiment_with`] traced through `rec`: the
+/// initial solve runs under the label `"initial"`, each insert emits a
+/// `doc_inserted` event (the trace's injection marker), and every
+/// checkpoint's from-scratch reference runs under `"recompute@<i>"`.
+/// Because each labeled run converges monotonically, the residual
+/// series after the last injection event is non-increasing — the
+/// invariant [`dpr_telemetry::TraceSummary`] checks.
+pub fn continuous_update_experiment_observed<R: Recorder + ?Sized>(
+    nodes: usize,
+    inserts: usize,
+    checkpoints: usize,
+    epsilon: f64,
+    seed: u64,
+    mode: ExecMode,
+    rec: &R,
+) -> Vec<ContinuousPoint> {
     use dpr_core::incremental::insert_document;
     assert!(checkpoints >= 1 && inserts >= checkpoints);
     let base = dpr_graph::powerlaw::PowerLawConfig::paper(nodes, seed).generate();
@@ -466,7 +536,7 @@ pub fn continuous_update_experiment_with(
         std::sync::Arc::new(base.clone()),
         EngineConfig::with_epsilon(epsilon),
     );
-    let initial_run = mode.run_static(&mut engine);
+    let initial_run = mode.run_static_observed(&mut engine, rec, "initial");
     assert!(initial_run.converged);
 
     let mut graph = dpr_graph::DynamicGraph::from_csr(&base);
@@ -490,8 +560,14 @@ pub fn continuous_update_experiment_with(
         } else {
             links
         };
-        let (_, wave) = insert_document(&mut graph, &links, &mut ranks, cfg);
+        let (doc, wave) = insert_document(&mut graph, &links, &mut ranks, cfg);
         wave_messages += wave.messages;
+        if rec.enabled() {
+            rec.event(&Event::DocInserted {
+                seq: i as u64,
+                doc: u64::from(doc.0),
+            });
+        }
 
         if i % stride == 0 || i == inserts {
             // Reference: full recompute of the *current* graph.
@@ -500,7 +576,8 @@ pub fn continuous_update_experiment_with(
                 std::sync::Arc::new(snapshot),
                 EngineConfig::with_epsilon(epsilon),
             );
-            let recompute_run = mode.run_static(&mut fresh);
+            let recompute_run =
+                mode.run_static_observed(&mut fresh, rec, &format!("recompute@{i}"));
             assert!(recompute_run.converged);
             let errs = error_stats::compare(&ranks, fresh.ranks());
             points.push(ContinuousPoint {

@@ -1,0 +1,350 @@
+//! The typed event taxonomy and its JSONL encoding.
+//!
+//! Every event serializes to one self-describing JSON object — a
+//! `"type"` discriminator plus the variant's fields — so a trace file
+//! is one event per line, readable by anything that speaks JSON and
+//! validated by [`Event::from_value`] (the schema check the `dpr
+//! trace --validate` path and the CI smoke step run).
+//!
+//! The vendored `serde_derive` only handles named-field structs, so
+//! the enum's codec is written out by hand; the macro below keeps the
+//! two directions and the field lists in one place.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A structured telemetry event.
+///
+/// Ids are raw integers (`u32` peers, `u64` docs/passes) rather than
+/// `PeerId`/`DocId`: this crate sits below every runtime crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One engine pass finished (the engine-level unit of progress).
+    PassCompleted {
+        /// Label of the engine run this pass belongs to (e.g.
+        /// `"initial"`, `"wave@3"`, `"recompute@10"`).
+        run: String,
+        /// Pass index within the run, starting at 1.
+        pass: u64,
+        /// Documents whose pending increments were applied.
+        applied: u64,
+        /// Remote messages emitted during the pass.
+        remote_messages: u64,
+        /// Local (same-peer) rank updates during the pass.
+        local_updates: u64,
+        /// Distinct documents that emitted updates.
+        senders: u64,
+        /// Largest relative rank change seen in the pass.
+        max_relative_change: f64,
+        /// Overlay hops charged by the hop model during the pass.
+        hops: u64,
+        /// Wall-clock duration of the pass in nanoseconds.
+        duration_ns: u64,
+    },
+    /// Residual mass and active-set size after a pass — the
+    /// convergence trajectory. Residual is Σ|rank−advertised| +
+    /// Σ|pending|: the mass not yet propagated. Absent injections
+    /// (inserts, deletes) it is non-increasing pass over pass.
+    ConvergenceCheck {
+        /// Engine-run label (see [`Event::PassCompleted::run`]).
+        run: String,
+        /// Pass index within the run, starting at 1.
+        pass: u64,
+        /// Documents still scheduled for the next pass.
+        active_docs: u64,
+        /// Unpropagated rank mass after the pass.
+        residual: f64,
+    },
+    /// Per-shard phase timings of one parallel pass.
+    ShardPhase {
+        /// Engine-run label.
+        run: String,
+        /// Pass index within the run, starting at 1.
+        pass: u64,
+        /// Shard index (0 for the sequential/inline path).
+        shard: u32,
+        /// Nanoseconds in the apply+emit phase.
+        apply_ns: u64,
+        /// Nanoseconds merging mailboxes into this shard.
+        merge_ns: u64,
+    },
+    /// One message-level cluster round finished.
+    RoundCompleted {
+        /// Round index, starting at 1.
+        round: u64,
+        /// Wire payloads handed to the transport this round.
+        sent: u64,
+        /// Payloads placed in destination inboxes this round.
+        delivered: u64,
+        /// Parked payloads re-delivered this round.
+        redelivered: u64,
+        /// Overlay hops charged this round.
+        hops: u64,
+        /// Payloads parked at senders (store-and-resend depth) after
+        /// the round.
+        pending: u64,
+    },
+    /// One wire payload (single update or multi-update frame) left a
+    /// node's outbox.
+    FrameSent {
+        /// Round index the send happened in.
+        round: u64,
+        /// Sending peer.
+        from: u32,
+        /// Destination peer.
+        to: u32,
+        /// Coalesced update entries in the payload (1 for singles).
+        entries: u64,
+        /// Payload bytes on the wire.
+        bytes: u64,
+    },
+    /// A peer's presence changed.
+    PeerChurn {
+        /// Round (or pass) index at which the change took effect.
+        round: u64,
+        /// The peer whose presence changed.
+        peer: u32,
+        /// New presence state.
+        online: bool,
+    },
+    /// A document was inserted into the live system.
+    DocInserted {
+        /// Insertion sequence number, starting at 1.
+        seq: u64,
+        /// The inserted document id.
+        doc: u64,
+    },
+    /// Safra's termination-detection token was evaluated at the
+    /// initiator after a ring circuit.
+    TerminationProbe {
+        /// Round index of the probe.
+        round: u64,
+        /// Completed token circuits so far.
+        circuits: u64,
+        /// Token message-count accumulator.
+        token_count: i64,
+        /// Whether the returned token was black.
+        token_black: bool,
+        /// Whether termination was announced.
+        announced: bool,
+        /// The Safra invariant Σ sent − Σ received as the detector
+        /// sees it (0 when nothing is in flight).
+        invariant: i64,
+    },
+    /// An overlay lookup was resolved for a destination.
+    RouteResolved {
+        /// Source peer.
+        src: u32,
+        /// Destination peer (actual holder).
+        dst: u32,
+        /// Overlay hops charged.
+        hops: u32,
+        /// Whether a cached address short-circuited the route.
+        cached: bool,
+    },
+}
+
+/// Builds the `match`es for both codec directions from one variant ×
+/// field table.
+macro_rules! event_codec {
+    ($( $variant:ident => $tag:literal { $($field:ident),+ $(,)? } )+) => {
+        impl Serialize for Event {
+            fn to_value(&self) -> Value {
+                match self {
+                    $(Event::$variant { $($field),+ } => Value::Object(vec![
+                        ("type".to_string(), Value::Str($tag.to_string())),
+                        $( (stringify!($field).to_string(), $field.to_value()), )+
+                    ]),)+
+                }
+            }
+        }
+
+        impl Deserialize for Event {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let tag = v
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| Error::custom("event missing \"type\" discriminator"))?;
+                match tag {
+                    $($tag => Ok(Event::$variant {
+                        $($field: Deserialize::from_value(v.get(stringify!($field)).ok_or_else(
+                            || Error::custom(concat!(
+                                $tag, " missing field \"", stringify!($field), "\""
+                            )),
+                        )?)
+                        .map_err(|e| Error::custom(format!(
+                            "{}.{}: {e}", $tag, stringify!($field)
+                        )))?,)+
+                    }),)+
+                    other => Err(Error::custom(format!("unknown event type {other:?}"))),
+                }
+            }
+        }
+
+        impl Event {
+            /// The wire discriminator of this event (`"type"` field).
+            pub fn kind(&self) -> &'static str {
+                match self {
+                    $(Event::$variant { .. } => $tag,)+
+                }
+            }
+
+            /// Every known discriminator, in taxonomy order.
+            pub const KINDS: &'static [&'static str] = &[$($tag),+];
+        }
+    };
+}
+
+event_codec! {
+    PassCompleted => "pass_completed" {
+        run, pass, applied, remote_messages, local_updates, senders,
+        max_relative_change, hops, duration_ns,
+    }
+    ConvergenceCheck => "convergence_check" { run, pass, active_docs, residual }
+    ShardPhase => "shard_phase" { run, pass, shard, apply_ns, merge_ns }
+    RoundCompleted => "round_completed" { round, sent, delivered, redelivered, hops, pending }
+    FrameSent => "frame_sent" { round, from, to, entries, bytes }
+    PeerChurn => "peer_churn" { round, peer, online }
+    DocInserted => "doc_inserted" { seq, doc }
+    TerminationProbe => "termination_probe" {
+        round, circuits, token_count, token_black, announced, invariant,
+    }
+    RouteResolved => "route_resolved" { src, dst, hops, cached }
+}
+
+impl Event {
+    /// Whether this event injects rank mass or changes membership —
+    /// the events after whose last occurrence the residual series
+    /// must be monotone non-increasing.
+    pub fn is_injection(&self) -> bool {
+        matches!(self, Event::PeerChurn { .. } | Event::DocInserted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::PassCompleted {
+                run: "initial".into(),
+                pass: 3,
+                applied: 120,
+                remote_messages: 40,
+                local_updates: 80,
+                senders: 33,
+                max_relative_change: 0.0625,
+                hops: 91,
+                duration_ns: 12_345,
+            },
+            Event::ConvergenceCheck {
+                run: "initial".into(),
+                pass: 3,
+                active_docs: 17,
+                residual: 0.25,
+            },
+            Event::ShardPhase {
+                run: "initial".into(),
+                pass: 3,
+                shard: 1,
+                apply_ns: 900,
+                merge_ns: 100,
+            },
+            Event::RoundCompleted {
+                round: 9,
+                sent: 12,
+                delivered: 11,
+                redelivered: 1,
+                hops: 30,
+                pending: 2,
+            },
+            Event::FrameSent {
+                round: 9,
+                from: 4,
+                to: 7,
+                entries: 5,
+                bytes: 84,
+            },
+            Event::PeerChurn {
+                round: 10,
+                peer: 7,
+                online: false,
+            },
+            Event::DocInserted {
+                seq: 1,
+                doc: 10_000,
+            },
+            Event::TerminationProbe {
+                round: 12,
+                circuits: 2,
+                token_count: -3,
+                token_black: false,
+                announced: false,
+                invariant: 3,
+            },
+            Event::RouteResolved {
+                src: 4,
+                dst: 7,
+                hops: 5,
+                cached: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        for e in samples() {
+            let line = serde_json::to_string(&e).unwrap();
+            let v = serde_json::from_str(&line).unwrap();
+            let back = Event::from_value(&v).unwrap();
+            assert_eq!(back, e, "roundtrip of {line}");
+        }
+    }
+
+    #[test]
+    fn wire_form_is_tagged() {
+        let e = &samples()[0];
+        let line = serde_json::to_string(e).unwrap();
+        assert!(line.starts_with("{\"type\":\"pass_completed\""), "{line}");
+        assert_eq!(e.kind(), "pass_completed");
+    }
+
+    #[test]
+    fn kinds_cover_every_variant() {
+        for e in samples() {
+            assert!(Event::KINDS.contains(&e.kind()));
+        }
+        assert_eq!(Event::KINDS.len(), samples().len());
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        let missing_type = serde_json::from_str("{\"pass\": 1}").unwrap();
+        assert!(Event::from_value(&missing_type).is_err());
+
+        let unknown = serde_json::from_str("{\"type\": \"warp_drive\"}").unwrap();
+        assert!(Event::from_value(&unknown).is_err());
+
+        let missing_field =
+            serde_json::from_str("{\"type\": \"doc_inserted\", \"seq\": 1}").unwrap();
+        let err = Event::from_value(&missing_field).unwrap_err();
+        assert!(err.to_string().contains("doc"), "{err}");
+
+        let wrong_type =
+            serde_json::from_str("{\"type\": \"doc_inserted\", \"seq\": 1, \"doc\": \"x\"}")
+                .unwrap();
+        assert!(Event::from_value(&wrong_type).is_err());
+    }
+
+    #[test]
+    fn injection_classification() {
+        assert!(Event::DocInserted { seq: 1, doc: 2 }.is_injection());
+        assert!(Event::PeerChurn {
+            round: 1,
+            peer: 2,
+            online: true
+        }
+        .is_injection());
+        assert!(!samples()[0].is_injection());
+    }
+}

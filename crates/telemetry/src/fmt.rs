@@ -1,0 +1,73 @@
+//! Shared number formatting for tables and trace summaries (moved
+//! here from `dpr-sim::metrics`).
+
+/// Formats a float compactly: scientific for very small/large, fixed
+/// otherwise.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
+        format!("{v:.2e}")
+    } else if v.abs() < 1.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats a byte count with a binary-unit suffix ("712 B",
+/// "3.4 KiB", "1.2 MiB"), for the bytes-on-wire columns.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{:.1} {}", v, UNITS[unit])
+    }
+}
+
+/// Formats an epsilon threshold the way the paper writes them
+/// ("0.2", "1e-3", …).
+pub fn fmt_eps(eps: f64) -> String {
+    if eps >= 0.01 {
+        format!("{eps}")
+    } else {
+        format!("1e{}", eps.log10().round() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.25), "0.2500");
+        assert_eq!(fmt_f64(33.71), "33.7");
+        assert!(fmt_f64(1.0e-6).contains('e'));
+        assert!(fmt_f64(2.0e7).contains('e'));
+    }
+
+    #[test]
+    fn byte_formatting_scales_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(712), "712 B");
+        assert_eq!(fmt_bytes(3 * 1024 + 512), "3.5 KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0 MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn eps_formatting_matches_paper_style() {
+        assert_eq!(fmt_eps(0.2), "0.2");
+        assert_eq!(fmt_eps(1e-3), "1e-3");
+        assert_eq!(fmt_eps(1e-6), "1e-6");
+    }
+}

@@ -1,0 +1,228 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! Bucket 0 counts observations of exactly 0; bucket `i ≥ 1` counts
+//! values in `[2^(i-1), 2^i)`. 65 buckets cover the whole `u64`
+//! domain, recording is one relaxed `fetch_add`, and two histograms
+//! merge by bucket-wise addition — which is what makes per-thread
+//! recording equivalent to single-threaded recording of the same
+//! observation multiset (property-tested below).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index == 0 {
+        0
+    } else if index == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A log2-bucketed histogram with atomic buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts, in bucket order.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Folds another histogram into this one, bucket-wise.
+    pub fn merge(&self, other: &Histogram) {
+        for (b, o) in self.buckets.iter().zip(other.snapshot()) {
+            b.fetch_add(o, Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+
+    /// Smallest bucket upper bound at or below which at least
+    /// `q × count` observations fall — a bucket-resolution quantile
+    /// (exact for q=1.0; within a factor of 2 otherwise).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.snapshot().iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..BUCKETS - 1 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_of(hi), i, "upper bound stays in bucket {i}");
+            assert_eq!(bucket_of(hi + 1), i + 1, "next value leaves bucket {i}");
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_of(lo), i, "lower bound enters bucket {i}");
+        }
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn observe_tracks_count_sum_mean() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1); // 0
+        assert_eq!(snap[1], 1); // 1
+        assert_eq!(snap[2], 2); // 2, 3
+        assert_eq!(snap[7], 1); // 100 ∈ [64, 128)
+        assert_eq!(snap.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantiles_have_bucket_resolution() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1000);
+        assert_eq!(h.quantile_upper_bound(0.5), 1);
+        // 1000 ∈ [512, 1024): the p100 bound is that bucket's top.
+        assert_eq!(h.quantile_upper_bound(1.0), 1023);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.9), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(5);
+        b.observe(5);
+        b.observe(900);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 910);
+        assert_eq!(a.snapshot()[3], 2, "both 5s in [4, 8)");
+    }
+
+    proptest! {
+        #[test]
+        fn split_recording_equals_sequential_recording(
+            values in prop_vec(any::<u64>(), 0..200),
+            split in 0usize..200,
+        ) {
+            let split = split.min(values.len());
+            // One histogram fed sequentially...
+            let whole = Histogram::new();
+            for &v in &values {
+                whole.observe(v);
+            }
+            // ...versus two fed a partition of the same multiset on
+            // separate threads, then merged.
+            let left = Histogram::new();
+            let right = Histogram::new();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for &v in &values[..split] {
+                        left.observe(v);
+                    }
+                });
+                s.spawn(|| {
+                    for &v in &values[split..] {
+                        right.observe(v);
+                    }
+                });
+            });
+            left.merge(&right);
+            prop_assert_eq!(left.snapshot(), whole.snapshot());
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert_eq!(left.sum(), whole.sum());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # dpr-telemetry — structured tracing for the PageRank workspace
+//!
+//! The paper's claims are trajectories, not endpoints: chaotic
+//! iteration converging pass by pass under churn (Sec. 2.3/3.1), the
+//! ~10x wire-traffic cut of aggregation. Watching those trajectories
+//! needs a telemetry substrate that (a) never perturbs the computation
+//! it observes — the workspace's determinism contracts promise
+//! bit-identical ranks at every thread count and wire mode — and
+//! (b) costs nothing when it is off, so hot loops stay hot.
+//!
+//! The design, bottom to top:
+//!
+//! * [`Event`] — the typed event taxonomy (`PassCompleted`,
+//!   `ConvergenceCheck`, `FrameSent`, `PeerChurn`, ...), one JSON
+//!   object per event on the JSONL wire, self-describing via a
+//!   `"type"` discriminator.
+//! * [`Metric`] — the closed registry of scalar series: monotone
+//!   counters and log2-bucketed histograms, named in Prometheus style.
+//! * [`Recorder`] — the object-safe sink trait every instrumented
+//!   call site talks to. The default [`NoopRecorder`] has empty
+//!   inlineable bodies and `enabled() == false`, so instrumented code
+//!   generic over `R: Recorder` monomorphizes to nothing when
+//!   telemetry is off.
+//! * [`TraceRecorder`] — the real sink: lock-free striped counters
+//!   ([`counter::Counter`]) and atomic histograms
+//!   ([`hist::Histogram`]) plus an in-memory event aggregate and an
+//!   optional JSONL file.
+//! * Sinks: [`prom::render`] writes a Prometheus text-format
+//!   snapshot; [`summary::TraceSummary`] consumes a JSONL trace (or
+//!   the in-memory aggregate) and derives the convergence curve,
+//!   traffic-by-pass table and hottest peers for the `dpr trace`
+//!   subcommand.
+//!
+//! The crate depends only on the vendored `serde`/`serde_json` shims
+//! and sits below every runtime crate (`dpr-p2p`, `dpr-core`,
+//! `dpr-node`, `dpr-sim`), so all of them can record into it without
+//! dependency cycles. Events therefore carry raw `u32`/`u64` ids, not
+//! `PeerId`/`DocId`.
+//!
+//! ## Overhead model
+//!
+//! Instrumentation appears at three temperatures:
+//!
+//! 1. **Per-pass / per-round** (residual scans, event construction):
+//!    guarded by `rec.enabled()`; with [`NoopRecorder`] the guard is a
+//!    constant `false` and the whole block folds away.
+//! 2. **Per-message counters** (transport bytes, route hops): one
+//!    predictable branch on an `Option`/`enabled()` check when off;
+//!    one relaxed atomic add per event when on.
+//! 3. **Never in the innermost arithmetic**: the engine's
+//!    apply/emit inner loops are not touched — passes are observed at
+//!    their boundaries, which is where the paper's own metrics live.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod event;
+pub mod fmt;
+pub mod hist;
+pub mod metric;
+pub mod prom;
+pub mod recorder;
+pub mod summary;
+pub mod table;
+
+pub use event::Event;
+pub use metric::Metric;
+pub use recorder::{NoopRecorder, Recorder, Span, TraceRecorder, NOOP};
+pub use summary::TraceSummary;

@@ -1,0 +1,96 @@
+//! Prometheus text-format exposition of a [`TraceRecorder`] snapshot.
+//!
+//! Counters render as `<name>_total`; histograms render with
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, per
+//! the Prometheus exposition format. Empty histogram buckets are
+//! skipped (except the mandatory `+Inf`) to keep snapshots small —
+//! cumulative values stay correct because the running total carries
+//! across skipped buckets.
+
+use crate::hist::{bucket_upper_bound, BUCKETS};
+use crate::metric::{Metric, MetricKind};
+use crate::recorder::TraceRecorder;
+use std::fmt::Write;
+
+/// Renders the full snapshot.
+pub fn render(rec: &TraceRecorder) -> String {
+    let mut out = String::new();
+    for &metric in Metric::ALL {
+        match metric.kind() {
+            MetricKind::Counter => render_counter(&mut out, metric, rec.counter(metric)),
+            MetricKind::Histogram => render_histogram(&mut out, metric, rec),
+        }
+    }
+    out
+}
+
+fn render_counter(out: &mut String, metric: Metric, value: u64) {
+    let name = metric.name();
+    let _ = writeln!(out, "# HELP {name}_total {}", metric.help());
+    let _ = writeln!(out, "# TYPE {name}_total counter");
+    let _ = writeln!(out, "{name}_total {value}");
+}
+
+fn render_histogram(out: &mut String, metric: Metric, rec: &TraceRecorder) {
+    let name = metric.name();
+    let h = rec.histogram(metric);
+    let snap = h.snapshot();
+    let _ = writeln!(out, "# HELP {name} {}", metric.help());
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.iter().enumerate() {
+        cumulative += c;
+        if c == 0 {
+            continue;
+        }
+        // The last bucket's bound is the +Inf line below.
+        if i == BUCKETS - 1 {
+            continue;
+        }
+        let le = bucket_upper_bound(i);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn counters_render_with_total_suffix() {
+        let r = TraceRecorder::new();
+        r.counter_add(Metric::RemoteUpdates, 12);
+        let text = render(&r);
+        assert!(text.contains("# TYPE dpr_remote_updates_total counter"));
+        assert!(text.contains("\ndpr_remote_updates_total 12\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let r = TraceRecorder::new();
+        r.observe(Metric::RouteHops, 1);
+        r.observe(Metric::RouteHops, 1);
+        r.observe(Metric::RouteHops, 6);
+        let text = render(&r);
+        assert!(text.contains("# TYPE dpr_route_hops histogram"));
+        assert!(text.contains("dpr_route_hops_bucket{le=\"1\"} 2"));
+        assert!(text.contains("dpr_route_hops_bucket{le=\"7\"} 3"));
+        assert!(text.contains("dpr_route_hops_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("dpr_route_hops_sum 8"));
+        assert!(text.contains("dpr_route_hops_count 3"));
+    }
+
+    #[test]
+    fn every_metric_appears_even_when_empty() {
+        let text = render(&TraceRecorder::new());
+        for m in Metric::ALL {
+            assert!(text.contains(m.name()), "{} missing", m.name());
+        }
+        // Empty histograms still expose the mandatory +Inf bucket.
+        assert!(text.contains("dpr_flush_occupancy_bucket{le=\"+Inf\"} 0"));
+    }
+}

@@ -1,0 +1,405 @@
+//! Trace analysis: parse a JSONL trace and derive the summaries the
+//! `dpr trace` subcommand prints — convergence curve, traffic by
+//! pass/round, hottest peers — plus the residual-monotonicity check
+//! the acceptance tests assert.
+
+use crate::event::Event;
+use crate::fmt::{fmt_bytes, fmt_f64};
+use crate::table::TextTable;
+use serde::Deserialize;
+
+/// A schema violation found while validating a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the JSONL input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSONL trace, validating every line against the event
+/// schema. Blank lines are ignored.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, TraceError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = serde_json::from_str(line).map_err(|e| TraceError {
+            line: i + 1,
+            message: format!("not JSON: {e}"),
+        })?;
+        let event = Event::from_value(&value).map_err(|e| TraceError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// One point of a convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Pass index within the run.
+    pub pass: u64,
+    /// Residual mass after the pass.
+    pub residual: f64,
+    /// Documents still scheduled after the pass.
+    pub active_docs: u64,
+}
+
+/// Per-round wire traffic derived from `FrameSent` events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTraffic {
+    /// Round index.
+    pub round: u64,
+    /// Payloads sent.
+    pub payloads: u64,
+    /// Coalesced entries across those payloads.
+    pub entries: u64,
+    /// Payload bytes on the wire.
+    pub bytes: u64,
+}
+
+/// Per-peer totals derived from `FrameSent` events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// The peer.
+    pub peer: u32,
+    /// Bytes this peer sent.
+    pub bytes_out: u64,
+    /// Bytes addressed to this peer.
+    pub bytes_in: u64,
+    /// Payloads this peer sent.
+    pub payloads_out: u64,
+}
+
+/// Everything `dpr trace` needs, derived once from an event stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    events: Vec<Event>,
+    /// Run labels in first-appearance order.
+    runs: Vec<String>,
+}
+
+impl TraceSummary {
+    /// Builds a summary over an owned event stream.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        let mut runs: Vec<String> = Vec::new();
+        for e in &events {
+            if let Event::ConvergenceCheck { run, .. } | Event::PassCompleted { run, .. } = e {
+                if !runs.iter().any(|r| r == run) {
+                    runs.push(run.clone());
+                }
+            }
+        }
+        TraceSummary { events, runs }
+    }
+
+    /// Parses and validates a JSONL trace into a summary.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        parse_jsonl(text).map(Self::from_events)
+    }
+
+    /// The underlying events.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Engine-run labels in first-appearance order.
+    pub fn runs(&self) -> &[String] {
+        &self.runs
+    }
+
+    /// The residual/active-docs curve of one run.
+    pub fn convergence_curve(&self, run: &str) -> Vec<CurvePoint> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ConvergenceCheck {
+                    run: r,
+                    pass,
+                    active_docs,
+                    residual,
+                } if r == run => Some(CurvePoint {
+                    pass: *pass,
+                    residual: *residual,
+                    active_docs: *active_docs,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Wire traffic per round, in round order.
+    pub fn traffic_by_round(&self) -> Vec<RoundTraffic> {
+        let mut rounds: Vec<RoundTraffic> = Vec::new();
+        for e in &self.events {
+            if let Event::FrameSent {
+                round,
+                entries,
+                bytes,
+                ..
+            } = e
+            {
+                let slot = match rounds.iter_mut().find(|r| r.round == *round) {
+                    Some(slot) => slot,
+                    None => {
+                        rounds.push(RoundTraffic {
+                            round: *round,
+                            ..RoundTraffic::default()
+                        });
+                        rounds.last_mut().unwrap()
+                    }
+                };
+                slot.payloads += 1;
+                slot.entries += entries;
+                slot.bytes += bytes;
+            }
+        }
+        rounds.sort_by_key(|r| r.round);
+        rounds
+    }
+
+    /// The `k` peers moving the most bytes (out + in), descending;
+    /// ties broken by peer id for determinism.
+    pub fn hottest_peers(&self, k: usize) -> Vec<PeerTraffic> {
+        let mut peers: Vec<PeerTraffic> = Vec::new();
+        fn slot(peers: &mut Vec<PeerTraffic>, peer: u32) -> usize {
+            match peers.iter().position(|p| p.peer == peer) {
+                Some(i) => i,
+                None => {
+                    peers.push(PeerTraffic {
+                        peer,
+                        ..PeerTraffic::default()
+                    });
+                    peers.len() - 1
+                }
+            }
+        }
+        for e in &self.events {
+            if let Event::FrameSent {
+                from, to, bytes, ..
+            } = e
+            {
+                let i = slot(&mut peers, *from);
+                peers[i].bytes_out += bytes;
+                peers[i].payloads_out += 1;
+                let j = slot(&mut peers, *to);
+                peers[j].bytes_in += bytes;
+            }
+        }
+        peers.sort_by(|a, b| {
+            (b.bytes_out + b.bytes_in, a.peer).cmp(&(a.bytes_out + a.bytes_in, b.peer))
+        });
+        peers.truncate(k);
+        peers
+    }
+
+    /// Index just past the last injection event (`PeerChurn` /
+    /// `DocInserted`); 0 when the trace has none.
+    pub fn after_last_injection(&self) -> usize {
+        self.events
+            .iter()
+            .rposition(Event::is_injection)
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Checks that after the final injection event every engine run's
+    /// residual series is monotone non-increasing (each run starts
+    /// fresh, so the series is keyed by run label). Returns the first
+    /// violation as `(run, pass, prev, next)`.
+    ///
+    /// A hair of head-room absorbs last-ulp float noise without
+    /// masking real regressions.
+    pub fn residual_monotone_after_last_injection(&self) -> Result<(), (String, u64, f64, f64)> {
+        let start = self.after_last_injection();
+        let mut last: Vec<(String, u64, f64)> = Vec::new();
+        for e in &self.events[start..] {
+            if let Event::ConvergenceCheck {
+                run,
+                pass,
+                residual,
+                ..
+            } = e
+            {
+                match last.iter_mut().find(|(r, _, _)| r == run) {
+                    Some((_, prev_pass, prev)) => {
+                        if *residual > *prev * (1.0 + 1e-9) + 1e-12 {
+                            return Err((run.clone(), *pass, *prev, *residual));
+                        }
+                        *prev_pass = *pass;
+                        *prev = *residual;
+                    }
+                    None => last.push((run.clone(), *pass, *residual)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the convergence curve of `run` as a text table.
+    pub fn render_convergence(&self, run: &str) -> TextTable {
+        let mut t = TextTable::new(["pass", "residual", "active docs"]);
+        for p in self.convergence_curve(run) {
+            t.push([
+                p.pass.to_string(),
+                fmt_f64(p.residual),
+                p.active_docs.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the traffic-by-round table.
+    pub fn render_traffic(&self) -> TextTable {
+        let mut t = TextTable::new(["round", "payloads", "entries", "bytes"]);
+        for r in self.traffic_by_round() {
+            t.push([
+                r.round.to_string(),
+                r.payloads.to_string(),
+                r.entries.to_string(),
+                fmt_bytes(r.bytes),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the top-`k` hottest peers table.
+    pub fn render_hottest_peers(&self, k: usize) -> TextTable {
+        let mut t = TextTable::new(["peer", "bytes out", "bytes in", "payloads out"]);
+        for p in self.hottest_peers(k) {
+            t.push([
+                p.peer.to_string(),
+                fmt_bytes(p.bytes_out),
+                fmt_bytes(p.bytes_in),
+                p.payloads_out.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(run: &str, pass: u64, residual: f64) -> Event {
+        Event::ConvergenceCheck {
+            run: run.into(),
+            pass,
+            active_docs: 1,
+            residual,
+        }
+    }
+
+    fn frame(round: u64, from: u32, to: u32, entries: u64, bytes: u64) -> Event {
+        Event::FrameSent {
+            round,
+            from,
+            to,
+            entries,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines_with_position() {
+        let text = "{\"type\": \"doc_inserted\", \"seq\": 1, \"doc\": 2}\n\nnot json\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 3);
+
+        let bad_schema = "{\"type\": \"doc_inserted\", \"seq\": 1}\n";
+        assert_eq!(parse_jsonl(bad_schema).unwrap_err().line, 1);
+    }
+
+    #[test]
+    fn curves_are_keyed_by_run() {
+        let s = TraceSummary::from_events(vec![
+            check("initial", 1, 8.0),
+            check("initial", 2, 2.0),
+            check("wave@1", 1, 0.5),
+        ]);
+        assert_eq!(s.runs(), &["initial".to_string(), "wave@1".to_string()]);
+        let c = s.convergence_curve("initial");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[1].residual, 2.0);
+        assert_eq!(s.convergence_curve("wave@1").len(), 1);
+        assert!(s
+            .render_convergence("initial")
+            .render()
+            .contains("residual"));
+    }
+
+    #[test]
+    fn traffic_aggregates_by_round_and_peer() {
+        let s = TraceSummary::from_events(vec![
+            frame(1, 0, 1, 2, 36),
+            frame(1, 1, 0, 1, 24),
+            frame(2, 0, 1, 3, 52),
+        ]);
+        let rounds = s.traffic_by_round();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].payloads, 2);
+        assert_eq!(rounds[0].entries, 3);
+        assert_eq!(rounds[0].bytes, 60);
+
+        let hot = s.hottest_peers(10);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].peer, 0, "peer 0 moved 88 out + 24 in");
+        assert_eq!(hot[0].bytes_out, 88);
+        assert_eq!(hot[0].bytes_in, 24);
+        assert_eq!(s.hottest_peers(1).len(), 1);
+        assert!(s.render_traffic().render().contains("payloads"));
+        assert!(s.render_hottest_peers(2).render().contains("bytes out"));
+    }
+
+    #[test]
+    fn monotone_check_ignores_prefix_before_last_injection() {
+        let s = TraceSummary::from_events(vec![
+            check("initial", 1, 1.0),
+            check("initial", 2, 5.0), // violation, but pre-injection
+            Event::DocInserted { seq: 1, doc: 7 },
+            check("wave@1", 1, 3.0),
+            check("wave@1", 2, 1.0),
+            check("recompute@1", 1, 9.0), // separate run: fresh start OK
+            check("recompute@1", 2, 4.0),
+        ]);
+        assert_eq!(s.after_last_injection(), 3);
+        assert!(s.residual_monotone_after_last_injection().is_ok());
+    }
+
+    #[test]
+    fn monotone_check_catches_violations() {
+        let s = TraceSummary::from_events(vec![
+            Event::PeerChurn {
+                round: 1,
+                peer: 0,
+                online: false,
+            },
+            check("r", 1, 1.0),
+            check("r", 2, 2.0),
+        ]);
+        let (run, pass, prev, next) = s.residual_monotone_after_last_injection().unwrap_err();
+        assert_eq!(run, "r");
+        assert_eq!(pass, 2);
+        assert_eq!((prev, next), (1.0, 2.0));
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_valid() {
+        let s = TraceSummary::from_jsonl("").unwrap();
+        assert!(s.runs().is_empty());
+        assert!(s.residual_monotone_after_last_injection().is_ok());
+        assert_eq!(s.after_last_injection(), 0);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`search`] | synthetic corpus, distributed inverted index, Bloom filters, incremental top-x% search |
 //! | [`node`] | message-level peers: wire protocol, document handoff, Safra termination detection |
 //! | [`sim`] | experiment drivers for every table in the paper |
+//! | [`telemetry`] | zero-cost structured tracing: recorders, trace events, JSONL/Prometheus sinks, trace summaries |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use dpr_node as node;
 pub use dpr_p2p as p2p;
 pub use dpr_search as search;
 pub use dpr_sim as sim;
+pub use dpr_telemetry as telemetry;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
