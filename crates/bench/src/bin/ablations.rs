@@ -21,6 +21,10 @@
 //!    for the four combinations of batched frames and the Sec. 3.2
 //!    address cache, charging one route (or one cached send) per
 //!    frame rather than per update when aggregation is on.
+//! 9. **Priority vs pass scheduling** — the residual-driven
+//!    Gauss-Southwell ordering against the classic full sweep:
+//!    messages and passes to clear the same ε, and the rank agreement
+//!    between the two fixed points.
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin ablations [--nodes 20000] [--seed N]
@@ -56,6 +60,7 @@ fn main() {
     ablation_link_aware_placement(nodes, seed);
     ablation_acceleration(nodes, seed);
     ablation_aggregation_grid(seed, &trace);
+    ablation_priority_sched(nodes, seed);
     trace.finish();
 }
 
@@ -337,6 +342,60 @@ fn ablation_aggregation_grid(seed: u64, trace: &Trace) {
     println!(
         "the two optimizations compose: aggregation divides the payload count,\n\
          caching divides the hops per payload — and neither moves a single rank bit"
+    );
+}
+
+/// 9. Residual-driven priority scheduling vs the classic full sweep.
+fn ablation_priority_sched(nodes: usize, seed: u64) {
+    use dpr_core::SchedMode;
+    println!("\n== ablation 9: priority (Gauss-Southwell) vs pass scheduling ==\n");
+    let w = Workload::paper(nodes, 500, seed);
+    let reference = SyncSolver::new().tolerance(1e-12).solve(&w.graph);
+    let mut table = TextTable::new([
+        "scheduler",
+        "eps",
+        "passes",
+        "remote msgs",
+        "saving",
+        "max rel err",
+    ]);
+    for eps in [1e-3, 1e-6] {
+        let mut pass_msgs = 0u64;
+        for sched in [SchedMode::Pass, SchedMode::Priority] {
+            let mut eng = ChaoticEngine::new(
+                w.graph.clone(),
+                w.owners(),
+                EngineConfig::with_epsilon(eps).with_sched(sched),
+            );
+            let mut peers = w.peer_table();
+            let run = eng.run_to_convergence(&mut peers, None);
+            assert!(run.converged);
+            let saving = match sched {
+                SchedMode::Pass => {
+                    pass_msgs = run.total_remote_messages;
+                    "—".to_string()
+                }
+                SchedMode::Priority => format!(
+                    "{:.1}%",
+                    100.0 * (1.0 - run.total_remote_messages as f64 / pass_msgs.max(1) as f64)
+                ),
+            };
+            let err = error_stats::compare(eng.ranks(), &reference.ranks);
+            table.push([
+                sched.to_string(),
+                fmt_eps(eps),
+                run.passes.to_string(),
+                run.total_remote_messages.to_string(),
+                saving,
+                format!("{:.2e}", err.max),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "pushing the largest residuals first suppresses low-value re-advertisements;\n\
+         the deferred mass is carried, not dropped, so both schedulers clear the\n\
+         same ε — the priority one with a fraction of the messages"
     );
 }
 

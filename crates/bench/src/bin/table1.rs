@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table1 [--sizes 10000,100000] \
-//!     [--peers 500] [--eps 1e-3] [--seed N] [--threads T] [--json] [--full]
+//!     [--peers 500] [--eps 1e-3] [--seed N] [--threads T] \
+//!     [--sched pass|priority] [--json] [--full]
 //! ```
 
 use dpr_bench::Args;
@@ -39,6 +40,7 @@ fn main() {
                 presence,
                 args.seed(),
                 args.exec_mode(),
+                args.sched_mode(),
                 trace.recorder(),
                 &label,
             );
@@ -55,7 +57,11 @@ fn main() {
     if args.json() {
         let path = ExperimentRecord::new(
             "table1",
-            format!("peers={peers} eps={eps} seed={}", args.seed()),
+            format!(
+                "peers={peers} eps={eps} sched={} seed={}",
+                args.sched_mode(),
+                args.seed()
+            ),
             rows,
         )
         .write_to_dir(results_dir())

@@ -9,7 +9,8 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table2 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--threads T] [--json] [--full]
+//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority] \
+//!     [--json] [--full]
 //! ```
 
 use dpr_bench::{Args, TABLE23_EPSILONS};
@@ -33,7 +34,13 @@ fn main() {
             .iter()
             .map(|&eps| {
                 let label = format!("{size}@{}", fmt_eps(eps));
-                sweep.run_observed(eps, args.exec_mode(), trace.recorder(), &label)
+                sweep.run_observed(
+                    eps,
+                    args.exec_mode(),
+                    args.sched_mode(),
+                    trace.recorder(),
+                    &label,
+                )
             })
             .collect();
 
@@ -65,7 +72,11 @@ fn main() {
     if args.json() {
         let path = ExperimentRecord::new(
             "table2",
-            format!("peers={peers} seed={}", args.seed()),
+            format!(
+                "peers={peers} sched={} seed={}",
+                args.sched_mode(),
+                args.seed()
+            ),
             records,
         )
         .write_to_dir(results_dir())

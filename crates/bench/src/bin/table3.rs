@@ -19,8 +19,9 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table3 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--threads T] [--internet] [--json] \
-//!     [--full] [--paper-compute | --compute-secs N] \
+//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority] \
+//!     [--internet] [--json] [--full] \
+//!     [--paper-compute | --compute-secs N] \
 //!     [--batch [--frame-bytes 1400] [--eps e1,e2,...]]
 //! ```
 
@@ -71,8 +72,8 @@ fn batch_mode(args: &Args) {
         ]);
         for &eps in &epsilons {
             let r = match trace.recorder_arc() {
-                Some(rec) => sweep.run_batched_observed(eps, cap, rec),
-                None => sweep.run_batched(eps, cap),
+                Some(rec) => sweep.run_batched_observed(eps, cap, args.sched_mode(), rec),
+                None => sweep.run_batched(eps, cap, args.sched_mode()),
             };
             table.push([
                 fmt_eps(eps),
@@ -97,7 +98,11 @@ fn batch_mode(args: &Args) {
     if args.json() {
         let path = ExperimentRecord::new(
             "table3_batch",
-            format!("peers={peers} frame_bytes={cap} seed={}", args.seed()),
+            format!(
+                "peers={peers} frame_bytes={cap} sched={} seed={}",
+                args.sched_mode(),
+                args.seed()
+            ),
             records,
         )
         .write_to_dir(results_dir())
@@ -145,7 +150,13 @@ fn main() {
         last_mpn.clear();
         for &eps in &TABLE23_EPSILONS {
             let label = format!("{size}@{}", fmt_eps(eps));
-            let r = sweep.run_observed(eps, args.exec_mode(), trace.recorder(), &label);
+            let r = sweep.run_observed(
+                eps,
+                args.exec_mode(),
+                args.sched_mode(),
+                trace.recorder(),
+                &label,
+            );
             let t32 =
                 aggregate_time_secs(r.total_remote_messages, RATE_32KBS, r.passes, compute_secs)
                     / SECS_PER_HOUR;
@@ -185,7 +196,11 @@ fn main() {
     if args.json() {
         let path = ExperimentRecord::new(
             "table3",
-            format!("peers={peers} seed={}", args.seed()),
+            format!(
+                "peers={peers} sched={} seed={}",
+                args.sched_mode(),
+                args.seed()
+            ),
             records,
         )
         .write_to_dir(results_dir())

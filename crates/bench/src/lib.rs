@@ -22,8 +22,12 @@
 //! FILE` (Prometheus text snapshot of the run's metrics), and
 //! `table1`–`table3`/`continuous` take `--threads n` to run passes on
 //! the sharded executor — results are bit-identical to the default
-//! sequential run. `cargo bench -p dpr-bench` runs the criterion
-//! micro-benchmarks over the hot kernels.
+//! sequential run — and `--sched pass|priority` to pick the pass
+//! scheduler (full sweep vs residual-driven Gauss–Southwell
+//! selection). `continuous --sched-scaling` measures the priority
+//! scheduler's message saving and parity and writes
+//! `BENCH_sched_quality.json`. `cargo bench -p dpr-bench` runs the
+//! criterion micro-benchmarks over the hot kernels.
 
 use dpr_telemetry::{Recorder, TraceRecorder, NOOP};
 use std::collections::HashMap;
@@ -120,6 +124,14 @@ impl Args {
                 .unwrap_or_else(|e| panic!("bad --threads {v}: {e:?}"))
         });
         dpr_core::parallel::ExecMode::from_threads(threads)
+    }
+
+    /// Scheduling mode from `--sched pass|priority` (default `pass`,
+    /// the paper's full-sweep ordering; `priority` enables
+    /// residual-driven Gauss–Southwell selection — same fixed point to
+    /// O(ε), fewer remote messages).
+    pub fn sched_mode(&self) -> dpr_core::SchedMode {
+        self.get("sched", dpr_core::SchedMode::Pass)
     }
 
     /// The telemetry side-channel from `--trace-out FILE` (JSONL event
@@ -230,6 +242,14 @@ mod tests {
         assert_eq!(args("").exec_mode(), ExecMode::Sequential);
         assert_eq!(args("--threads 1").exec_mode(), ExecMode::Sequential);
         assert_eq!(args("--threads 4").exec_mode(), ExecMode::Parallel(4));
+    }
+
+    #[test]
+    fn sched_flag_selects_sched_mode() {
+        use dpr_core::SchedMode;
+        assert_eq!(args("").sched_mode(), SchedMode::Pass);
+        assert_eq!(args("--sched pass").sched_mode(), SchedMode::Pass);
+        assert_eq!(args("--sched priority").sched_mode(), SchedMode::Priority);
     }
 
     #[test]

@@ -28,7 +28,8 @@ commands:
   generate   --nodes N --out FILE [--seed S] [--edges-out FILE]
   stats      --graph FILE
   rank       --graph FILE [--eps 1e-3] [--peers 500] [--seed S]
-             [--out ranks.json] [--top K] [--sync]
+             [--sched pass|priority] [--out ranks.json] [--top K]
+             [--sync]
   partition  --graph FILE --peers K [--sweeps 6]
   insert     --graph FILE --links a,b,c [--eps 1e-3] [--damping 0.85]
   delete     --graph FILE --doc ID [--eps 1e-3] [--damping 0.85]
@@ -106,6 +107,7 @@ pub fn rank(args: &Args) -> Result<(), String> {
     let peers: usize = args.get("peers", 500)?;
     let seed: u64 = args.get("seed", 2003)?;
     let top: usize = args.get("top", 10)?;
+    let sched: dpr_core::SchedMode = args.get("sched", dpr_core::SchedMode::Pass)?;
 
     let ranks: Vec<f64> = if args.has("sync") {
         let r = SyncSolver::new().tolerance(eps).solve(&graph);
@@ -122,7 +124,11 @@ pub fn rank(args: &Args) -> Result<(), String> {
         let owners: Vec<PeerId> = (0..graph.num_nodes())
             .map(|d| placement.owner(DocId::from(d)))
             .collect();
-        let mut engine = ChaoticEngine::new(graph.clone(), owners, EngineConfig::with_epsilon(eps));
+        let mut engine = ChaoticEngine::new(
+            graph.clone(),
+            owners,
+            EngineConfig::with_epsilon(eps).with_sched(sched),
+        );
         let mut table = PeerTable::new(peers);
         let run = engine.run_observed(&mut table, None, rep.recorder(), "rank");
         rep.say(format!(
@@ -406,6 +412,35 @@ mod tests {
         let ranks: Vec<f64> = serde_json::from_str(&text).unwrap();
         assert_eq!(ranks.len(), 400);
         rank(&args(&format!("--graph {g} --sync --eps 1e-8"))).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rank_priority_sched_matches_pass_to_epsilon() {
+        let dir = tmpdir("sched");
+        let g = graph_file(&dir, 400);
+        let pass_out = dir.join("pass.json");
+        let pri_out = dir.join("priority.json");
+        rank(&args(&format!(
+            "--graph {g} --eps 1e-6 --peers 10 --quiet --out {}",
+            pass_out.display()
+        )))
+        .unwrap();
+        rank(&args(&format!(
+            "--graph {g} --eps 1e-6 --peers 10 --sched priority --quiet --out {}",
+            pri_out.display()
+        )))
+        .unwrap();
+        let pass: Vec<f64> =
+            serde_json::from_str(&std::fs::read_to_string(&pass_out).unwrap()).unwrap();
+        let pri: Vec<f64> =
+            serde_json::from_str(&std::fs::read_to_string(&pri_out).unwrap()).unwrap();
+        let l1: f64 = pass.iter().zip(&pri).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 / 400.0 < 1e-6, "l1 per doc {}", l1 / 400.0);
+        assert!(
+            rank(&args(&format!("--graph {g} --sched bogus"))).is_err(),
+            "bad sched mode must be a clean error"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

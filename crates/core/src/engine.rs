@@ -30,11 +30,18 @@
 //! flight anywhere — every document's successive difference is then
 //! below ε, the paper's "very strong convergence criterion".
 
+use crate::sched::{self, SchedMode, SchedStats};
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable};
 use dpr_telemetry::{Event, Metric, Recorder, NOOP};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default cap on retained per-pass detail in [`RunStats::per_pass`]:
+/// far above any converging run, but it keeps a pathological 10k-pass
+/// run from holding 10k [`PassStats`] when the caller only reads the
+/// totals.
+pub const DEFAULT_PASS_STATS_CAP: usize = 1024;
 
 /// Tuning of the chaotic engine.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
@@ -46,6 +53,13 @@ pub struct EngineConfig {
     pub epsilon: f64,
     /// Safety cap on passes for [`ChaoticEngine::run_to_convergence`].
     pub max_passes: usize,
+    /// How each pass schedules the queued documents (full sweep vs
+    /// residual-driven priority selection).
+    pub sched: SchedMode,
+    /// How many [`PassStats`] entries a run retains in
+    /// [`RunStats::per_pass`] (the first `pass_stats_cap` passes;
+    /// totals always cover the whole run). `0` retains everything.
+    pub pass_stats_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +68,8 @@ impl Default for EngineConfig {
             damping: crate::DEFAULT_DAMPING,
             epsilon: crate::RECOMMENDED_EPSILON,
             max_passes: 10_000,
+            sched: SchedMode::Pass,
+            pass_stats_cap: DEFAULT_PASS_STATS_CAP,
         }
     }
 }
@@ -64,6 +80,21 @@ impl EngineConfig {
         EngineConfig {
             epsilon,
             ..Default::default()
+        }
+    }
+
+    /// This config with the given scheduling mode.
+    pub fn with_sched(mut self, sched: SchedMode) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Effective retained-pass cap (`usize::MAX` when unlimited).
+    pub fn effective_pass_stats_cap(&self) -> usize {
+        if self.pass_stats_cap == 0 {
+            usize::MAX
+        } else {
+            self.pass_stats_cap
         }
     }
 }
@@ -86,6 +117,30 @@ pub struct PassStats {
     /// Overlay hops consumed by remote messages (only populated when a
     /// hop model is installed; otherwise equals `remote_messages`).
     pub hops: u64,
+    /// Documents queued when the pass started.
+    pub queued: u64,
+    /// Documents the scheduler selected for this pass (equals `queued`
+    /// in [`SchedMode::Pass`]).
+    pub selected: u64,
+    /// Documents the priority scheduler deferred (0 in
+    /// [`SchedMode::Pass`]).
+    pub deferred: u64,
+    /// Residual mass carried by the deferred documents.
+    pub deferred_mass: f64,
+    /// Fraction of the queued residual mass selected (1.0 in
+    /// [`SchedMode::Pass`]).
+    pub budget_hit: f64,
+}
+
+impl PassStats {
+    /// Copies the per-pass scheduler outcome into the stats.
+    pub(crate) fn record_sched(&mut self, sel: &SchedStats) {
+        self.queued = sel.queued;
+        self.selected = sel.selected;
+        self.deferred = sel.deferred;
+        self.deferred_mass = sel.deferred_mass;
+        self.budget_hit = sel.budget_hit;
+    }
 }
 
 /// Statistics of a full run.
@@ -101,8 +156,29 @@ pub struct RunStats {
     pub total_local_updates: u64,
     /// Sum of overlay hops over all passes.
     pub total_hops: u64,
-    /// Per-pass details.
+    /// Per-pass details for the first
+    /// [`EngineConfig::pass_stats_cap`] passes (totals always cover
+    /// the whole run).
     pub per_pass: Vec<PassStats>,
+}
+
+/// Aggregate view of a run, independent of how much per-pass detail
+/// was retained — what long-running callers should read instead of
+/// [`RunStats::per_pass`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct RunSummary {
+    /// Number of passes executed.
+    pub passes: usize,
+    /// Whether the run reached quiescence within the pass budget.
+    pub converged: bool,
+    /// Sum of remote messages over all passes.
+    pub total_remote_messages: u64,
+    /// Sum of same-peer updates over all passes.
+    pub total_local_updates: u64,
+    /// Sum of overlay hops over all passes.
+    pub total_hops: u64,
+    /// How many [`PassStats`] entries were actually retained.
+    pub retained_passes: usize,
 }
 
 impl RunStats {
@@ -110,6 +186,31 @@ impl RunStats {
     /// independent traffic metric (Table 3's "Avg." columns).
     pub fn messages_per_node(&self, num_docs: usize) -> f64 {
         self.total_remote_messages as f64 / num_docs.max(1) as f64
+    }
+
+    /// Folds one pass into the totals, retaining the per-pass entry
+    /// only while fewer than `cap` are held.
+    pub(crate) fn record_pass(&mut self, stats: PassStats, cap: usize) {
+        self.passes += 1;
+        self.total_remote_messages += stats.remote_messages;
+        self.total_local_updates += stats.local_updates;
+        self.total_hops += stats.hops;
+        if self.per_pass.len() < cap {
+            self.per_pass.push(stats);
+        }
+    }
+
+    /// The totals-only summary (exact regardless of the retention
+    /// cap).
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            passes: self.passes,
+            converged: self.converged,
+            total_remote_messages: self.total_remote_messages,
+            total_local_updates: self.total_local_updates,
+            total_hops: self.total_hops,
+            retained_passes: self.per_pass.len(),
+        }
     }
 }
 
@@ -122,6 +223,36 @@ pub type HopModel<'a> = dyn FnMut(PeerId, PeerId, DocId) -> u32 + 'a;
 /// Between-pass churn callback: receives the pass number and may
 /// rewrite peer liveness.
 pub type ChurnFn<'a> = dyn FnMut(usize, &mut PeerTable) + 'a;
+
+/// Records the priority scheduler's per-pass outcome into `rec`
+/// (queue depth, deferred mass, budget hit-rate). A no-op in
+/// [`SchedMode::Pass`] so classic traces are unchanged. Shared by the
+/// sequential and sharded run loops.
+pub(crate) fn observe_sched<R: Recorder + ?Sized>(
+    rec: &R,
+    sched: SchedMode,
+    stats: &PassStats,
+    run_label: &str,
+) {
+    if sched != SchedMode::Priority {
+        return;
+    }
+    rec.observe(Metric::SchedQueueDepth, stats.queued);
+    rec.observe(Metric::SchedDeferredDocs, stats.deferred);
+    rec.observe(
+        Metric::SchedBudgetPermille,
+        (stats.budget_hit * 1000.0) as u64,
+    );
+    rec.event(&Event::SchedulerPass {
+        run: run_label.to_string(),
+        pass: stats.pass as u64,
+        queued: stats.queued,
+        selected: stats.selected,
+        deferred: stats.deferred,
+        deferred_mass: stats.deferred_mass,
+        budget_hit: stats.budget_hit,
+    });
+}
 
 /// The distributed pagerank engine.
 #[derive(Clone)]
@@ -143,6 +274,12 @@ pub struct ChaoticEngine {
     /// allocate nothing: next-pass dirty list and applied-docs list.
     scratch_carry: Vec<u32>,
     scratch_applied: Vec<u32>,
+    /// Documents the priority scheduler parked this pass; rejoin
+    /// `dirty` at pass end (shared with the sharded executor, which
+    /// runs the same selection).
+    pub(crate) scratch_deferred: Vec<u32>,
+    /// Per-work-item residual buckets for the selection.
+    scratch_buckets: Vec<u8>,
 }
 
 impl ChaoticEngine {
@@ -182,6 +319,8 @@ impl ChaoticEngine {
             passes: 0,
             scratch_carry: Vec::new(),
             scratch_applied: Vec::new(),
+            scratch_deferred: Vec::new(),
+            scratch_buckets: Vec::new(),
         };
         eng.pending.iter_mut().for_each(|p| *p = base);
         eng
@@ -293,6 +432,38 @@ impl ChaoticEngine {
         before - self.dirty.len()
     }
 
+    /// Takes this pass's work list out of the dirty set.
+    ///
+    /// In [`SchedMode::Pass`] this is the whole dirty set. In
+    /// [`SchedMode::Priority`] the list is first canonicalized to
+    /// ascending document order — making the per-bucket residual-mass
+    /// folds below a function of the dirty *set* alone — and then
+    /// partitioned by [`sched::partition_by_residual`]; the deferred
+    /// documents are parked in `scratch_deferred` (still queued, with
+    /// their pending mass intact) and must rejoin `dirty` at pass end.
+    /// Both executors call this on the coordinating thread, so the
+    /// selected set is identical at every thread count.
+    pub(crate) fn take_pass_work(&mut self) -> (Vec<u32>, SchedStats) {
+        let mut work = std::mem::take(&mut self.dirty);
+        if self.cfg.sched == SchedMode::Pass {
+            let sel = SchedStats::full_sweep(work.len());
+            return (work, sel);
+        }
+        work.sort_unstable();
+        let mut deferred = std::mem::take(&mut self.scratch_deferred);
+        let mut buckets = std::mem::take(&mut self.scratch_buckets);
+        let (ranks, advertised, pending) = (&self.ranks, &self.advertised, &self.pending);
+        let sel = sched::partition_by_residual(&mut work, &mut deferred, &mut buckets, |d| {
+            // Un-propagated mass at the document: the parked increment
+            // plus the rank change not yet advertised downstream.
+            let i = d as usize;
+            pending[i] + ranks[i] - advertised[i]
+        });
+        self.scratch_deferred = deferred;
+        self.scratch_buckets = buckets;
+        (work, sel)
+    }
+
     /// Executes one pass; all peers in `peers` that are online
     /// participate. Returns the pass statistics.
     pub fn pass(&mut self, peers: &PeerTable) -> PassStats {
@@ -323,8 +494,11 @@ impl ChaoticEngine {
         // This makes the floating-point fold order of the pass a
         // function of the *set* of dirty documents alone, which is
         // what lets the sharded executor (`parallel.rs`) reproduce
-        // this engine's output bit-for-bit from per-shard pieces.
-        let mut work = std::mem::take(&mut self.dirty);
+        // this engine's output bit-for-bit from per-shard pieces. In
+        // `Priority` mode, `take_pass_work` also runs the residual
+        // selection and parks the deferred documents.
+        let (mut work, sel) = self.take_pass_work();
+        stats.record_sched(&sel);
         work.sort_unstable();
         let mut carry = std::mem::take(&mut self.scratch_carry);
         let mut applied = std::mem::take(&mut self.scratch_applied);
@@ -387,6 +561,9 @@ impl ChaoticEngine {
             }
         }
 
+        // Deferred documents rejoin the dirty set with their pending
+        // mass intact — residual carryover, never lost.
+        carry.append(&mut self.scratch_deferred);
         self.dirty = carry;
         // Rotate the spent work list back in as next pass's scratch.
         work.clear();
@@ -428,10 +605,6 @@ impl ChaoticEngine {
         while !self.is_quiescent() && run.passes < self.cfg.max_passes {
             let t0 = rec.enabled().then(Instant::now);
             let stats = self.pass(peers);
-            run.passes += 1;
-            run.total_remote_messages += stats.remote_messages;
-            run.total_local_updates += stats.local_updates;
-            run.total_hops += stats.hops;
             if let Some(t0) = t0 {
                 let duration_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 rec.observe(Metric::PassDurationNs, duration_ns);
@@ -452,8 +625,9 @@ impl ChaoticEngine {
                     active_docs: self.active_docs() as u64,
                     residual: self.residual_mass(),
                 });
+                observe_sched(rec, self.cfg.sched, &stats, run_label);
             }
-            run.per_pass.push(stats);
+            run.record_pass(stats, self.cfg.effective_pass_stats_cap());
             if let Some(f) = churn.as_deref_mut() {
                 if rec.enabled() {
                     let before: Vec<bool> = peers.peers().map(|p| peers.is_online(p)).collect();
@@ -703,6 +877,7 @@ mod tests {
                 damping: 1.0,
                 epsilon: 1e-3,
                 max_passes: 100,
+                ..Default::default()
             },
         );
     }
@@ -734,6 +909,123 @@ mod tests {
         full.run_static();
         let full_total: f64 = full.ranks().iter().sum();
         assert!(lossy_total < full_total, "{lossy_total} vs {full_total}");
+    }
+
+    #[test]
+    fn priority_mode_saves_messages_and_matches_ranks() {
+        let g = paper_graph(2_000, 39);
+        let n = g.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..50))).collect();
+        let cfg = EngineConfig::with_epsilon(1e-9);
+        let mut pass_eng = ChaoticEngine::new(Arc::new(g.clone()), owner.clone(), cfg);
+        let r1 = pass_eng.run_static();
+        let mut prio_eng = ChaoticEngine::new(
+            Arc::new(g),
+            owner,
+            cfg.with_sched(crate::SchedMode::Priority),
+        );
+        let r2 = prio_eng.run_static();
+        assert!(r1.converged && r2.converged);
+        // Deferral coalesces advertisements: strictly fewer messages.
+        assert!(
+            r2.total_remote_messages < r1.total_remote_messages,
+            "priority {} vs pass {}",
+            r2.total_remote_messages,
+            r1.total_remote_messages
+        );
+        // Same fixed point to well below ε (per-document L1).
+        let l1: f64 = pass_eng
+            .ranks()
+            .iter()
+            .zip(prio_eng.ranks())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 / n as f64 <= 1e-9, "per-doc L1 {}", l1 / n as f64);
+        // Quiescence is the paper's strong criterion: nothing parked,
+        // nothing deferred.
+        assert!(prio_eng.is_quiescent());
+        assert!(prio_eng.scratch_deferred.is_empty());
+        assert!(prio_eng.pending.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn priority_pass_stats_account_for_every_queued_doc() {
+        let g = paper_graph(1_500, 40);
+        let mut e = ChaoticEngine::local(
+            Arc::new(g),
+            EngineConfig::with_epsilon(1e-6).with_sched(crate::SchedMode::Priority),
+        );
+        let run = e.run_static();
+        assert!(run.converged);
+        let mut saw_deferral = false;
+        for s in &run.per_pass {
+            assert_eq!(s.queued, s.selected + s.deferred, "pass {}", s.pass);
+            assert!(s.budget_hit > 0.0 && s.budget_hit <= 1.0);
+            assert!(s.deferred_mass >= 0.0);
+            if s.deferred > 0 {
+                saw_deferral = true;
+                assert!(s.deferred_mass > 0.0);
+            }
+        }
+        assert!(saw_deferral, "priority run never deferred anything");
+    }
+
+    #[test]
+    fn priority_mode_converges_under_churn() {
+        let g = paper_graph(800, 41);
+        let n = g.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..20))).collect();
+        let mut e = ChaoticEngine::new(
+            Arc::new(g),
+            owner,
+            EngineConfig::with_epsilon(1e-4).with_sched(crate::SchedMode::Priority),
+        );
+        let mut peers = PeerTable::new(20);
+        let mut churn_rng = ChaCha8Rng::seed_from_u64(9);
+        let mut churn = move |_pass: usize, p: &mut PeerTable| {
+            p.set_online_fraction(0.6, &mut churn_rng);
+        };
+        let run = e.run_to_convergence(&mut peers, Some(&mut churn));
+        assert!(run.converged, "passes {}", run.passes);
+        assert!(e.is_quiescent());
+    }
+
+    #[test]
+    fn pass_stats_cap_bounds_retention_but_not_totals() {
+        let g = paper_graph(600, 42);
+        let mut capped = ChaoticEngine::local(
+            Arc::new(g.clone()),
+            EngineConfig {
+                epsilon: 1e-8,
+                pass_stats_cap: 3,
+                ..Default::default()
+            },
+        );
+        let mut full = ChaoticEngine::local(
+            Arc::new(g),
+            EngineConfig {
+                epsilon: 1e-8,
+                pass_stats_cap: 0, // unlimited
+                ..Default::default()
+            },
+        );
+        let rc = capped.run_static();
+        let rf = full.run_static();
+        assert!(rc.passes > 3, "need a multi-pass run");
+        assert_eq!(rc.per_pass.len(), 3);
+        assert_eq!(rf.per_pass.len(), rf.passes);
+        // The retained prefix is the same detail the uncapped run holds.
+        assert_eq!(rc.per_pass, rf.per_pass[..3]);
+        // Totals are exact either way.
+        assert_eq!(rc.total_remote_messages, rf.total_remote_messages);
+        assert_eq!(rc.total_local_updates, rf.total_local_updates);
+        let s = rc.summary();
+        assert_eq!(s.passes, rc.passes);
+        assert_eq!(s.retained_passes, 3);
+        assert_eq!(s.total_remote_messages, rc.total_remote_messages);
+        assert!(s.converged);
     }
 
     #[test]

@@ -53,11 +53,13 @@ pub mod incremental;
 pub mod message;
 pub mod parallel;
 pub mod personalized;
+pub mod sched;
 pub mod sync_solver;
 
 pub use engine::{ChaoticEngine, EngineConfig, PassStats, RunStats};
 pub use message::RankUpdate;
 pub use parallel::{ExecMode, ParallelExecutor, ShardedExecutor};
+pub use sched::SchedMode;
 pub use sync_solver::SyncSolver;
 
 /// Google's customary damping factor; the paper does not give its

@@ -16,7 +16,7 @@
 use dpr_graph::DocId;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::transport::{max_entries_for, FrameEntry, RankUpdateWire, UpdateFrameWire, WireError};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// An in-memory pagerank update: "add `delta` to document `doc`".
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -113,7 +113,7 @@ impl UpdateFrame {
 #[derive(Debug, Clone, Default)]
 pub struct FlushBuffer {
     entries: Vec<RankUpdate>,
-    index: HashMap<DocId, usize>,
+    index: FxHashMap<DocId, usize>,
 }
 
 impl FlushBuffer {

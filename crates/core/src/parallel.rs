@@ -45,7 +45,7 @@
 //! the model is charged sequentially after the joins, in the same
 //! order the sequential engine would have called it.
 
-use crate::engine::{ChaoticEngine, ChurnFn, HopModel, PassStats};
+use crate::engine::{observe_sched, ChaoticEngine, ChurnFn, HopModel, PassStats};
 use crate::RunStats;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable};
@@ -299,7 +299,11 @@ impl ShardedExecutor {
             pass: eng.passes,
             ..Default::default()
         };
-        let mut work = std::mem::take(&mut eng.dirty);
+        // Selection runs on this thread via the same engine routine
+        // the sequential pass uses, so the selected set — and with it
+        // the whole pass — is independent of the shard layout.
+        let (mut work, sel) = eng.take_pass_work();
+        stats.record_sched(&sel);
         if work.is_empty() {
             if let Some(tv) = timings.as_deref_mut() {
                 tv.clear();
@@ -495,8 +499,10 @@ impl ShardedExecutor {
             );
         }
 
-        // Next pass's dirty list: carried documents plus newly queued
-        // targets. Order is irrelevant — every pass re-canonicalizes.
+        // Next pass's dirty list: carried documents, newly queued
+        // targets, plus the documents the priority scheduler deferred
+        // (residual carryover). Order is irrelevant — every pass
+        // re-canonicalizes.
         work.clear();
         for carry in &mut self.carry {
             work.append(carry);
@@ -504,6 +510,7 @@ impl ShardedExecutor {
         for fresh in &mut self.fresh {
             work.append(fresh);
         }
+        work.append(&mut eng.scratch_deferred);
         for row in &mut self.mail {
             for cell in row {
                 cell.clear();
@@ -558,10 +565,6 @@ impl ShardedExecutor {
             } else {
                 self.pass(eng, peers)
             };
-            run.passes += 1;
-            run.total_remote_messages += stats.remote_messages;
-            run.total_local_updates += stats.local_updates;
-            run.total_hops += stats.hops;
             if let Some(t0) = t0 {
                 let duration_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 rec.observe(Metric::PassDurationNs, duration_ns);
@@ -593,8 +596,9 @@ impl ShardedExecutor {
                     active_docs: eng.active_docs() as u64,
                     residual: eng.residual_mass(),
                 });
+                observe_sched(rec, eng.config().sched, &stats, run_label);
             }
-            run.per_pass.push(stats);
+            run.record_pass(stats, eng.config().effective_pass_stats_cap());
             if let Some(f) = churn.as_deref_mut() {
                 if rec.enabled() {
                     let before: Vec<bool> = peers.peers().map(|p| peers.is_online(p)).collect();
@@ -956,6 +960,73 @@ mod tests {
         }
         assert_eq!(ranks[0], ranks[1]);
         assert_eq!(ranks[0], ranks[2]);
+    }
+
+    #[test]
+    fn priority_parallel_is_bit_identical_to_sequential_priority() {
+        let g = paper_graph(2_000, 64);
+        let n = g.num_nodes();
+        let own = owners(n, 20, 14);
+        let cfg = EngineConfig::with_epsilon(1e-5).with_sched(crate::SchedMode::Priority);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let peers = PeerTable::new(20);
+        let mut exec = ShardedExecutor::new(4);
+        let mut pass = 0;
+        while !seq.is_quiescent() {
+            pass += 1;
+            let s1 = seq.pass(&peers);
+            let s2 = exec.pass(&mut par, &peers);
+            assert_eq!(s1, s2, "pass {pass}");
+            assert!(pass < 10_000);
+        }
+        assert!(par.is_quiescent());
+        assert_eq!(seq.ranks(), par.ranks());
+    }
+
+    #[test]
+    fn priority_thread_counts_agree_bitwise() {
+        let g = paper_graph(1_500, 65);
+        let n = g.num_nodes();
+        let own = owners(n, 12, 15);
+        let cfg = EngineConfig::with_epsilon(1e-5).with_sched(crate::SchedMode::Priority);
+        let mut reference: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut eng = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+            let mut peers = PeerTable::new(12);
+            let run = ShardedExecutor::new(threads).run_to_convergence(&mut eng, &mut peers, None);
+            assert!(run.converged);
+            match &reference {
+                None => reference = Some(eng.ranks().to_vec()),
+                Some(r) => assert_eq!(r.as_slice(), eng.ranks(), "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn priority_churned_run_matches_sequential_bitwise() {
+        let g = paper_graph(1_200, 66);
+        let n = g.num_nodes();
+        let own = owners(n, 16, 16);
+        let cfg = EngineConfig::with_epsilon(1e-4).with_sched(crate::SchedMode::Priority);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut exec = ShardedExecutor::new(4);
+        let mut peers_seq = PeerTable::new(16);
+        let mut peers_par = PeerTable::new(16);
+        let mut rng_seq = ChaCha8Rng::seed_from_u64(17);
+        let mut rng_par = ChaCha8Rng::seed_from_u64(17);
+        let mut churn_seq = move |_p: usize, t: &mut PeerTable| {
+            t.set_online_fraction(0.6, &mut rng_seq);
+        };
+        let mut churn_par = move |_p: usize, t: &mut PeerTable| {
+            t.set_online_fraction(0.6, &mut rng_par);
+        };
+        let r1 = seq.run_to_convergence(&mut peers_seq, Some(&mut churn_seq));
+        let r2 = exec.run_to_convergence(&mut par, &mut peers_par, Some(&mut churn_par));
+        assert!(r1.converged && r2.converged);
+        assert_eq!(r1.per_pass, r2.per_pass);
+        assert_eq!(seq.ranks(), par.ranks());
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Residual-driven priority scheduling (Gauss-Southwell-style push
+//! ordering).
+//!
+//! The paper's chaotic iteration (Sec. 2.3) is order-free: peers may
+//! apply and emit updates in any order and still reach the same fixed
+//! point. The pass engine exploits that freedom only trivially — every
+//! pass sweeps the whole dirty set. D-Iteration (Hong et al.) and the
+//! asynchronous-iteration analysis of Kollias, Gallopoulos & Szyld
+//! show that *ordering pushes by residual magnitude* — diffusing from
+//! the documents holding the most un-propagated mass first — reaches
+//! the same fixed point in substantially fewer updates, and therefore
+//! fewer remote messages (the paper's headline Table 3 metric).
+//!
+//! ## Queue layout
+//!
+//! The scheduler never maintains a heap. Each pass it classifies the
+//! queued documents into the log2 residual buckets of the
+//! `dpr-telemetry` histogram scheme ([`dpr_telemetry::hist::bucket_of`]
+//! over a fixed-point rescaling of the residual), accumulates the
+//! residual mass per bucket, and selects *whole buckets* from the top
+//! down until the selected mass reaches the adaptive emission budget
+//! ([`PRIORITY_BUDGET_FRACTION`] of the total queued mass). Selecting
+//! whole buckets keeps the selected set a pure function of the queued
+//! *set* and the engine state — independent of queue order, shard
+//! layout, and thread count — which is what lets the sharded executor
+//! keep its deterministic mailbox-merge contract in `Priority` mode.
+//!
+//! ## Residual carryover
+//!
+//! Deferred documents are never dropped: they stay queued with their
+//! pending increments intact, so quiescence still means "no residual
+//! above ε anywhere, nothing parked or in flight" — the paper's strong
+//! convergence criterion is unchanged. Deferral only *coalesces*
+//! low-value advertisements: a deferred document keeps accumulating
+//! increments and later advertises the combined change in one burst of
+//! messages instead of several.
+
+use dpr_telemetry::hist::bucket_of;
+
+/// How an engine (or node) schedules its queued documents each pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedMode {
+    /// The classic full sweep: every queued document is applied and
+    /// (when over ε) re-advertised every pass.
+    #[default]
+    Pass,
+    /// Gauss-Southwell-style priority scheduling: each pass processes
+    /// only the top residual-mass buckets and defers the rest.
+    Priority,
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedMode::Pass => "pass",
+            SchedMode::Priority => "priority",
+        })
+    }
+}
+
+impl std::str::FromStr for SchedMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pass" => Ok(SchedMode::Pass),
+            "priority" => Ok(SchedMode::Priority),
+            other => Err(format!(
+                "unknown sched mode {other:?} (expected \"pass\" or \"priority\")"
+            )),
+        }
+    }
+}
+
+/// Fraction of the queued residual mass a `Priority` pass aims to
+/// process. The cut is adaptive: whole buckets are taken from the top
+/// until the running mass reaches this fraction, so the number of
+/// selected documents tracks the shape of the residual distribution
+/// (a heavy-tailed queue selects few documents, a flat one most).
+pub const PRIORITY_BUDGET_FRACTION: f64 = 0.5;
+
+/// Queue size at or below which a `Priority` pass bypasses selection
+/// and processes everything. On the convergence tail the queue is
+/// small and deferral would only stretch the run without saving
+/// messages.
+pub const PRIORITY_BYPASS_THRESHOLD: usize = 64;
+
+/// Fixed-point scale mapping f64 residuals onto the u64 domain of the
+/// telemetry histogram buckets: residuals down to 2⁻⁴⁰ (≈ 9·10⁻¹³,
+/// well below any useful ε) land in distinct log2 buckets.
+const RESIDUAL_SCALE: f64 = (1u64 << 40) as f64;
+
+/// Log2 bucket index of a residual magnitude, reusing the telemetry
+/// histogram bucketing scheme over the fixed-point rescaling.
+pub fn residual_bucket(residual: f64) -> usize {
+    bucket_of((residual.abs() * RESIDUAL_SCALE) as u64)
+}
+
+/// Per-pass outcome of the work selection, identical across executors
+/// by construction (and asserted by the differential tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedStats {
+    /// Documents queued when the pass started.
+    pub queued: u64,
+    /// Documents selected for this pass.
+    pub selected: u64,
+    /// Documents deferred to a later pass.
+    pub deferred: u64,
+    /// Residual mass carried by the deferred documents.
+    pub deferred_mass: f64,
+    /// Fraction of the queued residual mass selected (1.0 when
+    /// nothing was deferred or the queue carried no mass).
+    pub budget_hit: f64,
+}
+
+impl SchedStats {
+    /// Stats of a full sweep: everything selected, nothing deferred.
+    pub fn full_sweep(queued: usize) -> Self {
+        SchedStats {
+            queued: queued as u64,
+            selected: queued as u64,
+            deferred: 0,
+            deferred_mass: 0.0,
+            budget_hit: 1.0,
+        }
+    }
+}
+
+/// Partitions `work` by residual priority: the selected documents stay
+/// in `work` (relative order preserved), deferred ones are appended to
+/// `deferred`. `residual(doc)` must return the un-propagated mass of
+/// the document; `scratch` is a reusable per-item bucket buffer.
+///
+/// The caller must present `work` in a canonical order (the engine
+/// sorts ascending first): the per-bucket mass sums are floating-point
+/// folds over `work`, and the budget cut compares them — so two
+/// executors agree on the selected set exactly when they fold in the
+/// same order.
+pub fn partition_by_residual(
+    work: &mut Vec<u32>,
+    deferred: &mut Vec<u32>,
+    scratch: &mut Vec<u8>,
+    mut residual: impl FnMut(u32) -> f64,
+) -> SchedStats {
+    let queued = work.len();
+    if queued <= PRIORITY_BYPASS_THRESHOLD {
+        return SchedStats::full_sweep(queued);
+    }
+
+    const BUCKETS: usize = dpr_telemetry::hist::BUCKETS;
+    let mut mass = [0.0f64; BUCKETS];
+    let mut count = [0u32; BUCKETS];
+    scratch.clear();
+    scratch.reserve(queued);
+    for &d in work.iter() {
+        let r = residual(d).abs();
+        let b = residual_bucket(r);
+        scratch.push(b as u8);
+        mass[b] += r;
+        count[b] += 1;
+    }
+    let total: f64 = mass.iter().sum();
+
+    // Take whole buckets from the top until the budget is met. At
+    // least one non-empty bucket is always selected, so a non-empty
+    // queue always makes progress.
+    let mut cut = 0usize;
+    let mut selected_mass = 0.0f64;
+    for b in (0..BUCKETS).rev() {
+        if count[b] == 0 {
+            continue;
+        }
+        selected_mass += mass[b];
+        cut = b;
+        if selected_mass >= PRIORITY_BUDGET_FRACTION * total {
+            break;
+        }
+    }
+
+    let mut kept = 0usize;
+    for idx in 0..queued {
+        let d = work[idx];
+        if scratch[idx] as usize >= cut {
+            work[kept] = d;
+            kept += 1;
+        } else {
+            deferred.push(d);
+        }
+    }
+    work.truncate(kept);
+
+    SchedStats {
+        queued: queued as u64,
+        selected: kept as u64,
+        deferred: (queued - kept) as u64,
+        deferred_mass: total - selected_mass,
+        budget_hit: if total > 0.0 {
+            selected_mass / total
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_displays() {
+        assert_eq!("pass".parse::<SchedMode>().unwrap(), SchedMode::Pass);
+        assert_eq!(
+            "priority".parse::<SchedMode>().unwrap(),
+            SchedMode::Priority
+        );
+        assert!("pri".parse::<SchedMode>().is_err());
+        assert_eq!(SchedMode::Priority.to_string(), "priority");
+        assert_eq!(SchedMode::default(), SchedMode::Pass);
+    }
+
+    #[test]
+    fn residual_buckets_are_log2() {
+        assert_eq!(residual_bucket(0.0), 0);
+        // Monotone in magnitude, one bucket per doubling.
+        let b1 = residual_bucket(1e-3);
+        let b2 = residual_bucket(2e-3);
+        let b4 = residual_bucket(4e-3);
+        assert_eq!(b2, b1 + 1);
+        assert_eq!(b4, b2 + 1);
+        assert_eq!(residual_bucket(-2e-3), b2);
+        // Huge residuals saturate into the top bucket instead of
+        // wrapping.
+        assert!(residual_bucket(1e30) >= residual_bucket(1e6));
+    }
+
+    #[test]
+    fn small_queues_bypass_selection() {
+        let mut work: Vec<u32> = (0..PRIORITY_BYPASS_THRESHOLD as u32).collect();
+        let mut deferred = Vec::new();
+        let mut scratch = Vec::new();
+        let st = partition_by_residual(&mut work, &mut deferred, &mut scratch, |d| d as f64);
+        assert_eq!(st, SchedStats::full_sweep(PRIORITY_BYPASS_THRESHOLD));
+        assert_eq!(work.len(), PRIORITY_BYPASS_THRESHOLD);
+        assert!(deferred.is_empty());
+    }
+
+    #[test]
+    fn selects_top_mass_and_defers_the_rest() {
+        // 100 docs with residual 1.0, 900 with residual 1/1024: the
+        // heavy bucket holds ~99% of the mass, so it alone is selected.
+        let mut work: Vec<u32> = (0..1000).collect();
+        let mut deferred = Vec::new();
+        let mut scratch = Vec::new();
+        let st = partition_by_residual(&mut work, &mut deferred, &mut scratch, |d| {
+            if d < 100 {
+                1.0
+            } else {
+                1.0 / 1024.0
+            }
+        });
+        assert_eq!(work, (0..100).collect::<Vec<u32>>());
+        assert_eq!(deferred.len(), 900);
+        assert_eq!(st.selected, 100);
+        assert_eq!(st.deferred, 900);
+        assert!(st.budget_hit > PRIORITY_BUDGET_FRACTION);
+        assert!((st.deferred_mass - 900.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_queue_selects_everything() {
+        // Equal residuals: one bucket, selected whole.
+        let mut work: Vec<u32> = (0..500).collect();
+        let mut deferred = Vec::new();
+        let mut scratch = Vec::new();
+        let st = partition_by_residual(&mut work, &mut deferred, &mut scratch, |_| 0.125);
+        assert_eq!(st.selected, 500);
+        assert_eq!(st.deferred, 0);
+        assert!(deferred.is_empty());
+        assert_eq!(st.budget_hit, 1.0);
+    }
+
+    #[test]
+    fn zero_mass_queue_still_progresses() {
+        let mut work: Vec<u32> = (0..200).collect();
+        let mut deferred = Vec::new();
+        let mut scratch = Vec::new();
+        let st = partition_by_residual(&mut work, &mut deferred, &mut scratch, |_| 0.0);
+        // All residuals land in bucket 0 — everything is selected, so
+        // a queue of exactly-zero residuals drains instead of parking
+        // forever.
+        assert_eq!(st.selected, 200);
+        assert_eq!(st.budget_hit, 1.0);
+    }
+
+    #[test]
+    fn selection_is_order_independent_as_a_set() {
+        let res = |d: u32| 1.0 / (1.0 + d as f64);
+        let mut fwd: Vec<u32> = (0..300).collect();
+        let mut rev: Vec<u32> = (0..300).rev().collect();
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        // Canonicalize both to ascending order — the contract the
+        // engine upholds — then check identical outcomes.
+        rev.sort_unstable();
+        let st1 = partition_by_residual(&mut fwd, &mut d1, &mut s1, res);
+        let st2 = partition_by_residual(&mut rev, &mut d2, &mut s2, res);
+        assert_eq!(st1, st2);
+        assert_eq!(fwd, rev);
+        assert_eq!(d1, d2);
+    }
+}

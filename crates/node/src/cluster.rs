@@ -644,6 +644,100 @@ mod tests {
     }
 
     #[test]
+    fn priority_cluster_converges_and_agrees_with_pass() {
+        // Same system under both scheduling modes: priority converges
+        // to the same fixed point (to O(eps)) while deferring work.
+        let run = |sched: dpr_core::SchedMode| {
+            let graph = paper_graph(2000, 72);
+            let ring = Ring::with_peers(16);
+            let mut rng = ChaCha8Rng::seed_from_u64(73);
+            let placement = Placement::assign(2000, &ring, PlacementPolicy::Random, &mut rng);
+            let cfg = EngineConfig::with_epsilon(1e-9).with_sched(sched);
+            let mut cluster = Cluster::build(&graph, &placement, 16, cfg);
+            let mut peers = PeerTable::new(16);
+            let (rounds, ok) = cluster.run_to_convergence(&mut peers, 50_000, None);
+            assert!(ok, "no convergence in {rounds} rounds");
+            (cluster.collect_ranks(2000), cluster.traffic())
+        };
+        let (pass, _) = run(dpr_core::SchedMode::Pass);
+        let (prio, _) = run(dpr_core::SchedMode::Priority);
+        let l1_per_doc: f64 = pass
+            .iter()
+            .zip(&prio)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / pass.len() as f64;
+        assert!(l1_per_doc <= 1e-9, "l1 per doc {l1_per_doc}");
+    }
+
+    #[test]
+    fn priority_wire_modes_are_bit_identical() {
+        // The aggregation determinism claim must survive priority
+        // ordering: same selection, same emission order, so singles
+        // and frames still produce bit-identical ranks.
+        let run = |wire: WireMode| {
+            let graph = paper_graph(1500, 74);
+            let ring = Ring::with_peers(12);
+            let mut rng = ChaCha8Rng::seed_from_u64(75);
+            let placement = Placement::assign(1500, &ring, PlacementPolicy::Random, &mut rng);
+            let cfg = EngineConfig::with_epsilon(1e-6).with_sched(dpr_core::SchedMode::Priority);
+            let mut cluster = Cluster::build_with(&graph, &placement, 12, cfg, wire);
+            let mut peers = PeerTable::new(12);
+            let (rounds, ok) = cluster.run_to_convergence(&mut peers, 50_000, None);
+            assert!(ok, "no convergence in {rounds} rounds");
+            (cluster.collect_ranks(1500), cluster.traffic())
+        };
+        let (single, ts) = run(WireMode::Single);
+        let (framed, tf) = run(WireMode::frames());
+        assert_eq!(
+            framed, single,
+            "priority ranks must not depend on wire mode"
+        );
+        assert!(tf.sent < ts.sent, "frames still aggregate under priority");
+    }
+
+    #[test]
+    fn priority_cluster_survives_churn_and_departure() {
+        // Deferred residuals + store-and-resend + permanent departure:
+        // parked mass and parked messages both drain, and the system
+        // still reaches the synchronous fixed point.
+        let nodes = 500;
+        let graph = paper_graph(nodes, 76);
+        let ring = Ring::with_peers(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let cfg = EngineConfig::with_epsilon(1e-8).with_sched(dpr_core::SchedMode::Priority);
+        let mut cluster = Cluster::build(&graph, &placement, 8, cfg);
+        let mut peers = PeerTable::new(8);
+        for _ in 0..3 {
+            cluster.round(&peers);
+        }
+        let victim = PeerId(5);
+        peers.go_offline(victim);
+        cluster.round(&peers);
+        let reassign = |d: DocId| {
+            let mut h = (d.0 as usize) % 8;
+            if h == victim.index() {
+                h = (h + 1) % 8;
+            }
+            PeerId(h as u32)
+        };
+        assert!(cluster.peer_depart(victim, &peers, &reassign) > 0);
+        let mut churn_rng = ChaCha8Rng::seed_from_u64(78);
+        let mut churn = move |_r: usize, p: &mut PeerTable| {
+            p.set_online_fraction(0.6, &mut churn_rng);
+            p.go_offline(victim); // the departed peer never returns
+        };
+        let (rounds, ok) = cluster.run_to_convergence(&mut peers, 50_000, Some(&mut churn));
+        assert!(ok, "no convergence in {rounds} rounds");
+        let ranks = cluster.collect_ranks(nodes);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn quiescent_round_is_a_noop() {
         let (mut cluster, _) = build(200, 4, 1e-3, 67);
         let mut peers = PeerTable::new(4);

@@ -11,6 +11,7 @@ use dpr_core::error_stats::{self, ErrorDistribution};
 use dpr_core::incremental::{propagate, PropagationConfig};
 use dpr_core::parallel::ExecMode;
 use dpr_core::sync_solver::SyncSolver;
+use dpr_core::SchedMode;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::ring::Ring;
 use dpr_search::corpus::{generate_queries, Corpus, CorpusConfig};
@@ -75,26 +76,39 @@ pub fn run_convergence_with(
     seed: u64,
     mode: ExecMode,
 ) -> ConvergenceResult {
-    run_convergence_observed(w, epsilon, presence, seed, mode, &NOOP, "convergence")
+    run_convergence_observed(
+        w,
+        epsilon,
+        presence,
+        seed,
+        mode,
+        SchedMode::Pass,
+        &NOOP,
+        "convergence",
+    )
 }
 
 /// [`run_convergence_with`] traced through `rec`: every pass emits
 /// `pass_completed` / `convergence_check` events under `run_label`,
 /// and presence churn shows up as `peer_churn` flips. With the no-op
-/// recorder this is exactly [`run_convergence_with`].
+/// recorder this is exactly [`run_convergence_with`]. Under
+/// [`SchedMode::Priority`] each pass processes only the top
+/// residual-mass buckets (same fixed point to O(ε), fewer messages).
+#[allow(clippy::too_many_arguments)]
 pub fn run_convergence_observed<R: Recorder + ?Sized>(
     w: &Workload,
     epsilon: f64,
     presence: f64,
     seed: u64,
     mode: ExecMode,
+    sched: SchedMode,
     rec: &R,
     run_label: &str,
 ) -> ConvergenceResult {
     let mut engine = ChaoticEngine::new(
         w.graph.clone(),
         w.owners(),
-        EngineConfig::with_epsilon(epsilon),
+        EngineConfig::with_epsilon(epsilon).with_sched(sched),
     );
     let mut peers = w.peer_table();
     let mut schedule = if presence < 1.0 {
@@ -178,22 +192,25 @@ impl QualitySweep {
     /// [`QualitySweep::run`] under an explicit execution mode; scores
     /// are identical for every mode (bit-identical executor).
     pub fn run_with(&self, epsilon: f64, mode: ExecMode) -> QualityResult {
-        self.run_observed(epsilon, mode, &NOOP, "quality")
+        self.run_observed(epsilon, mode, SchedMode::Pass, &NOOP, "quality")
     }
 
     /// [`QualitySweep::run_with`] traced through `rec` under
     /// `run_label`; the scored result is unchanged by observation.
+    /// `sched` picks the pass scheduler — [`SchedMode::Priority`]
+    /// reaches the same fixed point to O(ε) with fewer messages.
     pub fn run_observed<R: Recorder + ?Sized>(
         &self,
         epsilon: f64,
         mode: ExecMode,
+        sched: SchedMode,
         rec: &R,
         run_label: &str,
     ) -> QualityResult {
         let mut engine = ChaoticEngine::new(
             self.workload.graph.clone(),
             self.workload.owners(),
-            EngineConfig::with_epsilon(epsilon),
+            EngineConfig::with_epsilon(epsilon).with_sched(sched),
         );
         let mut peers = self.workload.peer_table();
         let run = mode.run_observed(&mut engine, &mut peers, None, rec, run_label);
@@ -233,8 +250,13 @@ impl QualitySweep {
     /// Cluster rounds deliver within the round (a different, equally
     /// valid chaotic schedule than the array engine), so the scored
     /// error matches [`QualitySweep::run`] to O(ε), not bitwise.
-    pub fn run_batched(&self, epsilon: f64, max_frame_bytes: usize) -> BatchedQualityResult {
-        self.batched_inner(epsilon, max_frame_bytes, None)
+    pub fn run_batched(
+        &self,
+        epsilon: f64,
+        max_frame_bytes: usize,
+        sched: SchedMode,
+    ) -> BatchedQualityResult {
+        self.batched_inner(epsilon, max_frame_bytes, sched, None)
     }
 
     /// [`QualitySweep::run_batched`] with the *batched* run traced
@@ -244,26 +266,38 @@ impl QualitySweep {
         &self,
         epsilon: f64,
         max_frame_bytes: usize,
+        sched: SchedMode,
         rec: std::sync::Arc<dyn Recorder>,
     ) -> BatchedQualityResult {
-        self.batched_inner(epsilon, max_frame_bytes, Some(rec))
+        self.batched_inner(epsilon, max_frame_bytes, sched, Some(rec))
     }
 
     fn batched_inner(
         &self,
         epsilon: f64,
         max_frame_bytes: usize,
+        sched: SchedMode,
         rec: Option<std::sync::Arc<dyn Recorder>>,
     ) -> BatchedQualityResult {
         use dpr_node::node::WireMode;
-        let unbatched =
-            crate::batch::run_wire_mode(&self.workload, epsilon, WireMode::Single, false);
+        let unbatched = crate::batch::run_wire_mode_sched(
+            &self.workload,
+            epsilon,
+            sched,
+            WireMode::Single,
+            false,
+        );
         let frames = WireMode::Frames { max_frame_bytes };
         let batched = match rec {
-            Some(rec) => {
-                crate::batch::run_wire_mode_observed(&self.workload, epsilon, frames, true, rec)
-            }
-            None => crate::batch::run_wire_mode(&self.workload, epsilon, frames, true),
+            Some(rec) => crate::batch::run_wire_mode_sched_observed(
+                &self.workload,
+                epsilon,
+                sched,
+                frames,
+                true,
+                rec,
+            ),
+            None => crate::batch::run_wire_mode_sched(&self.workload, epsilon, sched, frames, true),
         };
         let report = crate::batch::compare_runs(
             &self.workload,
@@ -510,7 +544,16 @@ pub fn continuous_update_experiment_with(
     seed: u64,
     mode: ExecMode,
 ) -> Vec<ContinuousPoint> {
-    continuous_update_experiment_observed(nodes, inserts, checkpoints, epsilon, seed, mode, &NOOP)
+    continuous_update_experiment_observed(
+        nodes,
+        inserts,
+        checkpoints,
+        epsilon,
+        seed,
+        mode,
+        SchedMode::Pass,
+        &NOOP,
+    )
 }
 
 /// [`continuous_update_experiment_with`] traced through `rec`: the
@@ -519,7 +562,9 @@ pub fn continuous_update_experiment_with(
 /// checkpoint's from-scratch reference runs under `"recompute@<i>"`.
 /// Because each labeled run converges monotonically, the residual
 /// series after the last injection event is non-increasing — the
-/// invariant [`dpr_telemetry::TraceSummary`] checks.
+/// invariant [`dpr_telemetry::TraceSummary`] checks. Both the initial
+/// solve and every checkpoint's reference recompute run under `sched`.
+#[allow(clippy::too_many_arguments)]
 pub fn continuous_update_experiment_observed<R: Recorder + ?Sized>(
     nodes: usize,
     inserts: usize,
@@ -527,6 +572,7 @@ pub fn continuous_update_experiment_observed<R: Recorder + ?Sized>(
     epsilon: f64,
     seed: u64,
     mode: ExecMode,
+    sched: SchedMode,
     rec: &R,
 ) -> Vec<ContinuousPoint> {
     use dpr_core::incremental::insert_document;
@@ -534,7 +580,7 @@ pub fn continuous_update_experiment_observed<R: Recorder + ?Sized>(
     let base = dpr_graph::powerlaw::PowerLawConfig::paper(nodes, seed).generate();
     let mut engine = ChaoticEngine::local(
         std::sync::Arc::new(base.clone()),
-        EngineConfig::with_epsilon(epsilon),
+        EngineConfig::with_epsilon(epsilon).with_sched(sched),
     );
     let initial_run = mode.run_static_observed(&mut engine, rec, "initial");
     assert!(initial_run.converged);
@@ -574,7 +620,7 @@ pub fn continuous_update_experiment_observed<R: Recorder + ?Sized>(
             let snapshot = graph.to_csr();
             let mut fresh = ChaoticEngine::local(
                 std::sync::Arc::new(snapshot),
-                EngineConfig::with_epsilon(epsilon),
+                EngineConfig::with_epsilon(epsilon).with_sched(sched),
             );
             let recompute_run =
                 mode.run_static_observed(&mut fresh, rec, &format!("recompute@{i}"));
@@ -646,6 +692,33 @@ mod tests {
         assert_eq!(seq.passes, par.passes);
         assert_eq!(seq.distribution.max, par.distribution.max);
         assert_eq!(seq.distribution.avg, par.distribution.avg);
+    }
+
+    #[test]
+    fn priority_sched_cuts_messages_at_equal_quality() {
+        let sweep = QualitySweep::new(2_000, 100, 5);
+        let pass = sweep.run_observed(1e-3, ExecMode::Sequential, SchedMode::Pass, &NOOP, "pass");
+        let pri = sweep.run_observed(
+            1e-3,
+            ExecMode::Sequential,
+            SchedMode::Priority,
+            &NOOP,
+            "priority",
+        );
+        // Residual-driven selection spends meaningfully fewer remote
+        // messages to clear the same ε …
+        assert!(
+            (pri.total_remote_messages as f64) < 0.8 * pass.total_remote_messages as f64,
+            "priority {} vs pass {}",
+            pri.total_remote_messages,
+            pass.total_remote_messages
+        );
+        // … at the same quality band vs the synchronous reference.
+        assert!(
+            pri.distribution.max < 0.05,
+            "max err {}",
+            pri.distribution.max
+        );
     }
 
     #[test]

@@ -130,6 +130,24 @@ pub enum Event {
         /// sees it (0 when nothing is in flight).
         invariant: i64,
     },
+    /// The priority scheduler's per-pass selection outcome
+    /// (residual-driven scheduling; absent in full-sweep mode).
+    SchedulerPass {
+        /// Engine-run label (see [`Event::PassCompleted::run`]).
+        run: String,
+        /// Pass index within the run, starting at 1.
+        pass: u64,
+        /// Documents queued when the pass started.
+        queued: u64,
+        /// Documents selected for processing this pass.
+        selected: u64,
+        /// Documents deferred to a later pass.
+        deferred: u64,
+        /// Residual mass carried by the deferred documents.
+        deferred_mass: f64,
+        /// Fraction of the queued residual mass selected.
+        budget_hit: f64,
+    },
     /// An overlay lookup was resolved for a destination.
     RouteResolved {
         /// Source peer.
@@ -208,6 +226,9 @@ event_codec! {
     TerminationProbe => "termination_probe" {
         round, circuits, token_count, token_black, announced, invariant,
     }
+    SchedulerPass => "scheduler_pass" {
+        run, pass, queued, selected, deferred, deferred_mass, budget_hit,
+    }
     RouteResolved => "route_resolved" { src, dst, hops, cached }
 }
 
@@ -281,6 +302,15 @@ mod tests {
                 token_black: false,
                 announced: false,
                 invariant: 3,
+            },
+            Event::SchedulerPass {
+                run: "initial".into(),
+                pass: 3,
+                queued: 1_000,
+                selected: 120,
+                deferred: 880,
+                deferred_mass: 0.375,
+                budget_hit: 0.625,
             },
             Event::RouteResolved {
                 src: 4,

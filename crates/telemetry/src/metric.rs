@@ -98,6 +98,12 @@ metrics! {
         "Nanoseconds per shard in the apply+emit phase";
     ShardMergeNs = 16 => Histogram, "dpr_shard_merge_ns",
         "Nanoseconds per shard merging mailboxes";
+    SchedQueueDepth = 17 => Histogram, "dpr_sched_queue_depth",
+        "Documents queued at priority-selection time, per pass";
+    SchedDeferredDocs = 18 => Histogram, "dpr_sched_deferred_docs",
+        "Documents deferred by the priority scheduler, per pass";
+    SchedBudgetPermille = 19 => Histogram, "dpr_sched_budget_permille",
+        "Selected residual-mass fraction per pass, in permille";
 }
 
 #[cfg(test)]

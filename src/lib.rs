@@ -58,7 +58,7 @@ pub mod prelude {
         delete_document, insert_document, propagate, PropagationConfig,
     };
     pub use dpr_core::sync_solver::SyncSolver;
-    pub use dpr_core::{DEFAULT_DAMPING, INITIAL_RANK, RECOMMENDED_EPSILON};
+    pub use dpr_core::{SchedMode, DEFAULT_DAMPING, INITIAL_RANK, RECOMMENDED_EPSILON};
     pub use dpr_graph::{CsrGraph, DocId, DynamicGraph, Edge, GraphBuilder, PowerLawConfig};
     pub use dpr_p2p::guid::Guid;
     pub use dpr_p2p::peer::{PeerId, PeerTable, Placement, PlacementPolicy};

@@ -63,7 +63,8 @@ fn churned_convergence_stats_are_unchanged_by_telemetry() {
     for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
         let plain = run_convergence_with(&w, 1e-3, 0.75, SEED, mode);
         let rec = TraceRecorder::new();
-        let traced = run_convergence_observed(&w, 1e-3, 0.75, SEED, mode, &rec, "diff");
+        let traced =
+            run_convergence_observed(&w, 1e-3, 0.75, SEED, mode, SchedMode::Pass, &rec, "diff");
         assert_eq!(plain.passes, traced.passes);
         assert_eq!(plain.converged, traced.converged);
         assert_eq!(plain.total_remote_messages, traced.total_remote_messages);
@@ -107,8 +108,16 @@ fn continuous_trace_is_schema_valid_and_residual_monotone() {
 
     let plain = continuous_update_experiment_with(1_500, 20, 4, 1e-3, SEED, ExecMode::Sequential);
     let rec = TraceRecorder::with_jsonl(&path).unwrap();
-    let traced =
-        continuous_update_experiment_observed(1_500, 20, 4, 1e-3, SEED, ExecMode::Sequential, &rec);
+    let traced = continuous_update_experiment_observed(
+        1_500,
+        20,
+        4,
+        1e-3,
+        SEED,
+        ExecMode::Sequential,
+        SchedMode::Pass,
+        &rec,
+    );
     rec.flush().unwrap();
 
     assert_eq!(plain.len(), traced.len());

@@ -1,0 +1,159 @@
+//! Offline shim of the `fxhash`/`rustc-hash` crates: the Firefox
+//! multiply-xor hash behind `HashMap` aliases with a **deterministic**
+//! build-hasher (no `RandomState` seeding).
+//!
+//! Written for this repository's hot-path maps — per-peer flush
+//! buffers, document/GUID/tag indexes — where the keys are small
+//! integers (`u32`/`u64`/`u128` newtypes), the std SipHash cost is
+//! measurable, and determinism across runs is a feature (the
+//! workspace's differential tests fingerprint message orderings).
+//! Implements exactly the API surface the workspace uses.
+//!
+//! The mixing function is the classic FxHash step: for each 8-byte
+//! word `w` of the input, `state = (state rotl 5 ^ w) · K` with the
+//! golden-ratio constant `K = 0x517cc1b727220a95`. It is not
+//! collision-resistant against adversarial keys — nothing in this
+//! workspace hashes attacker-controlled data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash streaming hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+            // Fold the length in so "ab" + "\0" and "ab\0" differ.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Deterministic build-hasher producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by FxHash with a deterministic (unseeded) state.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by FxHash with a deterministic (unseeded) state.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with a fresh [`FxHasher`] (convenience mirroring
+/// the real crate's `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work_with_integer_keys() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(7_000_000, "big");
+        assert_eq!(m[&7], "seven");
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(u64::MAX));
+        assert!(!s.insert(u64::MAX));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_hashers() {
+        // No per-process random seed: two maps, two hashers, and two
+        // processes all agree — the property the fingerprint tests
+        // lean on.
+        assert_eq!(hash64(&0xdead_beefu64), hash64(&0xdead_beefu64));
+        let a = {
+            let mut h = FxHasher::default();
+            h.write_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdefu128);
+            h.finish()
+        };
+        let b = {
+            let mut h = FxHasher::default();
+            h.write_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdefu128);
+            h.finish()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        // Sanity, not cryptography: nearby small integers spread.
+        let hashes: FxHashSet<u64> = (0u32..10_000).map(|i| hash64(&i)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_streams_differ_from_prefixes() {
+        assert_ne!(hash64(&b"ab"[..]), hash64(&b"ab\0"[..]));
+        assert_ne!(hash64(&b""[..]), hash64(&b"\0"[..]));
+        // Unaligned tails still hash the full content.
+        assert_ne!(
+            hash64(&b"0123456789abcdef_x"[..]),
+            hash64(&b"0123456789abcdef_y"[..])
+        );
+    }
+}
