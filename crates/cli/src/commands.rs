@@ -14,7 +14,7 @@ use dpr_search::index::DistributedIndex;
 use dpr_search::query::{
     execute_baseline, execute_incremental, IncrementalConfig, Query, TrafficModel,
 };
-use dpr_telemetry::{Event, TraceSummary};
+use dpr_telemetry::{AuditReport, Capture, Event, TraceSummary};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fs::File;
@@ -36,6 +36,12 @@ commands:
   search     [--docs 11000] [--vocab 1880] [--peers 50] [--query t1,t2]
              [--top-percent 10] [--seed S]
   trace      --input trace.jsonl [--validate] [--run LABEL] [--top K]
+             [--diff other.jsonl]
+  doctor     [--docs 1200] [--peers 24] [--eps 1e-4] [--seed 2003]
+             [--inject-fault mass-leak|dup-frame|lost-frame]
+             [--fault-at N] [--input trace.jsonl]
+             [--capture-out cap.jsonl] [--replay cap.jsonl]
+             [--threads T] [--inserts N] [--checkpoints K]
   help       this text
 
 every command also accepts: --quiet (suppress stdout),
@@ -312,7 +318,106 @@ pub fn search(args: &Args) -> Result<(), String> {
     rep.finish()
 }
 
-/// `dpr trace` — summarize (or validate) a JSONL telemetry trace
+fn load_summary(path: &str) -> Result<TraceSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+    TraceSummary::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares the convergence and traffic series of two traces and
+/// describes the first divergence (`Err`), or `Ok` when they agree.
+fn diff_traces(
+    a_name: &str,
+    a: &TraceSummary,
+    b_name: &str,
+    b: &TraceSummary,
+) -> Result<(), String> {
+    // Convergence series, keyed by run label in a's order.
+    for run in a.runs() {
+        if !b.runs().iter().any(|r| r == run) {
+            return Err(format!("run '{run}' is in {a_name} but not in {b_name}"));
+        }
+        let (ca, cb) = (a.convergence_curve(run), b.convergence_curve(run));
+        for (pa, pb) in ca.iter().zip(&cb) {
+            if pa.pass != pb.pass {
+                return Err(format!(
+                    "run '{run}' diverges at pass index: {} vs {}",
+                    pa.pass, pb.pass
+                ));
+            }
+            if pa.residual != pb.residual {
+                return Err(format!(
+                    "run '{run}' diverges at pass {}: residual {:e} vs {:e}",
+                    pa.pass, pa.residual, pb.residual
+                ));
+            }
+            if pa.active_docs != pb.active_docs {
+                return Err(format!(
+                    "run '{run}' diverges at pass {}: active docs {} vs {}",
+                    pa.pass, pa.active_docs, pb.active_docs
+                ));
+            }
+        }
+        if ca.len() != cb.len() {
+            return Err(format!(
+                "run '{run}' diverges after pass {}: {} has {} checkpoints, {} has {}",
+                ca.len().min(cb.len()),
+                a_name,
+                ca.len(),
+                b_name,
+                cb.len()
+            ));
+        }
+    }
+    for run in b.runs() {
+        if !a.runs().iter().any(|r| r == run) {
+            return Err(format!("run '{run}' is in {b_name} but not in {a_name}"));
+        }
+    }
+    // Wire-traffic series, by round.
+    let (ta, tb) = (a.traffic_by_round(), b.traffic_by_round());
+    for (ra, rb) in ta.iter().zip(&tb) {
+        if ra.round != rb.round {
+            return Err(format!(
+                "traffic diverges at round index: {} vs {}",
+                ra.round, rb.round
+            ));
+        }
+        for (field, va, vb) in [
+            ("payloads", ra.payloads, rb.payloads),
+            ("entries", ra.entries, rb.entries),
+            ("bytes", ra.bytes, rb.bytes),
+        ] {
+            if va != vb {
+                return Err(format!(
+                    "traffic diverges at round {}: {field} {va} vs {vb}",
+                    ra.round
+                ));
+            }
+        }
+    }
+    if ta.len() != tb.len() {
+        return Err(format!(
+            "traffic diverges after round {}: {} has {} rounds, {} has {}",
+            ta.len().min(tb.len()),
+            a_name,
+            ta.len(),
+            b_name,
+            tb.len()
+        ));
+    }
+    Ok(())
+}
+
+fn report_unknown(path: &str, summary: &TraceSummary) {
+    for u in summary.unknown_events() {
+        println!(
+            "{path}: note: {} unknown event(s) of kind {:?} skipped (first at line {})",
+            u.count, u.kind, u.first_line
+        );
+    }
+}
+
+/// `dpr trace` — summarize, validate, or diff a JSONL telemetry trace
 /// written by `--trace-out` or [`dpr_telemetry::TraceRecorder`].
 pub fn trace(args: &Args) -> Result<(), String> {
     let input = args.required("input")?;
@@ -320,7 +425,22 @@ pub fn trace(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(input).map_err(|e| format!("open {input}: {e}"))?;
     let summary = TraceSummary::from_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
 
+    if let Some(other) = args.optional("diff") {
+        let other_summary = load_summary(other)?;
+        report_unknown(input, &summary);
+        report_unknown(other, &other_summary);
+        diff_traces(input, &summary, other, &other_summary)?;
+        println!(
+            "{input} and {other} agree: {} run(s), {} traffic round(s) compared",
+            summary.runs().len(),
+            summary.traffic_by_round().len()
+        );
+        return Ok(());
+    }
+
     if args.has("validate") {
+        // Strict: unknown event kinds are schema violations here.
+        dpr_telemetry::summary::parse_jsonl(&text).map_err(|e| format!("{input}: {e}"))?;
         summary
             .residual_monotone_after_last_injection()
             .map_err(|(run, pass, prev, next)| {
@@ -335,6 +455,7 @@ pub fn trace(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
+    report_unknown(input, &summary);
     println!(
         "{input}: {} events, {} engine runs",
         summary.events().len(),
@@ -366,6 +487,141 @@ pub fn trace(args: &Args) -> Result<(), String> {
         print!("{}", summary.render_hottest_peers(top).render());
     }
     Ok(())
+}
+
+/// `dpr doctor` — the flight recorder's diagnostic front end.
+///
+/// Default mode runs the message-level cluster scenario with the
+/// recorder on, evaluates the three invariant monitors over the trace,
+/// and prints the pass/fail diagnosis table; `--inject-fault
+/// mass-leak|dup-frame|lost-frame` stages one transport corruption to
+/// prove the owning monitor fires (the verdict then exits nonzero).
+/// `--input` audits an existing trace instead of running one;
+/// `--capture-out` records a deterministic replay capture of the
+/// continuous-update scenario; `--replay` re-executes such a capture
+/// and verifies the bit-exact fingerprint.
+pub fn doctor(args: &Args) -> Result<(), String> {
+    use dpr_sim::flight::{self, FlightConfig};
+    let quiet = args.has("quiet");
+    let say = |line: String| {
+        if !quiet {
+            println!("{line}");
+        }
+    };
+    let threads: usize = args.get("threads", 1)?;
+    let mode = ExecMode::from_threads(Some(threads));
+
+    // Replay mode: prove a capture reproduces bit for bit.
+    if let Some(path) = args.optional("replay") {
+        let capture =
+            Capture::read(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        let out = flight::replay(&capture, mode).map_err(|e| format!("{path}: {e}"))?;
+        say(format!(
+            "{path}: replay matched — {} docs, {} passes, {} remote messages, \
+             ranks fnv {:#018x}",
+            out.ranks.len(),
+            out.passes,
+            out.remote_messages,
+            capture.fingerprint.ranks_fnv,
+        ));
+        return Ok(());
+    }
+
+    let docs: usize = args.get("docs", 1_200)?;
+    let peers: usize = args.get("peers", 24)?;
+    let eps: f64 = args.get("eps", 1e-4)?;
+    let seed: u64 = args.get("seed", 2003)?;
+
+    // Capture mode: record the replayable continuous-update flight.
+    if let Some(out) = args.optional("capture-out") {
+        let cfg = FlightConfig {
+            nodes: docs,
+            num_peers: peers,
+            inserts: args.get("inserts", 6)?,
+            checkpoints: args.get("checkpoints", 2)?,
+            epsilon: eps,
+            seed,
+            sched: args.get("sched", dpr_core::SchedMode::Pass)?,
+        };
+        let (capture, outcome) = flight::record(&cfg, mode);
+        capture
+            .write(std::path::Path::new(out))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        say(format!(
+            "wrote {out}: {} injections, fingerprint over {} ranks \
+             ({} passes, {} remote messages)",
+            capture.injections.len(),
+            outcome.ranks.len(),
+            outcome.passes,
+            outcome.remote_messages,
+        ));
+        return Ok(());
+    }
+
+    // Audit: an ingested trace, or a fresh instrumented scenario run.
+    let (report, source) = if let Some(input) = args.optional("input") {
+        let summary = load_summary(input)?;
+        if !quiet {
+            report_unknown(input, &summary);
+        }
+        say(format!(
+            "{input}: auditing {} events",
+            summary.events().len()
+        ));
+        (AuditReport::evaluate(summary.events()), input.to_string())
+    } else {
+        let fault = match args.optional("inject-fault") {
+            Some(kind) => Some(dpr_p2p::transport::FaultPlan {
+                kind: kind.parse()?,
+                nth_send: args.get("fault-at", 25)?,
+            }),
+            None => None,
+        };
+        let run = flight::doctor_run(
+            docs,
+            peers,
+            eps,
+            seed,
+            dpr_node::node::WireMode::frames(),
+            fault,
+        );
+        say(format!(
+            "scenario: {docs} docs on {peers} peers, ε {eps}: \
+             {} rounds, quiesced: {}",
+            run.rounds, run.quiesced
+        ));
+        if let Some(plan) = fault {
+            match run.fault_fired_at {
+                Some(n) => say(format!("staged fault {} fired at send {n}", plan.kind)),
+                None => {
+                    return Err(format!(
+                        "staged fault {} never fired (too few sends?)",
+                        plan.kind
+                    ))
+                }
+            }
+        }
+        if let Some(p) = args.optional("trace-out") {
+            let mut text = String::new();
+            for e in &run.events {
+                text.push_str(&serde_json::to_string(e).map_err(|e| e.to_string())?);
+                text.push('\n');
+            }
+            std::fs::write(p, text).map_err(|e| format!("write {p}: {e}"))?;
+            say(format!("wrote {p} ({} events)", run.events.len()));
+        }
+        (run.report, "doctor run".to_string())
+    };
+
+    if !quiet {
+        print!("{}", report.render().render());
+    }
+    if report.passed() {
+        say(report.diagnosis());
+        Ok(())
+    } else {
+        Err(format!("{source}: {}", report.diagnosis()))
+    }
 }
 
 #[cfg(test)]
@@ -511,9 +767,150 @@ mod tests {
     fn malformed_trace_is_a_clean_error() {
         let dir = tmpdir("badtrace");
         let p = dir.join("bad.jsonl");
-        std::fs::write(&p, "{\"type\":\"mystery\"}\n").unwrap();
+        // Corruption (not JSON) fails on every path.
+        std::fs::write(&p, "not json\n").unwrap();
         let e = trace(&args(&format!("--input {}", p.display()))).unwrap_err();
         assert!(e.contains("line 1"), "{e}");
+        // An unknown-but-well-formed kind is schema drift: the default
+        // path tolerates (and reports) it, `--validate` rejects it.
+        std::fs::write(&p, "{\"type\":\"mystery\"}\n").unwrap();
+        trace(&args(&format!("--input {}", p.display()))).unwrap();
+        let e = trace(&args(&format!("--input {} --validate", p.display()))).unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_diff_finds_first_divergence() {
+        let dir = tmpdir("diff");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        let line = |pass: u64, residual: f64| {
+            format!(
+                "{{\"type\":\"convergence_check\",\"run\":\"r\",\"pass\":{pass},\
+                 \"active_docs\":3,\"residual\":{residual}}}\n"
+            )
+        };
+        let frame = |round: u64, bytes: u64| {
+            format!(
+                "{{\"type\":\"frame_sent\",\"round\":{round},\"from\":0,\"to\":1,\
+                 \"entries\":2,\"bytes\":{bytes}}}\n"
+            )
+        };
+        std::fs::write(
+            &a,
+            format!("{}{}{}", line(1, 0.5), line(2, 0.25), frame(1, 36)),
+        )
+        .unwrap();
+
+        // Identical traces agree.
+        std::fs::write(
+            &b,
+            format!("{}{}{}", line(1, 0.5), line(2, 0.25), frame(1, 36)),
+        )
+        .unwrap();
+        trace(&args(&format!(
+            "--input {} --diff {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap();
+
+        // Residual divergence names the run, pass, and field.
+        std::fs::write(
+            &b,
+            format!("{}{}{}", line(1, 0.5), line(2, 0.125), frame(1, 36)),
+        )
+        .unwrap();
+        let e = trace(&args(&format!(
+            "--input {} --diff {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("pass 2") && e.contains("residual"), "{e}");
+
+        // Traffic divergence names the round and field.
+        std::fs::write(
+            &b,
+            format!("{}{}{}", line(1, 0.5), line(2, 0.25), frame(1, 52)),
+        )
+        .unwrap();
+        let e = trace(&args(&format!(
+            "--input {} --diff {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("round 1") && e.contains("bytes"), "{e}");
+
+        // A missing run is a divergence, not a silent pass.
+        std::fs::write(&b, frame(1, 36)).unwrap();
+        let e = trace(&args(&format!(
+            "--input {} --diff {}",
+            a.display(),
+            b.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("run 'r'"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doctor_clean_run_passes_and_faults_exit_nonzero() {
+        let dir = tmpdir("doctor");
+        let trace_out = dir.join("doctor.jsonl");
+        doctor(&args(&format!(
+            "--docs 600 --peers 8 --eps 1e-4 --seed 21 --quiet --trace-out {}",
+            trace_out.display()
+        )))
+        .unwrap();
+
+        // The saved trace re-audits clean through --input.
+        doctor(&args(&format!("--input {} --quiet", trace_out.display()))).unwrap();
+
+        // Each staged fault turns the verdict into an error naming its
+        // owning monitor.
+        for (fault, monitor) in [
+            ("mass-leak", "mass-conservation"),
+            ("dup-frame", "message-balance"),
+            ("lost-frame", "quiescence"),
+        ] {
+            let e = doctor(&args(&format!(
+                "--docs 600 --peers 8 --eps 1e-4 --seed 21 --quiet --inject-fault {fault}"
+            )))
+            .unwrap_err();
+            assert!(e.contains(monitor), "{fault}: {e}");
+            assert!(e.contains(fault), "{fault}: {e}");
+        }
+        assert!(doctor(&args("--inject-fault warp-core --quiet")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doctor_capture_roundtrips_through_replay() {
+        let dir = tmpdir("capture");
+        let cap = dir.join("cap.jsonl");
+        doctor(&args(&format!(
+            "--docs 800 --peers 16 --eps 1e-3 --seed 7 --inserts 4 --checkpoints 2 \
+             --quiet --capture-out {}",
+            cap.display()
+        )))
+        .unwrap();
+        // Replays cleanly under both executors.
+        doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap();
+        doctor(&args(&format!(
+            "--quiet --threads 4 --replay {}",
+            cap.display()
+        )))
+        .unwrap();
+        // A tampered fingerprint is caught.
+        let text = std::fs::read_to_string(&cap).unwrap();
+        let tampered = text.replacen("\"passes\":", "\"passes\":1", 1);
+        assert_ne!(text, tampered);
+        std::fs::write(&cap, tampered).unwrap();
+        let e = doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap_err();
+        assert!(e.contains("passes"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

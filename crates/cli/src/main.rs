@@ -8,7 +8,9 @@
 //! dpr insert    --graph graph.bin --links 1,2,3 [--eps 1e-3]
 //! dpr delete    --graph graph.bin --doc 42 [--eps 1e-3]
 //! dpr search    [--docs 11000] [--terms t1,t2] [--top-percent 10]
-//! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K]
+//! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K] [--diff other.jsonl]
+//! dpr doctor    [--docs N] [--peers P] [--inject-fault KIND] [--input trace.jsonl]
+//!               [--capture-out cap.jsonl] [--replay cap.jsonl] [--threads T]
 //! ```
 //!
 //! Every command also takes `--quiet`, `--trace-out FILE` (JSONL event
@@ -68,6 +70,7 @@ fn main() -> ExitCode {
         "delete" => commands::delete(&parsed),
         "search" => commands::search(&parsed),
         "trace" => commands::trace(&parsed),
+        "doctor" => commands::doctor(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

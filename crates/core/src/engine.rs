@@ -254,6 +254,26 @@ pub(crate) fn observe_sched<R: Recorder + ?Sized>(
     });
 }
 
+/// Emits the per-pass [`Event::MassLedger`] snapshot for `eng`.
+/// Between passes every emitted increment is already folded into
+/// `pending`, so the engine's in-flight term is zero. Shared by the
+/// sequential and sharded run loops; callers gate on `rec.enabled()`.
+pub(crate) fn observe_mass<R: Recorder + ?Sized>(
+    rec: &R,
+    eng: &ChaoticEngine,
+    pass: u64,
+    run_label: &str,
+) {
+    let mb = eng.mass_breakdown();
+    rec.event(&mb.ledger_event(
+        run_label,
+        pass,
+        0.0,
+        eng.config().damping,
+        eng.expected_mass(),
+    ));
+}
+
 /// The distributed pagerank engine.
 #[derive(Clone)]
 pub struct ChaoticEngine {
@@ -270,6 +290,14 @@ pub struct ChaoticEngine {
     pub(crate) dirty: Vec<u32>,
     pub(crate) queued: Vec<bool>,
     pub(crate) passes: usize,
+    /// Cumulative advertised delta of dangling (out-degree 0)
+    /// documents — the mass the damping sink absorbed, a term of the
+    /// flight recorder's conserved potential Φ.
+    pub(crate) dangling_advertised: f64,
+    /// Cumulative externally injected mass
+    /// ([`ChaoticEngine::inject_delta`]), which shifts Φ by
+    /// `Σδ / (1 − d)`.
+    pub(crate) injected_mass: f64,
     /// Pass-scratch buffers, kept on the engine so steady-state passes
     /// allocate nothing: next-pass dirty list and applied-docs list.
     scratch_carry: Vec<u32>,
@@ -317,6 +345,8 @@ impl ChaoticEngine {
             dirty: (0..n as u32).collect(),
             queued: vec![true; n],
             passes: 0,
+            dangling_advertised: 0.0,
+            injected_mass: 0.0,
             scratch_carry: Vec::new(),
             scratch_applied: Vec::new(),
             scratch_deferred: Vec::new(),
@@ -393,6 +423,30 @@ impl ChaoticEngine {
         gap + parked
     }
 
+    /// The engine's mass-ledger terms: Σrank, Σ(rank − advertised),
+    /// Σpending, and the cumulative dangling sink — the flight
+    /// recorder's conserved-potential inputs. O(n) scan: call at pass
+    /// boundaries (the observed run loops gate it on
+    /// `Recorder::enabled`).
+    pub fn mass_breakdown(&self) -> dpr_telemetry::MassBreakdown {
+        let mut mb = dpr_telemetry::MassBreakdown {
+            dangling: self.dangling_advertised,
+            ..Default::default()
+        };
+        for ((r, a), p) in self.ranks.iter().zip(&self.advertised).zip(&self.pending) {
+            mb.ranks += r;
+            mb.unadvertised += r - a;
+            mb.pending += p;
+        }
+        mb
+    }
+
+    /// The potential Φ this engine must conserve: one unit per seeded
+    /// document plus `1/(1 − d)` per unit of externally injected mass.
+    pub fn expected_mass(&self) -> f64 {
+        self.graph.num_nodes() as f64 + self.injected_mass / (1.0 - self.cfg.damping)
+    }
+
     /// Parks an externally generated increment for `doc` (document
     /// insert/delete protocols, Sec. 3.1). Not counted as a network
     /// message; the network cost of inserts is measured by
@@ -401,6 +455,7 @@ impl ChaoticEngine {
         if delta == 0.0 {
             return;
         }
+        self.injected_mass += delta;
         self.pending[doc.index()] += delta;
         if !self.queued[doc.index()] {
             self.queued[doc.index()] = true;
@@ -535,6 +590,7 @@ impl ChaoticEngine {
             if out.is_empty() {
                 // Dangling document: nothing to forward, but the rank
                 // is now advertised (prevents re-evaluation forever).
+                self.dangling_advertised += rank - self.advertised[i];
                 self.advertised[i] = rank;
                 continue;
             }
@@ -625,6 +681,7 @@ impl ChaoticEngine {
                     active_docs: self.active_docs() as u64,
                     residual: self.residual_mass(),
                 });
+                observe_mass(rec, self, stats.pass as u64, run_label);
                 observe_sched(rec, self.cfg.sched, &stats, run_label);
             }
             run.record_pass(stats, self.cfg.effective_pass_stats_cap());
@@ -804,6 +861,33 @@ mod tests {
             let rel = (a - b).abs() / a.abs().max(1e-12);
             assert!(rel < 0.05, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn mass_ledger_potential_is_conserved_per_pass() {
+        // Φ(ranks, unadvertised, pending, dangling) must equal the
+        // expected mass at every pass boundary — including after an
+        // injection shifts the expectation.
+        let g = paper_graph(800, 43);
+        let mut e = eng(g, 1e-8);
+        let phi = |e: &ChaoticEngine| e.mass_breakdown().phi(0.0, e.config().damping);
+        let tol = 1e-9 * 800.0;
+        assert!((phi(&e) - e.expected_mass()).abs() < tol);
+        let peers = PeerTable::new(1);
+        while !e.is_quiescent() {
+            e.pass(&peers);
+            assert!(
+                (phi(&e) - e.expected_mass()).abs() < tol,
+                "pass {}: Φ {} vs expected {}",
+                e.passes_run(),
+                phi(&e),
+                e.expected_mass(),
+            );
+        }
+        e.inject_delta(DocId(3), 0.5);
+        let run = e.run_static();
+        assert!(run.converged);
+        assert!((phi(&e) - e.expected_mass()).abs() < tol);
     }
 
     #[test]

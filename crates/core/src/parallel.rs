@@ -45,7 +45,7 @@
 //! the model is charged sequentially after the joins, in the same
 //! order the sequential engine would have called it.
 
-use crate::engine::{observe_sched, ChaoticEngine, ChurnFn, HopModel, PassStats};
+use crate::engine::{observe_mass, observe_sched, ChaoticEngine, ChurnFn, HopModel, PassStats};
 use crate::RunStats;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable};
@@ -144,6 +144,11 @@ struct ShardStats {
     remote: u64,
     local: u64,
     max_rel: f64,
+    /// Advertised delta absorbed by this shard's dangling documents
+    /// (folded into the engine's cumulative sink after the join; the
+    /// per-shard partial sums can differ from the sequential fold in
+    /// the last ulp, which the audit tolerance absorbs).
+    dangling: f64,
 }
 
 /// Everything one source shard mutates during apply+emit: its slices
@@ -416,6 +421,7 @@ impl ShardedExecutor {
             stats.remote_messages += st.remote;
             stats.local_updates += st.local;
             stats.max_relative_change = stats.max_relative_change.max(st.max_rel);
+            eng.dangling_advertised += st.dangling;
         }
 
         // Hop charging: the model is `FnMut` and stateful, so it runs
@@ -596,6 +602,7 @@ impl ShardedExecutor {
                     active_docs: eng.active_docs() as u64,
                     residual: eng.residual_mass(),
                 });
+                observe_mass(rec, eng, stats.pass as u64, run_label);
                 observe_sched(rec, eng.config().sched, &stats, run_label);
             }
             run.record_pass(stats, eng.config().effective_pass_stats_cap());
@@ -695,6 +702,7 @@ fn apply_and_emit(
         if out.is_empty() {
             // Dangling document: nothing to forward, but the rank is
             // now advertised (prevents re-evaluation forever).
+            st.dangling += rank - shard.advertised[li];
             shard.advertised[li] = rank;
             continue;
         }

@@ -234,6 +234,32 @@ mod tests {
     }
 
     #[test]
+    fn residual_bucket_handles_the_fp_edge_cases() {
+        // Zero (either sign) carries no mass: bucket 0.
+        assert_eq!(residual_bucket(0.0), 0);
+        assert_eq!(residual_bucket(-0.0), 0);
+        // Subnormals (~1e-308) sit far below the 2⁻⁴⁰ fixed-point
+        // resolution floor and truncate to bucket 0 — they are
+        // scheduling noise, not signal.
+        assert_eq!(residual_bucket(f64::MIN_POSITIVE), 0);
+        assert_eq!(residual_bucket(f64::MIN_POSITIVE / 2.0), 0);
+        assert_eq!(residual_bucket(5e-324), 0);
+        // The rescaling boundary: 2⁻⁴⁰ is the smallest residual with
+        // its own bucket; one ulp below truncates to 0, each doubling
+        // above climbs one bucket.
+        let floor = 2f64.powi(-40);
+        assert_eq!(residual_bucket(floor), 1);
+        assert_eq!(residual_bucket(floor * 0.999), 0);
+        assert_eq!(residual_bucket(floor * 2.0), 2);
+        // Non-finite residuals must not panic or wrap: ±∞ saturates
+        // into the top bucket (always selected first), NaN falls to
+        // bucket 0 (never prioritized).
+        assert_eq!(residual_bucket(f64::INFINITY), 64);
+        assert_eq!(residual_bucket(f64::NEG_INFINITY), 64);
+        assert_eq!(residual_bucket(f64::NAN), 0);
+    }
+
+    #[test]
     fn small_queues_bypass_selection() {
         let mut work: Vec<u32> = (0..PRIORITY_BYPASS_THRESHOLD as u32).collect();
         let mut deferred = Vec::new();

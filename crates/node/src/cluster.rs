@@ -14,9 +14,10 @@ use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable, Placement};
 use dpr_p2p::transport::{
-    TrafficStats, Transport, FRAME_ENTRY_BYTES, FRAME_HEADER_BYTES, RANK_UPDATE_WIRE_BYTES,
+    FaultPlan, TrafficStats, Transport, FRAME_ENTRY_BYTES, FRAME_HEADER_BYTES,
+    RANK_UPDATE_WIRE_BYTES,
 };
-use dpr_telemetry::{Event, Metric, Recorder, NOOP};
+use dpr_telemetry::{Event, MassBreakdown, Metric, Recorder, NOOP};
 use std::sync::Arc;
 
 /// Statistics of one cluster round.
@@ -46,6 +47,13 @@ pub struct Cluster {
     nodes: Vec<PeerNode>,
     transport: Transport<Bytes>,
     rounds: usize,
+    cfg: EngineConfig,
+    /// Cumulative coalesced entries handed to the transport per
+    /// destination peer — the cluster's own send-side accounting,
+    /// which the flight recorder's balance auditor cross-checks
+    /// against each receiver's `received` counter and the in-flight
+    /// backlog to localize duplication to a peer.
+    sent_entries_to: Vec<u64>,
 }
 
 impl Cluster {
@@ -91,6 +99,8 @@ impl Cluster {
             nodes,
             transport: Transport::new(num_peers),
             rounds: 0,
+            cfg,
+            sent_entries_to: vec![0; num_peers],
         }
     }
 
@@ -179,6 +189,7 @@ impl Cluster {
                         bytes: payload.len() as u64,
                     });
                 }
+                self.sent_entries_to[to.index()] += payload_entries(payload.len());
                 self.transport.send(peers, pid, to, payload);
                 stats.sent += 1;
             }
@@ -194,8 +205,114 @@ impl Cluster {
                 hops: stats.hops,
                 pending,
             });
+            self.audit_round(rec);
         }
         stats
+    }
+
+    /// Emits the flight recorder's per-round ledgers: the mass
+    /// snapshot (every node's slab terms plus the in-flight wire mass,
+    /// against one unit of Φ per stored document) and the
+    /// entry-balance snapshot with the most severe per-peer skew.
+    /// O(docs + queued payloads) — only runs when observed.
+    fn audit_round<R: Recorder + ?Sized>(&self, rec: &R) {
+        let mut mb = MassBreakdown::default();
+        let (mut docs, mut emitted, mut sent, mut received) = (0usize, 0u64, 0u64, 0u64);
+        for n in &self.nodes {
+            mb.merge(n.mass_breakdown());
+            docs += n.num_docs();
+            let s = n.stats();
+            emitted += s.emitted_remote;
+            sent += s.sent_remote;
+            received += s.received;
+        }
+        rec.event(&mb.ledger_event(
+            "cluster",
+            self.rounds as u64,
+            self.transport.in_flight_mass(),
+            self.cfg.damping,
+            docs as f64,
+        ));
+        // Per-peer skew: entries this cluster addressed to the peer,
+        // minus what the peer received and what is still on the wire
+        // toward it. Negative means entries materialized from nowhere
+        // (duplication); positive is indistinguishable from transit
+        // delay mid-run and is the quiescence certifier's job. Report
+        // the most severe peer, surplus first.
+        let (mut skew_peer, mut skew) = (0u32, 0i64);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let s = self.sent_entries_to[i] as i64
+                - n.stats().received as i64
+                - self.transport.in_flight_entries_to(PeerId(i as u32)) as i64;
+            let more_severe = if skew < 0 {
+                s < skew
+            } else {
+                s < 0 || s > skew
+            };
+            if more_severe {
+                (skew_peer, skew) = (i as u32, s);
+            }
+        }
+        rec.event(&Event::BalanceLedger {
+            round: self.rounds as u64,
+            emitted,
+            sent,
+            received,
+            in_flight_entries: self.transport.in_flight_entries(),
+            skew_peer,
+            skew,
+        });
+    }
+
+    /// Emits the flight recorder's termination certificate: transport
+    /// occupancy, queued work, the Safra-style token
+    /// `Σ sent − Σ received − in-flight`, and the worst relative
+    /// residual against ε. Call when a run claims quiescence; the
+    /// audit layer flags anything still outstanding. A no-op with a
+    /// disabled recorder.
+    pub fn certify_quiescence<R: Recorder + ?Sized>(&self, rec: &R) {
+        if !rec.enabled() {
+            return;
+        }
+        let (mut sent, mut received) = (0u64, 0u64);
+        for n in &self.nodes {
+            let s = n.stats();
+            sent += s.sent_remote;
+            received += s.received;
+        }
+        let in_flight_entries = self.transport.in_flight_entries();
+        rec.event(&Event::QuiescenceCert {
+            round: self.rounds as u64,
+            in_flight_entries,
+            parked: self.transport.total_pending() as u64,
+            nodes_with_work: self.nodes.iter().filter(|n| n.has_work()).count() as u64,
+            token: sent as i64 - received as i64 - in_flight_entries as i64,
+            max_residual: self
+                .nodes
+                .iter()
+                .map(|n| n.max_relative_residual())
+                .fold(0.0, f64::max),
+            epsilon: self.cfg.epsilon,
+        });
+    }
+
+    /// Arms a transport-level fault (flight-recorder fault injection):
+    /// the plan strikes the first corruptible send at or after its
+    /// threshold. See [`FaultPlan`].
+    pub fn inject_transport_fault(&mut self, plan: FaultPlan) {
+        self.transport.inject_fault(plan);
+    }
+
+    /// The send index an armed fault fired at, once it has.
+    pub fn fault_fired_at(&self) -> Option<u64> {
+        self.transport.fault_fired_at()
+    }
+
+    /// Update entries currently undelivered in the transport (inboxes
+    /// plus parked envelopes) — the in-flight side of the
+    /// message-balance invariant `Σ sent − Σ received = in flight`.
+    pub fn in_flight_entries(&self) -> u64 {
+        self.transport.in_flight_entries()
     }
 
     /// Runs rounds until the system quiesces (no node has pending
@@ -243,6 +360,7 @@ impl Cluster {
                 }
             }
         }
+        self.certify_quiescence(rec);
         (executed, self.is_quiescent())
     }
 
@@ -332,6 +450,10 @@ impl Cluster {
             .iter()
             .map(|&(d, h)| (Guid::for_document(d).frame_tag(), h))
             .collect();
+        // Redirected entries were charged to `p` in the send-side
+        // ledger but will now be received elsewhere, so the charge
+        // moves with them — otherwise every departure would read as a
+        // permanent deficit at `p` and a surplus at each new holder.
         let mut stranded = self.transport.drain_inbox(p);
         stranded.extend(self.transport.take_pending_for(p));
         for env in stranded {
@@ -341,10 +463,13 @@ impl Cluster {
                 let holder = *guid_home
                     .get(&wire.guid)
                     .expect("stranded message must target a migrated document");
+                self.sent_entries_to[p.index()] -= 1;
+                self.sent_entries_to[holder.index()] += 1;
                 self.transport.send(peers, env.from, holder, env.payload);
             } else {
                 let wire =
                     UpdateFrameWire::decode(env.payload).expect("cluster messages are well-formed");
+                self.sent_entries_to[p.index()] -= wire.entries.len() as u64;
                 let mut split: Vec<(PeerId, UpdateFrameWire)> = Vec::new();
                 for e in wire.entries {
                     let holder = *tag_home
@@ -356,6 +481,7 @@ impl Cluster {
                     }
                 }
                 for (holder, frame) in split {
+                    self.sent_entries_to[holder.index()] += frame.entries.len() as u64;
                     self.transport.send(peers, env.from, holder, frame.encode());
                 }
             }
@@ -641,6 +767,48 @@ mod tests {
         assert_eq!(rec.counter(Metric::PayloadsSent), traffic.sent);
         assert_eq!(rec.counter(Metric::BytesOnWire), traffic.bytes_sent);
         assert_eq!(rec.histogram(Metric::PendingDepth).count(), rounds2 as u64);
+    }
+
+    #[test]
+    fn observed_run_audits_clean_and_faults_localize() {
+        use dpr_p2p::transport::FaultKind;
+        use dpr_telemetry::audit::Monitor;
+        use dpr_telemetry::{AuditReport, TraceRecorder};
+
+        let audited_run = |fault: Option<FaultPlan>| {
+            let mut cluster = build(400, 8, 1e-6, 80).0;
+            let rec = Arc::new(TraceRecorder::new());
+            cluster.set_recorder(rec.clone());
+            if let Some(plan) = fault {
+                cluster.inject_transport_fault(plan);
+            }
+            let mut peers = PeerTable::new(8);
+            let (rounds, ok) = cluster.run_observed(&mut peers, 10_000, None, rec.as_ref());
+            assert!(ok, "no quiescence in {rounds} rounds");
+            if fault.is_some() {
+                assert!(cluster.fault_fired_at().is_some(), "fault never fired");
+            }
+            AuditReport::evaluate(&rec.events())
+        };
+
+        // Clean run: every monitor exercised, none violated.
+        let clean = audited_run(None);
+        assert!(clean.passed(), "{}", clean.diagnosis());
+        for f in clean.findings() {
+            assert!(f.checked > 0, "{} never exercised", f.monitor);
+        }
+
+        // Each canonical transport fault is caught, attributed to the
+        // monitor owning the invariant it breaks.
+        for (kind, owner) in [
+            (FaultKind::MassLeak, Monitor::MassConservation),
+            (FaultKind::DupFrame, Monitor::MessageBalance),
+            (FaultKind::LostFrame, Monitor::Quiescence),
+        ] {
+            let report = audited_run(Some(FaultPlan { kind, nth_send: 40 }));
+            assert!(!report.passed(), "{kind} went undetected");
+            assert_eq!(report.primary().unwrap().monitor, owner, "{kind}");
+        }
     }
 
     #[test]

@@ -168,6 +168,11 @@ pub struct PeerNode {
     flush_order: Vec<PeerId>,
     outbox: Vec<(PeerId, Bytes)>,
     stats: NodeStats,
+    /// Cumulative advertised delta of dangling (out-degree 0)
+    /// documents — the damping sink's term of the flight recorder's
+    /// conserved potential Φ (stays with the node across document
+    /// handoffs; the cluster ledger sums it over all nodes).
+    dangling_advertised: f64,
 }
 
 impl PeerNode {
@@ -194,6 +199,7 @@ impl PeerNode {
             flush_order: Vec::new(),
             outbox: Vec::new(),
             stats: NodeStats::default(),
+            dangling_advertised: 0.0,
         }
     }
 
@@ -215,6 +221,36 @@ impl PeerNode {
     /// The node's counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// This node's mass-ledger terms, summed over its document slab
+    /// plus the cumulative dangling sink — the flight recorder's
+    /// conserved-potential inputs. O(docs) scan: call at round
+    /// boundaries (the cluster gates it on `Recorder::enabled`).
+    pub fn mass_breakdown(&self) -> dpr_telemetry::MassBreakdown {
+        let mut mb = dpr_telemetry::MassBreakdown {
+            dangling: self.dangling_advertised,
+            ..Default::default()
+        };
+        for s in &self.slots {
+            mb.ranks += s.rank;
+            mb.unadvertised += s.rank - s.advertised;
+            mb.pending += s.pending;
+        }
+        mb
+    }
+
+    /// The largest relative residual over this node's documents:
+    /// `|pending + rank − advertised| / max(|rank|, MIN_POSITIVE)` —
+    /// the same relative criterion the ε re-advertisement check uses,
+    /// so at quiescence it is at most ε.
+    pub fn max_relative_residual(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                (s.pending + s.rank - s.advertised).abs() / s.rank.abs().max(f64::MIN_POSITIVE)
+            })
+            .fold(0.0, f64::max)
     }
 
     /// Adds a document this peer stores, with its out-links and their
@@ -452,6 +488,7 @@ impl PeerNode {
         for (slot, rank) in senders {
             let i = slot as usize;
             if self.slots[i].out.is_empty() {
+                self.dangling_advertised += rank - self.slots[i].advertised;
                 self.slots[i].advertised = rank;
                 continue;
             }

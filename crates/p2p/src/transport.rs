@@ -63,6 +63,107 @@ impl WireSize for Bytes {
     }
 }
 
+/// The transport corruptions `dpr doctor --inject-fault` can stage to
+/// prove the audit monitors fire. Each fault breaks exactly one
+/// protocol promise: `MassLeak` corrupts a rank value in flight (mass
+/// conservation), `DupFrame` delivers one payload twice (message
+/// balance), `LostFrame` drops one payload after counting it sent
+/// (quiescence certification — Safra's token never returns to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt the first rank value of one payload in flight.
+    MassLeak,
+    /// Deliver one payload twice.
+    DupFrame,
+    /// Silently drop one payload after counting it as sent.
+    LostFrame,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultKind::MassLeak => "mass-leak",
+            FaultKind::DupFrame => "dup-frame",
+            FaultKind::LostFrame => "lost-frame",
+        })
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mass-leak" => Ok(FaultKind::MassLeak),
+            "dup-frame" => Ok(FaultKind::DupFrame),
+            "lost-frame" => Ok(FaultKind::LostFrame),
+            other => Err(format!(
+                "unknown fault {other:?} (expected \"mass-leak\", \"dup-frame\" or \"lost-frame\")"
+            )),
+        }
+    }
+}
+
+/// One staged fault: corrupt the first corruptible send at or after
+/// the `nth_send`-th (0-based). Deterministic by construction — the
+/// send sequence is deterministic, so the same plan corrupts the same
+/// payload on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to do to the victim payload.
+    pub kind: FaultKind,
+    /// 0-based send index at (or after) which to strike.
+    pub nth_send: u64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    sends_seen: u64,
+    fired_at: Option<u64>,
+}
+
+/// How a payload type participates in fault injection. The defaults
+/// make every fault inert (`MassLeak`/`DupFrame` skip payloads they
+/// cannot corrupt); [`Bytes`] implements the real corruptions.
+pub trait FaultTarget: Sized {
+    /// A copy of this payload for duplicate delivery.
+    fn duplicate(&self) -> Option<Self> {
+        None
+    }
+
+    /// A version of this payload whose first rank value is corrupted
+    /// (kept structurally valid and finite, so receivers apply it
+    /// instead of rejecting it — that is what makes the leak silent).
+    fn leak_mass(&self) -> Option<Self> {
+        None
+    }
+}
+
+/// How much a [`FaultTarget::leak_mass`] corruption adds to the first
+/// rank value of the victim payload — far above the mass auditor's
+/// float tolerance, far below anything that would destabilize a run.
+pub const MASS_LEAK_DELTA: f64 = 0.5;
+
+impl FaultTarget for Bytes {
+    fn duplicate(&self) -> Option<Self> {
+        Some(self.clone())
+    }
+
+    fn leak_mass(&self) -> Option<Self> {
+        if self.len() == RANK_UPDATE_WIRE_BYTES {
+            let mut m = RankUpdateWire::decode(self.clone()).ok()?;
+            m.value += MASS_LEAK_DELTA;
+            m.value.is_finite().then(|| m.encode())
+        } else {
+            let mut f = UpdateFrameWire::decode(self.clone()).ok()?;
+            let e = f.entries.first_mut()?;
+            e.value += MASS_LEAK_DELTA;
+            e.value.is_finite().then(|| f.encode())
+        }
+    }
+}
+
 /// Per-peer inboxes plus the store-and-resend buffer.
 pub struct Transport<M> {
     inboxes: Vec<VecDeque<Envelope<M>>>,
@@ -75,6 +176,8 @@ pub struct Transport<M> {
     /// Optional telemetry recorder mirroring [`TrafficStats`] into the
     /// shared metric registry (`None` costs one branch per send).
     rec: Option<Arc<dyn Recorder>>,
+    /// Staged fault, if any (`dpr doctor --inject-fault`).
+    fault: Option<FaultState>,
 }
 
 impl<M: std::fmt::Debug> std::fmt::Debug for Transport<M> {
@@ -96,7 +199,25 @@ impl<M> Transport<M> {
             pending: (0..n).map(|_| Vec::new()).collect(),
             stats: TrafficStats::default(),
             rec: None,
+            fault: None,
         }
+    }
+
+    /// Stages a deliberate corruption: the first corruptible send at
+    /// or after `plan.nth_send` is struck (once). For proving that the
+    /// audit monitors fire — never set on a run whose numbers you
+    /// intend to keep.
+    pub fn inject_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState {
+            plan,
+            sends_seen: 0,
+            fired_at: None,
+        });
+    }
+
+    /// The send index the staged fault actually struck, if it has.
+    pub fn fault_fired_at(&self) -> Option<u64> {
+        self.fault.as_ref().and_then(|f| f.fired_at)
     }
 
     /// Installs a telemetry recorder: every subsequent send observes
@@ -175,12 +296,44 @@ impl<M> Transport<M> {
     }
 }
 
-impl<M: WireSize> Transport<M> {
+impl<M: WireSize + FaultTarget> Transport<M> {
     /// Sends `payload` from `from` to `to`. If `to` is offline the
     /// message is parked at the sender for later retry. Whole payloads
     /// park and resend as units — for multi-update frames this is the
     /// store-and-resend of entire frames.
     pub fn send(&mut self, peers: &PeerTable, from: PeerId, to: PeerId, payload: M) {
+        // A staged fault rewrites this send before any accounting, so
+        // the counters describe what the transport *claims* happened —
+        // the gap to what actually happened is what the audit monitors
+        // exist to catch.
+        let mut payload = payload;
+        let mut duplicate: Option<M> = None;
+        let mut lost = false;
+        if let Some(f) = &mut self.fault {
+            let idx = f.sends_seen;
+            f.sends_seen += 1;
+            if f.fired_at.is_none() && idx >= f.plan.nth_send {
+                match f.plan.kind {
+                    FaultKind::MassLeak => {
+                        if let Some(p) = payload.leak_mass() {
+                            payload = p;
+                            f.fired_at = Some(idx);
+                        }
+                    }
+                    FaultKind::DupFrame => {
+                        duplicate = payload.duplicate();
+                        if duplicate.is_some() {
+                            f.fired_at = Some(idx);
+                        }
+                    }
+                    FaultKind::LostFrame => {
+                        lost = true;
+                        f.fired_at = Some(idx);
+                    }
+                }
+            }
+        }
+
         let wire = payload.wire_bytes() as u64;
         self.stats.sent += 1;
         self.stats.bytes_sent += wire;
@@ -189,18 +342,25 @@ impl<M: WireSize> Transport<M> {
             rec.counter_add(Metric::PayloadsSent, 1);
             rec.counter_add(Metric::BytesOnWire, wire);
             rec.observe(Metric::FrameBytes, wire);
-            if !online {
+            if !online && !lost {
                 rec.counter_add(Metric::ParkedMessages, 1);
             }
         }
-        let env = Envelope { from, to, payload };
-        if online {
-            self.stats.delivered += 1;
-            self.stats.bytes_delivered += wire;
-            self.inboxes[to.index()].push_back(env);
-        } else {
-            self.stats.parked += 1;
-            self.pending[from.index()].push(env);
+        if lost {
+            // Counted as sent, never enqueued anywhere: the victim
+            // vanishes without a trace — except in the audit ledgers.
+            return;
+        }
+        for payload in std::iter::once(payload).chain(duplicate) {
+            let env = Envelope { from, to, payload };
+            if online {
+                self.stats.delivered += 1;
+                self.stats.bytes_delivered += wire;
+                self.inboxes[to.index()].push_back(env);
+            } else {
+                self.stats.parked += 1;
+                self.pending[from.index()].push(env);
+            }
         }
     }
 
@@ -224,6 +384,82 @@ impl<M: WireSize> Transport<M> {
         }
         self.stats.redelivered += redelivered;
         redelivered
+    }
+}
+
+/// Update entries carried by one wire payload, by length dispatch
+/// (24 bytes ⇒ one single update, else a `4 + 16k` frame).
+pub fn payload_entries(payload: &Bytes) -> u64 {
+    if payload.len() == RANK_UPDATE_WIRE_BYTES {
+        1
+    } else {
+        ((payload.len() - FRAME_HEADER_BYTES) / FRAME_ENTRY_BYTES) as u64
+    }
+}
+
+/// Total rank mass carried by one wire payload — the decoded sum of
+/// its update values (0 for an undecodable payload, which the ledger
+/// then reports as missing mass).
+pub fn payload_mass(payload: &Bytes) -> f64 {
+    if payload.len() == RANK_UPDATE_WIRE_BYTES {
+        RankUpdateWire::decode(payload.clone())
+            .map(|m| m.value)
+            .unwrap_or(0.0)
+    } else {
+        UpdateFrameWire::decode(payload.clone())
+            .map(|f| f.entries.iter().map(|e| e.value).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+impl Transport<Bytes> {
+    /// Update entries currently undelivered (inboxes + parked),
+    /// decoded from the queued payloads — the in-flight side of the
+    /// message-balance invariant `Σ sent − Σ received = in flight`.
+    pub fn in_flight_entries(&self) -> u64 {
+        self.for_each_queued(payload_entries)
+    }
+
+    /// Update entries currently undelivered and addressed to `dst`.
+    pub fn in_flight_entries_to(&self, dst: PeerId) -> u64 {
+        self.inboxes[dst.index()]
+            .iter()
+            .map(|e| payload_entries(&e.payload))
+            .sum::<u64>()
+            + self
+                .pending
+                .iter()
+                .flatten()
+                .filter(|e| e.to == dst)
+                .map(|e| payload_entries(&e.payload))
+                .sum::<u64>()
+    }
+
+    /// Rank mass currently undelivered (inboxes + parked), decoded
+    /// from the queued payloads — the in-flight term of the
+    /// mass-conservation ledger.
+    pub fn in_flight_mass(&self) -> f64 {
+        let mut mass = 0.0;
+        for q in &self.inboxes {
+            for e in q {
+                mass += payload_mass(&e.payload);
+            }
+        }
+        for p in &self.pending {
+            for e in p {
+                mass += payload_mass(&e.payload);
+            }
+        }
+        mass
+    }
+
+    fn for_each_queued(&self, f: impl Fn(&Bytes) -> u64) -> u64 {
+        self.inboxes
+            .iter()
+            .flatten()
+            .chain(self.pending.iter().flatten())
+            .map(|e| f(&e.payload))
+            .sum()
     }
 }
 
@@ -412,7 +648,8 @@ mod tests {
     use super::*;
 
     // Toy payloads for transport-mechanics tests report their
-    // in-memory size.
+    // in-memory size and opt out of fault corruption (the trait's
+    // defaults).
     impl WireSize for u8 {
         fn wire_bytes(&self) -> usize {
             1
@@ -428,6 +665,9 @@ mod tests {
             self.len()
         }
     }
+    impl FaultTarget for u8 {}
+    impl FaultTarget for u32 {}
+    impl FaultTarget for &str {}
 
     #[test]
     fn send_and_receive_in_order() {
@@ -661,5 +901,132 @@ mod tests {
         t.send(&peers, PeerId(0), PeerId(1), 2);
         assert_eq!(t.in_flight(), 2);
         assert_eq!(t.total_pending(), 1);
+    }
+
+    fn single(guid: u128, value: f64) -> Bytes {
+        RankUpdateWire { guid, value }.encode()
+    }
+
+    fn frame(values: &[f64]) -> Bytes {
+        UpdateFrameWire {
+            entries: values
+                .iter()
+                .enumerate()
+                .map(|(i, &value)| FrameEntry {
+                    tag: i as u64,
+                    value,
+                })
+                .collect(),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn in_flight_mass_and_entries_decode_queued_payloads() {
+        let mut peers = PeerTable::new(3);
+        peers.go_offline(PeerId(2));
+        let mut t: Transport<Bytes> = Transport::new(3);
+        t.send(&peers, PeerId(0), PeerId(1), single(7, 0.25));
+        t.send(&peers, PeerId(0), PeerId(1), frame(&[0.5, 0.125]));
+        t.send(&peers, PeerId(1), PeerId(2), single(9, 1.0)); // parked
+        assert_eq!(t.in_flight_entries(), 4);
+        assert_eq!(t.in_flight_entries_to(PeerId(1)), 3);
+        assert_eq!(t.in_flight_entries_to(PeerId(2)), 1);
+        assert_eq!(t.in_flight_mass(), 0.25 + 0.5 + 0.125 + 1.0);
+        t.receive(PeerId(1)).unwrap();
+        assert_eq!(t.in_flight_entries(), 3);
+        assert_eq!(t.in_flight_mass(), 0.5 + 0.125 + 1.0);
+    }
+
+    #[test]
+    fn mass_leak_corrupts_exactly_one_value_and_stays_decodable() {
+        let peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        t.inject_fault(FaultPlan {
+            kind: FaultKind::MassLeak,
+            nth_send: 1,
+        });
+        t.send(&peers, PeerId(0), PeerId(1), single(7, 0.25));
+        t.send(&peers, PeerId(0), PeerId(1), frame(&[0.5, 0.125]));
+        t.send(&peers, PeerId(0), PeerId(1), single(8, 1.0));
+        assert_eq!(t.fault_fired_at(), Some(1));
+        // First payload untouched, second leaked on its first entry
+        // (still structurally valid), third untouched (strike once).
+        let a = RankUpdateWire::decode(t.receive(PeerId(1)).unwrap().payload).unwrap();
+        assert_eq!(a.value, 0.25);
+        let b = UpdateFrameWire::decode(t.receive(PeerId(1)).unwrap().payload).unwrap();
+        assert_eq!(b.entries[0].value, 0.5 + MASS_LEAK_DELTA);
+        assert_eq!(b.entries[1].value, 0.125);
+        let c = RankUpdateWire::decode(t.receive(PeerId(1)).unwrap().payload).unwrap();
+        assert_eq!(c.value, 1.0);
+        // The counters are none the wiser: that is the point.
+        assert_eq!(t.stats().sent, 3);
+        assert_eq!(t.stats().delivered, 3);
+    }
+
+    #[test]
+    fn dup_frame_delivers_twice() {
+        let peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        t.inject_fault(FaultPlan {
+            kind: FaultKind::DupFrame,
+            nth_send: 0,
+        });
+        t.send(&peers, PeerId(0), PeerId(1), single(7, 0.25));
+        t.send(&peers, PeerId(0), PeerId(1), single(8, 0.5));
+        assert_eq!(t.fault_fired_at(), Some(0));
+        assert_eq!(t.stats().sent, 2);
+        assert_eq!(t.inbox_len(PeerId(1)), 3, "victim arrived twice");
+        assert_eq!(t.in_flight_entries(), 3);
+        let dup1 = t.receive(PeerId(1)).unwrap().payload;
+        let dup2 = t.receive(PeerId(1)).unwrap().payload;
+        assert_eq!(dup1, dup2);
+    }
+
+    #[test]
+    fn lost_frame_counts_sent_but_never_arrives() {
+        let peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        t.inject_fault(FaultPlan {
+            kind: FaultKind::LostFrame,
+            nth_send: 1,
+        });
+        t.send(&peers, PeerId(0), PeerId(1), single(7, 0.25));
+        t.send(&peers, PeerId(0), PeerId(1), single(8, 0.5));
+        t.send(&peers, PeerId(0), PeerId(1), single(9, 1.0));
+        assert_eq!(t.fault_fired_at(), Some(1));
+        assert_eq!(t.stats().sent, 3, "the victim is still counted sent");
+        assert_eq!(t.stats().delivered, 2);
+        assert_eq!(t.inbox_len(PeerId(1)), 2);
+        assert_eq!(t.in_flight_mass(), 0.25 + 1.0);
+    }
+
+    #[test]
+    fn faults_wait_for_a_corruptible_send() {
+        // nth_send in the past plus an uncorruptible payload type:
+        // MassLeak keeps waiting (u8 cannot leak) and never fires.
+        let peers = PeerTable::new(2);
+        let mut t: Transport<u8> = Transport::new(2);
+        t.inject_fault(FaultPlan {
+            kind: FaultKind::MassLeak,
+            nth_send: 0,
+        });
+        t.send(&peers, PeerId(0), PeerId(1), 1);
+        t.send(&peers, PeerId(0), PeerId(1), 2);
+        assert_eq!(t.fault_fired_at(), None);
+        assert_eq!(t.inbox_len(PeerId(1)), 2);
+
+        // A Bytes transport fires on the first send at/after the mark.
+        let mut tb: Transport<Bytes> = Transport::new(2);
+        tb.inject_fault(FaultPlan {
+            kind: FaultKind::LostFrame,
+            nth_send: 5,
+        });
+        for g in 0..5 {
+            tb.send(&peers, PeerId(0), PeerId(1), single(g, 0.1));
+        }
+        assert_eq!(tb.fault_fired_at(), None);
+        tb.send(&peers, PeerId(0), PeerId(1), single(99, 0.1));
+        assert_eq!(tb.fault_fired_at(), Some(5));
     }
 }

@@ -1,0 +1,386 @@
+//! Flight recording: deterministic capture & replay plus the audited
+//! diagnostic run behind `dpr doctor`.
+//!
+//! Two entry points:
+//!
+//! * [`record`] / [`replay`] — run the multi-peer continuous-update
+//!   scenario and persist it as a [`Capture`]: the full configuration
+//!   (every RNG seeds from it), the injection stream the run actually
+//!   performed, and a fingerprint of the outcome (FNV-1a over the
+//!   final rank bits plus the traffic counters). Replaying re-executes
+//!   from the header — under *any* [`ExecMode`], since the executor is
+//!   bit-identical — and proves the re-run matched. A mismatch is a
+//!   determinism bug with a one-file repro.
+//! * [`doctor_run`] — drive the message-level [`Cluster`] with the
+//!   flight recorder on, optionally staging one transport fault, and
+//!   return the trace together with the [`AuditReport`] verdict over
+//!   it. This is the scenario half of `dpr doctor`; the monitors are
+//!   in `dpr_telemetry::audit`.
+//!
+//! The continuous updates are modeled at engine level: each "insert"
+//! injects the arriving document's seed mass at a randomly chosen
+//! existing link target (`ChaoticEngine::inject_delta` — the effect an
+//! insert wave has on the converged graph), followed by chaotic
+//! reconvergence at the scenario's checkpoints. Full document insertion
+//! with graph growth lives in
+//! [`scenario::continuous_update_experiment`](crate::scenario::continuous_update_experiment);
+//! the flight scenario trades it for multi-peer remote traffic, which
+//! is what the capture's fingerprint must pin down.
+
+use crate::workload::Workload;
+use dpr_core::engine::{ChaoticEngine, EngineConfig};
+use dpr_core::parallel::ExecMode;
+use dpr_core::SchedMode;
+use dpr_graph::DocId;
+use dpr_node::cluster::Cluster;
+use dpr_node::node::WireMode;
+use dpr_p2p::transport::FaultPlan;
+use dpr_telemetry::replay::{fnv64_ranks, Capture, CaptureHeader, Fingerprint, CAPTURE_VERSION};
+use dpr_telemetry::{AuditReport, Event, Recorder, TraceRecorder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The scenario name stamped into capture headers.
+pub const FLIGHT_SCENARIO: &str = "continuous-update";
+
+/// Configuration of one flight — everything a capture header holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightConfig {
+    /// Documents in the graph.
+    pub nodes: usize,
+    /// Peers the documents are placed on.
+    pub num_peers: usize,
+    /// Update injections performed after the initial solve.
+    pub inserts: usize,
+    /// Reconvergence checkpoints across the injection stream.
+    pub checkpoints: usize,
+    /// Convergence threshold ε.
+    pub epsilon: f64,
+    /// Master seed (graph, placement, and injection RNGs derive from
+    /// it).
+    pub seed: u64,
+    /// Pass scheduler for every run in the scenario.
+    pub sched: SchedMode,
+}
+
+impl FlightConfig {
+    /// The acceptance-scale flight: the paper's 10,000-document graph
+    /// on its 500 peers.
+    pub fn paper_scale() -> Self {
+        FlightConfig {
+            nodes: 10_000,
+            num_peers: crate::workload::PAPER_NUM_PEERS,
+            inserts: 12,
+            checkpoints: 4,
+            epsilon: 1e-4,
+            seed: 2003,
+            sched: SchedMode::Pass,
+        }
+    }
+
+    /// A seconds-scale flight for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        FlightConfig {
+            nodes: 1_200,
+            num_peers: 40,
+            inserts: 6,
+            checkpoints: 2,
+            epsilon: 1e-3,
+            seed: 7,
+            sched: SchedMode::Pass,
+        }
+    }
+
+    /// The capture header describing this flight.
+    pub fn header(&self) -> CaptureHeader {
+        CaptureHeader {
+            version: CAPTURE_VERSION,
+            scenario: FLIGHT_SCENARIO.to_string(),
+            nodes: self.nodes as u64,
+            num_peers: self.num_peers as u64,
+            inserts: self.inserts as u64,
+            checkpoints: self.checkpoints as u64,
+            epsilon: self.epsilon,
+            seed: self.seed,
+            sched: self.sched.to_string(),
+        }
+    }
+
+    /// Reconstructs the flight a capture header describes.
+    pub fn from_header(h: &CaptureHeader) -> Result<Self, String> {
+        if h.scenario != FLIGHT_SCENARIO {
+            return Err(format!(
+                "capture records scenario {:?}, this replayer runs {FLIGHT_SCENARIO:?}",
+                h.scenario
+            ));
+        }
+        Ok(FlightConfig {
+            nodes: h.nodes as usize,
+            num_peers: h.num_peers as usize,
+            inserts: h.inserts as usize,
+            checkpoints: h.checkpoints as usize,
+            epsilon: h.epsilon,
+            seed: h.seed,
+            sched: h.sched.parse()?,
+        })
+    }
+}
+
+/// What one flight produced: the final ranks, the traffic counters the
+/// fingerprint pins, and the injection stream actually performed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightOutcome {
+    /// Final per-document ranks.
+    pub ranks: Vec<f64>,
+    /// Total engine passes across the initial solve and every
+    /// checkpoint reconvergence.
+    pub passes: u64,
+    /// Total remote messages (the paper's traffic metric).
+    pub remote_messages: u64,
+    /// Total same-peer updates.
+    pub local_updates: u64,
+    /// The injections performed, in order.
+    pub injections: Vec<Event>,
+}
+
+impl FlightOutcome {
+    /// The bit-exact fingerprint a replay must reproduce.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            ranks_fnv: fnv64_ranks(&self.ranks),
+            docs: self.ranks.len() as u64,
+            passes: self.passes,
+            remote_messages: self.remote_messages,
+            local_updates: self.local_updates,
+        }
+    }
+}
+
+/// Executes one flight under `mode`, tracing through `rec`. The
+/// outcome is a pure function of `cfg` — `mode` only changes how fast
+/// it arrives (the executor determinism contract) and `rec` never
+/// perturbs it.
+pub fn fly<R: Recorder + ?Sized>(cfg: &FlightConfig, mode: ExecMode, rec: &R) -> FlightOutcome {
+    assert!(cfg.checkpoints >= 1 && cfg.inserts >= cfg.checkpoints);
+    let w = Workload::paper(cfg.nodes, cfg.num_peers, cfg.seed);
+    let mut engine = ChaoticEngine::new(
+        w.graph.clone(),
+        w.owners(),
+        EngineConfig::with_epsilon(cfg.epsilon).with_sched(cfg.sched),
+    );
+    let mut peers = w.peer_table();
+    let initial = mode.run_observed(&mut engine, &mut peers, None, rec, "initial");
+    assert!(initial.converged, "initial solve must converge");
+    let mut passes = initial.passes as u64;
+    let mut remote = initial.total_remote_messages;
+    let mut local = initial.total_local_updates;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xf11e);
+    let stride = cfg.inserts / cfg.checkpoints;
+    let mut injections = Vec::with_capacity(cfg.inserts);
+    for i in 1..=cfg.inserts {
+        let doc = DocId(rng.gen_range(0..cfg.nodes as u32));
+        let delta = rng.gen_range(0.05..0.5);
+        engine.inject_delta(doc, delta);
+        let ev = Event::DocInserted {
+            seq: i as u64,
+            doc: u64::from(doc.0),
+        };
+        if rec.enabled() {
+            rec.event(&ev);
+        }
+        injections.push(ev);
+        if i % stride == 0 || i == cfg.inserts {
+            let run = mode.run_observed(&mut engine, &mut peers, None, rec, &format!("update@{i}"));
+            assert!(run.converged, "checkpoint reconvergence must converge");
+            passes += run.passes as u64;
+            remote += run.total_remote_messages;
+            local += run.total_local_updates;
+        }
+    }
+    FlightOutcome {
+        ranks: engine.ranks().to_vec(),
+        passes,
+        remote_messages: remote,
+        local_updates: local,
+        injections,
+    }
+}
+
+/// Runs the flight and packages it as a [`Capture`].
+pub fn record(cfg: &FlightConfig, mode: ExecMode) -> (Capture, FlightOutcome) {
+    let out = fly(cfg, mode, &dpr_telemetry::NOOP);
+    let capture = Capture {
+        header: cfg.header(),
+        injections: out.injections.clone(),
+        fingerprint: out.fingerprint(),
+    };
+    (capture, out)
+}
+
+/// Re-executes a capture under `mode` and proves the re-run matched:
+/// the derived injection stream must equal the recorded one (so the
+/// comparison is about the same run), then every fingerprint field
+/// must agree bit for bit. The error names the first divergence.
+pub fn replay(capture: &Capture, mode: ExecMode) -> Result<FlightOutcome, String> {
+    let cfg = FlightConfig::from_header(&capture.header)?;
+    let out = fly(&cfg, mode, &dpr_telemetry::NOOP);
+    if out.injections != capture.injections {
+        let at = out
+            .injections
+            .iter()
+            .zip(&capture.injections)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| out.injections.len().min(capture.injections.len()));
+        return Err(format!(
+            "replayed injection stream diverges from the capture at index {at} \
+             (replayed {} vs recorded {})",
+            out.injections.len(),
+            capture.injections.len(),
+        ));
+    }
+    let (got, want) = (out.fingerprint(), capture.fingerprint.clone());
+    for (field, g, w) in [
+        ("ranks_fnv", got.ranks_fnv, want.ranks_fnv),
+        ("docs", got.docs, want.docs),
+        ("passes", got.passes, want.passes),
+        ("remote_messages", got.remote_messages, want.remote_messages),
+        ("local_updates", got.local_updates, want.local_updates),
+    ] {
+        if g != w {
+            return Err(format!(
+                "fingerprint field {field} diverged: replayed {g} vs recorded {w}"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// One audited diagnostic run — the scenario half of `dpr doctor`.
+#[derive(Debug)]
+pub struct DoctorRun {
+    /// The monitors' verdict over the run's trace.
+    pub report: AuditReport,
+    /// Rounds the cluster executed.
+    pub rounds: usize,
+    /// Whether the cluster quiesced within the round budget.
+    pub quiesced: bool,
+    /// The send index the staged fault fired at, if one was staged and
+    /// struck.
+    pub fault_fired_at: Option<u64>,
+    /// The full event trace (for `--trace-out`).
+    pub events: Vec<Event>,
+}
+
+/// Drives the message-level cluster to quiescence with the flight
+/// recorder on, optionally staging one transport `fault`, and audits
+/// the resulting trace. A clean run passes every monitor; each staged
+/// fault is caught by the monitor owning the invariant it breaks.
+pub fn doctor_run(
+    nodes: usize,
+    num_peers: usize,
+    epsilon: f64,
+    seed: u64,
+    wire: WireMode,
+    fault: Option<FaultPlan>,
+) -> DoctorRun {
+    let w = Workload::paper(nodes, num_peers, seed);
+    let mut cluster = Cluster::build_with(
+        &w.graph,
+        &w.placement,
+        num_peers,
+        EngineConfig::with_epsilon(epsilon),
+        wire,
+    );
+    let rec = Arc::new(TraceRecorder::new());
+    cluster.set_recorder(rec.clone());
+    if let Some(plan) = fault {
+        cluster.inject_transport_fault(plan);
+    }
+    let mut peers = w.peer_table();
+    let (rounds, quiesced) = cluster.run_observed(&mut peers, 100_000, None, rec.as_ref());
+    let events = rec.events();
+    DoctorRun {
+        report: AuditReport::evaluate(&events),
+        rounds,
+        quiesced,
+        fault_fired_at: cluster.fault_fired_at(),
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_p2p::transport::FaultKind;
+    use dpr_telemetry::audit::Monitor;
+
+    #[test]
+    fn capture_replays_bit_identically_across_exec_modes() {
+        let cfg = FlightConfig::smoke();
+        let (capture, original) = record(&cfg, ExecMode::Sequential);
+        assert_eq!(capture.injections.len(), cfg.inserts);
+
+        // Through the JSONL round trip, in both executors.
+        let parsed = Capture::from_jsonl(&capture.to_jsonl()).unwrap();
+        for mode in [ExecMode::Sequential, ExecMode::Parallel(4)] {
+            let out = replay(&parsed, mode).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            assert_eq!(
+                out.ranks, original.ranks,
+                "{mode:?} ranks must be bitwise equal"
+            );
+            assert_eq!(out.fingerprint(), capture.fingerprint);
+        }
+    }
+
+    #[test]
+    fn replay_detects_a_tampered_fingerprint() {
+        let (mut capture, _) = record(&FlightConfig::smoke(), ExecMode::Sequential);
+        capture.fingerprint.remote_messages += 1;
+        let err = replay(&capture, ExecMode::Sequential).unwrap_err();
+        assert!(err.contains("remote_messages"), "{err}");
+
+        let (mut capture, _) = record(&FlightConfig::smoke(), ExecMode::Sequential);
+        capture.injections.swap(0, 1);
+        let err = replay(&capture, ExecMode::Sequential).unwrap_err();
+        assert!(err.contains("index 0"), "{err}");
+    }
+
+    #[test]
+    fn replay_refuses_foreign_scenarios() {
+        let (mut capture, _) = record(&FlightConfig::smoke(), ExecMode::Sequential);
+        capture.header.scenario = "other".into();
+        assert!(replay(&capture, ExecMode::Sequential)
+            .unwrap_err()
+            .contains("scenario"));
+    }
+
+    #[test]
+    fn doctor_run_is_clean_without_faults_and_localizes_with_them() {
+        let clean = doctor_run(600, 8, 1e-4, 21, WireMode::frames(), None);
+        assert!(clean.quiesced);
+        assert!(clean.report.passed(), "{}", clean.report.diagnosis());
+        assert!(clean.fault_fired_at.is_none());
+
+        let sick = doctor_run(
+            600,
+            8,
+            1e-4,
+            21,
+            WireMode::frames(),
+            Some(FaultPlan {
+                kind: FaultKind::LostFrame,
+                nth_send: 25,
+            }),
+        );
+        assert!(sick.fault_fired_at.is_some());
+        assert!(!sick.report.passed());
+        assert_eq!(
+            sick.report.primary().unwrap().monitor,
+            Monitor::Quiescence,
+            "{}",
+            sick.report.diagnosis()
+        );
+    }
+}

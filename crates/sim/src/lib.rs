@@ -12,6 +12,9 @@
 //!   Sec. 3.2 address cache (the caching ablation).
 //! * [`batch`] — batched vs unbatched wire traffic on the
 //!   message-level cluster (the per-peer aggregation experiment).
+//! * [`flight`] — deterministic capture & replay of the
+//!   continuous-update scenario, plus the audited diagnostic run
+//!   behind `dpr doctor`.
 //! * [`scenario`] — one function per experiment family; each returns a
 //!   serializable record that the `table*` binaries print.
 //! * [`metrics`] — plain-text table rendering for experiment output.
@@ -21,6 +24,7 @@
 
 pub mod batch;
 pub mod churn;
+pub mod flight;
 pub mod hops;
 pub mod metrics;
 pub mod report;

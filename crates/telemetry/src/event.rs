@@ -159,6 +159,78 @@ pub enum Event {
         /// Whether a cached address short-circuited the route.
         cached: bool,
     },
+    /// One snapshot of the rank-mass conservation ledger, emitted per
+    /// engine pass or cluster round. The audited potential is
+    ///
+    /// `Φ = ranks + d/(1−d)·unadvertised + 1/(1−d)·(pending + in_flight)
+    ///      + d/(1−d)·dangling`
+    ///
+    /// which every protocol step (apply, advertise, send, deliver)
+    /// preserves exactly, so `Φ` must equal `expected` (its value when
+    /// the run started) at every snapshot, up to float summation noise.
+    MassLedger {
+        /// Engine-run label, or `"cluster"` for cluster rounds.
+        run: String,
+        /// Pass (engine) or round (cluster) index, starting at 1.
+        step: u64,
+        /// Σ rank over all documents.
+        ranks: f64,
+        /// Σ (rank − advertised): applied but un-advertised mass.
+        unadvertised: f64,
+        /// Σ pending: delivered but un-applied increments.
+        pending: f64,
+        /// Σ decoded update values sitting in transport queues
+        /// (inboxes + parked store-and-resend payloads); 0 for the
+        /// engine, whose passes leave nothing in flight.
+        in_flight: f64,
+        /// Cumulative advertised delta of dangling (out-degree 0)
+        /// documents — mass the protocol intentionally sinks.
+        dangling: f64,
+        /// Damping factor d the weights are built from.
+        damping: f64,
+        /// Φ at run start; the conservation target.
+        expected: f64,
+    },
+    /// One snapshot of the per-round message-balance ledger (cluster
+    /// runs only): cumulative entries addressed to peers versus
+    /// entries received plus entries still in transport queues.
+    BalanceLedger {
+        /// Round index, starting at 1.
+        round: u64,
+        /// Cumulative logical remote emissions (pre-coalescing).
+        emitted: u64,
+        /// Cumulative coalesced entries handed to the transport.
+        sent: u64,
+        /// Cumulative entries received (applied) by nodes.
+        received: u64,
+        /// Entries currently in transport queues (inboxes + parked).
+        in_flight_entries: u64,
+        /// Peer with the largest absolute balance skew (meaningful
+        /// only when `skew != 0`).
+        skew_peer: u32,
+        /// That peer's `sent_to − received − in_flight_to`: negative
+        /// means entries materialized from nowhere (duplication),
+        /// positive means entries vanished in transit (loss).
+        skew: i64,
+    },
+    /// The quiescence certificate emitted when a cluster run claims
+    /// termination: every field must witness "truly done".
+    QuiescenceCert {
+        /// Final round index.
+        round: u64,
+        /// Entries still in transport queues (must be 0).
+        in_flight_entries: u64,
+        /// Payloads parked for store-and-resend (must be 0).
+        parked: u64,
+        /// Nodes still holding queued work (must be 0).
+        nodes_with_work: u64,
+        /// Safra token Σ sent − Σ received (must be 0).
+        token: i64,
+        /// Largest relative un-advertised residual across documents.
+        max_residual: f64,
+        /// The ε the run converged against.
+        epsilon: f64,
+    },
 }
 
 /// Builds the `match`es for both codec directions from one variant ×
@@ -230,6 +302,15 @@ event_codec! {
         run, pass, queued, selected, deferred, deferred_mass, budget_hit,
     }
     RouteResolved => "route_resolved" { src, dst, hops, cached }
+    MassLedger => "mass_ledger" {
+        run, step, ranks, unadvertised, pending, in_flight, dangling, damping, expected,
+    }
+    BalanceLedger => "balance_ledger" {
+        round, emitted, sent, received, in_flight_entries, skew_peer, skew,
+    }
+    QuiescenceCert => "quiescence_cert" {
+        round, in_flight_entries, parked, nodes_with_work, token, max_residual, epsilon,
+    }
 }
 
 impl Event {
@@ -317,6 +398,35 @@ mod tests {
                 dst: 7,
                 hops: 5,
                 cached: false,
+            },
+            Event::MassLedger {
+                run: "cluster".into(),
+                step: 6,
+                ranks: 412.5,
+                unadvertised: 3.25,
+                pending: 1.5,
+                in_flight: 0.75,
+                dangling: 0.0,
+                damping: 0.85,
+                expected: 500.0,
+            },
+            Event::BalanceLedger {
+                round: 6,
+                emitted: 900,
+                sent: 640,
+                received: 612,
+                in_flight_entries: 28,
+                skew_peer: 0,
+                skew: 0,
+            },
+            Event::QuiescenceCert {
+                round: 41,
+                in_flight_entries: 0,
+                parked: 0,
+                nodes_with_work: 0,
+                token: 0,
+                max_residual: 0.000_4,
+                epsilon: 0.001,
             },
         ]
     }

@@ -149,6 +149,37 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::cast_nan_to_int)] // the NaN edge is the point
+    fn saturating_float_casts_feed_the_extreme_buckets() {
+        // The priority scheduler maps f64 residuals onto this
+        // histogram's u64 domain with an `as u64` cast. Rust saturates
+        // float→int casts, so the behavior at the edges is
+        // well-defined and pinned here: NaN and everything below 1.0
+        // (subnormals included) truncate to bucket 0, ±overflow
+        // saturates into the top bucket instead of wrapping.
+        assert_eq!(bucket_of(f64::NAN as u64), 0);
+        assert_eq!(bucket_of(0.0f64 as u64), 0);
+        assert_eq!(bucket_of((-1.0f64) as u64), 0);
+        assert_eq!(bucket_of(0.999_999_f64 as u64), 0);
+        assert_eq!(bucket_of(f64::MIN_POSITIVE as u64), 0);
+        assert_eq!(bucket_of(f64::INFINITY as u64), BUCKETS - 1);
+        assert_eq!(bucket_of(f64::MAX as u64), BUCKETS - 1);
+        assert_eq!(bucket_of(1.0f64 as u64), 1);
+    }
+
+    #[test]
+    fn extreme_observations_do_not_distort_buckets() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[BUCKETS - 1], 1);
+        assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+    }
+
+    #[test]
     fn observe_tracks_count_sum_mean() {
         let h = Histogram::new();
         for v in [0, 1, 2, 3, 100] {

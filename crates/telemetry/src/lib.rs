@@ -30,6 +30,11 @@
 //!   the in-memory aggregate) and derives the convergence curve,
 //!   traffic-by-pass table and hottest peers for the `dpr trace`
 //!   subcommand.
+//! * Flight recorder: [`audit::AuditReport`] runs the online invariant
+//!   monitors (mass-conservation ledger, message-balance auditor,
+//!   quiescence certifier) over an event stream for `dpr doctor`;
+//!   [`replay::Capture`] is the deterministic capture-and-replay
+//!   format that turns any traced run into a bit-exact repro.
 //!
 //! The crate depends only on the vendored `serde`/`serde_json` shims
 //! and sits below every runtime crate (`dpr-p2p`, `dpr-core`,
@@ -53,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod counter;
 pub mod event;
 pub mod fmt;
@@ -60,10 +66,13 @@ pub mod hist;
 pub mod metric;
 pub mod prom;
 pub mod recorder;
+pub mod replay;
 pub mod summary;
 pub mod table;
 
+pub use audit::{AuditReport, MassBreakdown};
 pub use event::Event;
 pub use metric::Metric;
 pub use recorder::{NoopRecorder, Recorder, Span, TraceRecorder, NOOP};
+pub use replay::Capture;
 pub use summary::TraceSummary;

@@ -1,0 +1,303 @@
+//! Deterministic capture & replay — the flight recorder's repro half.
+//!
+//! A capture is a small JSONL file holding everything needed to re-run
+//! a scenario and *prove* the re-run matched: a header with the full
+//! scenario configuration (every RNG in the system is seeded from it,
+//! so injections, churn, and scheduler decisions are pure functions of
+//! the header — the PR 1/2/4 determinism contracts), the injection
+//! events the original run actually performed (so a replayer can
+//! assert its derived stream matches before trusting the comparison),
+//! and a fingerprint of the outcome: an FNV-1a hash over the exact bit
+//! patterns of the final ranks plus the traffic counters.
+//!
+//! Replay re-executes the scenario from the header — under *any*
+//! executor, since ranks are bit-identical across `ExecMode`s — and
+//! compares fingerprints. A mismatch is a determinism bug with a
+//! one-file repro.
+//!
+//! File layout, one JSON object per line:
+//!
+//! ```text
+//! {"capture":"header", ...}        # exactly one, first
+//! {"type":"doc_inserted", ...}     # the original run's injections
+//! {"capture":"fingerprint", ...}   # exactly one, last
+//! ```
+
+use crate::event::Event;
+use crate::summary::TraceError;
+use serde::{Deserialize, Serialize, Value};
+
+/// Capture format version (bumped on layout changes).
+pub const CAPTURE_VERSION: u64 = 1;
+
+/// The scenario configuration a capture was recorded from. Every
+/// field feeds a seeded RNG or a deterministic algorithm, so the
+/// header alone reproduces the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaptureHeader {
+    /// Capture format version.
+    pub version: u64,
+    /// Scenario name (e.g. `"continuous-update"`).
+    pub scenario: String,
+    /// Documents in the initial graph.
+    pub nodes: u64,
+    /// Peers in the system.
+    pub num_peers: u64,
+    /// Documents inserted during the run.
+    pub inserts: u64,
+    /// Recompute checkpoints across the insert stream.
+    pub checkpoints: u64,
+    /// Convergence threshold ε.
+    pub epsilon: f64,
+    /// Master seed (graph, placement, and insert RNGs derive from it).
+    pub seed: u64,
+    /// Scheduler mode (`"pass"` / `"priority"`).
+    pub sched: String,
+}
+
+/// The outcome a replay must reproduce bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// FNV-1a over the little-endian bit patterns of the final ranks.
+    pub ranks_fnv: u64,
+    /// Number of documents the hash covers.
+    pub docs: u64,
+    /// Total engine passes across all runs in the scenario.
+    pub passes: u64,
+    /// Total remote messages (the paper's traffic metric).
+    pub remote_messages: u64,
+    /// Total local (same-peer) updates.
+    pub local_updates: u64,
+}
+
+/// FNV-1a over the exact bit patterns of `ranks` — equal iff every
+/// rank is bit-identical (NaNs included, `-0.0 ≠ 0.0`).
+pub fn fnv64_ranks(ranks: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for r in ranks {
+        for b in r.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A complete capture: header, injection stream, fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    /// Scenario configuration.
+    pub header: CaptureHeader,
+    /// The injection events (`doc_inserted` / `peer_churn`) the
+    /// original run performed, in order.
+    pub injections: Vec<Event>,
+    /// The outcome to reproduce.
+    pub fingerprint: Fingerprint,
+}
+
+fn tagged(tag: &str, v: Value) -> Value {
+    match v {
+        Value::Object(mut pairs) => {
+            pairs.insert(0, ("capture".to_string(), Value::Str(tag.to_string())));
+            Value::Object(pairs)
+        }
+        other => other,
+    }
+}
+
+impl Capture {
+    /// Serializes to the JSONL capture layout.
+    pub fn to_jsonl(&self) -> String {
+        let ser = |v: &Value| serde_json::to_string(v).expect("value serializes");
+        let mut out = String::new();
+        out.push_str(&ser(&tagged("header", self.header.to_value())));
+        out.push('\n');
+        for e in &self.injections {
+            out.push_str(&serde_json::to_string(e).expect("event serializes"));
+            out.push('\n');
+        }
+        out.push_str(&ser(&tagged("fingerprint", self.fingerprint.to_value())));
+        out.push('\n');
+        out
+    }
+
+    /// Parses a JSONL capture, validating layout and schema.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut header: Option<CaptureHeader> = None;
+        let mut fingerprint: Option<Fingerprint> = None;
+        let mut injections = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fail = |message: String| TraceError {
+                line: i + 1,
+                message,
+            };
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| fail(format!("not JSON: {e}")))?;
+            match v.get("capture").and_then(Value::as_str) {
+                Some("header") => {
+                    if header.is_some() {
+                        return Err(fail("duplicate capture header".into()));
+                    }
+                    let h = CaptureHeader::from_value(&v).map_err(|e| fail(e.to_string()))?;
+                    if h.version != CAPTURE_VERSION {
+                        return Err(fail(format!(
+                            "capture version {} (this reader speaks {CAPTURE_VERSION})",
+                            h.version
+                        )));
+                    }
+                    header = Some(h);
+                }
+                Some("fingerprint") => {
+                    if fingerprint.is_some() {
+                        return Err(fail("duplicate capture fingerprint".into()));
+                    }
+                    fingerprint =
+                        Some(Fingerprint::from_value(&v).map_err(|e| fail(e.to_string()))?);
+                }
+                Some(other) => {
+                    return Err(fail(format!("unknown capture record {other:?}")));
+                }
+                None => {
+                    if header.is_none() {
+                        return Err(fail("capture must start with its header".into()));
+                    }
+                    let e = Event::from_value(&v).map_err(|e| fail(e.to_string()))?;
+                    if !e.is_injection() {
+                        return Err(fail(format!(
+                            "capture bodies hold injection events only, got {:?}",
+                            e.kind()
+                        )));
+                    }
+                    injections.push(e);
+                }
+            }
+        }
+        Ok(Capture {
+            header: header.ok_or(TraceError {
+                line: 0,
+                message: "capture has no header".into(),
+            })?,
+            injections,
+            fingerprint: fingerprint.ok_or(TraceError {
+                line: 0,
+                message: "capture has no fingerprint".into(),
+            })?,
+        })
+    }
+
+    /// Writes the capture to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Reads a capture from `path`.
+    pub fn read(path: &std::path::Path) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path).map_err(|e| TraceError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::from_jsonl(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Capture {
+        Capture {
+            header: CaptureHeader {
+                version: CAPTURE_VERSION,
+                scenario: "continuous-update".into(),
+                nodes: 10_000,
+                num_peers: 500,
+                inserts: 64,
+                checkpoints: 4,
+                epsilon: 1e-3,
+                seed: 2003,
+                sched: "priority".into(),
+            },
+            injections: vec![
+                Event::DocInserted {
+                    seq: 1,
+                    doc: 10_000,
+                },
+                Event::PeerChurn {
+                    round: 3,
+                    peer: 17,
+                    online: false,
+                },
+            ],
+            fingerprint: Fingerprint {
+                ranks_fnv: u64::MAX - 11, // exercises > 2^53 round-trip
+                docs: 10_064,
+                passes: 210,
+                remote_messages: 123_456,
+                local_updates: 654_321,
+            },
+        }
+    }
+
+    #[test]
+    fn capture_roundtrips_through_jsonl() {
+        let c = sample();
+        let text = c.to_jsonl();
+        assert!(text.starts_with("{\"capture\":\"header\""), "{text}");
+        let back = Capture::from_jsonl(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn reader_rejects_malformed_captures() {
+        let c = sample();
+        let text = c.to_jsonl();
+
+        // Missing fingerprint.
+        let no_fp: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        assert!(Capture::from_jsonl(&no_fp)
+            .unwrap_err()
+            .message
+            .contains("fingerprint"));
+
+        // Event before the header.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.swap(0, 1);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert!(Capture::from_jsonl(&swapped)
+            .unwrap_err()
+            .message
+            .contains("header"));
+
+        // Non-injection events don't belong in a capture body.
+        let with_noise = text.replacen(
+            "{\"type\":\"doc_inserted\"",
+            "{\"type\":\"round_completed\",\"round\":1,\"sent\":0,\"delivered\":0,\
+             \"redelivered\":0,\"hops\":0,\"pending\":0}\n{\"type\":\"doc_inserted\"",
+            1,
+        );
+        assert!(Capture::from_jsonl(&with_noise)
+            .unwrap_err()
+            .message
+            .contains("injection"));
+
+        // Future versions are refused loudly, not misread.
+        let future = text.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(Capture::from_jsonl(&future)
+            .unwrap_err()
+            .message
+            .contains("version"));
+    }
+
+    #[test]
+    fn fnv_is_bit_exact() {
+        let a = [0.1, 0.2, 0.3];
+        let b = [0.1, 0.2, 0.30000000000000004];
+        assert_eq!(fnv64_ranks(&a), fnv64_ranks(&a));
+        assert_ne!(fnv64_ranks(&a), fnv64_ranks(&b));
+        assert_ne!(fnv64_ranks(&[0.0]), fnv64_ranks(&[-0.0]));
+        assert_ne!(fnv64_ranks(&[]), fnv64_ranks(&[0.0]));
+    }
+}

@@ -6,7 +6,7 @@
 use crate::event::Event;
 use crate::fmt::{fmt_bytes, fmt_f64};
 use crate::table::TextTable;
-use serde::Deserialize;
+use serde::{Deserialize, Value};
 
 /// A schema violation found while validating a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +44,62 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, TraceError> {
         events.push(event);
     }
     Ok(events)
+}
+
+/// An event kind the parser did not recognize, with how often it
+/// appeared — surfaced instead of swallowed so schema drift between a
+/// trace writer and this reader is visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownKind {
+    /// The unrecognized `"type"` discriminator.
+    pub kind: String,
+    /// How many lines carried it.
+    pub count: u64,
+    /// 1-based line number of its first appearance.
+    pub first_line: usize,
+}
+
+/// Parses a JSONL trace like [`parse_jsonl`], but lines whose `"type"`
+/// is not in the known taxonomy are counted per kind instead of
+/// rejected (a trace from a newer writer stays readable). Lines that
+/// are not JSON, lack a `"type"`, or carry a *known* type with a
+/// malformed body still fail: those are corruption, not drift.
+pub fn parse_jsonl_tolerant(text: &str) -> Result<(Vec<Event>, Vec<UnknownKind>), TraceError> {
+    let mut events = Vec::new();
+    let mut unknown: Vec<UnknownKind> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line).map_err(|e| TraceError {
+            line: i + 1,
+            message: format!("not JSON: {e}"),
+        })?;
+        let tag = value
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| TraceError {
+                line: i + 1,
+                message: "event missing \"type\" discriminator".to_string(),
+            })?;
+        if !Event::KINDS.contains(&tag) {
+            match unknown.iter_mut().find(|u| u.kind == tag) {
+                Some(u) => u.count += 1,
+                None => unknown.push(UnknownKind {
+                    kind: tag.to_string(),
+                    count: 1,
+                    first_line: i + 1,
+                }),
+            }
+            continue;
+        }
+        let event = Event::from_value(&value).map_err(|e| TraceError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        events.push(event);
+    }
+    Ok((events, unknown))
 }
 
 /// One point of a convergence curve.
@@ -89,6 +145,9 @@ pub struct TraceSummary {
     events: Vec<Event>,
     /// Run labels in first-appearance order.
     runs: Vec<String>,
+    /// Unrecognized event kinds seen while parsing (empty when built
+    /// from typed events).
+    unknown: Vec<UnknownKind>,
 }
 
 impl TraceSummary {
@@ -102,12 +161,22 @@ impl TraceSummary {
                 }
             }
         }
-        TraceSummary { events, runs }
+        TraceSummary {
+            events,
+            runs,
+            unknown: Vec::new(),
+        }
     }
 
-    /// Parses and validates a JSONL trace into a summary.
+    /// Parses a JSONL trace into a summary. Unknown event kinds are
+    /// counted into [`TraceSummary::unknown_events`] rather than
+    /// rejected (use [`parse_jsonl`] for the strict schema check);
+    /// non-JSON lines and malformed known events still fail.
     pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
-        parse_jsonl(text).map(Self::from_events)
+        let (events, unknown) = parse_jsonl_tolerant(text)?;
+        let mut s = Self::from_events(events);
+        s.unknown = unknown;
+        Ok(s)
     }
 
     /// The underlying events.
@@ -118,6 +187,13 @@ impl TraceSummary {
     /// Engine-run labels in first-appearance order.
     pub fn runs(&self) -> &[String] {
         &self.runs
+    }
+
+    /// Event kinds the parser did not recognize, in first-appearance
+    /// order — nonempty means the trace writer speaks a newer (or
+    /// foreign) schema and some lines were skipped.
+    pub fn unknown_events(&self) -> &[UnknownKind] {
+        &self.unknown
     }
 
     /// The residual/active-docs curve of one run.
@@ -399,7 +475,57 @@ mod tests {
     fn empty_trace_is_trivially_valid() {
         let s = TraceSummary::from_jsonl("").unwrap();
         assert!(s.runs().is_empty());
+        assert!(s.unknown_events().is_empty());
         assert!(s.residual_monotone_after_last_injection().is_ok());
         assert_eq!(s.after_last_injection(), 0);
+    }
+
+    #[test]
+    fn unknown_kinds_are_counted_not_swallowed() {
+        let text = "{\"type\": \"doc_inserted\", \"seq\": 1, \"doc\": 2}\n\
+                    {\"type\": \"warp_drive\", \"dilithium\": 9}\n\
+                    {\"type\": \"warp_drive\"}\n\
+                    {\"type\": \"mystery\"}\n";
+        let s = TraceSummary::from_jsonl(text).unwrap();
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(
+            s.unknown_events(),
+            &[
+                UnknownKind {
+                    kind: "warp_drive".into(),
+                    count: 2,
+                    first_line: 2,
+                },
+                UnknownKind {
+                    kind: "mystery".into(),
+                    count: 1,
+                    first_line: 4,
+                },
+            ]
+        );
+        // The strict parser still rejects the same trace.
+        assert_eq!(parse_jsonl(text).unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn tolerant_parse_still_rejects_corruption() {
+        // Not JSON at all.
+        assert_eq!(
+            parse_jsonl_tolerant("garbage\n").unwrap_err().line,
+            1,
+            "non-JSON must fail"
+        );
+        // JSON without a discriminator.
+        assert!(parse_jsonl_tolerant("{\"seq\": 1}\n")
+            .unwrap_err()
+            .message
+            .contains("type"));
+        // A known kind with a malformed body is corruption, not drift.
+        assert_eq!(
+            parse_jsonl_tolerant("{\"type\": \"doc_inserted\", \"seq\": 1}\n")
+                .unwrap_err()
+                .line,
+            1
+        );
     }
 }

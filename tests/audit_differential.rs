@@ -1,0 +1,237 @@
+//! Flight-recorder differential tests: deterministic replay and
+//! fault→monitor attribution.
+//!
+//! Two contracts from the audit subsystem are under test here:
+//!
+//! 1. **Replay determinism.** A captured continuous-update run at the
+//!    paper's scale (10k documents over 500 peers) must replay to
+//!    *bit*-identical final ranks and identical traffic counters from
+//!    nothing but the capture file — under both the sequential and the
+//!    owner-sharded parallel executor.
+//! 2. **Monitor ownership.** Each injected transport fault must be
+//!    detected, and detected *by the monitor that owns the violated
+//!    invariant*: mass perturbation → mass-conservation ledger, frame
+//!    duplication → message-balance auditor, frame loss → quiescence
+//!    certifier. A clean run must pass all three.
+
+use distributed_pagerank::core::ExecMode;
+use distributed_pagerank::node::node::WireMode;
+use distributed_pagerank::node::Cluster;
+use distributed_pagerank::p2p::transport::{FaultKind, FaultPlan};
+use distributed_pagerank::prelude::*;
+use distributed_pagerank::sim::flight::{self, FlightConfig};
+use distributed_pagerank::telemetry::audit::Monitor;
+use distributed_pagerank::telemetry::Capture;
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+
+/// Paper-scale capture (10k docs / 500 peers, continuous updates)
+/// replays bit-identically through the serialized capture file in both
+/// execution modes.
+#[test]
+fn paper_scale_capture_replays_bit_identically_in_both_exec_modes() {
+    let cfg = FlightConfig::paper_scale();
+    let (capture, recorded) = flight::record(&cfg, ExecMode::Sequential);
+
+    // The capture must survive its own wire format: replay from the
+    // re-parsed JSONL, not the in-memory struct.
+    let restored = Capture::from_jsonl(&capture.to_jsonl()).expect("capture roundtrip");
+
+    for mode in [ExecMode::Sequential, ExecMode::Parallel(4)] {
+        let replayed = flight::replay(&restored, mode)
+            .unwrap_or_else(|e| panic!("replay under {mode:?} diverged: {e}"));
+        assert_eq!(replayed.ranks.len(), recorded.ranks.len());
+        for (doc, (r, w)) in replayed.ranks.iter().zip(&recorded.ranks).enumerate() {
+            assert!(
+                r.to_bits() == w.to_bits(),
+                "doc {doc} rank diverged under {mode:?}: {r:e} vs {w:e}"
+            );
+        }
+        assert_eq!(replayed.passes, recorded.passes, "{mode:?} passes");
+        assert_eq!(
+            replayed.remote_messages, recorded.remote_messages,
+            "{mode:?} remote traffic"
+        );
+        assert_eq!(
+            replayed.local_updates, recorded.local_updates,
+            "{mode:?} local updates"
+        );
+    }
+}
+
+/// A fingerprint tampered after capture is rejected by replay — the
+/// check is not vacuous.
+#[test]
+fn replay_rejects_a_corrupted_capture() {
+    let cfg = FlightConfig::smoke();
+    let (mut capture, _) = flight::record(&cfg, ExecMode::Sequential);
+    capture.fingerprint.ranks_fnv ^= 1;
+    let err = flight::replay(&capture, ExecMode::Sequential).unwrap_err();
+    assert!(err.contains("ranks_fnv"), "{err}");
+}
+
+/// Clean audited run: every monitor evaluates a nonzero number of
+/// checks and none fires.
+#[test]
+fn clean_run_passes_every_monitor() {
+    let run = flight::doctor_run(600, 8, 1e-4, 21, WireMode::frames(), None);
+    assert!(run.quiesced, "diagnostic run failed to quiesce");
+    assert!(
+        run.report.passed(),
+        "clean run flagged: {}",
+        run.report.diagnosis()
+    );
+    for m in Monitor::ALL {
+        let f = run.report.finding(m);
+        assert!(f.checked > 0, "{} never evaluated anything", m.name());
+    }
+}
+
+/// Each staged transport fault fires, is detected, and is attributed
+/// to exactly the monitor that owns the broken invariant.
+#[test]
+fn each_fault_is_owned_by_exactly_one_monitor() {
+    let matrix = [
+        (FaultKind::MassLeak, Monitor::MassConservation),
+        (FaultKind::DupFrame, Monitor::MessageBalance),
+        (FaultKind::LostFrame, Monitor::Quiescence),
+    ];
+    for (kind, owner) in matrix {
+        let plan = FaultPlan { kind, nth_send: 40 };
+        let run = flight::doctor_run(600, 8, 1e-4, 21, WireMode::frames(), Some(plan));
+        assert!(
+            run.fault_fired_at.is_some(),
+            "{kind} was staged but never fired"
+        );
+        assert!(!run.report.passed(), "{kind} went undetected");
+        let primary = run.report.primary().expect("failing report has a primary");
+        assert_eq!(
+            primary.monitor,
+            owner,
+            "{kind} attributed to {} instead of {}",
+            primary.monitor.name(),
+            owner.name()
+        );
+        // The operator-facing diagnosis names the fault class.
+        assert!(
+            run.report.diagnosis().contains(&kind.to_string()),
+            "diagnosis '{}' does not name {kind}",
+            run.report.diagnosis()
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// Counter balance under churn: the property behind the message-
+// balance auditor, checked directly against cluster state.
+// ---------------------------------------------------------------
+
+/// Strategy: a random directed graph as (n, edge list).
+fn arb_graph(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        let edges = prop_vec((0..n as u32, 0..n as u32), 0..max_edges);
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a cyclic churn plan — per round, per peer, online?
+fn arb_churn_plan(num_peers: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    prop_vec(prop_vec(any::<bool>(), num_peers..num_peers + 1), 1..6)
+}
+
+/// Applies one row of the churn plan, keeping at least one peer
+/// online so every run can terminate.
+fn apply_mask(peers: &mut PeerTable, mask: &[bool]) {
+    for (i, &on) in mask.iter().enumerate().take(peers.len()) {
+        if on {
+            peers.go_online(PeerId(i as u32));
+        } else {
+            peers.go_offline(PeerId(i as u32));
+        }
+    }
+    if peers.num_online() == 0 {
+        peers.go_online(PeerId(0));
+    }
+}
+
+/// Sums `(emitted_remote, sent_remote, received)` across the cluster.
+fn counter_sums(cluster: &Cluster, num_peers: usize) -> (u64, u64, u64) {
+    let (mut emitted, mut sent, mut received) = (0u64, 0u64, 0u64);
+    for p in 0..num_peers as u32 {
+        let s = cluster.node(PeerId(p)).stats();
+        emitted += s.emitted_remote;
+        sent += s.sent_remote;
+        received += s.received;
+    }
+    (emitted, sent, received)
+}
+
+/// Asserts the balance invariants at a round boundary. Emission
+/// counts every remote link update produced; the pass-end flush
+/// coalesces same-target updates into one wire entry, so
+/// `emitted ≥ sent` (the gap is coalescing, never silent loss). What
+/// left the wire but has not landed is exactly the transport's
+/// undelivered backlog: `sent − received = in flight` — with the
+/// in-flight term covering both deliverable inbox entries and
+/// envelopes parked for offline peers ("still queued").
+fn assert_balanced(cluster: &Cluster, num_peers: usize) -> Result<(), TestCaseError> {
+    let (emitted, sent, received) = counter_sums(cluster, num_peers);
+    prop_assert!(
+        emitted >= sent,
+        "coalescing can only shrink the wire: emitted {emitted} < sent {sent}"
+    );
+    prop_assert_eq!(
+        sent - received,
+        cluster.in_flight_entries(),
+        "sent {} − received {} must equal the undelivered backlog",
+        sent,
+        received
+    );
+    Ok(())
+}
+
+proptest! {
+    /// On any graph, under any churn schedule, the remote-update
+    /// counters balance after every single round, and close out
+    /// exactly (`sent == received`, nothing in flight) at quiescence.
+    #[test]
+    fn counters_balance_under_random_churn(
+        (n, edges) in arb_graph(48, 140),
+        plan in arb_churn_plan(5),
+        churn_rounds in 0usize..14,
+    ) {
+        let num_peers = 5;
+        let mut b = GraphBuilder::new(n);
+        for &(f, t) in &edges {
+            b.add_edge(f, t);
+        }
+        let graph = b.build();
+        let placement =
+            Placement::from_owner_vec((0..n).map(|d| PeerId((d % num_peers) as u32)).collect());
+        let mut cluster = Cluster::build_with(
+            &graph,
+            &placement,
+            num_peers,
+            EngineConfig::with_epsilon(1e-6),
+            WireMode::frames(),
+        );
+        let mut peers = PeerTable::new(num_peers);
+        for r in 0..churn_rounds {
+            apply_mask(&mut peers, &plan[r % plan.len()]);
+            cluster.round(&peers);
+            assert_balanced(&cluster, num_peers)?;
+        }
+        for p in 0..num_peers as u32 {
+            peers.go_online(PeerId(p));
+        }
+        let (rounds, ok) = cluster.run_to_convergence(&mut peers, 100_000, None);
+        prop_assert!(ok, "no quiescence in {} rounds", rounds);
+        assert_balanced(&cluster, num_peers)?;
+        let (_, sent, received) = counter_sums(&cluster, num_peers);
+        prop_assert_eq!(sent, received, "quiescence with undelivered entries");
+        prop_assert_eq!(cluster.in_flight_entries(), 0u64);
+    }
+}
