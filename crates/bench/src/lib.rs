@@ -106,6 +106,17 @@ impl Args {
         }
     }
 
+    /// Like [`sizes`](Self::sizes), but with an explicit fallback when
+    /// neither `--sizes` nor `--full` was given (for experiments whose
+    /// natural sweep differs from [`DEFAULT_SIZES`]).
+    pub fn sizes_or(&self, default: &[usize]) -> Vec<usize> {
+        if self.values.contains_key("sizes") || self.has("full") {
+            self.sizes()
+        } else {
+            default.to_vec()
+        }
+    }
+
     /// RNG seed (`--seed`, default 2003 — the venue year).
     pub fn seed(&self) -> u64 {
         self.get("seed", 2003u64)

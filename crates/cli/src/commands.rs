@@ -42,6 +42,7 @@ commands:
              [--fault-at N] [--input trace.jsonl]
              [--capture-out cap.jsonl] [--replay cap.jsonl]
              [--threads T] [--inserts N] [--checkpoints K]
+             [--codec raw|compact]
   help       this text
 
 every command also accepts: --quiet (suppress stdout),
@@ -510,12 +511,17 @@ pub fn doctor(args: &Args) -> Result<(), String> {
     };
     let threads: usize = args.get("threads", 1)?;
     let mode = ExecMode::from_threads(Some(threads));
+    let codec: dpr_p2p::transport::WireCodec = args.get("codec", Default::default())?;
 
-    // Replay mode: prove a capture reproduces bit for bit.
+    // Replay mode: prove a capture reproduces bit for bit. A capture
+    // recorded under a different wire codec is refused outright —
+    // compact quantizes to f32, so its fingerprint says nothing about
+    // a raw run (and vice versa).
     if let Some(path) = args.optional("replay") {
         let capture =
             Capture::read(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
-        let out = flight::replay(&capture, mode).map_err(|e| format!("{path}: {e}"))?;
+        let out = flight::replay_under_codec(&capture, mode, codec)
+            .map_err(|e| format!("{path}: {e}"))?;
         say(format!(
             "{path}: replay matched — {} docs, {} passes, {} remote messages, \
              ranks fnv {:#018x}",
@@ -542,6 +548,7 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             epsilon: eps,
             seed,
             sched: args.get("sched", dpr_core::SchedMode::Pass)?,
+            codec,
         };
         let (capture, outcome) = flight::record(&cfg, mode);
         capture
@@ -583,6 +590,7 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             eps,
             seed,
             dpr_node::node::WireMode::frames(),
+            codec,
             fault,
         );
         say(format!(
@@ -904,8 +912,27 @@ mod tests {
             cap.display()
         )))
         .unwrap();
-        // A tampered fingerprint is caught.
+        // A raw capture replayed under --codec compact is refused
+        // with the codec named, before any fingerprint comparison.
+        let e = doctor(&args(&format!(
+            "--quiet --codec compact --replay {}",
+            cap.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("recorded under wire codec \"raw\""), "{e}");
+        // A pre-versioning (v1) capture is refused by version.
         let text = std::fs::read_to_string(&cap).unwrap();
+        let v1 = text.replacen("\"version\":2", "\"version\":1", 1).replacen(
+            ",\"codec\":\"raw\"",
+            "",
+            1,
+        );
+        assert_ne!(text, v1);
+        let old = dir.join("v1.jsonl");
+        std::fs::write(&old, v1).unwrap();
+        let e = doctor(&args(&format!("--quiet --replay {}", old.display()))).unwrap_err();
+        assert!(e.contains("capture version 1"), "{e}");
+        // A tampered fingerprint is caught.
         let tampered = text.replacen("\"passes\":", "\"passes\":1", 1);
         assert_ne!(text, tampered);
         std::fs::write(&cap, tampered).unwrap();

@@ -15,15 +15,34 @@
 //! 2. **Apply + emit** (parallel over *source* shards): each shard
 //!    sorts its work list ascending, then for each document applies
 //!    the parked increment, and — if the rank moved more than ε —
-//!    appends `(target, delta)` emissions into its private
-//!    per-target-shard *mailbox* row of the `S × S` mailbox grid.
-//!    Every write (`ranks`, `advertised`, `pending`, `queued`) lands
-//!    in the shard's own slice, so no synchronization is needed.
+//!    appends `(target, delta)` emissions to one flat per-shard
+//!    buffer. A single stable counting pass (count per target shard,
+//!    prefix-sum, place) then groups the buffer into contiguous
+//!    per-target-shard segments, preserving emission order within
+//!    each segment. Every write (`ranks`, `advertised`, `pending`,
+//!    `queued`) lands in the shard's own slice, so no synchronization
+//!    is needed.
 //! 3. **Merge** (parallel over *target* shards): each shard folds its
-//!    inbound mailbox column in fixed source-shard order into a dense
+//!    inbound segments in fixed source-shard order into a dense
 //!    accumulator seeded from the document's current `pending`,
 //!    coalescing all increments for a document into a single
-//!    write-back, and queues newly dirtied documents.
+//!    write-back, and queues newly dirtied documents. Because the
+//!    segments are contiguous slices of `S` flat buffers (not an
+//!    `S × S` grid of separate `Vec`s), the merge is a linear scan
+//!    per source shard with no per-cell bookkeeping.
+//!
+//! ## Auto-inline guard
+//!
+//! Thread spawn and merge bookkeeping have a fixed per-pass cost, so
+//! below a work threshold a threaded pass cannot beat the sequential
+//! engine. When the dirty set is smaller than
+//! [`DEFAULT_AUTO_SEQ_THRESHOLD`] documents the executor *delegates
+//! the whole pass to [`ChaoticEngine::pass_with_hops`]* — which is
+//! bit-identical by the determinism contract below, so the decision
+//! is invisible in results and only visible in wall-clock (and in the
+//! `dpr_exec_delegated_passes` telemetry counter). This is what keeps
+//! `threads > 0` from ever losing to sequential on small graphs or on
+//! the small tail passes of a converging run.
 //!
 //! ## Determinism
 //!
@@ -32,13 +51,14 @@
 //! ascending document order; shards are contiguous ascending ranges,
 //! so concatenating the sorted per-shard sender lists in shard order
 //! reproduces the global sequential sender order exactly. For any one
-//! target document, merging its mailbox contributions in (source
-//! shard, mailbox position) order therefore replays the sequential
+//! target document, merging its contributions in (source shard,
+//! emission position) order therefore replays the sequential
 //! `pending += delta` folds in the same order on the same starting
 //! value — floating-point addition order is preserved, independent of
-//! both the shard count and the thread count. Statistics are sums and
-//! maxima of per-shard values, which are order-independent. See
-//! DESIGN.md ("Execution architecture") for the full argument.
+//! both the shard count and the thread count (the counting pass is
+//! stable, so segment order equals emission order). Statistics are
+//! sums and maxima of per-shard values, which are order-independent.
+//! See DESIGN.md ("Execution architecture") for the full argument.
 //!
 //! Hop models (`dyn FnMut`, deliberately not thread-safe) keep exact
 //! parity: emissions record `(src, dst, doc)` events per shard, and
@@ -57,6 +77,16 @@ use std::time::Instant;
 /// same merge order); this only skips thread spawn overhead on the
 /// small tail passes of a converging run.
 const INLINE_WORK_THRESHOLD: usize = 4096;
+
+/// Dirty-set size below which the executor delegates the whole pass
+/// to the sequential engine (see the module docs, "Auto-inline
+/// guard"). Measured on the `continuous --pass-scaling` workload:
+/// below ~16k dirty documents per pass the fixed thread-spawn plus
+/// counting-merge overhead exceeds the parallel win, so the sharded
+/// fan-out only engages above it. Override per executor with
+/// [`ShardedExecutor::with_auto_seq_threshold`] (benches and the
+/// differential tests force `0` to pin the sharded path itself).
+pub const DEFAULT_AUTO_SEQ_THRESHOLD: usize = 16_384;
 
 /// Back-compat alias for the pre-shard executor name.
 pub type ParallelExecutor = ShardedExecutor;
@@ -164,8 +194,18 @@ struct SrcShard<'a> {
     queued: &'a mut [bool],
     /// Documents whose owner is offline this pass (stay dirty).
     carry: &'a mut Vec<u32>,
-    /// Mailbox row: emissions bucketed by target shard.
-    mail_row: &'a mut [Vec<(u32, f64)>],
+    /// Flat emission buffer: `(target, delta)` in emission order.
+    emit: &'a mut Vec<(u32, f64)>,
+    /// `emit` regrouped into contiguous per-target-shard segments by
+    /// the stable counting pass (emission order preserved within each
+    /// segment).
+    sorted: &'a mut Vec<(u32, f64)>,
+    /// Segment boundaries into `sorted`: target shard `t` occupies
+    /// `sorted[offsets[t]..offsets[t + 1]]`. Length `shards + 1`.
+    offsets: &'a mut Vec<u32>,
+    /// Placement cursors for the counting pass (scratch, length
+    /// `shards`).
+    cursor: &'a mut Vec<u32>,
     /// `(src peer, dst peer, target doc)` per remote message, in
     /// emission order; only filled when a hop model is installed.
     hop_events: &'a mut Vec<(PeerId, PeerId, u32)>,
@@ -194,6 +234,18 @@ struct DstShard<'a> {
 #[derive(Debug)]
 pub struct ShardedExecutor {
     threads: usize,
+    /// Dirty-set size below which a pass delegates to the sequential
+    /// engine (bit-identical either way).
+    auto_seq_threshold: usize,
+    /// Host parallelism cached at construction: when the hardware has
+    /// a single execution unit, threading is pure overhead at *any*
+    /// work size, so the guard delegates every pass.
+    hw_threads: usize,
+    /// Whether the most recent pass was delegated.
+    delegated: bool,
+    /// Cumulative pass counts by decision, for benches and doctors.
+    delegated_passes: u64,
+    sharded_passes: u64,
     /// Engine size the scratch is currently sized for.
     sized_for: usize,
     shard_size: usize,
@@ -201,8 +253,16 @@ pub struct ShardedExecutor {
     work: Vec<Vec<u32>>,
     /// Per-source-shard carried (owner-offline) documents.
     carry: Vec<Vec<u32>>,
-    /// `mail[src][dst]` → emissions from shard `src` into shard `dst`.
-    mail: Vec<Vec<Vec<(u32, f64)>>>,
+    /// Per-source-shard flat emission buffers (cleared by the counting
+    /// pass each pass; capacity persists across passes).
+    emit: Vec<Vec<(u32, f64)>>,
+    /// Per-source-shard counting-sorted emissions, segmented by target
+    /// shard via `offsets`.
+    sorted: Vec<Vec<(u32, f64)>>,
+    /// Per-source-shard segment boundaries (`threads + 1` each).
+    offsets: Vec<Vec<u32>>,
+    /// Per-source-shard placement cursors (`threads` each).
+    cursor: Vec<Vec<u32>>,
     /// Per-source-shard hop-charge events.
     hop_events: Vec<Vec<(PeerId, PeerId, u32)>>,
     /// Per-target-shard merge outputs.
@@ -221,11 +281,21 @@ impl ShardedExecutor {
         let threads = threads.max(1);
         ShardedExecutor {
             threads,
+            auto_seq_threshold: DEFAULT_AUTO_SEQ_THRESHOLD,
+            hw_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            delegated: false,
+            delegated_passes: 0,
+            sharded_passes: 0,
             sized_for: 0,
             shard_size: 1,
             work: Vec::new(),
             carry: Vec::new(),
-            mail: Vec::new(),
+            emit: Vec::new(),
+            sorted: Vec::new(),
+            offsets: Vec::new(),
+            cursor: Vec::new(),
             hop_events: Vec::new(),
             touched: Vec::new(),
             fresh: Vec::new(),
@@ -233,6 +303,31 @@ impl ShardedExecutor {
             seen: Vec::new(),
             stamp: 0,
         }
+    }
+
+    /// This executor with the auto-inline threshold set to `docs`:
+    /// passes whose dirty set is smaller delegate to the sequential
+    /// engine. `0` disables delegation (always run the sharded
+    /// fan-out); benches and differential tests use that to measure
+    /// and pin the sharded path itself.
+    pub fn with_auto_seq_threshold(mut self, docs: usize) -> Self {
+        self.auto_seq_threshold = docs;
+        self
+    }
+
+    /// Whether the most recent pass was delegated to the sequential
+    /// engine by the auto-inline guard.
+    pub fn last_pass_delegated(&self) -> bool {
+        self.delegated
+    }
+
+    /// Cumulative `(delegated, sharded)` pass counts over this
+    /// executor's lifetime — how often the auto-inline guard fired.
+    /// `sharded == 0` means every pass ran the sequential engine's
+    /// exact code path (the wall-clock is then definitionally the
+    /// sequential wall-clock).
+    pub fn pass_mix(&self) -> (u64, u64) {
+        (self.delegated_passes, self.sharded_passes)
     }
 
     /// An executor sized to the host's available parallelism.
@@ -258,9 +353,10 @@ impl ShardedExecutor {
         self.shard_size = n.div_ceil(s).max(1);
         self.work = (0..s).map(|_| Vec::new()).collect();
         self.carry = (0..s).map(|_| Vec::new()).collect();
-        self.mail = (0..s)
-            .map(|_| (0..s).map(|_| Vec::new()).collect())
-            .collect();
+        self.emit = (0..s).map(|_| Vec::new()).collect();
+        self.sorted = (0..s).map(|_| Vec::new()).collect();
+        self.offsets = (0..s).map(|_| vec![0u32; s + 1]).collect();
+        self.cursor = (0..s).map(|_| vec![0u32; s]).collect();
         self.hop_events = (0..s).map(|_| Vec::new()).collect();
         self.touched = (0..s).map(|_| Vec::new()).collect();
         self.fresh = (0..s).map(|_| Vec::new()).collect();
@@ -298,6 +394,27 @@ impl ShardedExecutor {
         hop_model: Option<&mut HopModel<'_>>,
         mut timings: Option<&mut Vec<(u64, u64)>>,
     ) -> PassStats {
+        // Auto-inline guard: below the threshold (checked against the
+        // pre-selection dirty set, so the decision is scheduler-mode
+        // independent) the fixed spawn + merge overhead cannot pay for
+        // itself — run the sequential engine pass instead. The same
+        // holds at any work size when either the executor or the host
+        // has a single execution unit. Results are bit-identical by
+        // the determinism contract, so only the wall-clock and the
+        // `dpr_exec_delegated_passes` counter can tell the difference.
+        // Threshold 0 pins the sharded path (benches, differential
+        // tests).
+        self.delegated = self.auto_seq_threshold > 0
+            && (self.threads.min(self.hw_threads) <= 1
+                || eng.dirty.len() < self.auto_seq_threshold);
+        if self.delegated {
+            self.delegated_passes += 1;
+            if let Some(tv) = timings.as_deref_mut() {
+                tv.clear();
+            }
+            return eng.pass_with_hops(peers, hop_model);
+        }
+        self.sharded_passes += 1;
         let time_phases = timings.is_some();
         eng.passes += 1;
         let mut stats = PassStats {
@@ -346,11 +463,25 @@ impl ShardedExecutor {
                 .zip(queued)
                 .zip(self.work.iter_mut())
                 .zip(self.carry.iter_mut())
-                .zip(self.mail.iter_mut())
+                .zip(self.emit.iter_mut())
+                .zip(self.sorted.iter_mut())
+                .zip(self.offsets.iter_mut())
+                .zip(self.cursor.iter_mut())
                 .zip(self.hop_events.iter_mut());
             for (s, p) in parts.enumerate() {
-                let (((((((ranks, advertised), pending), queued), work), carry), mail), hop_events) =
-                    p;
+                let (
+                    (
+                        (
+                            (
+                                ((((((ranks, advertised), pending), queued), work), carry), emit),
+                                sorted,
+                            ),
+                            offsets,
+                        ),
+                        cursor,
+                    ),
+                    hop_events,
+                ) = p;
                 src_shards.push(SrcShard {
                     base: s * ssize,
                     work,
@@ -359,7 +490,10 @@ impl ShardedExecutor {
                     pending,
                     queued,
                     carry,
-                    mail_row: mail.as_mut_slice(),
+                    emit,
+                    sorted,
+                    offsets,
+                    cursor,
                     hop_events,
                 });
             }
@@ -442,7 +576,8 @@ impl ShardedExecutor {
         // Phase 2: mailbox merge, parallel over target shards.
         self.stamp += 1;
         let stamp = self.stamp;
-        let mail: &[Vec<Vec<(u32, f64)>>] = &self.mail;
+        let sorted: &[Vec<(u32, f64)>] = &self.sorted;
+        let offsets: &[Vec<u32>] = &self.offsets;
         let mut dst_shards: Vec<DstShard<'_>> = Vec::with_capacity(shards);
         {
             let pending = split_shards(&mut eng.pending, ssize, shards);
@@ -474,7 +609,12 @@ impl ShardedExecutor {
             dst_shards
                 .iter_mut()
                 .enumerate()
-                .map(|(t, sh)| timed(time_phases, || merge_mailboxes(sh, mail, t, stamp)).1)
+                .map(|(t, sh)| {
+                    timed(time_phases, || {
+                        merge_mailboxes(sh, sorted, offsets, t, stamp)
+                    })
+                    .1
+                })
                 .collect()
         } else {
             std::thread::scope(|scope| {
@@ -483,7 +623,10 @@ impl ShardedExecutor {
                     .enumerate()
                     .map(|(t, sh)| {
                         scope.spawn(move || {
-                            timed(time_phases, || merge_mailboxes(sh, mail, t, stamp)).1
+                            timed(time_phases, || {
+                                merge_mailboxes(sh, sorted, offsets, t, stamp)
+                            })
+                            .1
                         })
                     })
                     .collect();
@@ -517,11 +660,6 @@ impl ShardedExecutor {
             work.append(fresh);
         }
         work.append(&mut eng.scratch_deferred);
-        for row in &mut self.mail {
-            for cell in row {
-                cell.clear();
-            }
-        }
         for bucket in &mut self.work {
             bucket.clear();
         }
@@ -574,6 +712,14 @@ impl ShardedExecutor {
             if let Some(t0) = t0 {
                 let duration_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 rec.observe(Metric::PassDurationNs, duration_ns);
+                rec.counter_add(
+                    if self.delegated {
+                        Metric::ExecDelegatedPasses
+                    } else {
+                        Metric::ExecShardedPasses
+                    },
+                    1,
+                );
                 for (shard, &(apply_ns, merge_ns)) in timings.iter().enumerate() {
                     rec.observe(Metric::ShardApplyNs, apply_ns);
                     rec.observe(Metric::ShardMergeNs, merge_ns);
@@ -710,7 +856,7 @@ fn apply_and_emit(
         shard.advertised[li] = rank;
         st.senders += 1;
         for &t in out {
-            shard.mail_row[t as usize / ssize].push((t, send));
+            shard.emit.push((t, send));
             let tp = owner[t as usize];
             if tp == p {
                 st.local += 1;
@@ -722,22 +868,48 @@ fn apply_and_emit(
             }
         }
     }
+    // Single stable counting pass: group the flat emission buffer
+    // into contiguous per-target-shard segments (count, prefix-sum,
+    // place). Stability — equal-shard emissions keep their relative
+    // order — is what preserves the sequential floating-point fold
+    // order through the merge.
+    let nshards = shard.cursor.len();
+    shard.offsets.clear();
+    shard.offsets.resize(nshards + 1, 0);
+    for &(t, _) in shard.emit.iter() {
+        shard.offsets[t as usize / ssize + 1] += 1;
+    }
+    for s in 0..nshards {
+        shard.offsets[s + 1] += shard.offsets[s];
+    }
+    shard.cursor.copy_from_slice(&shard.offsets[..nshards]);
+    shard.sorted.clear();
+    shard.sorted.resize(shard.emit.len(), (0, 0.0));
+    for &(t, delta) in shard.emit.iter() {
+        let dst = t as usize / ssize;
+        shard.sorted[shard.cursor[dst] as usize] = (t, delta);
+        shard.cursor[dst] += 1;
+    }
+    shard.emit.clear();
     st
 }
 
-/// Phase 2 for one target shard: fold the inbound mailbox column in
-/// source-shard order into the dense accumulator (seeded from the
+/// Phase 2 for one target shard: fold this shard's contiguous segment
+/// of every source shard's counting-sorted emission buffer, in
+/// source-shard order, into the dense accumulator (seeded from the
 /// document's current `pending`, so carried/injected mass folds in
 /// the same position as sequentially), then commit one coalesced
 /// write per document and queue the newly dirty ones.
 fn merge_mailboxes(
     shard: &mut DstShard<'_>,
-    mail: &[Vec<Vec<(u32, f64)>>],
+    sorted: &[Vec<(u32, f64)>],
+    offsets: &[Vec<u32>],
     dst: usize,
     stamp: u64,
 ) {
-    for row in mail {
-        for &(d, delta) in &row[dst] {
+    for (src_sorted, src_off) in sorted.iter().zip(offsets) {
+        let seg = &src_sorted[src_off[dst] as usize..src_off[dst + 1] as usize];
+        for &(d, delta) in seg {
             let li = d as usize - shard.base;
             if shard.seen[li] != stamp {
                 shard.seen[li] = stamp;
@@ -781,7 +953,7 @@ mod tests {
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
         let peers = PeerTable::new(20);
-        let mut exec = ShardedExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
         for pass in 0..200 {
             if seq.is_quiescent() {
                 break;
@@ -803,7 +975,7 @@ mod tests {
         let cfg = EngineConfig::with_epsilon(1e-3);
         let mut eng = ChaoticEngine::new(Arc::new(g), own, cfg);
         let mut peers = PeerTable::new(10);
-        let mut exec = ShardedExecutor::new(3);
+        let mut exec = ShardedExecutor::new(3).with_auto_seq_threshold(0);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut churn = move |_pass: usize, p: &mut PeerTable| {
             p.set_online_fraction(0.5, &mut rng);
@@ -821,7 +993,7 @@ mod tests {
         let cfg = EngineConfig::with_epsilon(1e-4);
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
-        let mut exec = ShardedExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
         let mut peers_seq = PeerTable::new(16);
         let mut peers_par = PeerTable::new(16);
         // Identical churn schedules on both sides (independent rngs,
@@ -887,7 +1059,7 @@ mod tests {
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
         let peers = PeerTable::new(8);
-        let mut exec = ShardedExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
         // A stateful model whose answer depends on call order: parity
         // of calls so far. Any reordering shows up in `hops`.
         let mut calls_seq = 0u64;
@@ -925,7 +1097,7 @@ mod tests {
 
     #[test]
     fn executor_reuse_across_engines_of_different_sizes() {
-        let mut exec = ShardedExecutor::new(3);
+        let mut exec = ShardedExecutor::new(3).with_auto_seq_threshold(0);
         for (n, seed) in [(300usize, 60u64), (900, 61), (300, 62)] {
             let g = paper_graph(n, seed);
             let own = owners(n, 6, seed);
@@ -979,7 +1151,7 @@ mod tests {
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
         let peers = PeerTable::new(20);
-        let mut exec = ShardedExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
         let mut pass = 0;
         while !seq.is_quiescent() {
             pass += 1;
@@ -1019,7 +1191,7 @@ mod tests {
         let cfg = EngineConfig::with_epsilon(1e-4).with_sched(crate::SchedMode::Priority);
         let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
         let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
-        let mut exec = ShardedExecutor::new(4);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
         let mut peers_seq = PeerTable::new(16);
         let mut peers_par = PeerTable::new(16);
         let mut rng_seq = ChaCha8Rng::seed_from_u64(17);
@@ -1043,6 +1215,59 @@ mod tests {
     }
 
     #[test]
+    fn auto_seq_guard_delegates_small_passes_bit_identically() {
+        use dpr_telemetry::TraceRecorder;
+        // 2k docs is far below the default threshold, so every pass
+        // must delegate — and the result must still be bit-identical
+        // to the sequential engine (trivially: it *is* the sequential
+        // engine), with the decision visible in the telemetry counter
+        // and no ShardPhase events emitted.
+        let g = paper_graph(2_000, 67);
+        let n = g.num_nodes();
+        let own = owners(n, 10, 18);
+        let cfg = EngineConfig::with_epsilon(1e-5);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut p1 = PeerTable::new(10);
+        let mut p2 = PeerTable::new(10);
+        let r1 = seq.run_to_convergence(&mut p1, None);
+        let rec = TraceRecorder::new();
+        let mut exec = ShardedExecutor::new(4);
+        let r2 = exec.run_observed(&mut par, &mut p2, None, &rec, "guard");
+        assert!(exec.last_pass_delegated());
+        assert_eq!(r1.per_pass, r2.per_pass);
+        assert_eq!(seq.ranks(), par.ranks());
+        assert_eq!(
+            rec.counter(Metric::ExecDelegatedPasses),
+            r2.passes as u64,
+            "every pass below the threshold delegates"
+        );
+        assert_eq!(rec.counter(Metric::ExecShardedPasses), 0);
+        assert!(rec
+            .events()
+            .iter()
+            .all(|e| !matches!(e, Event::ShardPhase { .. })));
+    }
+
+    #[test]
+    fn forced_sharded_path_reports_no_delegation() {
+        use dpr_telemetry::TraceRecorder;
+        let g = paper_graph(1_000, 68);
+        let n = g.num_nodes();
+        let own = owners(n, 8, 19);
+        let cfg = EngineConfig::with_epsilon(1e-4);
+        let mut eng = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let mut peers = PeerTable::new(8);
+        let rec = TraceRecorder::new();
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
+        let run = exec.run_observed(&mut eng, &mut peers, None, &rec, "forced");
+        assert!(run.converged);
+        assert!(!exec.last_pass_delegated());
+        assert_eq!(rec.counter(Metric::ExecShardedPasses), run.passes as u64);
+        assert_eq!(rec.counter(Metric::ExecDelegatedPasses), 0);
+    }
+
+    #[test]
     fn observed_run_is_bit_identical_and_emits_shard_phases() {
         use dpr_telemetry::{Event, TraceRecorder};
         let g = paper_graph(1_000, 59);
@@ -1053,9 +1278,13 @@ mod tests {
         let mut obs = ChaoticEngine::new(Arc::new(g), own, cfg);
         let mut p1 = PeerTable::new(10);
         let mut p2 = PeerTable::new(10);
-        let r1 = ShardedExecutor::new(4).run_to_convergence(&mut plain, &mut p1, None);
+        let r1 = ShardedExecutor::new(4)
+            .with_auto_seq_threshold(0)
+            .run_to_convergence(&mut plain, &mut p1, None);
         let rec = TraceRecorder::new();
-        let r2 = ShardedExecutor::new(4).run_observed(&mut obs, &mut p2, None, &rec, "t");
+        let r2 = ShardedExecutor::new(4)
+            .with_auto_seq_threshold(0)
+            .run_observed(&mut obs, &mut p2, None, &rec, "t");
         assert_eq!(r1.per_pass, r2.per_pass);
         assert_eq!(plain.ranks(), obs.ranks());
         let events = rec.events();

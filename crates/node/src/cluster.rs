@@ -13,10 +13,8 @@ use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
 use dpr_p2p::peer::{PeerId, PeerTable, Placement};
-use dpr_p2p::transport::{
-    FaultPlan, TrafficStats, Transport, FRAME_ENTRY_BYTES, FRAME_HEADER_BYTES,
-    RANK_UPDATE_WIRE_BYTES,
-};
+use dpr_p2p::transport::WireCodec;
+use dpr_p2p::transport::{payload_entries, FaultPlan, TrafficStats, Transport};
 use dpr_telemetry::{Event, MassBreakdown, Metric, Recorder, NOOP};
 use std::sync::Arc;
 
@@ -117,6 +115,15 @@ impl Cluster {
         self.transport.set_recorder(rec);
     }
 
+    /// Sets the frame codec on every node (default [`WireCodec::Raw`];
+    /// see the codec's docs for the bit-identity vs bounded-error
+    /// trade). Takes effect from the next flush.
+    pub fn set_codec(&mut self, codec: WireCodec) {
+        for node in &mut self.nodes {
+            node.set_codec(codec);
+        }
+    }
+
     /// Rounds executed.
     pub fn rounds_run(&self) -> usize {
         self.rounds
@@ -185,11 +192,11 @@ impl Cluster {
                         round: self.rounds as u64,
                         from: pid.0,
                         to: to.0,
-                        entries: payload_entries(payload.len()),
+                        entries: payload_entries(&payload),
                         bytes: payload.len() as u64,
                     });
                 }
-                self.sent_entries_to[to.index()] += payload_entries(payload.len());
+                self.sent_entries_to[to.index()] += payload_entries(&payload);
                 self.transport.send(peers, pid, to, payload);
                 stats.sent += 1;
             }
@@ -441,12 +448,17 @@ impl Cluster {
         //    independently (no cross-frame coalescing — the increments
         //    were separate sends and must stay separate folds).
         use dpr_p2p::guid::Guid;
-        use dpr_p2p::transport::{RankUpdateWire, UpdateFrameWire, RANK_UPDATE_WIRE_BYTES};
-        let guid_home: std::collections::HashMap<u128, PeerId> = new_home
+        use dpr_p2p::transport::{
+            CompactEntry, CompactFrameWire, RankUpdateWire, UpdateFrameWire, COMPACT_MAGIC,
+            RANK_UPDATE_WIRE_BYTES,
+        };
+        let doc_home: fxhash::FxHashMap<u32, PeerId> =
+            new_home.iter().map(|&(d, h)| (d.0, h)).collect();
+        let guid_home: fxhash::FxHashMap<u128, PeerId> = new_home
             .iter()
             .map(|&(d, h)| (Guid::for_document(d).0, h))
             .collect();
-        let tag_home: std::collections::HashMap<u64, PeerId> = new_home
+        let tag_home: fxhash::FxHashMap<u64, PeerId> = new_home
             .iter()
             .map(|&(d, h)| (Guid::for_document(d).frame_tag(), h))
             .collect();
@@ -466,6 +478,29 @@ impl Cluster {
                 self.sent_entries_to[p.index()] -= 1;
                 self.sent_entries_to[holder.index()] += 1;
                 self.transport.send(peers, env.from, holder, env.payload);
+            } else if env.payload.first() == Some(&COMPACT_MAGIC) {
+                let wire = CompactFrameWire::decode(env.payload)
+                    .expect("cluster messages are well-formed");
+                self.sent_entries_to[p.index()] -= wire.entries.len() as u64;
+                let mut split: Vec<(PeerId, Vec<CompactEntry>)> = Vec::new();
+                for e in wire.entries {
+                    let holder = *doc_home
+                        .get(&e.doc)
+                        .expect("stranded frame entry must target a migrated document");
+                    match split.iter_mut().find(|(h, _)| *h == holder) {
+                        Some((_, es)) => es.push(e),
+                        None => split.push((holder, vec![e])),
+                    }
+                }
+                for (holder, entries) in split {
+                    self.sent_entries_to[holder.index()] += entries.len() as u64;
+                    self.transport.send(
+                        peers,
+                        env.from,
+                        holder,
+                        CompactFrameWire::new(entries).encode(),
+                    );
+                }
             } else {
                 let wire =
                     UpdateFrameWire::decode(env.payload).expect("cluster messages are well-formed");
@@ -487,18 +522,6 @@ impl Cluster {
             }
         }
         migrated
-    }
-}
-
-/// Coalesced updates in a wire payload, inferred from its length: a
-/// 24-byte payload is one single update, anything else is a frame of
-/// `(len − header) / entry_size` entries (frame lengths are `4 + 16k`,
-/// never 24, so the inference is unambiguous).
-fn payload_entries(len: usize) -> u64 {
-    if len == RANK_UPDATE_WIRE_BYTES {
-        1
-    } else {
-        ((len - FRAME_HEADER_BYTES) / FRAME_ENTRY_BYTES) as u64
     }
 }
 

@@ -57,11 +57,13 @@ use dpr_core::sched::{partition_by_residual, residual_bucket, SchedMode, SchedSt
 use dpr_graph::DocId;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::peer::PeerId;
-use dpr_p2p::transport::{RankUpdateWire, UpdateFrameWire, RANK_UPDATE_WIRE_BYTES};
+use dpr_p2p::transport::{
+    CompactEntry, CompactFrameWire, RankUpdateWire, UpdateFrameWire, WireCodec, COMPACT_MAGIC,
+    RANK_UPDATE_WIRE_BYTES,
+};
 use dpr_telemetry::{Metric, Recorder, NOOP};
 use fxhash::FxHashMap;
 use std::cmp::Reverse;
-use std::collections::HashMap;
 
 /// How a node puts updates on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +149,9 @@ pub struct PeerNode {
     id: PeerId,
     cfg: EngineConfig,
     wire: WireMode,
+    /// Frame encoding: bit-identity `Raw` (default) or varint/f32
+    /// `Compact`. Singles always travel raw — see [`WireCodec`].
+    codec: WireCodec,
     /// The document slab, indexed by local slot (arrival order).
     slots: Vec<DocState>,
     /// Rebuildable side-indexes into the slab.
@@ -162,8 +167,10 @@ pub struct PeerNode {
     /// Reusable buffers for the priority selection.
     scratch_deferred: Vec<u32>,
     scratch_buckets: Vec<u8>,
-    /// Per-destination aggregation buffers (empty between steps).
-    flush: HashMap<PeerId, FlushBuffer>,
+    /// Per-destination aggregation buffers, indexed by destination
+    /// peer id (grown on first touch; empty between steps but keeping
+    /// their capacity, so the steady state never allocates).
+    flush: Vec<FlushBuffer>,
     /// Destinations touched this step, in first-touch order.
     flush_order: Vec<PeerId>,
     outbox: Vec<(PeerId, Bytes)>,
@@ -187,6 +194,7 @@ impl PeerNode {
             id,
             cfg,
             wire,
+            codec: WireCodec::Raw,
             slots: Vec::new(),
             doc_index: FxHashMap::default(),
             guid_index: FxHashMap::default(),
@@ -195,7 +203,7 @@ impl PeerNode {
             dirty: Vec::new(),
             scratch_deferred: Vec::new(),
             scratch_buckets: Vec::new(),
-            flush: HashMap::new(),
+            flush: Vec::new(),
             flush_order: Vec::new(),
             outbox: Vec::new(),
             stats: NodeStats::default(),
@@ -206,6 +214,17 @@ impl PeerNode {
     /// This node's wire mode.
     pub fn wire_mode(&self) -> WireMode {
         self.wire
+    }
+
+    /// This node's frame codec.
+    pub fn wire_codec(&self) -> WireCodec {
+        self.codec
+    }
+
+    /// Sets the frame codec for subsequent flushes (receiving is
+    /// codec-agnostic: any node accepts raw and compact frames alike).
+    pub fn set_codec(&mut self, codec: WireCodec) {
+        self.codec = codec;
     }
 
     /// This node's peer id.
@@ -334,13 +353,16 @@ impl PeerNode {
             .map(|&s| self.slots[s as usize].rank)
     }
 
-    /// Handles one incoming wire payload, dispatching on length: a
-    /// 24-byte payload is a single `(GUID, f64)` update, anything else
-    /// is parsed as a multi-update frame (frame lengths are
-    /// `4 + 16k`, never 24, so the dispatch is unambiguous).
+    /// Handles one incoming wire payload: a 24-byte payload is a
+    /// single `(GUID, f64)` update; otherwise the first byte selects
+    /// the frame codec ([`COMPACT_MAGIC`] ⇒ compact, else raw — raw
+    /// frame lengths are `4 + 16k`, never 24, and compact frames pad
+    /// away from 24, so the dispatch is unambiguous).
     pub fn handle_message(&mut self, payload: Bytes) -> Result<(), MessageError> {
         if payload.len() == RANK_UPDATE_WIRE_BYTES {
             self.handle_single(payload)
+        } else if payload.first() == Some(&COMPACT_MAGIC) {
+            self.handle_compact(payload)
         } else {
             self.handle_frame(payload)
         }
@@ -378,6 +400,29 @@ impl PeerNode {
                 return Err(MessageError::UnknownTag(e.tag));
             };
             resolved.push((slot, e.value));
+        }
+        self.stats.received += resolved.len() as u64;
+        for (slot, delta) in resolved {
+            self.apply_slot(slot, delta);
+        }
+        Ok(())
+    }
+
+    /// Handles one compact frame: entries resolve by doc id through
+    /// the doc index (all-or-nothing, like raw frames), then fold into
+    /// `pending` in entry order with values widened `f32 → f64`.
+    fn handle_compact(&mut self, payload: Bytes) -> Result<(), MessageError> {
+        let wire = CompactFrameWire::decode(payload).map_err(|e| {
+            self.stats.rejected += 1;
+            MessageError::Wire(e)
+        })?;
+        let mut resolved: Vec<(u32, f64)> = Vec::with_capacity(wire.entries.len());
+        for e in &wire.entries {
+            let Some(&slot) = self.doc_index.get(&DocId(e.doc)) else {
+                self.stats.rejected += 1;
+                return Err(MessageError::UnknownGuid(Guid::for_document(DocId(e.doc))));
+            };
+            resolved.push((slot, f64::from(e.value)));
         }
         self.stats.received += resolved.len() as u64;
         for (slot, delta) in resolved {
@@ -501,7 +546,11 @@ impl PeerNode {
                     self.apply_slot(link.local_slot, send);
                     self.stats.local_updates += 1;
                 } else {
-                    let buf = self.flush.entry(link.holder).or_default();
+                    let di = link.holder.index();
+                    if di >= self.flush.len() {
+                        self.flush.resize_with(di + 1, FlushBuffer::default);
+                    }
+                    let buf = &mut self.flush[di];
                     if buf.is_empty() {
                         self.flush_order.push(link.holder);
                     }
@@ -521,7 +570,7 @@ impl PeerNode {
         // first-emission order — the canonical fold order both wire
         // formats serialize.
         for dst in std::mem::take(&mut self.flush_order) {
-            let buf = self.flush.get_mut(&dst).expect("touched buffer exists");
+            let buf = &mut self.flush[dst.index()];
             if rec.enabled() {
                 rec.observe(Metric::FlushOccupancy, buf.len() as u64);
             }
@@ -537,7 +586,21 @@ impl PeerNode {
                 WireMode::Frames { max_frame_bytes } => {
                     for frame in buf.flush(max_frame_bytes) {
                         self.stats.sent_remote += frame.updates.len() as u64;
-                        self.outbox.push((dst, frame.to_wire().encode()));
+                        let payload = match self.codec {
+                            WireCodec::Raw => frame.to_wire().encode(),
+                            WireCodec::Compact => CompactFrameWire::new(
+                                frame
+                                    .updates
+                                    .iter()
+                                    .map(|u| CompactEntry {
+                                        doc: u.doc.0,
+                                        value: u.delta as f32,
+                                    })
+                                    .collect(),
+                            )
+                            .encode(),
+                        };
+                        self.outbox.push((dst, payload));
                         self.stats.frames_sent += 1;
                     }
                 }

@@ -13,7 +13,7 @@
 //! to routing on the next send — which re-populates the entry.
 
 use crate::{guid::Guid, peer::PeerId};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Hit/miss counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
@@ -41,7 +41,7 @@ impl CacheStats {
 /// One peer's document-location cache.
 #[derive(Debug, Default)]
 pub struct AddressCache {
-    entries: HashMap<Guid, PeerId>,
+    entries: FxHashMap<Guid, PeerId>,
     stats: CacheStats,
 }
 

@@ -16,7 +16,7 @@
 
 use crate::guid::Guid;
 use crate::peer::PeerId;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Hex digits per 128-bit id.
 const DIGITS: usize = 32;
@@ -72,7 +72,7 @@ struct NodeState {
 pub struct PastryNetwork {
     /// `(guid value, peer)` sorted by id.
     points: Vec<(u128, PeerId)>,
-    states: HashMap<PeerId, NodeState>,
+    states: FxHashMap<PeerId, NodeState>,
 }
 
 /// A completed Pastry route.
@@ -98,7 +98,7 @@ impl PastryNetwork {
             .map(|i| (Guid::for_peer(i).0, PeerId(i)))
             .collect();
         points.sort_unstable_by_key(|&(id, _)| id);
-        let mut states = HashMap::with_capacity(n);
+        let mut states = FxHashMap::with_capacity_and_hasher(n, Default::default());
         for (pos, &(id, peer)) in points.iter().enumerate() {
             // Leaf set: LEAF_EACH_SIDE sorted neighbours each way.
             let mut leaves = Vec::new();

@@ -17,7 +17,7 @@
 
 use crate::{guid::Guid, peer::PeerId, ring::Ring};
 use dpr_telemetry::{Event, Metric, Recorder};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Result of routing a lookup through the overlay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +37,7 @@ pub struct Route {
 pub struct Router {
     /// finger tables: peer -> 128 successors of guid + 2^k. Sparse
     /// (deduplicated, ordered by k) to keep the common case fast.
-    fingers: HashMap<PeerId, Vec<(Guid, PeerId)>>,
+    fingers: FxHashMap<PeerId, Vec<(Guid, PeerId)>>,
     generation: u64,
 }
 

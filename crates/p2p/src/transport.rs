@@ -155,6 +155,11 @@ impl FaultTarget for Bytes {
             let mut m = RankUpdateWire::decode(self.clone()).ok()?;
             m.value += MASS_LEAK_DELTA;
             m.value.is_finite().then(|| m.encode())
+        } else if self.first() == Some(&COMPACT_MAGIC) {
+            let mut f = CompactFrameWire::decode(self.clone()).ok()?;
+            let e = f.entries.first_mut()?;
+            e.value += MASS_LEAK_DELTA as f32;
+            e.value.is_finite().then(|| f.encode())
         } else {
             let mut f = UpdateFrameWire::decode(self.clone()).ok()?;
             let e = f.entries.first_mut()?;
@@ -387,23 +392,38 @@ impl<M: WireSize + FaultTarget> Transport<M> {
     }
 }
 
-/// Update entries carried by one wire payload, by length dispatch
-/// (24 bytes ⇒ one single update, else a `4 + 16k` frame).
+/// Update entries carried by one wire payload: 24 bytes ⇒ one single
+/// update, [`COMPACT_MAGIC`] ⇒ the compact frame's declared count,
+/// else a `4 + 16k` raw frame.
 pub fn payload_entries(payload: &Bytes) -> u64 {
     if payload.len() == RANK_UPDATE_WIRE_BYTES {
         1
-    } else {
+    } else if payload.first() == Some(&COMPACT_MAGIC) {
+        if payload.len() < COMPACT_HEADER_BYTES {
+            0
+        } else {
+            u64::from(u16::from_le_bytes([payload[2], payload[3]]))
+        }
+    } else if payload.len() >= FRAME_HEADER_BYTES {
         ((payload.len() - FRAME_HEADER_BYTES) / FRAME_ENTRY_BYTES) as u64
+    } else {
+        0
     }
 }
 
 /// Total rank mass carried by one wire payload — the decoded sum of
 /// its update values (0 for an undecodable payload, which the ledger
-/// then reports as missing mass).
+/// then reports as missing mass). Compact frames contribute their
+/// `f32`-quantized values widened to `f64` — exactly what the
+/// receiver will fold in.
 pub fn payload_mass(payload: &Bytes) -> f64 {
     if payload.len() == RANK_UPDATE_WIRE_BYTES {
         RankUpdateWire::decode(payload.clone())
             .map(|m| m.value)
+            .unwrap_or(0.0)
+    } else if payload.first() == Some(&COMPACT_MAGIC) {
+        CompactFrameWire::decode(payload.clone())
+            .map(|f| f.entries.iter().map(|e| f64::from(e.value)).sum())
             .unwrap_or(0.0)
     } else {
         UpdateFrameWire::decode(payload.clone())
@@ -627,6 +647,9 @@ pub enum WireError {
     BadVersion(u8),
     /// Frame declared zero entries.
     EmptyFrame,
+    /// A compact frame's varint doc-id stream was truncated,
+    /// overflowed `u32`, or was not strictly ascending.
+    BadDocEncoding,
 }
 
 impl std::fmt::Display for WireError {
@@ -637,11 +660,204 @@ impl std::fmt::Display for WireError {
             WireError::BadMagic(m) => write!(f, "bad frame magic {m:#04x}"),
             WireError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
             WireError::EmptyFrame => write!(f, "frame declares zero entries"),
+            WireError::BadDocEncoding => write!(f, "malformed compact doc-id stream"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Which frame encoding a sender puts on the wire.
+///
+/// `Raw` is the bit-identity default: 16-byte `(tag u64, value f64)`
+/// entries, so converged ranks are exactly the sequential engine's
+/// bits. `Compact` trades that for bytes: doc ids are sorted ascending
+/// and varint/delta-encoded, values are quantized to `f32` — a
+/// bounded-error mode (per-doc relative error ≤ the f32 quantization
+/// step, ~1.2e-7) whose parity bound is pinned by a differential test.
+/// Single 24-byte updates always travel raw in either codec: routing a
+/// single needs the full 128-bit GUID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Full-fidelity frames (`f64` values, 64-bit tags).
+    #[default]
+    Raw,
+    /// Varint/delta doc ids + `f32` values.
+    Compact,
+}
+
+impl std::fmt::Display for WireCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WireCodec::Raw => "raw",
+            WireCodec::Compact => "compact",
+        })
+    }
+}
+
+impl std::str::FromStr for WireCodec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "raw" => Ok(WireCodec::Raw),
+            "compact" => Ok(WireCodec::Compact),
+            other => Err(format!(
+                "unknown wire codec {other:?} (expected \"raw\" or \"compact\")"
+            )),
+        }
+    }
+}
+
+/// First byte of every compact frame. Distinct from [`FRAME_MAGIC`],
+/// so receivers dispatch raw vs compact on the first byte after the
+/// 24-byte single-update length check.
+pub const COMPACT_MAGIC: u8 = 0xF8;
+/// Wire-protocol version of the compact frame layout.
+pub const COMPACT_VERSION: u8 = 1;
+/// Compact frame header size: magic + version + u16 entry count.
+pub const COMPACT_HEADER_BYTES: usize = 4;
+
+/// One update inside a [`CompactFrameWire`]: the target document id
+/// and the quantized rank contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactEntry {
+    /// The target document id (node-local resolution, no GUID).
+    pub doc: u32,
+    /// The coalesced rank contribution, quantized to `f32`.
+    pub value: f32,
+}
+
+/// The compact multi-update frame.
+///
+/// Layout: `[COMPACT_MAGIC][version u8][count u16 LE]` followed by
+/// `count` entries of `[varint doc-delta][value f32 LE]`. Entries are
+/// sorted by doc id strictly ascending (a flush buffer coalesces, so a
+/// frame never repeats a doc); the first entry carries its absolute
+/// doc id, each later entry the LEB128 varint of the gap to its
+/// predecessor. When the encoded length would collide with the
+/// 24-byte single-update dispatch, one pad byte is appended (decoders
+/// ignore a single trailing byte).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompactFrameWire {
+    /// The updates, sorted by doc id strictly ascending.
+    pub entries: Vec<CompactEntry>,
+}
+
+fn put_varint(b: &mut BytesMut, mut v: u32) {
+    while v >= 0x80 {
+        b.put_u8((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    b.put_u8(v as u8);
+}
+
+fn get_varint(bytes: &mut Bytes) -> Result<u32, WireError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if bytes.is_empty() || shift > 28 {
+            return Err(WireError::BadDocEncoding);
+        }
+        let byte = bytes.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+    }
+    u32::try_from(v).map_err(|_| WireError::BadDocEncoding)
+}
+
+impl CompactFrameWire {
+    /// Builds a frame from `(doc, value)` pairs, sorting by doc id.
+    /// Callers must not pass duplicate doc ids (the flush buffer
+    /// guarantees this); duplicates are rejected at encode time.
+    pub fn new(mut entries: Vec<CompactEntry>) -> Self {
+        entries.sort_unstable_by_key(|e| e.doc);
+        CompactFrameWire { entries }
+    }
+
+    /// Serializes to the varint/delta wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is empty, exceeds [`FRAME_MAX_ENTRIES`],
+    /// holds a non-finite value, or is not strictly ascending by doc.
+    pub fn encode(&self) -> Bytes {
+        assert!(!self.entries.is_empty(), "empty frame");
+        assert!(self.entries.len() <= FRAME_MAX_ENTRIES, "oversized frame");
+        let mut b = BytesMut::with_capacity(COMPACT_HEADER_BYTES + self.entries.len() * 9);
+        b.put_u8(COMPACT_MAGIC);
+        b.put_u8(COMPACT_VERSION);
+        b.put_u16_le(self.entries.len() as u16);
+        let mut prev: Option<u32> = None;
+        for e in &self.entries {
+            assert!(e.value.is_finite(), "non-finite value in compact frame");
+            match prev {
+                None => put_varint(&mut b, e.doc),
+                Some(p) => {
+                    assert!(e.doc > p, "compact frame docs must be strictly ascending");
+                    put_varint(&mut b, e.doc - p);
+                }
+            }
+            prev = Some(e.doc);
+            b.put_u32_le(e.value.to_bits());
+        }
+        if b.len() == RANK_UPDATE_WIRE_BYTES {
+            b.put_u8(0);
+        }
+        b.freeze()
+    }
+
+    /// Parses a compact frame payload.
+    pub fn decode(mut bytes: Bytes) -> Result<Self, WireError> {
+        let len = bytes.len();
+        if len < COMPACT_HEADER_BYTES {
+            return Err(WireError::BadLength(len));
+        }
+        let magic = bytes.get_u8();
+        if magic != COMPACT_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = bytes.get_u8();
+        if version != COMPACT_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let count = bytes.get_u16_le() as usize;
+        if count == 0 {
+            return Err(WireError::EmptyFrame);
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut prev: Option<u32> = None;
+        for _ in 0..count {
+            let raw = get_varint(&mut bytes)?;
+            let doc = match prev {
+                None => raw,
+                Some(p) => {
+                    if raw == 0 {
+                        return Err(WireError::BadDocEncoding);
+                    }
+                    p.checked_add(raw).ok_or(WireError::BadDocEncoding)?
+                }
+            };
+            prev = Some(doc);
+            if bytes.len() < 4 {
+                return Err(WireError::BadLength(len));
+            }
+            let value = f32::from_bits(bytes.get_u32_le());
+            if !value.is_finite() {
+                return Err(WireError::NonFiniteValue);
+            }
+            entries.push(CompactEntry { doc, value });
+        }
+        // At most one trailing byte: the 24-byte-collision pad.
+        if bytes.len() > 1 {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(CompactFrameWire { entries })
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -1028,5 +1244,197 @@ mod tests {
         assert_eq!(tb.fault_fired_at(), None);
         tb.send(&peers, PeerId(0), PeerId(1), single(99, 0.1));
         assert_eq!(tb.fault_fired_at(), Some(5));
+    }
+
+    fn compact(entries: &[(u32, f32)]) -> CompactFrameWire {
+        CompactFrameWire::new(
+            entries
+                .iter()
+                .map(|&(doc, value)| CompactEntry { doc, value })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn compact_roundtrip_with_boundary_doc_ids() {
+        let f = compact(&[(0, 0.5), (1, -2.0), (300, 1.5e-30), (u32::MAX, -0.0)]);
+        let b = f.encode();
+        assert_eq!(b[0], COMPACT_MAGIC);
+        assert_eq!(CompactFrameWire::decode(b.clone()).unwrap(), f);
+        // Varint/delta ids + f32 values always undercut the raw frame.
+        assert!(b.len() < frame_wire_bytes(4));
+        assert_eq!(payload_entries(&b), 4);
+        let mass: f64 = f.entries.iter().map(|e| f64::from(e.value)).sum();
+        assert_eq!(payload_mass(&b), mass);
+    }
+
+    #[test]
+    fn compact_encoder_sorts_and_pads_away_from_single_length() {
+        // `new` sorts whatever order the flush produced.
+        let f = compact(&[(9, 1.0), (2, 2.0), (5, 3.0)]);
+        let docs: Vec<u32> = f.entries.iter().map(|e| e.doc).collect();
+        assert_eq!(docs, vec![2, 5, 9]);
+        // Find an entry set whose natural encoding is exactly 24 bytes:
+        // 4 header + 4 × (1-byte delta + 4-byte value) = 24.
+        let collide = compact(&[(1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0)]);
+        let b = collide.encode();
+        assert_eq!(b.len(), 25, "pad byte dodges the single-update length");
+        assert_eq!(CompactFrameWire::decode(b).unwrap(), collide);
+    }
+
+    #[test]
+    fn compact_rejects_malformed_payloads() {
+        let good = compact(&[(7, 1.0), (9, 2.0)]).encode();
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] = 0x00;
+        assert_eq!(
+            CompactFrameWire::decode(Bytes::from(bad_magic)),
+            Err(WireError::BadMagic(0x00))
+        );
+
+        let mut bad_version = good.to_vec();
+        bad_version[1] = 9;
+        assert_eq!(
+            CompactFrameWire::decode(Bytes::from(bad_version)),
+            Err(WireError::BadVersion(9))
+        );
+
+        let mut zero_count = good.to_vec();
+        zero_count[2] = 0;
+        zero_count[3] = 0;
+        assert_eq!(
+            CompactFrameWire::decode(Bytes::from(zero_count)),
+            Err(WireError::EmptyFrame)
+        );
+
+        // Count says 3 but only two entries' bytes follow.
+        let mut short = good.to_vec();
+        short[2] = 3;
+        assert_eq!(
+            CompactFrameWire::decode(Bytes::from(short)),
+            Err(WireError::BadDocEncoding)
+        );
+
+        // A NaN value bit pattern is rejected.
+        let nan_frame = {
+            let mut b = BytesMut::with_capacity(16);
+            b.put_u8(COMPACT_MAGIC);
+            b.put_u8(COMPACT_VERSION);
+            b.put_u16_le(1);
+            b.put_u8(7); // doc 7
+            b.put_u32_le(f32::NAN.to_bits());
+            b.freeze()
+        };
+        assert_eq!(
+            CompactFrameWire::decode(nan_frame),
+            Err(WireError::NonFiniteValue)
+        );
+
+        // A zero delta (duplicate doc) is rejected.
+        let dup = {
+            let mut b = BytesMut::with_capacity(16);
+            b.put_u8(COMPACT_MAGIC);
+            b.put_u8(COMPACT_VERSION);
+            b.put_u16_le(2);
+            b.put_u8(7);
+            b.put_u32_le(1.0f32.to_bits());
+            b.put_u8(0); // delta 0: doc 7 again
+            b.put_u32_le(1.0f32.to_bits());
+            b.freeze()
+        };
+        assert_eq!(
+            CompactFrameWire::decode(dup),
+            Err(WireError::BadDocEncoding)
+        );
+
+        // A varint stream overflowing u32 is rejected.
+        let overflow = {
+            let mut b = BytesMut::with_capacity(16);
+            b.put_u8(COMPACT_MAGIC);
+            b.put_u8(COMPACT_VERSION);
+            b.put_u16_le(2);
+            b.put_u8(0xFF); // doc u32::MAX...
+            b.put_u8(0xFF);
+            b.put_u8(0xFF);
+            b.put_u8(0xFF);
+            b.put_u8(0x0F);
+            b.put_u32_le(1.0f32.to_bits());
+            b.put_u8(1); // ...plus one: overflow
+            b.put_u32_le(1.0f32.to_bits());
+            b.freeze()
+        };
+        assert_eq!(
+            CompactFrameWire::decode(overflow),
+            Err(WireError::BadDocEncoding)
+        );
+    }
+
+    #[test]
+    fn compact_mass_leak_still_fires() {
+        let peers = PeerTable::new(2);
+        let mut t: Transport<Bytes> = Transport::new(2);
+        t.inject_fault(FaultPlan {
+            kind: FaultKind::MassLeak,
+            nth_send: 0,
+        });
+        t.send(&peers, PeerId(0), PeerId(1), compact(&[(3, 0.5)]).encode());
+        assert_eq!(t.fault_fired_at(), Some(0));
+        let got = CompactFrameWire::decode(t.receive(PeerId(1)).unwrap().payload).unwrap();
+        assert_eq!(got.entries[0].value, 0.5 + MASS_LEAK_DELTA as f32);
+    }
+
+    proptest::proptest! {
+        /// Codec round-trip: sorted-unique doc ids (boundaries
+        /// included), finite values (subnormal and negative included)
+        /// survive encode -> decode exactly, and the length accounting
+        /// holds: every compact frame is strictly smaller than its raw
+        /// equivalent, never 24 bytes, and [`payload_entries`] /
+        /// [`payload_mass`] agree across the two codecs.
+        #[test]
+        fn compact_roundtrip_proptest(
+            raw_docs in proptest::collection::vec(
+                proptest::prelude::any::<u32>(),
+                1..62,
+            ),
+            bits in proptest::collection::vec(proptest::prelude::any::<u32>(), 64..65),
+        ) {
+            // Dedupe and always exercise the boundary ids 0 and
+            // u32::MAX (5-byte varint, largest possible delta).
+            let docs: std::collections::BTreeSet<u32> = raw_docs
+                .into_iter()
+                .chain([0, u32::MAX])
+                .collect();
+            let entries: Vec<CompactEntry> = docs
+                .iter()
+                .zip(&bits)
+                .map(|(&doc, &b)| {
+                    let mut v = f32::from_bits(b);
+                    if !v.is_finite() {
+                        v = 0.25;
+                    }
+                    CompactEntry { doc, value: v }
+                })
+                .collect();
+            let k = entries.len();
+            let frame = CompactFrameWire::new(entries);
+            let b = frame.encode();
+            proptest::prop_assert_eq!(&CompactFrameWire::decode(b.clone()).unwrap(), &frame);
+            proptest::prop_assert!(b.len() < frame_wire_bytes(k), "compact must beat raw");
+            proptest::prop_assert_ne!(b.len(), RANK_UPDATE_WIRE_BYTES);
+            proptest::prop_assert_eq!(payload_entries(&b), k as u64);
+            // Accounting parity with the raw codec: same entry count,
+            // same (quantized) mass, fewer bytes on the wire.
+            let raw = UpdateFrameWire {
+                entries: frame
+                    .entries
+                    .iter()
+                    .map(|e| FrameEntry { tag: u64::from(e.doc), value: f64::from(e.value) })
+                    .collect(),
+            }
+            .encode();
+            proptest::prop_assert_eq!(payload_entries(&raw), payload_entries(&b));
+            proptest::prop_assert_eq!(payload_mass(&raw), payload_mass(&b));
+        }
     }
 }

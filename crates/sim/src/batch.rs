@@ -33,10 +33,10 @@ use dpr_graph::DocId;
 use dpr_node::cluster::Cluster;
 use dpr_node::node::WireMode;
 use dpr_p2p::guid::Guid;
-use dpr_p2p::transport::{RankUpdateWire, RANK_UPDATE_WIRE_BYTES};
+use dpr_p2p::transport::{RankUpdateWire, WireCodec, RANK_UPDATE_WIRE_BYTES};
 use dpr_telemetry::Recorder;
+use fxhash::FxHashMap;
 use serde::Serialize;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Measured traffic of one cluster convergence run.
@@ -75,7 +75,30 @@ pub struct ClusterRun {
 /// `cache_ips`, the first send per destination routes and caches the
 /// address (paper Sec. 3.2) and later sends go direct in one hop.
 pub fn run_wire_mode(w: &Workload, epsilon: f64, wire: WireMode, cache_ips: bool) -> ClusterRun {
-    run_wire_mode_inner(w, epsilon, SchedMode::Pass, wire, cache_ips, None)
+    run_wire_mode_inner(
+        w,
+        epsilon,
+        SchedMode::Pass,
+        wire,
+        WireCodec::Raw,
+        cache_ips,
+        None,
+    )
+}
+
+/// [`run_wire_mode`] under an explicit wire codec. The codec only
+/// changes how frames are *encoded* ([`WireCodec::Compact`] sends
+/// varint-delta doc ids and `f32` values), so rounds and update counts
+/// are unchanged — only `bytes_on_wire` and (within the pinned parity
+/// bound) the low rank bits move.
+pub fn run_wire_mode_codec(
+    w: &Workload,
+    epsilon: f64,
+    wire: WireMode,
+    codec: WireCodec,
+    cache_ips: bool,
+) -> ClusterRun {
+    run_wire_mode_inner(w, epsilon, SchedMode::Pass, wire, codec, cache_ips, None)
 }
 
 /// [`run_wire_mode`] under an explicit pass scheduler: every peer
@@ -90,7 +113,7 @@ pub fn run_wire_mode_sched(
     wire: WireMode,
     cache_ips: bool,
 ) -> ClusterRun {
-    run_wire_mode_inner(w, epsilon, sched, wire, cache_ips, None)
+    run_wire_mode_inner(w, epsilon, sched, wire, WireCodec::Raw, cache_ips, None)
 }
 
 /// [`run_wire_mode`] traced through `rec`: the cluster's transport
@@ -105,7 +128,15 @@ pub fn run_wire_mode_observed(
     cache_ips: bool,
     rec: Arc<dyn Recorder>,
 ) -> ClusterRun {
-    run_wire_mode_inner(w, epsilon, SchedMode::Pass, wire, cache_ips, Some(rec))
+    run_wire_mode_inner(
+        w,
+        epsilon,
+        SchedMode::Pass,
+        wire,
+        WireCodec::Raw,
+        cache_ips,
+        Some(rec),
+    )
 }
 
 /// [`run_wire_mode_sched`] traced through `rec`; see
@@ -119,7 +150,15 @@ pub fn run_wire_mode_sched_observed(
     cache_ips: bool,
     rec: Arc<dyn Recorder>,
 ) -> ClusterRun {
-    run_wire_mode_inner(w, epsilon, sched, wire, cache_ips, Some(rec))
+    run_wire_mode_inner(
+        w,
+        epsilon,
+        sched,
+        wire,
+        WireCodec::Raw,
+        cache_ips,
+        Some(rec),
+    )
 }
 
 fn run_wire_mode_inner(
@@ -127,6 +166,7 @@ fn run_wire_mode_inner(
     epsilon: f64,
     sched: SchedMode,
     wire: WireMode,
+    codec: WireCodec,
     cache_ips: bool,
     rec: Option<Arc<dyn Recorder>>,
 ) -> ClusterRun {
@@ -137,6 +177,7 @@ fn run_wire_mode_inner(
         EngineConfig::with_epsilon(epsilon).with_sched(sched),
         wire,
     );
+    cluster.set_codec(codec);
     let mut acc = if cache_ips {
         HopAccounting::cached(w.ring.clone())
     } else {
@@ -149,7 +190,7 @@ fn run_wire_mode_inner(
     // Singles name their document only by GUID on the wire; map them
     // back so the hop model can route on the document as a real DHT
     // lookup would.
-    let doc_of_guid: HashMap<u128, DocId> = (0..w.graph.num_nodes())
+    let doc_of_guid: FxHashMap<u128, DocId> = (0..w.graph.num_nodes())
         .map(|d| (Guid::for_document(DocId::from(d)).0, DocId::from(d)))
         .collect();
     let mut hook = |src, dst, payload: &bytes::Bytes| {

@@ -34,7 +34,7 @@ use dpr_core::SchedMode;
 use dpr_graph::DocId;
 use dpr_node::cluster::Cluster;
 use dpr_node::node::WireMode;
-use dpr_p2p::transport::FaultPlan;
+use dpr_p2p::transport::{FaultPlan, WireCodec};
 use dpr_telemetry::replay::{fnv64_ranks, Capture, CaptureHeader, Fingerprint, CAPTURE_VERSION};
 use dpr_telemetry::{AuditReport, Event, Recorder, TraceRecorder};
 use rand::{Rng, SeedableRng};
@@ -62,6 +62,10 @@ pub struct FlightConfig {
     pub seed: u64,
     /// Pass scheduler for every run in the scenario.
     pub sched: SchedMode,
+    /// Wire codec the capture's fingerprint assumes. Compact
+    /// quantizes updates to `f32`, so fingerprints recorded under one
+    /// codec are meaningless under the other.
+    pub codec: WireCodec,
 }
 
 impl FlightConfig {
@@ -76,6 +80,7 @@ impl FlightConfig {
             epsilon: 1e-4,
             seed: 2003,
             sched: SchedMode::Pass,
+            codec: WireCodec::Raw,
         }
     }
 
@@ -89,6 +94,7 @@ impl FlightConfig {
             epsilon: 1e-3,
             seed: 7,
             sched: SchedMode::Pass,
+            codec: WireCodec::Raw,
         }
     }
 
@@ -104,6 +110,7 @@ impl FlightConfig {
             epsilon: self.epsilon,
             seed: self.seed,
             sched: self.sched.to_string(),
+            codec: self.codec.to_string(),
         }
     }
 
@@ -123,6 +130,7 @@ impl FlightConfig {
             epsilon: h.epsilon,
             seed: h.seed,
             sched: h.sched.parse()?,
+            codec: h.codec.parse()?,
         })
     }
 }
@@ -257,6 +265,28 @@ pub fn replay(capture: &Capture, mode: ExecMode) -> Result<FlightOutcome, String
     Ok(out)
 }
 
+/// Like [`replay`], but first refuses captures recorded under a
+/// different wire codec than the one this replayer is running.
+/// Compact quantizes updates to `f32`, so a fingerprint recorded under
+/// one codec says nothing about a run under the other — comparing them
+/// would report a phantom determinism bug.
+pub fn replay_under_codec(
+    capture: &Capture,
+    mode: ExecMode,
+    codec: WireCodec,
+) -> Result<FlightOutcome, String> {
+    let cfg = FlightConfig::from_header(&capture.header)?;
+    if cfg.codec != codec {
+        return Err(format!(
+            "capture was recorded under wire codec \"{}\" but this replay runs \"{codec}\" \
+             — fingerprints are not comparable across codecs; pass --codec {} or \
+             re-record the capture",
+            cfg.codec, cfg.codec
+        ));
+    }
+    replay(capture, mode)
+}
+
 /// One audited diagnostic run — the scenario half of `dpr doctor`.
 #[derive(Debug)]
 pub struct DoctorRun {
@@ -283,6 +313,7 @@ pub fn doctor_run(
     epsilon: f64,
     seed: u64,
     wire: WireMode,
+    codec: WireCodec,
     fault: Option<FaultPlan>,
 ) -> DoctorRun {
     let w = Workload::paper(nodes, num_peers, seed);
@@ -293,6 +324,7 @@ pub fn doctor_run(
         EngineConfig::with_epsilon(epsilon),
         wire,
     );
+    cluster.set_codec(codec);
     let rec = Arc::new(TraceRecorder::new());
     cluster.set_recorder(rec.clone());
     if let Some(plan) = fault {
@@ -301,8 +333,12 @@ pub fn doctor_run(
     let mut peers = w.peer_table();
     let (rounds, quiesced) = cluster.run_observed(&mut peers, 100_000, None, rec.as_ref());
     let events = rec.events();
+    let mass_tol = match codec {
+        WireCodec::Raw => dpr_telemetry::audit::MASS_TOLERANCE,
+        WireCodec::Compact => dpr_telemetry::audit::COMPACT_MASS_TOLERANCE,
+    };
     DoctorRun {
-        report: AuditReport::evaluate(&events),
+        report: AuditReport::evaluate_with_mass_tolerance(&events, mass_tol),
         rounds,
         quiesced,
         fault_fired_at: cluster.fault_fired_at(),
@@ -348,6 +384,33 @@ mod tests {
     }
 
     #[test]
+    fn replay_refuses_a_codec_mismatch() {
+        let (capture, _) = record(&FlightConfig::smoke(), ExecMode::Sequential);
+        assert_eq!(capture.header.codec, "raw");
+        let err =
+            replay_under_codec(&capture, ExecMode::Sequential, WireCodec::Compact).unwrap_err();
+        assert!(err.contains("recorded under wire codec \"raw\""), "{err}");
+        assert!(err.contains("--codec raw"), "{err}");
+        // The matching codec replays fine.
+        replay_under_codec(&capture, ExecMode::Sequential, WireCodec::Raw).unwrap();
+    }
+
+    #[test]
+    fn compact_doctor_run_is_clean_under_its_own_tolerance() {
+        let run = doctor_run(
+            600,
+            8,
+            1e-4,
+            21,
+            WireMode::frames(),
+            WireCodec::Compact,
+            None,
+        );
+        assert!(run.quiesced);
+        assert!(run.report.passed(), "{}", run.report.diagnosis());
+    }
+
+    #[test]
     fn replay_refuses_foreign_scenarios() {
         let (mut capture, _) = record(&FlightConfig::smoke(), ExecMode::Sequential);
         capture.header.scenario = "other".into();
@@ -358,7 +421,7 @@ mod tests {
 
     #[test]
     fn doctor_run_is_clean_without_faults_and_localizes_with_them() {
-        let clean = doctor_run(600, 8, 1e-4, 21, WireMode::frames(), None);
+        let clean = doctor_run(600, 8, 1e-4, 21, WireMode::frames(), WireCodec::Raw, None);
         assert!(clean.quiesced);
         assert!(clean.report.passed(), "{}", clean.report.diagnosis());
         assert!(clean.fault_fired_at.is_none());
@@ -369,6 +432,7 @@ mod tests {
             1e-4,
             21,
             WireMode::frames(),
+            WireCodec::Raw,
             Some(FaultPlan {
                 kind: FaultKind::LostFrame,
                 nth_send: 25,

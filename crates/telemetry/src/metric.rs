@@ -104,6 +104,10 @@ metrics! {
         "Documents deferred by the priority scheduler, per pass";
     SchedBudgetPermille = 19 => Histogram, "dpr_sched_budget_permille",
         "Selected residual-mass fraction per pass, in permille";
+    ExecDelegatedPasses = 20 => Counter, "dpr_exec_delegated_passes",
+        "Sharded-executor passes delegated to the sequential engine by the auto-inline guard";
+    ExecShardedPasses = 21 => Counter, "dpr_exec_sharded_passes",
+        "Sharded-executor passes run through the parallel fan-out path";
 }
 
 #[cfg(test)]

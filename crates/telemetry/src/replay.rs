@@ -28,7 +28,13 @@ use crate::summary::TraceError;
 use serde::{Deserialize, Serialize, Value};
 
 /// Capture format version (bumped on layout changes).
-pub const CAPTURE_VERSION: u64 = 1;
+///
+/// History: v1 had no `codec` field — captures recorded before the
+/// compact wire codec existed implicitly assumed raw `f64` frames.
+/// v2 stamps the [`WireCodec`](../../dpr_p2p/transport/enum.WireCodec.html)
+/// name into the header so a replayer under a different codec refuses
+/// instead of comparing fingerprints from different wire semantics.
+pub const CAPTURE_VERSION: u64 = 2;
 
 /// The scenario configuration a capture was recorded from. Every
 /// field feeds a seeded RNG or a deterministic algorithm, so the
@@ -53,6 +59,10 @@ pub struct CaptureHeader {
     pub seed: u64,
     /// Scheduler mode (`"pass"` / `"priority"`).
     pub sched: String,
+    /// Wire codec the run's frames traveled under (`"raw"` /
+    /// `"compact"`). Compact quantizes to `f32`, so fingerprints are
+    /// only comparable within one codec.
+    pub codec: String,
 }
 
 /// The outcome a replay must reproduce bit-for-bit.
@@ -141,13 +151,23 @@ impl Capture {
                     if header.is_some() {
                         return Err(fail("duplicate capture header".into()));
                     }
-                    let h = CaptureHeader::from_value(&v).map_err(|e| fail(e.to_string()))?;
-                    if h.version != CAPTURE_VERSION {
-                        return Err(fail(format!(
-                            "capture version {} (this reader speaks {CAPTURE_VERSION})",
-                            h.version
-                        )));
+                    // Check the raw version *before* the full schema
+                    // parse: an old capture is missing newer fields,
+                    // and "capture version 1" beats "missing field
+                    // codec" as a diagnostic.
+                    match v.get("version").and_then(Value::as_u64) {
+                        Some(CAPTURE_VERSION) => {}
+                        Some(old) => {
+                            return Err(fail(format!(
+                                "capture version {old} (this reader speaks \
+                                 {CAPTURE_VERSION}; re-record the capture)"
+                            )));
+                        }
+                        None => {
+                            return Err(fail("capture header has no version".into()));
+                        }
                     }
+                    let h = CaptureHeader::from_value(&v).map_err(|e| fail(e.to_string()))?;
                     header = Some(h);
                 }
                 Some("fingerprint") => {
@@ -219,6 +239,7 @@ mod tests {
                 epsilon: 1e-3,
                 seed: 2003,
                 sched: "priority".into(),
+                codec: "raw".into(),
             },
             injections: vec![
                 Event::DocInserted {
@@ -284,11 +305,25 @@ mod tests {
             .contains("injection"));
 
         // Future versions are refused loudly, not misread.
-        let future = text.replacen("\"version\":1", "\"version\":99", 1);
+        let future = text.replacen("\"version\":2", "\"version\":99", 1);
         assert!(Capture::from_jsonl(&future)
             .unwrap_err()
             .message
             .contains("version"));
+    }
+
+    #[test]
+    fn reader_rejects_v1_captures_by_version_not_schema() {
+        // A v1 capture has no `codec` field; the reader must say
+        // "capture version 1", not complain about the missing field.
+        let v1 = sample()
+            .to_jsonl()
+            .replacen("\"version\":2", "\"version\":1", 1)
+            .replacen(",\"codec\":\"raw\"", "", 1);
+        let err = Capture::from_jsonl(&v1).unwrap_err().message;
+        assert!(err.contains("capture version 1"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+        assert!(!err.contains("codec"), "{err}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use distributed_pagerank::core::ExecMode;
 use distributed_pagerank::node::node::WireMode;
 use distributed_pagerank::node::Cluster;
-use distributed_pagerank::p2p::transport::{FaultKind, FaultPlan};
+use distributed_pagerank::p2p::transport::{FaultKind, FaultPlan, WireCodec};
 use distributed_pagerank::prelude::*;
 use distributed_pagerank::sim::flight::{self, FlightConfig};
 use distributed_pagerank::telemetry::audit::Monitor;
@@ -74,7 +74,7 @@ fn replay_rejects_a_corrupted_capture() {
 /// checks and none fires.
 #[test]
 fn clean_run_passes_every_monitor() {
-    let run = flight::doctor_run(600, 8, 1e-4, 21, WireMode::frames(), None);
+    let run = flight::doctor_run(600, 8, 1e-4, 21, WireMode::frames(), WireCodec::Raw, None);
     assert!(run.quiesced, "diagnostic run failed to quiesce");
     assert!(
         run.report.passed(),
@@ -98,7 +98,15 @@ fn each_fault_is_owned_by_exactly_one_monitor() {
     ];
     for (kind, owner) in matrix {
         let plan = FaultPlan { kind, nth_send: 40 };
-        let run = flight::doctor_run(600, 8, 1e-4, 21, WireMode::frames(), Some(plan));
+        let run = flight::doctor_run(
+            600,
+            8,
+            1e-4,
+            21,
+            WireMode::frames(),
+            WireCodec::Raw,
+            Some(plan),
+        );
         assert!(
             run.fault_fired_at.is_some(),
             "{kind} was staged but never fired"

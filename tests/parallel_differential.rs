@@ -73,7 +73,11 @@ fn run_trajectory(
     );
     let num_peers = owner.iter().map(|p| p.index() + 1).max().unwrap_or(1);
     let mut peers = PeerTable::new(num_peers);
-    let mut exec = ShardedExecutor::new(threads.max(1));
+    // Threshold 0 disables the auto-inline guard: these graphs are far
+    // below the default threshold, and the machinery under test is the
+    // sharded fan-out itself (the guard delegates to the sequential
+    // engine, which would make the comparison vacuous).
+    let mut exec = ShardedExecutor::new(threads.max(1)).with_auto_seq_threshold(0);
     let mut stats = Vec::new();
     for pass in 0..max_passes {
         apply_mask(&mut peers, &plan[pass % plan.len()]);
@@ -139,7 +143,9 @@ fn fixed_seed_sequential_output_is_pinned() {
             EngineConfig::with_epsilon(RECOMMENDED_EPSILON),
         );
         let mut peers2 = PeerTable::new(7);
-        let run2 = ShardedExecutor::new(4).run_to_convergence(&mut eng2, &mut peers2, None);
+        let run2 = ShardedExecutor::new(4)
+            .with_auto_seq_threshold(0)
+            .run_to_convergence(&mut eng2, &mut peers2, None);
         assert!(run2.converged);
         assert_eq!(eng2.ranks(), eng.ranks());
         assert_eq!(run2.passes, run.passes);

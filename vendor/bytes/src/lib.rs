@@ -151,6 +151,14 @@ pub trait Buf {
         f64::from_bits(self.get_u64_le())
     }
 
+    /// Reads a little-endian `u32`, advancing 4 bytes.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+
     /// Reads a little-endian `u16`, advancing 2 bytes.
     fn get_u16_le(&mut self) -> u16 {
         let mut raw = [0u8; 2];
@@ -200,6 +208,11 @@ pub trait BufMut {
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Appends a little-endian `u16`.
