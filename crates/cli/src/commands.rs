@@ -42,7 +42,8 @@ commands:
              [--fault-at N] [--input trace.jsonl]
              [--capture-out cap.jsonl] [--replay cap.jsonl]
              [--threads T] [--inserts N] [--checkpoints K]
-             [--codec raw|compact]
+             [--codec raw|compact] [--run-mode rounds|chaotic]
+             [--latency modem|broadband|lan]
   help       this text
 
 every command also accepts: --quiet (suppress stdout),
@@ -500,8 +501,13 @@ pub fn trace(args: &Args) -> Result<(), String> {
 /// `--input` audits an existing trace instead of running one;
 /// `--capture-out` records a deterministic replay capture of the
 /// continuous-update scenario; `--replay` re-executes such a capture
-/// and verifies the bit-exact fingerprint.
+/// and verifies the bit-exact fingerprint. `--run-mode chaotic` runs
+/// the scenario under the event-driven runtime (with `--latency`
+/// picking the network model); chaotic captures (v3) additionally pin
+/// the executed event schedule, so a replay certifies the run took the
+/// same events at the same virtual times.
 pub fn doctor(args: &Args) -> Result<(), String> {
+    use dpr_sim::event::LatencyModel;
     use dpr_sim::flight::{self, FlightConfig};
     let quiet = args.has("quiet");
     let say = |line: String| {
@@ -512,6 +518,8 @@ pub fn doctor(args: &Args) -> Result<(), String> {
     let threads: usize = args.get("threads", 1)?;
     let mode = ExecMode::from_threads(Some(threads));
     let codec: dpr_p2p::transport::WireCodec = args.get("codec", Default::default())?;
+    let run_mode: dpr_core::RunMode = args.get("run-mode", Default::default())?;
+    let latency: LatencyModel = args.get("latency", Default::default())?;
 
     // Replay mode: prove a capture reproduces bit for bit. A capture
     // recorded under a different wire codec is refused outright —
@@ -549,6 +557,8 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             seed,
             sched: args.get("sched", dpr_core::SchedMode::Pass)?,
             codec,
+            run_mode,
+            latency,
         };
         let (capture, outcome) = flight::record(&cfg, mode);
         capture
@@ -584,7 +594,7 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             }),
             None => None,
         };
-        let run = flight::doctor_run(
+        let run = flight::doctor_run_mode(
             docs,
             peers,
             eps,
@@ -592,10 +602,16 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             dpr_node::node::WireMode::frames(),
             codec,
             fault,
+            run_mode,
+            latency,
         );
+        let unit = match run_mode {
+            dpr_core::RunMode::Rounds => "rounds",
+            dpr_core::RunMode::Chaotic => "steps",
+        };
         say(format!(
-            "scenario: {docs} docs on {peers} peers, ε {eps}: \
-             {} rounds, quiesced: {}",
+            "scenario: {docs} docs on {peers} peers, ε {eps}, {run_mode} mode: \
+             {} {unit}, quiesced: {}",
             run.rounds, run.quiesced
         ));
         if let Some(plan) = fault {
@@ -922,7 +938,7 @@ mod tests {
         assert!(e.contains("recorded under wire codec \"raw\""), "{e}");
         // A pre-versioning (v1) capture is refused by version.
         let text = std::fs::read_to_string(&cap).unwrap();
-        let v1 = text.replacen("\"version\":2", "\"version\":1", 1).replacen(
+        let v1 = text.replacen("\"version\":3", "\"version\":1", 1).replacen(
             ",\"codec\":\"raw\"",
             "",
             1,
@@ -938,6 +954,42 @@ mod tests {
         std::fs::write(&cap, tampered).unwrap();
         let e = doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap_err();
         assert!(e.contains("passes"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn doctor_chaotic_mode_runs_and_captures_roundtrip() {
+        let dir = tmpdir("chaotic");
+        // A clean chaotic diagnostic run passes the monitors; a staged
+        // lost frame still lands on the quiescence monitor.
+        doctor(&args(
+            "--docs 500 --peers 8 --eps 1e-4 --seed 21 --run-mode chaotic --quiet",
+        ))
+        .unwrap();
+        let e = doctor(&args(
+            "--docs 500 --peers 8 --eps 1e-4 --seed 21 --run-mode chaotic \
+             --inject-fault lost-frame --quiet",
+        ))
+        .unwrap_err();
+        assert!(e.contains("quiescence"), "{e}");
+
+        // Chaotic captures replay, and refuse when the recorded event
+        // schedule diverges.
+        let cap = dir.join("chaotic.jsonl");
+        doctor(&args(&format!(
+            "--docs 400 --peers 8 --eps 1e-3 --seed 9 --inserts 2 --checkpoints 1 \
+             --run-mode chaotic --latency lan --quiet --capture-out {}",
+            cap.display()
+        )))
+        .unwrap();
+        doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap();
+        let text = std::fs::read_to_string(&cap).unwrap();
+        assert!(text.contains("\"run_mode\":\"chaotic\""), "{text}");
+        let mut tampered = Capture::read(&cap).unwrap();
+        tampered.fingerprint.schedule_fnv ^= 1;
+        tampered.write(&cap).unwrap();
+        let e = doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap_err();
+        assert!(e.contains("schedule_fnv"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -39,6 +39,15 @@ pub const RATE_200KBS: f64 = 200.0 * 1024.0;
 /// "about 5.6 Megabytes per second".
 pub const RATE_T3: f64 = 5.6e6;
 
+/// Local compute cost of one pagerank pass, per document held
+/// (seconds). Sec. 4.6.2 charges roughly 0.75 s of computation per
+/// pass for a 1000-document peer; this is that rate per document,
+/// the `T_i` term of Eq. 4 for a peer holding `n` documents being
+/// `n × COMPUTE_SECS_PER_DOC`. The event-driven chaotic runtime uses
+/// it as each peer's step time, which is what makes arrivals batch
+/// at realistic granularity instead of per-message.
+pub const COMPUTE_SECS_PER_DOC: f64 = 7.5e-4;
+
 /// Aggregate serialized-transfer model: total convergence time in
 /// seconds for `total_messages` update messages at `rate` bytes/s,
 /// plus `passes` × `compute_per_pass` seconds of computation.

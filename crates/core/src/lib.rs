@@ -59,7 +59,7 @@ pub mod sync_solver;
 pub use engine::{ChaoticEngine, EngineConfig, PassStats, RunStats};
 pub use message::RankUpdate;
 pub use parallel::{ExecMode, ParallelExecutor, ShardedExecutor};
-pub use sched::SchedMode;
+pub use sched::{RunMode, SchedMode};
 pub use sync_solver::SyncSolver;
 
 /// Google's customary damping factor; the paper does not give its

@@ -72,6 +72,48 @@ impl std::str::FromStr for SchedMode {
     }
 }
 
+/// How the cluster layer advances its peers.
+///
+/// `Rounds` is the historical lockstep driver: every online peer
+/// drains its inbox, steps once, and flushes, all inside one global
+/// round barrier with instantaneous delivery. `Chaotic` is the
+/// paper's actual operating regime — peers step whenever updates
+/// arrive, delivery takes link-dependent virtual time, and there is
+/// no barrier to re-synchronize what the scheduler deferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RunMode {
+    /// Lockstep rounds with instantaneous delivery (the default;
+    /// bit-identical to the pre-event-runtime behavior).
+    #[default]
+    Rounds,
+    /// Event-driven asynchronous stepping over a seeded deterministic
+    /// discrete-event queue with per-link latency models.
+    Chaotic,
+}
+
+impl std::fmt::Display for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RunMode::Rounds => "rounds",
+            RunMode::Chaotic => "chaotic",
+        })
+    }
+}
+
+impl std::str::FromStr for RunMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rounds" => Ok(RunMode::Rounds),
+            "chaotic" => Ok(RunMode::Chaotic),
+            other => Err(format!(
+                "unknown run mode {other:?} (expected \"rounds\" or \"chaotic\")"
+            )),
+        }
+    }
+}
+
 /// Fraction of the queued residual mass a `Priority` pass aims to
 /// process. The cut is adaptive: whole buckets are taken from the top
 /// until the running mass reaches this fraction, so the number of
@@ -216,6 +258,15 @@ mod tests {
         assert!("pri".parse::<SchedMode>().is_err());
         assert_eq!(SchedMode::Priority.to_string(), "priority");
         assert_eq!(SchedMode::default(), SchedMode::Pass);
+    }
+
+    #[test]
+    fn run_mode_parses_and_displays() {
+        assert_eq!("rounds".parse::<RunMode>().unwrap(), RunMode::Rounds);
+        assert_eq!("chaotic".parse::<RunMode>().unwrap(), RunMode::Chaotic);
+        assert!("async".parse::<RunMode>().is_err());
+        assert_eq!(RunMode::Chaotic.to_string(), "chaotic");
+        assert_eq!(RunMode::default(), RunMode::Rounds);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! deployable shape of the algorithm — nothing in it reads global
 //! state except the test-only convergence check.
 
-use crate::node::{PeerNode, WireMode};
+use crate::node::{DeliverStatus, PeerNode, WireMode};
 use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_graph::{CsrGraph, DocId};
@@ -38,6 +38,26 @@ pub struct RoundStats {
 /// *frame* under aggregation, the routing saving the paper's Sec. 4.6
 /// aggregation assumption is after.
 pub type HopHook<'a> = dyn FnMut(PeerId, PeerId, &Bytes) -> u32 + 'a;
+
+/// One wire payload handed to the transport by an event-driven step
+/// ([`Cluster::step_peer_observed`]): everything the discrete-event
+/// runtime needs to schedule the matching `Deliver` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Destination peer.
+    pub to: PeerId,
+    /// Payload size on the wire, in bytes (drives the latency model's
+    /// serialization term).
+    pub bytes: usize,
+    /// Envelopes this send actually enqueued in the destination inbox:
+    /// 1 normally, 0 for a lost frame or an offline (parked)
+    /// destination, 2 for a duplicated frame. The runtime schedules
+    /// exactly this many `Deliver` events, so staged transport faults
+    /// never desynchronize the event queue from the inboxes.
+    pub enqueued: usize,
+}
 
 /// A full message-level system: peers + transport.
 #[derive(Debug)]
@@ -217,12 +237,109 @@ impl Cluster {
         stats
     }
 
+    /// Hands one payload to the transport and reports how many
+    /// envelopes actually landed in `to`'s inbox (0 after a lost
+    /// frame or park, 2 after a duplication) — the ground truth the
+    /// event-driven runtime schedules its `Deliver` events from.
+    fn send_counted(
+        &mut self,
+        peers: &PeerTable,
+        from: PeerId,
+        to: PeerId,
+        payload: Bytes,
+    ) -> usize {
+        let before = self.transport.inbox_len(to);
+        self.transport.send(peers, from, to, payload);
+        self.transport.inbox_len(to) - before
+    }
+
+    /// Event-driven delivery: pops the next envelope `from` sent to
+    /// `to` (per-link FIFO) and folds it into `to`'s node, tracking
+    /// the bounded arrival depth. Returns `None` when no envelope from
+    /// that sender is waiting — a `Deliver` event displaced by a lost
+    /// frame, which the runtime tolerates.
+    pub fn deliver_from(&mut self, to: PeerId, from: PeerId) -> Option<DeliverStatus> {
+        let env = self.transport.receive_from(to, from)?;
+        Some(
+            self.nodes[to.index()]
+                .on_deliver(env.payload)
+                .expect("well-formed message from a cluster peer"),
+        )
+    }
+
+    /// Event-driven step of a single peer: runs one local pass and
+    /// hands the outbox to the transport, recording one
+    /// [`Event::FrameSent`] per payload (tagged with the runtime's
+    /// `tick` in the round field). Returns one [`SendOutcome`] per
+    /// payload so the runtime can schedule the matching `Deliver`
+    /// events on its virtual clock.
+    pub fn step_peer_observed<R: Recorder + ?Sized>(
+        &mut self,
+        p: PeerId,
+        peers: &PeerTable,
+        tick: u64,
+        rec: &R,
+    ) -> Vec<SendOutcome> {
+        let i = p.index();
+        self.nodes[i].step_observed(rec);
+        let mut outcomes = Vec::new();
+        for (to, payload) in self.nodes[i].drain_outbox() {
+            if rec.enabled() {
+                rec.event(&Event::FrameSent {
+                    round: tick,
+                    from: p.0,
+                    to: to.0,
+                    entries: payload_entries(&payload),
+                    bytes: payload.len() as u64,
+                });
+            }
+            self.sent_entries_to[to.index()] += payload_entries(&payload);
+            let bytes = payload.len();
+            let enqueued = self.send_counted(peers, p, to, payload);
+            outcomes.push(SendOutcome {
+                from: p,
+                to,
+                bytes,
+                enqueued,
+            });
+        }
+        outcomes
+    }
+
+    /// Applies a rank increment to a document wherever it lives — the
+    /// cluster-level injection point for the continuous-update
+    /// scenario (the engine-layer equivalent is
+    /// `ChaoticEngine::inject_delta`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no peer stores `doc`.
+    pub fn apply_delta(&mut self, doc: DocId, delta: f64) {
+        let holder = self
+            .nodes
+            .iter()
+            .position(|n| n.rank_of(doc).is_some())
+            .expect("document stored somewhere in the cluster");
+        self.nodes[holder].apply(doc, delta);
+    }
+
+    /// Emits the per-round ledgers at an explicit audit tick — the
+    /// event-driven runtime audits on a virtual-time cadence instead
+    /// of at round barriers, and stamps the ledgers with its own tick.
+    pub fn audit_at<R: Recorder + ?Sized>(&self, tick: u64, rec: &R) {
+        self.audit_round_at(tick, rec);
+    }
+
     /// Emits the flight recorder's per-round ledgers: the mass
     /// snapshot (every node's slab terms plus the in-flight wire mass,
     /// against one unit of Φ per stored document) and the
     /// entry-balance snapshot with the most severe per-peer skew.
     /// O(docs + queued payloads) — only runs when observed.
     fn audit_round<R: Recorder + ?Sized>(&self, rec: &R) {
+        self.audit_round_at(self.rounds as u64, rec);
+    }
+
+    fn audit_round_at<R: Recorder + ?Sized>(&self, round: u64, rec: &R) {
         let mut mb = MassBreakdown::default();
         let (mut docs, mut emitted, mut sent, mut received) = (0usize, 0u64, 0u64, 0u64);
         for n in &self.nodes {
@@ -235,7 +352,7 @@ impl Cluster {
         }
         rec.event(&mb.ledger_event(
             "cluster",
-            self.rounds as u64,
+            round,
             self.transport.in_flight_mass(),
             self.cfg.damping,
             docs as f64,
@@ -261,7 +378,7 @@ impl Cluster {
             }
         }
         rec.event(&Event::BalanceLedger {
-            round: self.rounds as u64,
+            round,
             emitted,
             sent,
             received,
@@ -420,6 +537,23 @@ impl Cluster {
         peers: &PeerTable,
         reassign: &dyn Fn(DocId) -> PeerId,
     ) -> usize {
+        self.peer_depart_redirecting(p, peers, reassign).0
+    }
+
+    /// [`Cluster::peer_depart`] additionally reporting every re-sent
+    /// payload as a [`SendOutcome`]. Under round-driven execution the
+    /// redirected envelopes are picked up by the next inbox drain, so
+    /// the outcomes can be ignored — but the event-driven runtime has
+    /// no such sweep: it must schedule a fresh `Deliver` event per
+    /// enqueued redirect (and lazily drop the stale events still
+    /// addressed to `p`), otherwise the redirected mass sits in an
+    /// inbox forever and the run never quiesces.
+    pub fn peer_depart_redirecting(
+        &mut self,
+        p: PeerId,
+        peers: &PeerTable,
+        reassign: &dyn Fn(DocId) -> PeerId,
+    ) -> (usize, Vec<SendOutcome>) {
         assert!(
             !peers.is_online(p),
             "mark {p} offline before departing it permanently"
@@ -468,6 +602,17 @@ impl Cluster {
         // permanent deficit at `p` and a surplus at each new holder.
         let mut stranded = self.transport.drain_inbox(p);
         stranded.extend(self.transport.take_pending_for(p));
+        let mut redirects: Vec<SendOutcome> = Vec::new();
+        let mut redirect = |cl: &mut Self, from: PeerId, holder: PeerId, payload: Bytes| {
+            let bytes = payload.len();
+            let enqueued = cl.send_counted(peers, from, holder, payload);
+            redirects.push(SendOutcome {
+                from,
+                to: holder,
+                bytes,
+                enqueued,
+            });
+        };
         for env in stranded {
             if env.payload.len() == RANK_UPDATE_WIRE_BYTES {
                 let wire = RankUpdateWire::decode(env.payload.clone())
@@ -477,7 +622,7 @@ impl Cluster {
                     .expect("stranded message must target a migrated document");
                 self.sent_entries_to[p.index()] -= 1;
                 self.sent_entries_to[holder.index()] += 1;
-                self.transport.send(peers, env.from, holder, env.payload);
+                redirect(self, env.from, holder, env.payload);
             } else if env.payload.first() == Some(&COMPACT_MAGIC) {
                 let wire = CompactFrameWire::decode(env.payload)
                     .expect("cluster messages are well-formed");
@@ -494,8 +639,8 @@ impl Cluster {
                 }
                 for (holder, entries) in split {
                     self.sent_entries_to[holder.index()] += entries.len() as u64;
-                    self.transport.send(
-                        peers,
+                    redirect(
+                        self,
                         env.from,
                         holder,
                         CompactFrameWire::new(entries).encode(),
@@ -517,11 +662,11 @@ impl Cluster {
                 }
                 for (holder, frame) in split {
                     self.sent_entries_to[holder.index()] += frame.entries.len() as u64;
-                    self.transport.send(peers, env.from, holder, frame.encode());
+                    redirect(self, env.from, holder, frame.encode());
                 }
             }
         }
-        migrated
+        (migrated, redirects)
     }
 }
 
@@ -925,6 +1070,78 @@ mod tests {
         let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
         for (a, b) in ranks.iter().zip(&reference) {
             assert!((a - b).abs() / b < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn departure_redirects_stranded_frames_and_reports_outcomes() {
+        // Chaotic-mode departure: the victim's inbox holds undelivered
+        // frames (no round barrier drained them) and more are parked
+        // for it at senders. The redirect-reporting variant must
+        // conserve every in-flight entry and describe each re-sent
+        // payload so the event runtime can schedule its delivery.
+        let nodes = 400;
+        let graph = paper_graph(nodes, 81);
+        let ring = Ring::with_peers(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(82);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let mut cluster = Cluster::build_with(
+            &graph,
+            &placement,
+            8,
+            EngineConfig::with_epsilon(1e-8),
+            WireMode::frames(),
+        );
+        let mut peers = PeerTable::new(8);
+
+        // Event-style stepping: every peer steps once with no inbox
+        // drain in between, so frames pile up undelivered.
+        for p in 0..8u32 {
+            cluster.step_peer_observed(PeerId(p), &peers, 0, &NOOP);
+        }
+        let victim = PeerId(3);
+        assert!(cluster.in_flight_entries() > 0, "frames must be in flight");
+        peers.go_offline(victim);
+        // Another step round parks further frames for the offline
+        // victim at their senders.
+        for p in (0..8u32).filter(|&p| p != victim.0) {
+            cluster.step_peer_observed(PeerId(p), &peers, 1, &NOOP);
+        }
+
+        let before = cluster.in_flight_entries();
+        let reassign = |d: DocId| {
+            let mut h = (d.0 as usize) % 8;
+            if h == victim.index() {
+                h = (h + 1) % 8;
+            }
+            PeerId(h as u32)
+        };
+        let (migrated, redirects) = cluster.peer_depart_redirecting(victim, &peers, &reassign);
+        assert!(migrated > 0);
+        assert!(!redirects.is_empty(), "stranded frames must be redirected");
+        assert_eq!(
+            cluster.in_flight_entries(),
+            before,
+            "departure must not lose or invent in-flight entries"
+        );
+        // Every reported redirect is deliverable on its link, exactly
+        // `enqueued` times.
+        for o in &redirects {
+            assert_ne!(o.to, victim, "no redirect may target the departed peer");
+            for _ in 0..o.enqueued {
+                assert!(
+                    cluster.deliver_from(o.to, o.from).is_some(),
+                    "redirect {o:?} promised an envelope that is not there"
+                );
+            }
+        }
+        // The computation still reaches the synchronous fixed point.
+        let (_, ok) = cluster.run_to_convergence(&mut peers, 10_000, None);
+        assert!(ok);
+        let ranks = cluster.collect_ranks(nodes);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 1e-5, "{a} vs {b}");
         }
     }
 

@@ -27,5 +27,5 @@ pub mod cluster;
 pub mod node;
 pub mod termination;
 
-pub use cluster::Cluster;
-pub use node::PeerNode;
+pub use cluster::{Cluster, SendOutcome};
+pub use node::{DeliverStatus, PeerNode};

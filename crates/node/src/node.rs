@@ -92,6 +92,23 @@ impl WireMode {
     }
 }
 
+/// Default bound on un-stepped arrivals a peer absorbs before the
+/// event-driven runtime must step it: the backpressure cap of the
+/// chaotic run mode. A peer that keeps receiving without stepping
+/// would otherwise accumulate unbounded pending mass while its
+/// coalescing window stretches; saturation forces an immediate step.
+pub const DEFAULT_INBOX_CAP: usize = 32;
+
+/// Outcome of an event-driven delivery ([`PeerNode::on_deliver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverStatus {
+    /// The payload was folded in; the node can keep buffering.
+    Accepted,
+    /// The payload was folded in and the arrival bound is reached:
+    /// the runtime must step this node now (backpressure).
+    Saturated,
+}
+
 /// Sentinel slot for out-links whose target lives on another peer.
 const REMOTE: u32 = u32::MAX;
 
@@ -175,6 +192,10 @@ pub struct PeerNode {
     flush_order: Vec<PeerId>,
     outbox: Vec<(PeerId, Bytes)>,
     stats: NodeStats,
+    /// Payloads folded in since the last step — the event runtime's
+    /// bounded-inbox depth. Always zero under round-driven stepping
+    /// (rounds deliver through [`PeerNode::handle_message`] directly).
+    arrivals_since_step: u32,
     /// Cumulative advertised delta of dangling (out-degree 0)
     /// documents — the damping sink's term of the flight recorder's
     /// conserved potential Φ (stays with the node across document
@@ -207,6 +228,7 @@ impl PeerNode {
             flush_order: Vec::new(),
             outbox: Vec::new(),
             stats: NodeStats::default(),
+            arrivals_since_step: 0,
             dangling_advertised: 0.0,
         }
     }
@@ -431,6 +453,29 @@ impl PeerNode {
         Ok(())
     }
 
+    /// Event-driven delivery: folds one wire payload in (exactly as
+    /// [`PeerNode::handle_message`] would) and tracks the bounded
+    /// un-stepped arrival depth. Returns [`DeliverStatus::Saturated`]
+    /// once [`DEFAULT_INBOX_CAP`] payloads have arrived since the last
+    /// step — the backpressure signal telling the event runtime to
+    /// step this node immediately instead of letting its coalescing
+    /// window stretch.
+    pub fn on_deliver(&mut self, payload: Bytes) -> Result<DeliverStatus, MessageError> {
+        self.handle_message(payload)?;
+        self.arrivals_since_step += 1;
+        if self.arrivals_since_step as usize >= DEFAULT_INBOX_CAP {
+            Ok(DeliverStatus::Saturated)
+        } else {
+            Ok(DeliverStatus::Accepted)
+        }
+    }
+
+    /// Payloads delivered through [`PeerNode::on_deliver`] since the
+    /// last step.
+    pub fn arrival_depth(&self) -> usize {
+        self.arrivals_since_step as usize
+    }
+
     /// Applies a local increment (same-peer updates and the insert /
     /// delete protocols use this path — no wire round trip).
     pub fn apply(&mut self, doc: DocId, delta: f64) {
@@ -506,6 +551,7 @@ impl PeerNode {
         if self.links_dirty {
             self.resolve_links();
         }
+        self.arrivals_since_step = 0;
         let before = self.stats;
         let (work, sel) = self.take_step_work();
         if rec.enabled() && self.cfg.sched == SchedMode::Priority {
@@ -908,6 +954,29 @@ mod tests {
         m.step();
         let exp = 0.85 * 0.15 + 0.85 * 0.15;
         assert!((m.rank_of(DocId(10)).unwrap() - 0.15 - exp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_deliver_saturates_at_the_inbox_cap_and_steps_reset_it() {
+        let mut n = PeerNode::new(PeerId(1), cfg(1e-6));
+        n.add_document(DocId(2), vec![]);
+        n.step(); // absorb base
+        for i in 0..DEFAULT_INBOX_CAP {
+            let wire = RankUpdate::new(DocId(2), 1e-3).to_wire().encode();
+            let status = n.on_deliver(wire).unwrap();
+            if i + 1 < DEFAULT_INBOX_CAP {
+                assert_eq!(status, DeliverStatus::Accepted, "arrival {i}");
+            } else {
+                assert_eq!(status, DeliverStatus::Saturated, "arrival {i}");
+            }
+        }
+        assert_eq!(n.arrival_depth(), DEFAULT_INBOX_CAP);
+        n.step();
+        assert_eq!(n.arrival_depth(), 0, "step resets the arrival bound");
+        let wire = RankUpdate::new(DocId(2), 1e-3).to_wire().encode();
+        assert_eq!(n.on_deliver(wire).unwrap(), DeliverStatus::Accepted);
+        // Every delivery was folded in: received counts all of them.
+        assert_eq!(n.stats().received, DEFAULT_INBOX_CAP as u64 + 1);
     }
 
     #[test]

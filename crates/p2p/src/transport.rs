@@ -264,6 +264,19 @@ impl<M> Transport<M> {
         self.inboxes[p.index()].pop_front()
     }
 
+    /// Pops the first message in `p`'s inbox that was sent by `from`,
+    /// preserving per-link FIFO order. The event-driven runtime pops
+    /// by sender because its `Deliver` events are scheduled per link:
+    /// messages from different senders interleave on the virtual
+    /// clock, but messages on one link never overtake each other.
+    /// Returns `None` when no message from `from` is waiting (e.g. a
+    /// staged lost-frame fault consumed the send).
+    pub fn receive_from(&mut self, p: PeerId, from: PeerId) -> Option<Envelope<M>> {
+        let inbox = &mut self.inboxes[p.index()];
+        let pos = inbox.iter().position(|env| env.from == from)?;
+        inbox.remove(pos)
+    }
+
     /// Drains every message currently in `p`'s inbox.
     pub fn drain_inbox(&mut self, p: PeerId) -> Vec<Envelope<M>> {
         self.inboxes[p.index()].drain(..).collect()
@@ -922,6 +935,22 @@ mod tests {
         assert_eq!(t.pending_at(PeerId(0)), 0);
         assert_eq!(t.receive(PeerId(1)).unwrap().payload, 7);
         assert_eq!(t.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn receive_from_pops_per_link_fifo() {
+        let peers = PeerTable::new(3);
+        let mut t: Transport<u32> = Transport::new(3);
+        t.send(&peers, PeerId(0), PeerId(2), 1);
+        t.send(&peers, PeerId(1), PeerId(2), 2);
+        t.send(&peers, PeerId(0), PeerId(2), 3);
+        // Popping by sender skips interleaved messages from other
+        // links but stays FIFO within each link.
+        assert_eq!(t.receive_from(PeerId(2), PeerId(1)).unwrap().payload, 2);
+        assert_eq!(t.receive_from(PeerId(2), PeerId(0)).unwrap().payload, 1);
+        assert!(t.receive_from(PeerId(2), PeerId(1)).is_none());
+        assert_eq!(t.receive_from(PeerId(2), PeerId(0)).unwrap().payload, 3);
+        assert_eq!(t.inbox_len(PeerId(2)), 0);
     }
 
     #[test]

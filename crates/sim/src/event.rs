@@ -1,0 +1,660 @@
+//! Discrete-event runtime for the chaotic run mode
+//! ([`dpr_core::RunMode::Chaotic`]).
+//!
+//! The paper's central claim is that distributed PageRank converges
+//! under *chaotic* (asynchronous) iteration: peers step whenever
+//! updates arrive, with no global round barrier. The round-driven
+//! cluster loop approximates that only coarsely — every peer steps
+//! exactly once per round and delivery is instantaneous — which
+//! re-synchronizes precisely the work the residual-priority scheduler
+//! tries to defer (BENCH_sched_quality's cluster rows show 0% win at
+//! default density for exactly this reason).
+//!
+//! This module replaces the barrier with a seeded deterministic
+//! discrete-event simulation:
+//!
+//! * a binary-heap **event queue** keyed by `(virtual_time_ns, seq)` —
+//!   ties broken by insertion sequence, so execution order is a pure
+//!   function of the schedule and the run is bit-reproducible;
+//! * **per-link latency/bandwidth models** reusing the Eq. 4
+//!   exec-model rates ([`dpr_core::exec_model`]): each ordered link
+//!   gets a base propagation delay sampled once from a rng seeded by
+//!   `seed ⊕ hash(from, to)`, and frame transmission serializes at the
+//!   model's byte rate (store-and-forward: transmissions on one link
+//!   queue behind each other, propagation pipelines);
+//! * **bounded inboxes with backpressure**: deliveries fold into the
+//!   destination node immediately ([`PeerNode::on_deliver`]); once
+//!   [`dpr_node::node::DEFAULT_INBOX_CAP`] payloads arrive un-stepped,
+//!   the node saturates and the runtime steps it at once;
+//! * **residual-driven step timing** — the cluster-layer
+//!   Gauss-Southwell rule. Under [`SchedMode::Priority`] a peer's step
+//!   is delayed inversely with its residual: hot peers (large
+//!   un-propagated mass) step promptly, cold peers hold a coalescing
+//!   window so several arrivals fold into one advertisement instead of
+//!   several. Under [`SchedMode::Pass`] every arrival triggers a step
+//!   after the fixed compute delay — the chaotic baseline. Both modes
+//!   share the identical convergence criterion (quiescence at ε), so
+//!   their L1-vs-sync error is matched; only the message count and the
+//!   virtual wall clock differ.
+//! * **barrier-free Safra probing**: the termination token advances on
+//!   scheduled `Probe` events instead of between rounds, and the audit
+//!   ledgers ([`Cluster::audit_at`]) are emitted on a virtual-time
+//!   cadence — the PR 5 monitors are barrier-agnostic, so chaotic
+//!   traces audit with the same machinery as round traces.
+//!
+//! Every executed `Step`/`Deliver` event folds into a FNV-1a
+//! **schedule fingerprint**; the Capture v3 format records it so
+//! `dpr doctor --replay` certifies that a chaotic re-run executed the
+//! *same event schedule*, not merely reached the same ranks.
+//!
+//! [`PeerNode::on_deliver`]: dpr_node::node::PeerNode::on_deliver
+
+use dpr_core::exec_model::{COMPUTE_SECS_PER_DOC, RATE_200KBS, RATE_32KBS, RATE_T3};
+use dpr_core::SchedMode;
+use dpr_node::node::DeliverStatus;
+use dpr_node::termination::TerminationDetector;
+use dpr_node::Cluster;
+use dpr_p2p::peer::{PeerId, PeerTable};
+use dpr_telemetry::Recorder;
+use fxhash::FxHashMap;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Floor on a peer's per-step compute time, so even an empty peer
+/// takes nonzero virtual time to step. A real peer's step time is the
+/// Eq. 4 `T_i` term: `num_docs × COMPUTE_SECS_PER_DOC` (see
+/// [`dpr_core::exec_model::COMPUTE_SECS_PER_DOC`]), which is what
+/// makes concurrent arrivals batch into one pass at realistic
+/// granularity — per-message stepping would degenerate into path
+/// enumeration at small ε.
+pub const MIN_STEP_COMPUTE_NS: u64 = 100_000;
+
+/// Virtual-time cadence of Safra token probes.
+const PROBE_INTERVAL_NS: u64 = 25_000_000;
+
+/// Virtual-time cadence of the audit ledgers (mass + balance) when a
+/// recorder is attached.
+const AUDIT_INTERVAL_NS: u64 = 100_000_000;
+
+/// Residual multiple of ε at which a peer counts as fully "hot" (its
+/// coalescing window shrinks toward zero — step as soon as possible).
+const HOT_RESIDUAL_EPSILONS: f64 = 100.0;
+
+/// Named per-link latency/bandwidth presets, built from the Eq. 4
+/// exec-model transfer rates. The name travels in the Capture v3
+/// header, so a replay can refuse a mismatched network model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Dial-up-era P2P links: 30–120 ms propagation,
+    /// [`RATE_32KBS`] transfer (the paper's conservative Table 3 rate).
+    Modem,
+    /// Broadband links: 10–60 ms propagation, [`RATE_200KBS`] transfer
+    /// (the paper's aggressive Table 3 rate).
+    #[default]
+    Broadband,
+    /// Co-located LAN: fixed 1 ms propagation, [`RATE_T3`] transfer
+    /// (the Sec. 4.6.2 Internet-scale rate).
+    Lan,
+}
+
+impl LatencyModel {
+    /// Inclusive range the per-link base propagation delay is sampled
+    /// from, in nanoseconds.
+    pub fn base_latency_ns(self) -> (u64, u64) {
+        match self {
+            LatencyModel::Modem => (30_000_000, 120_000_000),
+            LatencyModel::Broadband => (10_000_000, 60_000_000),
+            LatencyModel::Lan => (1_000_000, 1_000_000),
+        }
+    }
+
+    /// Link transfer rate in bytes per second.
+    pub fn rate_bytes_per_sec(self) -> f64 {
+        match self {
+            LatencyModel::Modem => RATE_32KBS,
+            LatencyModel::Broadband => RATE_200KBS,
+            LatencyModel::Lan => RATE_T3,
+        }
+    }
+
+    /// The coalescing window a fully cold peer holds before stepping
+    /// under priority scheduling: four maximum propagation delays, so
+    /// the hold horizon tracks the network's actual arrival spread.
+    pub fn coalesce_window_ns(self) -> u64 {
+        4 * self.base_latency_ns().1
+    }
+}
+
+impl std::fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LatencyModel::Modem => "modem",
+            LatencyModel::Broadband => "broadband",
+            LatencyModel::Lan => "lan",
+        })
+    }
+}
+
+impl std::str::FromStr for LatencyModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "modem" => Ok(LatencyModel::Modem),
+            "broadband" => Ok(LatencyModel::Broadband),
+            "lan" => Ok(LatencyModel::Lan),
+            other => Err(format!(
+                "unknown latency model {other:?} (expected \"modem\", \"broadband\" or \"lan\")"
+            )),
+        }
+    }
+}
+
+/// The event kinds of the runtime. Ordering only matters as the final
+/// heap tie-breaker and is never reached in practice (the sequence
+/// number is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Pop the next envelope `from → to` and fold it into `to`.
+    Deliver {
+        /// Sending peer of the envelope to pop (per-link FIFO).
+        from: PeerId,
+        /// Destination peer.
+        to: PeerId,
+    },
+    /// Run one local pass at `peer` and put its outbox on the wire.
+    Step {
+        /// The stepping peer.
+        peer: PeerId,
+    },
+    /// Advance the Safra termination token (barrier-free probing).
+    Probe,
+    /// Emit the mass/balance audit ledgers.
+    Audit,
+}
+
+/// A deterministic discrete-event queue: events pop in
+/// `(virtual_time_ns, seq)` order, `seq` assigned at push. Two runs
+/// that push the same events in the same order execute identically.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.heap.push(Reverse((at, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, Ev)> {
+        self.heap.pop().map(|Reverse((t, _, ev))| (t, ev))
+    }
+
+    /// Events currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Configuration of one chaotic run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaoticConfig {
+    /// Master seed: drives the per-link latency sampling (and nothing
+    /// else — the runtime itself is deterministic).
+    pub seed: u64,
+    /// The network model.
+    pub latency: LatencyModel,
+    /// Scheduling mode, mirroring the cluster's engine config: `Pass`
+    /// steps promptly on arrival, `Priority` applies the
+    /// residual-driven step timing.
+    pub sched: SchedMode,
+    /// The ε of the cluster's engine config, used to normalize
+    /// residual hotness for the coalescing window.
+    pub epsilon: f64,
+}
+
+/// What one chaotic run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaoticOutcome {
+    /// Virtual time at the last executed event, in nanoseconds — the
+    /// run's modeled wall clock to convergence.
+    pub virtual_ns: u64,
+    /// Local passes executed.
+    pub steps: u64,
+    /// Envelopes delivered.
+    pub deliveries: u64,
+    /// `Deliver` events that found no envelope (displaced by a staged
+    /// lost-frame fault or a departure redirect).
+    pub displaced: u64,
+    /// FNV-1a fingerprint over the executed `Step`/`Deliver` schedule.
+    pub schedule_fnv: u64,
+    /// Whether the run reached quiescence (vs the event budget).
+    pub quiesced: bool,
+    /// Whether barrier-free Safra announced termination.
+    pub announced: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one more chaotic segment's schedule fingerprint into a
+/// running capture fingerprint (the continuous-update scenario runs
+/// one chaotic segment per reconvergence).
+pub fn fold_schedule_fnv(acc: u64, segment: u64) -> u64 {
+    fnv_fold(acc, &segment.to_le_bytes())
+}
+
+/// The initial value for [`fold_schedule_fnv`] accumulation.
+pub const SCHEDULE_FNV_SEED: u64 = FNV_OFFSET;
+
+struct Runner<'a> {
+    queue: EventQueue,
+    cfg: ChaoticConfig,
+    now: u64,
+    /// Authoritative next-step time per peer; a popped `Step` that
+    /// does not match is stale (lazy deletion under rescheduling).
+    step_due: Vec<Option<u64>>,
+    /// Per ordered link `(from, to)`: sampled base propagation delay.
+    link_latency: FxHashMap<(u32, u32), u64>,
+    /// Per ordered link: virtual time the link's transmitter is busy
+    /// until (transmissions serialize, propagation pipelines).
+    link_clear: FxHashMap<(u32, u32), u64>,
+    /// Per-peer step compute time: `num_docs × COMPUTE_SECS_PER_DOC`
+    /// in nanoseconds, floored at [`MIN_STEP_COMPUTE_NS`].
+    compute_ns: Vec<u64>,
+    /// Outstanding `Step` + `Deliver` events (stale ones included —
+    /// every push increments, every pop decrements).
+    live: u64,
+    schedule_fnv: u64,
+    steps: u64,
+    deliveries: u64,
+    displaced: u64,
+    detector: &'a mut TerminationDetector,
+}
+
+impl Runner<'_> {
+    fn link_latency_ns(&mut self, from: PeerId, to: PeerId) -> u64 {
+        let key = (from.0, to.0);
+        let cfg = self.cfg;
+        *self.link_latency.entry(key).or_insert_with(|| {
+            let (lo, hi) = cfg.latency.base_latency_ns();
+            let mix = (((from.0 as u64) << 32) | to.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ mix);
+            rng.gen_range(lo..=hi)
+        })
+    }
+
+    /// Schedules the delivery of one payload on `(from, to)` and
+    /// returns its arrival time: the transmission queues behind
+    /// whatever the link is already sending (store-and-forward at the
+    /// model's byte rate), then propagates at the link's base latency.
+    fn schedule_delivery(&mut self, from: PeerId, to: PeerId, bytes: usize) {
+        let tx_ns = (bytes as f64 / self.cfg.latency.rate_bytes_per_sec() * 1e9) as u64;
+        let clear = self.link_clear.entry((from.0, to.0)).or_insert(0);
+        let depart = (*clear).max(self.now);
+        *clear = depart + tx_ns;
+        let arrival = depart + tx_ns + self.link_latency_ns(from, to);
+        self.queue.push(arrival, Ev::Deliver { from, to });
+        self.live += 1;
+    }
+
+    fn schedule_step(&mut self, p: PeerId, at: u64) {
+        self.step_due[p.index()] = Some(at);
+        self.queue.push(at, Ev::Step { peer: p });
+        self.live += 1;
+    }
+
+    /// Requests a step at `at`, keeping an already-pending earlier
+    /// step (the pending event stays authoritative; a later pop of the
+    /// displaced one is recognized as stale).
+    fn request_step(&mut self, p: PeerId, at: u64) {
+        match self.step_due[p.index()] {
+            Some(due) if due <= at => {}
+            _ => self.schedule_step(p, at),
+        }
+    }
+
+    /// The delay before a peer's next step: the peer's Eq. 4 compute
+    /// time under `Pass`; under `Priority` the compute time plus a
+    /// coalescing hold that shrinks as the peer's relative residual
+    /// grows past ε — the cluster-layer Gauss-Southwell rule.
+    fn step_delay(&self, cluster: &Cluster, p: PeerId) -> u64 {
+        let compute = self.compute_ns[p.index()];
+        if self.cfg.sched != SchedMode::Priority {
+            return compute;
+        }
+        let residual = cluster.node(p).max_relative_residual();
+        let hot = HOT_RESIDUAL_EPSILONS * self.cfg.epsilon.max(f64::MIN_POSITIVE);
+        let coldness = 1.0 / (1.0 + residual / hot);
+        compute + (self.cfg.latency.coalesce_window_ns() as f64 * coldness) as u64
+    }
+
+    fn fold_event(&mut self, tag: u8, a: u32, b: u32) {
+        let mut h = self.schedule_fnv;
+        h = fnv_fold(h, &[tag]);
+        h = fnv_fold(h, &self.now.to_le_bytes());
+        h = fnv_fold(h, &a.to_le_bytes());
+        h = fnv_fold(h, &b.to_le_bytes());
+        self.schedule_fnv = h;
+    }
+
+    fn tick(&self) -> u64 {
+        self.now / 1_000_000
+    }
+}
+
+/// Runs `cluster` to quiescence under the event-driven chaotic
+/// runtime, emitting the same telemetry shapes as the round loop
+/// (`FrameSent`, mass/balance ledgers, termination probes, and a
+/// final quiescence certificate) so the PR 5 audit monitors apply
+/// unchanged. Returns when no `Step`/`Deliver` event is outstanding
+/// and the cluster is quiescent, or when `max_events` have executed.
+///
+/// `detector` carries Safra state across segments of a continuous
+/// run; pass a fresh one for a single-shot run. All peers are assumed
+/// online: transient churn is the round loop's store-and-resend
+/// domain, while *permanent* departures are handled by
+/// [`Cluster::peer_depart_redirecting`] between segments.
+pub fn run_chaotic<R: Recorder + ?Sized>(
+    cluster: &mut Cluster,
+    peers: &PeerTable,
+    cfg: &ChaoticConfig,
+    detector: &mut TerminationDetector,
+    max_events: u64,
+    rec: &R,
+) -> ChaoticOutcome {
+    let n = cluster.num_peers();
+    let compute_ns: Vec<u64> = (0..n as u32)
+        .map(|p| {
+            let docs = cluster.node(PeerId(p)).num_docs();
+            ((docs as f64 * COMPUTE_SECS_PER_DOC * 1e9) as u64).max(MIN_STEP_COMPUTE_NS)
+        })
+        .collect();
+    let mut r = Runner {
+        queue: EventQueue::new(),
+        cfg: *cfg,
+        now: 0,
+        step_due: vec![None; n],
+        link_latency: FxHashMap::default(),
+        link_clear: FxHashMap::default(),
+        compute_ns,
+        live: 0,
+        schedule_fnv: FNV_OFFSET,
+        steps: 0,
+        deliveries: 0,
+        displaced: 0,
+        detector,
+    };
+    // Seed the schedule: one step per peer with queued work.
+    for p in 0..n as u32 {
+        if cluster.node(PeerId(p)).has_work() {
+            r.schedule_step(PeerId(p), r.compute_ns[p as usize]);
+        }
+    }
+    r.queue.push(PROBE_INTERVAL_NS, Ev::Probe);
+    if rec.enabled() {
+        r.queue.push(AUDIT_INTERVAL_NS, Ev::Audit);
+    }
+
+    let mut executed = 0u64;
+    while executed < max_events && r.live > 0 {
+        let Some((t, ev)) = r.queue.pop() else { break };
+        r.now = t;
+        executed += 1;
+        match ev {
+            Ev::Step { peer } => {
+                r.live -= 1;
+                if r.step_due[peer.index()] != Some(t) {
+                    continue; // displaced by a reschedule
+                }
+                r.step_due[peer.index()] = None;
+                r.fold_event(1, peer.0, 0);
+                r.steps += 1;
+                let tick = r.tick();
+                for o in cluster.step_peer_observed(peer, peers, tick, rec) {
+                    for _ in 0..o.enqueued {
+                        r.schedule_delivery(o.from, o.to, o.bytes);
+                    }
+                }
+                // Deferred or self-applied work re-queues the peer.
+                if cluster.node(peer).has_work() {
+                    let delay = r.step_delay(cluster, peer);
+                    r.request_step(peer, r.now + delay);
+                }
+            }
+            Ev::Deliver { from, to } => {
+                r.live -= 1;
+                r.fold_event(2, from.0, to.0);
+                match cluster.deliver_from(to, from) {
+                    None => r.displaced += 1,
+                    Some(status) => {
+                        r.deliveries += 1;
+                        if cluster.node(to).has_work() {
+                            let delay = match status {
+                                // Backpressure: a saturated inbox
+                                // forfeits its coalescing window.
+                                DeliverStatus::Saturated => r.compute_ns[to.index()],
+                                DeliverStatus::Accepted => r.step_delay(cluster, to),
+                            };
+                            r.request_step(to, r.now + delay);
+                        }
+                    }
+                }
+            }
+            Ev::Probe => {
+                let tick = r.tick();
+                r.detector.advance_observed(cluster, peers, rec, tick);
+                if r.live > 0 && !r.detector.announced() {
+                    r.queue.push(r.now + PROBE_INTERVAL_NS, Ev::Probe);
+                }
+            }
+            Ev::Audit => {
+                if rec.enabled() {
+                    cluster.audit_at(r.tick(), rec);
+                }
+                if r.live > 0 {
+                    r.queue.push(r.now + AUDIT_INTERVAL_NS, Ev::Audit);
+                }
+            }
+        }
+    }
+
+    // Settle: a final ledger snapshot, then let the token finish its
+    // circuits over the now-passive system (it will refuse to announce
+    // if anything — e.g. a lost frame's counter gap — is still off).
+    if rec.enabled() {
+        cluster.audit_at(r.tick(), rec);
+    }
+    for i in 0..4u64 {
+        if r.detector.announced() {
+            break;
+        }
+        r.detector
+            .advance_observed(cluster, peers, rec, r.tick() + i + 1);
+    }
+    cluster.certify_quiescence(rec);
+
+    ChaoticOutcome {
+        virtual_ns: r.now,
+        steps: r.steps,
+        deliveries: r.deliveries,
+        displaced: r.displaced,
+        schedule_fnv: r.schedule_fnv,
+        quiesced: cluster.is_quiescent(),
+        announced: r.detector.announced(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpr_core::engine::EngineConfig;
+    use dpr_core::sync_solver::SyncSolver;
+    use dpr_graph::powerlaw::paper_graph;
+    use dpr_node::node::WireMode;
+    use dpr_p2p::peer::{Placement, PlacementPolicy};
+    use dpr_p2p::ring::Ring;
+    use dpr_telemetry::NOOP;
+
+    fn build(
+        nodes: usize,
+        num_peers: usize,
+        eps: f64,
+        seed: u64,
+        sched: SchedMode,
+    ) -> (Cluster, dpr_graph::CsrGraph) {
+        let graph = paper_graph(nodes, seed);
+        let ring = Ring::with_peers(num_peers);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 1);
+        let placement = Placement::assign(nodes, &ring, PlacementPolicy::Random, &mut rng);
+        let cfg = EngineConfig::with_epsilon(eps).with_sched(sched);
+        let cluster = Cluster::build_with(&graph, &placement, num_peers, cfg, WireMode::frames());
+        (cluster, graph)
+    }
+
+    fn run(cluster: &mut Cluster, num_peers: usize, cfg: &ChaoticConfig) -> ChaoticOutcome {
+        let peers = PeerTable::new(num_peers);
+        let mut det = TerminationDetector::new(num_peers);
+        run_chaotic(cluster, &peers, cfg, &mut det, 100_000_000, &NOOP)
+    }
+
+    #[test]
+    fn queue_pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(20, Ev::Probe);
+        q.push(10, Ev::Audit);
+        q.push(10, Ev::Probe);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((10, Ev::Audit)));
+        assert_eq!(q.pop(), Some((10, Ev::Probe)), "fifo at equal times");
+        assert_eq!(q.pop(), Some((20, Ev::Probe)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn latency_model_parses_and_displays() {
+        for m in [
+            LatencyModel::Modem,
+            LatencyModel::Broadband,
+            LatencyModel::Lan,
+        ] {
+            assert_eq!(m.to_string().parse::<LatencyModel>().unwrap(), m);
+        }
+        assert!("dsl".parse::<LatencyModel>().is_err());
+        assert_eq!(LatencyModel::default(), LatencyModel::Broadband);
+        // Window tracks the model's worst-case propagation.
+        assert!(LatencyModel::Modem.coalesce_window_ns() > LatencyModel::Lan.coalesce_window_ns());
+    }
+
+    #[test]
+    fn chaotic_run_converges_to_the_sync_solution() {
+        let (mut cluster, graph) = build(600, 12, 1e-8, 91, SchedMode::Pass);
+        let cfg = ChaoticConfig {
+            seed: 91,
+            latency: LatencyModel::Broadband,
+            sched: SchedMode::Pass,
+            epsilon: 1e-8,
+        };
+        let out = run(&mut cluster, 12, &cfg);
+        assert!(out.quiesced, "no quiescence after {} steps", out.steps);
+        assert!(out.announced, "Safra must certify the quiescent run");
+        assert!(out.virtual_ns > 0 && out.deliveries > 0);
+        let ranks = cluster.collect_ranks(600);
+        let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+        for (a, b) in ranks.iter().zip(&reference) {
+            assert!((a - b).abs() / b < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chaotic_run_is_deterministic_for_a_fixed_seed() {
+        let mk = || build(500, 10, 1e-6, 92, SchedMode::Priority).0;
+        let cfg = ChaoticConfig {
+            seed: 92,
+            latency: LatencyModel::Modem,
+            sched: SchedMode::Priority,
+            epsilon: 1e-6,
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let oa = run(&mut a, 10, &cfg);
+        let ob = run(&mut b, 10, &cfg);
+        assert_eq!(oa, ob, "same seed, same schedule, same outcome");
+        let (ra, rb) = (a.collect_ranks(500), b.collect_ranks(500));
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "ranks must be bit-identical");
+        }
+        // A different latency seed executes a different schedule but
+        // still converges to the same fixed point.
+        let mut c = mk();
+        let oc = run(&mut c, 10, &ChaoticConfig { seed: 93, ..cfg });
+        assert_ne!(oc.schedule_fnv, oa.schedule_fnv);
+        for (x, y) in c.collect_ranks(500).iter().zip(&ra) {
+            let rel = (x - y).abs() / y.abs().max(1e-12);
+            assert!(rel < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn priority_timing_cuts_messages_vs_pass_at_matched_error() {
+        // The tentpole claim at unit scale: under the event runtime,
+        // residual-driven step timing beats prompt stepping on remote
+        // messages, at the same ε (both run to the same quiescence
+        // criterion).
+        let scenario = |sched: SchedMode| {
+            let (mut cluster, graph) = build(2_000, 100, 1e-6, 94, sched);
+            let cfg = ChaoticConfig {
+                seed: 94,
+                latency: LatencyModel::Broadband,
+                sched,
+                epsilon: 1e-6,
+            };
+            let out = run(&mut cluster, 100, &cfg);
+            assert!(out.quiesced, "{sched}: no quiescence");
+            let emitted: u64 = (0..100u32)
+                .map(|p| cluster.node(PeerId(p)).stats().emitted_remote)
+                .sum();
+            let reference = SyncSolver::new().tolerance(1e-13).solve(&graph).ranks;
+            let l1: f64 = cluster
+                .collect_ranks(2_000)
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / 2_000.0;
+            (emitted, l1)
+        };
+        let (pass_msgs, pass_l1) = scenario(SchedMode::Pass);
+        let (prio_msgs, prio_l1) = scenario(SchedMode::Priority);
+        assert!(
+            prio_msgs < pass_msgs,
+            "priority {prio_msgs} !< pass {pass_msgs}"
+        );
+        assert!(
+            (pass_l1 - prio_l1).abs() < 1e-5,
+            "error must stay matched: {pass_l1} vs {prio_l1}"
+        );
+    }
+}

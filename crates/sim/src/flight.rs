@@ -27,13 +27,17 @@
 //! the flight scenario trades it for multi-peer remote traffic, which
 //! is what the capture's fingerprint must pin down.
 
+use crate::event::{
+    fold_schedule_fnv, run_chaotic, ChaoticConfig, LatencyModel, SCHEDULE_FNV_SEED,
+};
 use crate::workload::Workload;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
 use dpr_core::parallel::ExecMode;
-use dpr_core::SchedMode;
+use dpr_core::{RunMode, SchedMode};
 use dpr_graph::DocId;
 use dpr_node::cluster::Cluster;
 use dpr_node::node::WireMode;
+use dpr_node::termination::TerminationDetector;
 use dpr_p2p::transport::{FaultPlan, WireCodec};
 use dpr_telemetry::replay::{fnv64_ranks, Capture, CaptureHeader, Fingerprint, CAPTURE_VERSION};
 use dpr_telemetry::{AuditReport, Event, Recorder, TraceRecorder};
@@ -66,6 +70,14 @@ pub struct FlightConfig {
     /// quantizes updates to `f32`, so fingerprints recorded under one
     /// codec are meaningless under the other.
     pub codec: WireCodec,
+    /// Run mode: barrier-stepped rounds (the default, engine-level) or
+    /// the event-driven chaotic runtime (message-level cluster). The
+    /// two execute different schedules, so their fingerprints are not
+    /// comparable.
+    pub run_mode: RunMode,
+    /// Network model of a chaotic flight; ignored (but still recorded)
+    /// under rounds mode, where delivery is instantaneous.
+    pub latency: LatencyModel,
 }
 
 impl FlightConfig {
@@ -81,6 +93,8 @@ impl FlightConfig {
             seed: 2003,
             sched: SchedMode::Pass,
             codec: WireCodec::Raw,
+            run_mode: RunMode::Rounds,
+            latency: LatencyModel::default(),
         }
     }
 
@@ -95,6 +109,8 @@ impl FlightConfig {
             seed: 7,
             sched: SchedMode::Pass,
             codec: WireCodec::Raw,
+            run_mode: RunMode::Rounds,
+            latency: LatencyModel::default(),
         }
     }
 
@@ -111,6 +127,8 @@ impl FlightConfig {
             seed: self.seed,
             sched: self.sched.to_string(),
             codec: self.codec.to_string(),
+            run_mode: self.run_mode.to_string(),
+            latency: self.latency.to_string(),
         }
     }
 
@@ -131,6 +149,8 @@ impl FlightConfig {
             seed: h.seed,
             sched: h.sched.parse()?,
             codec: h.codec.parse()?,
+            run_mode: h.run_mode.parse()?,
+            latency: h.latency.parse()?,
         })
     }
 }
@@ -148,6 +168,9 @@ pub struct FlightOutcome {
     pub remote_messages: u64,
     /// Total same-peer updates.
     pub local_updates: u64,
+    /// FNV-1a over the executed event schedule, folded across the
+    /// scenario's chaotic segments; zero for rounds-mode flights.
+    pub schedule_fnv: u64,
     /// The injections performed, in order.
     pub injections: Vec<Event>,
 }
@@ -161,6 +184,7 @@ impl FlightOutcome {
             passes: self.passes,
             remote_messages: self.remote_messages,
             local_updates: self.local_updates,
+            schedule_fnv: self.schedule_fnv,
         }
     }
 }
@@ -168,9 +192,14 @@ impl FlightOutcome {
 /// Executes one flight under `mode`, tracing through `rec`. The
 /// outcome is a pure function of `cfg` — `mode` only changes how fast
 /// it arrives (the executor determinism contract) and `rec` never
-/// perturbs it.
+/// perturbs it. Chaotic flights run the message-level cluster under
+/// the event runtime ([`crate::event`]); `mode` is irrelevant there
+/// (the event loop is inherently sequential) and ignored.
 pub fn fly<R: Recorder + ?Sized>(cfg: &FlightConfig, mode: ExecMode, rec: &R) -> FlightOutcome {
     assert!(cfg.checkpoints >= 1 && cfg.inserts >= cfg.checkpoints);
+    if cfg.run_mode == RunMode::Chaotic {
+        return fly_chaotic(cfg, rec);
+    }
     let w = Workload::paper(cfg.nodes, cfg.num_peers, cfg.seed);
     let mut engine = ChaoticEngine::new(
         w.graph.clone(),
@@ -212,6 +241,78 @@ pub fn fly<R: Recorder + ?Sized>(cfg: &FlightConfig, mode: ExecMode, rec: &R) ->
         passes,
         remote_messages: remote,
         local_updates: local,
+        schedule_fnv: 0,
+        injections,
+    }
+}
+
+/// The chaotic half of [`fly`]: the same continuous-update scenario
+/// (same seeds, same injection stream) driven through the
+/// message-level [`Cluster`] under the discrete-event runtime. The
+/// fingerprint maps steps to `passes`, the nodes' emitted remote
+/// entries to `remote_messages`, and additionally pins the executed
+/// event schedule via `schedule_fnv`.
+fn fly_chaotic<R: Recorder + ?Sized>(cfg: &FlightConfig, rec: &R) -> FlightOutcome {
+    let w = Workload::paper(cfg.nodes, cfg.num_peers, cfg.seed);
+    let mut cluster = Cluster::build_with(
+        &w.graph,
+        &w.placement,
+        cfg.num_peers,
+        EngineConfig::with_epsilon(cfg.epsilon).with_sched(cfg.sched),
+        WireMode::frames(),
+    );
+    cluster.set_codec(cfg.codec);
+    let peers = w.peer_table();
+    let ccfg = ChaoticConfig {
+        seed: cfg.seed,
+        latency: cfg.latency,
+        sched: cfg.sched,
+        epsilon: cfg.epsilon,
+    };
+    let mut schedule_fnv = SCHEDULE_FNV_SEED;
+    let mut passes = 0u64;
+    // One detector per segment: Safra's counters are lifetime sums,
+    // which balance exactly at each segment's quiescence.
+    let reconverge = |cluster: &mut Cluster, fnv: &mut u64| {
+        let mut det = TerminationDetector::new(cfg.num_peers);
+        let out = run_chaotic(cluster, &peers, &ccfg, &mut det, 1_000_000_000, rec);
+        assert!(out.quiesced, "chaotic segment must quiesce");
+        *fnv = fold_schedule_fnv(*fnv, out.schedule_fnv);
+        out.steps
+    };
+    passes += reconverge(&mut cluster, &mut schedule_fnv);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xf11e);
+    let stride = cfg.inserts / cfg.checkpoints;
+    let mut injections = Vec::with_capacity(cfg.inserts);
+    for i in 1..=cfg.inserts {
+        let doc = DocId(rng.gen_range(0..cfg.nodes as u32));
+        let delta = rng.gen_range(0.05..0.5);
+        cluster.apply_delta(doc, delta);
+        let ev = Event::DocInserted {
+            seq: i as u64,
+            doc: u64::from(doc.0),
+        };
+        if rec.enabled() {
+            rec.event(&ev);
+        }
+        injections.push(ev);
+        if i % stride == 0 || i == cfg.inserts {
+            passes += reconverge(&mut cluster, &mut schedule_fnv);
+        }
+    }
+    let (mut remote, mut local) = (0u64, 0u64);
+    for p in 0..cfg.num_peers as u32 {
+        let stats = cluster.node(dpr_p2p::peer::PeerId(p)).stats();
+        remote += stats.emitted_remote;
+        local += stats.local_updates;
+    }
+    FlightOutcome {
+        ranks: cluster.collect_ranks(cfg.nodes),
+        passes,
+        remote_messages: remote,
+        local_updates: local,
+        schedule_fnv,
         injections,
     }
 }
@@ -255,6 +356,7 @@ pub fn replay(capture: &Capture, mode: ExecMode) -> Result<FlightOutcome, String
         ("passes", got.passes, want.passes),
         ("remote_messages", got.remote_messages, want.remote_messages),
         ("local_updates", got.local_updates, want.local_updates),
+        ("schedule_fnv", got.schedule_fnv, want.schedule_fnv),
     ] {
         if g != w {
             return Err(format!(
@@ -307,6 +409,8 @@ pub struct DoctorRun {
 /// recorder on, optionally staging one transport `fault`, and audits
 /// the resulting trace. A clean run passes every monitor; each staged
 /// fault is caught by the monitor owning the invariant it breaks.
+/// Runs under the default round loop; see [`doctor_run_mode`] for the
+/// chaotic variant.
 pub fn doctor_run(
     nodes: usize,
     num_peers: usize,
@@ -315,6 +419,36 @@ pub fn doctor_run(
     wire: WireMode,
     codec: WireCodec,
     fault: Option<FaultPlan>,
+) -> DoctorRun {
+    doctor_run_mode(
+        nodes,
+        num_peers,
+        epsilon,
+        seed,
+        wire,
+        codec,
+        fault,
+        RunMode::Rounds,
+        LatencyModel::default(),
+    )
+}
+
+/// [`doctor_run`] with an explicit run mode: `Rounds` drives the
+/// barrier loop, `Chaotic` the event runtime (where `rounds` in the
+/// result counts local steps and the trace additionally certifies the
+/// event schedule). The monitors are barrier-agnostic, so the same
+/// audit applies to both.
+#[allow(clippy::too_many_arguments)]
+pub fn doctor_run_mode(
+    nodes: usize,
+    num_peers: usize,
+    epsilon: f64,
+    seed: u64,
+    wire: WireMode,
+    codec: WireCodec,
+    fault: Option<FaultPlan>,
+    run_mode: RunMode,
+    latency: LatencyModel,
 ) -> DoctorRun {
     let w = Workload::paper(nodes, num_peers, seed);
     let mut cluster = Cluster::build_with(
@@ -331,7 +465,27 @@ pub fn doctor_run(
         cluster.inject_transport_fault(plan);
     }
     let mut peers = w.peer_table();
-    let (rounds, quiesced) = cluster.run_observed(&mut peers, 100_000, None, rec.as_ref());
+    let (rounds, quiesced) = match run_mode {
+        RunMode::Rounds => cluster.run_observed(&mut peers, 100_000, None, rec.as_ref()),
+        RunMode::Chaotic => {
+            let ccfg = ChaoticConfig {
+                seed,
+                latency,
+                sched: SchedMode::Pass,
+                epsilon,
+            };
+            let mut det = TerminationDetector::new(num_peers);
+            let out = run_chaotic(
+                &mut cluster,
+                &peers,
+                &ccfg,
+                &mut det,
+                1_000_000_000,
+                rec.as_ref(),
+            );
+            (out.steps as usize, out.quiesced)
+        }
+    };
     let events = rec.events();
     let mass_tol = match codec {
         WireCodec::Raw => dpr_telemetry::audit::MASS_TOLERANCE,
@@ -417,6 +571,78 @@ mod tests {
         assert!(replay(&capture, ExecMode::Sequential)
             .unwrap_err()
             .contains("scenario"));
+    }
+
+    #[test]
+    fn chaotic_capture_records_the_event_schedule_and_replays() {
+        let cfg = FlightConfig {
+            nodes: 400,
+            num_peers: 10,
+            inserts: 2,
+            checkpoints: 1,
+            epsilon: 1e-4,
+            seed: 11,
+            sched: SchedMode::Priority,
+            codec: WireCodec::Raw,
+            run_mode: RunMode::Chaotic,
+            latency: LatencyModel::Lan,
+        };
+        let (capture, original) = record(&cfg, ExecMode::Sequential);
+        assert_eq!(capture.header.run_mode, "chaotic");
+        assert_eq!(capture.header.latency, "lan");
+        assert_ne!(capture.fingerprint.schedule_fnv, 0);
+
+        let parsed = Capture::from_jsonl(&capture.to_jsonl()).unwrap();
+        let out = replay(&parsed, ExecMode::Sequential).unwrap();
+        assert_eq!(out.ranks, original.ranks, "chaotic replay is bit-exact");
+
+        // A replay that executed a different schedule is named
+        // precisely, even if it happened to reach the same ranks.
+        let mut bad = capture.clone();
+        bad.fingerprint.schedule_fnv ^= 1;
+        let err = replay(&bad, ExecMode::Sequential).unwrap_err();
+        assert!(err.contains("schedule_fnv"), "{err}");
+    }
+
+    #[test]
+    fn chaotic_doctor_run_audits_clean_and_localizes_lost_frames() {
+        let clean = doctor_run_mode(
+            600,
+            8,
+            1e-4,
+            21,
+            WireMode::frames(),
+            WireCodec::Raw,
+            None,
+            RunMode::Chaotic,
+            LatencyModel::Broadband,
+        );
+        assert!(clean.quiesced);
+        assert!(clean.rounds > 0, "chaotic doctor reports steps");
+        assert!(clean.report.passed(), "{}", clean.report.diagnosis());
+
+        let sick = doctor_run_mode(
+            600,
+            8,
+            1e-4,
+            21,
+            WireMode::frames(),
+            WireCodec::Raw,
+            Some(FaultPlan {
+                kind: FaultKind::LostFrame,
+                nth_send: 25,
+            }),
+            RunMode::Chaotic,
+            LatencyModel::Broadband,
+        );
+        assert!(sick.fault_fired_at.is_some());
+        assert!(!sick.report.passed());
+        assert_eq!(
+            sick.report.primary().unwrap().monitor,
+            Monitor::Quiescence,
+            "{}",
+            sick.report.diagnosis()
+        );
     }
 
     #[test]

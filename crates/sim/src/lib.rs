@@ -12,6 +12,9 @@
 //!   Sec. 3.2 address cache (the caching ablation).
 //! * [`batch`] — batched vs unbatched wire traffic on the
 //!   message-level cluster (the per-peer aggregation experiment).
+//! * [`event`] — the discrete-event chaotic runtime: seeded
+//!   deterministic event queue, per-link latency/bandwidth models, and
+//!   residual-driven step timing (`--run-mode chaotic`).
 //! * [`flight`] — deterministic capture & replay of the
 //!   continuous-update scenario, plus the audited diagnostic run
 //!   behind `dpr doctor`.
@@ -24,6 +27,7 @@
 
 pub mod batch;
 pub mod churn;
+pub mod event;
 pub mod flight;
 pub mod hops;
 pub mod metrics;

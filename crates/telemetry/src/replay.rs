@@ -34,7 +34,11 @@ use serde::{Deserialize, Serialize, Value};
 /// v2 stamps the [`WireCodec`](../../dpr_p2p/transport/enum.WireCodec.html)
 /// name into the header so a replayer under a different codec refuses
 /// instead of comparing fingerprints from different wire semantics.
-pub const CAPTURE_VERSION: u64 = 2;
+/// v3 adds the chaotic run mode: `run_mode` / `latency` header fields
+/// and a `schedule_fnv` fingerprint over the executed event schedule,
+/// so a chaotic replay certifies it ran the *same events*, not merely
+/// that it reached the same ranks.
+pub const CAPTURE_VERSION: u64 = 3;
 
 /// The scenario configuration a capture was recorded from. Every
 /// field feeds a seeded RNG or a deterministic algorithm, so the
@@ -63,6 +67,13 @@ pub struct CaptureHeader {
     /// `"compact"`). Compact quantizes to `f32`, so fingerprints are
     /// only comparable within one codec.
     pub codec: String,
+    /// Run mode (`"rounds"` / `"chaotic"`): barrier-stepped rounds or
+    /// the event-driven runtime. The two execute different schedules,
+    /// so fingerprints are only comparable within one mode.
+    pub run_mode: String,
+    /// Latency model of a chaotic run (`"modem"` / `"broadband"` /
+    /// `"lan"`); rounds-mode captures record the default and ignore it.
+    pub latency: String,
 }
 
 /// The outcome a replay must reproduce bit-for-bit.
@@ -78,6 +89,11 @@ pub struct Fingerprint {
     pub remote_messages: u64,
     /// Total local (same-peer) updates.
     pub local_updates: u64,
+    /// FNV-1a over the executed event schedule of a chaotic run
+    /// (every `Step`/`Deliver` with its virtual time), accumulated
+    /// across the scenario's reconvergence segments. Zero for
+    /// rounds-mode captures, which have no event schedule.
+    pub schedule_fnv: u64,
 }
 
 /// FNV-1a over the exact bit patterns of `ranks` — equal iff every
@@ -240,6 +256,8 @@ mod tests {
                 seed: 2003,
                 sched: "priority".into(),
                 codec: "raw".into(),
+                run_mode: "chaotic".into(),
+                latency: "broadband".into(),
             },
             injections: vec![
                 Event::DocInserted {
@@ -258,6 +276,7 @@ mod tests {
                 passes: 210,
                 remote_messages: 123_456,
                 local_updates: 654_321,
+                schedule_fnv: 0xcbf2_9ce4_8422_2325,
             },
         }
     }
@@ -305,7 +324,7 @@ mod tests {
             .contains("injection"));
 
         // Future versions are refused loudly, not misread.
-        let future = text.replacen("\"version\":2", "\"version\":99", 1);
+        let future = text.replacen("\"version\":3", "\"version\":99", 1);
         assert!(Capture::from_jsonl(&future)
             .unwrap_err()
             .message
@@ -313,17 +332,29 @@ mod tests {
     }
 
     #[test]
-    fn reader_rejects_v1_captures_by_version_not_schema() {
+    fn reader_rejects_old_captures_by_version_not_schema() {
         // A v1 capture has no `codec` field; the reader must say
         // "capture version 1", not complain about the missing field.
         let v1 = sample()
             .to_jsonl()
-            .replacen("\"version\":2", "\"version\":1", 1)
-            .replacen(",\"codec\":\"raw\"", "", 1);
+            .replacen("\"version\":3", "\"version\":1", 1)
+            .replacen(",\"codec\":\"raw\"", "", 1)
+            .replacen(",\"run_mode\":\"chaotic\",\"latency\":\"broadband\"", "", 1);
         let err = Capture::from_jsonl(&v1).unwrap_err().message;
         assert!(err.contains("capture version 1"), "{err}");
         assert!(err.contains("re-record"), "{err}");
         assert!(!err.contains("codec"), "{err}");
+
+        // Likewise a v2 capture, which predates run_mode/latency and
+        // the schedule fingerprint.
+        let v2 = sample()
+            .to_jsonl()
+            .replacen("\"version\":3", "\"version\":2", 1)
+            .replacen(",\"run_mode\":\"chaotic\",\"latency\":\"broadband\"", "", 1)
+            .replacen(",\"schedule_fnv\":14695981039346656037", "", 1);
+        let err = Capture::from_jsonl(&v2).unwrap_err().message;
+        assert!(err.contains("capture version 2"), "{err}");
+        assert!(!err.contains("run_mode"), "{err}");
     }
 
     #[test]

@@ -16,12 +16,14 @@
 
 use distributed_pagerank::core::ExecMode;
 use distributed_pagerank::node::node::WireMode;
+use distributed_pagerank::node::termination::TerminationDetector;
 use distributed_pagerank::node::Cluster;
 use distributed_pagerank::p2p::transport::{FaultKind, FaultPlan, WireCodec};
 use distributed_pagerank::prelude::*;
+use distributed_pagerank::sim::event::{run_chaotic, ChaoticConfig, LatencyModel};
 use distributed_pagerank::sim::flight::{self, FlightConfig};
 use distributed_pagerank::telemetry::audit::Monitor;
-use distributed_pagerank::telemetry::Capture;
+use distributed_pagerank::telemetry::{Capture, NOOP};
 use proptest::collection::vec as prop_vec;
 use proptest::prelude::*;
 
@@ -241,5 +243,109 @@ proptest! {
         let (_, sent, received) = counter_sums(&cluster, num_peers);
         prop_assert_eq!(sent, received, "quiescence with undelivered entries");
         prop_assert_eq!(cluster.in_flight_entries(), 0u64);
+    }
+}
+
+// ---------------------------------------------------------------
+// Barrier-free Safra soundness under the chaotic event runtime: the
+// detector probes mid-flight between arbitrary event interleavings,
+// and must never certify termination early.
+// ---------------------------------------------------------------
+
+/// Runs the chaotic event runtime on a random graph and returns the
+/// outcome, the cluster, and the detector.
+fn chaotic_run(
+    n: usize,
+    edges: &[(u32, u32)],
+    seed: u64,
+    latency: LatencyModel,
+    sched: SchedMode,
+) -> (
+    distributed_pagerank::sim::event::ChaoticOutcome,
+    Cluster,
+    TerminationDetector,
+) {
+    let num_peers = 4;
+    let mut b = GraphBuilder::new(n);
+    for &(f, t) in edges {
+        b.add_edge(f, t);
+    }
+    let graph = b.build();
+    let placement =
+        Placement::from_owner_vec((0..n).map(|d| PeerId((d % num_peers) as u32)).collect());
+    let mut cluster = Cluster::build_with(
+        &graph,
+        &placement,
+        num_peers,
+        EngineConfig::with_epsilon(1e-6).with_sched(sched),
+        WireMode::frames(),
+    );
+    let peers = PeerTable::new(num_peers);
+    let mut detector = TerminationDetector::new(num_peers);
+    let cfg = ChaoticConfig {
+        seed,
+        latency,
+        sched,
+        epsilon: 1e-6,
+    };
+    let out = run_chaotic(&mut cluster, &peers, &cfg, &mut detector, 50_000_000, &NOOP);
+    (out, cluster, detector)
+}
+
+proptest! {
+    /// On any graph, for any seeded event interleaving, latency model,
+    /// and scheduler: the barrier-free Safra detector never announces
+    /// termination while any peer still holds residual above ε or any
+    /// message is in flight — announcement implies true quiescence
+    /// with fully balanced counters. And the whole interleaving is a
+    /// pure function of the seed: a second run reproduces the event
+    /// schedule and the ranks bit-for-bit.
+    #[test]
+    fn safra_never_certifies_a_live_system_under_async_delivery(
+        (n, edges) in arb_graph(48, 140),
+        seed in any::<u64>(),
+        latency_ix in 0usize..3,
+        priority in any::<bool>(),
+    ) {
+        let num_peers = 4;
+        let latency = [LatencyModel::Modem, LatencyModel::Broadband, LatencyModel::Lan][latency_ix];
+        let sched = if priority { SchedMode::Priority } else { SchedMode::Pass };
+        let (out, cluster, detector) = chaotic_run(n, &edges, seed, latency, sched);
+        prop_assert!(out.quiesced, "run exhausted its event budget");
+
+        // Soundness: an announcement is only ever made over a dead
+        // system — no residual above ε anywhere, nothing in flight,
+        // every remote entry that left a peer also landed.
+        prop_assert!(out.announced, "no fault was injected, so Safra must conclude");
+        prop_assert_eq!(detector.announced(), out.announced);
+        prop_assert!(cluster.is_quiescent(), "announced while residual above eps");
+        for p in 0..num_peers as u32 {
+            prop_assert!(
+                !cluster.node(PeerId(p)).has_work(),
+                "announced while peer {} still has work",
+                p
+            );
+        }
+        prop_assert_eq!(
+            cluster.in_flight_entries(),
+            0u64,
+            "announced with messages in flight"
+        );
+        let (_, sent, received) = counter_sums(&cluster, num_peers);
+        prop_assert_eq!(sent, received, "announced with unbalanced counters");
+
+        // Determinism: the event schedule and the fixed point are a
+        // pure function of the seed.
+        let (again, cluster2, _) = chaotic_run(n, &edges, seed, latency, sched);
+        prop_assert_eq!(again, out, "outcome diverged on re-run");
+        let a = cluster.collect_ranks(n);
+        let b = cluster2.collect_ranks(n);
+        for (doc, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!(
+                x.to_bits() == y.to_bits(),
+                "doc {} rank diverged on re-run: {:e} vs {:e}",
+                doc, x, y
+            );
+        }
     }
 }
