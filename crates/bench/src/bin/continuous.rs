@@ -76,6 +76,12 @@
 //!     [--nodes 10000] [--peers 500] [--eps 1e-3] [--parity-eps 1e-9] \
 //!     [--seed N]
 //! ```
+//!
+//! Every mode additionally accepts `--git-sha SHA` and `--stamp TS`
+//! (an ISO-8601 timestamp): the driver-supplied provenance stamped
+//! into the shared `meta` envelope of each BENCH_*.json, alongside the
+//! scenario parameters and the codec/run-mode/scheduler axes the rows
+//! cover.
 
 use dpr_bench::Args;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
@@ -87,24 +93,46 @@ use dpr_node::node::{WireMode, DEFAULT_MAX_FRAME_BYTES};
 use dpr_node::termination::TerminationDetector;
 use dpr_p2p::peer::PeerId;
 use dpr_sim::batch::{compare_runs, run_wire_mode, run_wire_mode_observed, run_wire_mode_sched};
-use dpr_sim::event::{run_chaotic, ChaoticConfig, ChaoticOutcome, LatencyModel};
+use dpr_sim::event::{run_chaotic_profiled, ChaoticConfig, ChaoticOutcome, LatencyModel};
 use dpr_sim::metrics::{fmt_bytes, fmt_eps, TextTable};
-use dpr_sim::report::{results_dir, ExperimentRecord};
+use dpr_sim::report::{results_dir, BenchMeta, ExperimentRecord};
 use dpr_sim::scenario::continuous_update_experiment_observed;
 use dpr_sim::workload::Workload;
+use dpr_telemetry::Profile;
 use serde::Serialize;
 
+/// The provenance envelope every BENCH_*.json is stamped with. The
+/// commit and timestamp come from the driver (`--git-sha`, `--stamp`);
+/// the binary never guesses them.
+fn bench_meta(
+    args: &Args,
+    scenario: String,
+    codec: &str,
+    run_mode: &str,
+    sched: &str,
+) -> BenchMeta {
+    BenchMeta::default()
+        .provenance(
+            args.get::<String>("git-sha", "unknown".into()),
+            args.get::<String>("stamp", "unknown".into()),
+        )
+        .scenario(scenario)
+        .axes(codec, run_mode, sched)
+}
+
 /// Runs the message-level cluster to quiescence under the event-driven
-/// chaotic runtime and returns the outcome, the final ranks, and the
-/// total remote entries the peers emitted (the paper's traffic
-/// metric, counted identically to the round-driven cluster runs).
+/// chaotic runtime and returns the outcome, the final ranks, the total
+/// remote entries the peers emitted (the paper's traffic metric,
+/// counted identically to the round-driven cluster runs), and the
+/// causal profile of the run (critical-path compute/wire/wait
+/// attribution of the virtual wall-clock).
 fn run_chaotic_cluster(
     w: &Workload,
     eps: f64,
     sched: SchedMode,
     latency: LatencyModel,
     seed: u64,
-) -> (ChaoticOutcome, Vec<f64>, u64) {
+) -> (ChaoticOutcome, Vec<f64>, u64, Profile) {
     let mut cluster = Cluster::build_with(
         &w.graph,
         &w.placement,
@@ -120,7 +148,7 @@ fn run_chaotic_cluster(
         sched,
         epsilon: eps,
     };
-    let out = run_chaotic(
+    let (out, profile) = run_chaotic_profiled(
         &mut cluster,
         &peers,
         &ccfg,
@@ -129,10 +157,29 @@ fn run_chaotic_cluster(
         &dpr_telemetry::NOOP,
     );
     assert!(out.quiesced, "chaotic bench run must quiesce");
+    // The profiler's acceptance gate, enforced at bench scale: the
+    // critical-path attribution must sum to the virtual wall-clock
+    // within 1e-6 relative (it is in fact integer-exact).
+    let sum = profile.compute_ns + profile.wire_ns + profile.wait_ns;
+    let rel = (sum as f64 - profile.virtual_ns as f64).abs() / (profile.virtual_ns.max(1) as f64);
+    assert!(
+        rel <= 1e-6,
+        "profile breakdown {sum} ns vs virtual clock {} ns (rel err {rel:e})",
+        profile.virtual_ns
+    );
+    assert_eq!(
+        profile.virtual_ns, out.virtual_ns,
+        "profile horizon must equal the runtime's virtual clock"
+    );
     let emitted = (0..w.num_peers as u32)
         .map(|p| cluster.node(PeerId(p)).stats().emitted_remote)
         .sum();
-    (out, cluster.collect_ranks(w.graph.num_nodes()), emitted)
+    (
+        out,
+        cluster.collect_ranks(w.graph.num_nodes()),
+        emitted,
+        profile,
+    )
 }
 
 /// One row of `BENCH_pass_scaling.json`: a full convergence run under
@@ -249,16 +296,14 @@ fn pass_scaling(args: &Args) {
     let dir = std::env::var_os("DPR_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let path = ExperimentRecord::new(
-        "BENCH_pass_scaling",
-        format!(
-            "nodes={nodes} peers={peers_n} eps={eps} seed={}",
-            args.seed()
-        ),
-        rows,
-    )
-    .write_to_dir(dir)
-    .expect("write BENCH_pass_scaling.json");
+    let params = format!(
+        "nodes={nodes} peers={peers_n} eps={eps} seed={}",
+        args.seed()
+    );
+    let path = ExperimentRecord::new("BENCH_pass_scaling", params.clone(), rows)
+        .with_meta(bench_meta(args, params, "none", "rounds", "pass"))
+        .write_to_dir(dir)
+        .expect("write BENCH_pass_scaling.json");
     println!("\nwrote {}", path.display());
 }
 
@@ -354,13 +399,11 @@ fn scale(args: &Args) {
     let dir = std::env::var_os("DPR_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let path = ExperimentRecord::new(
-        "BENCH_scale",
-        format!("peers={peers_n} eps={eps} seed={}", args.seed()),
-        rows,
-    )
-    .write_to_dir(dir)
-    .expect("write BENCH_scale.json");
+    let params = format!("peers={peers_n} eps={eps} seed={}", args.seed());
+    let path = ExperimentRecord::new("BENCH_scale", params.clone(), rows)
+        .with_meta(bench_meta(args, params, "raw+compact", "rounds", "pass"))
+        .write_to_dir(dir)
+        .expect("write BENCH_scale.json");
     println!("\nwrote {}", path.display());
 }
 
@@ -475,16 +518,14 @@ fn batch_scaling(args: &Args) {
     let dir = std::env::var_os("DPR_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let path = ExperimentRecord::new(
-        "BENCH_node_batching",
-        format!(
-            "nodes={nodes} peers={peers_n} eps={eps} seed={}",
-            args.seed()
-        ),
-        rows,
-    )
-    .write_to_dir(dir)
-    .expect("write BENCH_node_batching.json");
+    let params = format!(
+        "nodes={nodes} peers={peers_n} eps={eps} seed={}",
+        args.seed()
+    );
+    let path = ExperimentRecord::new("BENCH_node_batching", params.clone(), rows)
+        .with_meta(bench_meta(args, params, "raw", "rounds", "pass"))
+        .write_to_dir(dir)
+        .expect("write BENCH_node_batching.json");
     println!("\nwrote {}", path.display());
     trace.finish();
 }
@@ -726,7 +767,7 @@ fn sched_scaling(args: &Args) {
         // chaotic priority row reporting a reduction <= 0% fails the
         // bench.
         eprintln!("  … chaotic cluster, pass sched, eps {eps}");
-        let (ch_pass_out, ch_pass_ranks, ch_pass_msgs) = run_chaotic_cluster(
+        let (ch_pass_out, ch_pass_ranks, ch_pass_msgs, _) = run_chaotic_cluster(
             &w,
             eps,
             SchedMode::Pass,
@@ -734,7 +775,7 @@ fn sched_scaling(args: &Args) {
             args.seed(),
         );
         eprintln!("  … chaotic cluster, priority sched, eps {eps}");
-        let (ch_pri_out, ch_pri_ranks, ch_pri_msgs) = run_chaotic_cluster(
+        let (ch_pri_out, ch_pri_ranks, ch_pri_msgs, _) = run_chaotic_cluster(
             &w,
             eps,
             SchedMode::Priority,
@@ -806,16 +847,20 @@ fn sched_scaling(args: &Args) {
     let dir = std::env::var_os("DPR_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let path = ExperimentRecord::new(
-        "BENCH_sched_quality",
-        format!(
-            "nodes={nodes} peers={peers_n} eps={eps} parity_eps={parity_eps} seed={}",
-            args.seed()
-        ),
-        rows,
-    )
-    .write_to_dir(dir)
-    .expect("write BENCH_sched_quality.json");
+    let params = format!(
+        "nodes={nodes} peers={peers_n} eps={eps} parity_eps={parity_eps} seed={}",
+        args.seed()
+    );
+    let path = ExperimentRecord::new("BENCH_sched_quality", params.clone(), rows)
+        .with_meta(bench_meta(
+            args,
+            params,
+            "raw",
+            "rounds+chaotic",
+            "pass+priority",
+        ))
+        .write_to_dir(dir)
+        .expect("write BENCH_sched_quality.json");
     println!("\nwrote {}", path.display());
 }
 
@@ -828,7 +873,10 @@ fn sched_scaling(args: &Args) {
 /// `msg_reduction_vs_pass` compares against the pass-scheduled run of
 /// the same mode, latency, and ε; `l1_per_doc_vs_rounds` is the
 /// matched-error column — the per-document gap to the round-barrier
-/// pass cluster at the same ε.
+/// pass cluster at the same ε. The three `*_pct` columns are the
+/// causal profiler's attribution of the virtual wall-clock (they sum
+/// to 100 by the exact-telescoping invariant); `null` on rounds rows,
+/// which have no network clock to attribute.
 #[derive(Debug, Clone, Serialize)]
 struct AsyncScalingRow {
     run_mode: String,
@@ -842,6 +890,9 @@ struct AsyncScalingRow {
     msg_reduction_vs_pass: f64,
     l1_per_doc_vs_sync: f64,
     l1_per_doc_vs_rounds: f64,
+    compute_pct: Option<f64>,
+    wire_pct: Option<f64>,
+    wait_pct: Option<f64>,
 }
 
 fn async_scaling(args: &Args) {
@@ -908,6 +959,9 @@ fn async_scaling(args: &Args) {
             msg_reduction_vs_pass: red,
             l1_per_doc_vs_sync: l1(&run.ranks, &sync),
             l1_per_doc_vs_rounds: l1r,
+            compute_pct: None,
+            wire_pct: None,
+            wait_pct: None,
         });
     }
 
@@ -924,10 +978,10 @@ fn async_scaling(args: &Args) {
         LatencyModel::Lan,
     ] {
         eprintln!("  … chaotic cluster ({latency}), pass sched, eps {eps}");
-        let (pass_out, pass_ranks, pass_msgs) =
+        let (pass_out, pass_ranks, pass_msgs, pass_prof) =
             run_chaotic_cluster(&w, eps, SchedMode::Pass, latency, args.seed());
         eprintln!("  … chaotic cluster ({latency}), priority sched, eps {eps}");
-        let (pri_out, pri_ranks, pri_msgs) =
+        let (pri_out, pri_ranks, pri_msgs, pri_prof) =
             run_chaotic_cluster(&w, eps, SchedMode::Priority, latency, args.seed());
         let red = 1.0 - pri_msgs as f64 / pass_msgs.max(1) as f64;
         assert!(
@@ -937,9 +991,23 @@ fn async_scaling(args: &Args) {
             100.0 * red
         );
         chaotic_reductions.push((latency, red));
-        for (sched, out, ranks, msgs, r) in [
-            (SchedMode::Pass, &pass_out, &pass_ranks, pass_msgs, 0.0),
-            (SchedMode::Priority, &pri_out, &pri_ranks, pri_msgs, red),
+        for (sched, out, ranks, msgs, r, prof) in [
+            (
+                SchedMode::Pass,
+                &pass_out,
+                &pass_ranks,
+                pass_msgs,
+                0.0,
+                &pass_prof,
+            ),
+            (
+                SchedMode::Priority,
+                &pri_out,
+                &pri_ranks,
+                pri_msgs,
+                red,
+                &pri_prof,
+            ),
         ] {
             rows.push(AsyncScalingRow {
                 run_mode: "chaotic".into(),
@@ -953,6 +1021,9 @@ fn async_scaling(args: &Args) {
                 msg_reduction_vs_pass: r,
                 l1_per_doc_vs_sync: l1(ranks, &sync),
                 l1_per_doc_vs_rounds: l1(ranks, &rd_pass.ranks),
+                compute_pct: Some(prof.compute_pct()),
+                wire_pct: Some(prof.wire_pct()),
+                wait_pct: Some(prof.wait_pct()),
             });
         }
     }
@@ -977,10 +1048,13 @@ fn async_scaling(args: &Args) {
         msg_reduction_vs_pass: 0.0,
         l1_per_doc_vs_sync: l1(&rd_ref.ranks, &sync),
         l1_per_doc_vs_rounds: 0.0,
+        compute_pct: None,
+        wire_pct: None,
+        wait_pct: None,
     });
     for sched in [SchedMode::Pass, SchedMode::Priority] {
         eprintln!("  … chaotic cluster (broadband), {sched} sched, eps {parity_eps}");
-        let (out, ranks, msgs) =
+        let (out, ranks, msgs, prof) =
             run_chaotic_cluster(&w, parity_eps, sched, LatencyModel::Broadband, args.seed());
         let gap = l1(&ranks, &rd_ref.ranks);
         assert!(
@@ -1000,6 +1074,9 @@ fn async_scaling(args: &Args) {
             msg_reduction_vs_pass: 0.0,
             l1_per_doc_vs_sync: l1(&ranks, &sync),
             l1_per_doc_vs_rounds: gap,
+            compute_pct: Some(prof.compute_pct()),
+            wire_pct: Some(prof.wire_pct()),
+            wait_pct: Some(prof.wait_pct()),
         });
     }
 
@@ -1012,6 +1089,7 @@ fn async_scaling(args: &Args) {
         "deliveries",
         "remote msgs",
         "virtual s",
+        "cmp/wire/wait",
         "reduction",
         "l1/doc vs rounds",
     ]);
@@ -1028,6 +1106,10 @@ fn async_scaling(args: &Args) {
                 "-".into()
             } else {
                 format!("{:.2}", r.virtual_secs)
+            },
+            match (r.compute_pct, r.wire_pct, r.wait_pct) {
+                (Some(c), Some(wi), Some(wa)) => format!("{c:.0}/{wi:.0}/{wa:.0}%"),
+                _ => "-".into(),
             },
             format!("{:.1}%", 100.0 * r.msg_reduction_vs_pass),
             format!("{:.1e}", r.l1_per_doc_vs_rounds),
@@ -1050,16 +1132,20 @@ fn async_scaling(args: &Args) {
     let dir = std::env::var_os("DPR_RESULTS_DIR")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    let path = ExperimentRecord::new(
-        "BENCH_async",
-        format!(
-            "nodes={nodes} peers={peers_n} eps={eps} parity_eps={parity_eps} seed={}",
-            args.seed()
-        ),
-        rows,
-    )
-    .write_to_dir(dir)
-    .expect("write BENCH_async.json");
+    let params = format!(
+        "nodes={nodes} peers={peers_n} eps={eps} parity_eps={parity_eps} seed={}",
+        args.seed()
+    );
+    let path = ExperimentRecord::new("BENCH_async", params.clone(), rows)
+        .with_meta(bench_meta(
+            args,
+            params,
+            "raw",
+            "rounds+chaotic",
+            "pass+priority",
+        ))
+        .write_to_dir(dir)
+        .expect("write BENCH_async.json");
     println!("\nwrote {}", path.display());
 }
 
@@ -1133,17 +1219,16 @@ fn main() {
     );
 
     if args.json() {
-        let path = ExperimentRecord::new(
-            "continuous",
-            format!(
-                "nodes={nodes} inserts={inserts} eps={eps} sched={} seed={}",
-                args.sched_mode(),
-                args.seed()
-            ),
-            points,
-        )
-        .write_to_dir(results_dir())
-        .expect("write results");
+        let params = format!(
+            "nodes={nodes} inserts={inserts} eps={eps} sched={} seed={}",
+            args.sched_mode(),
+            args.seed()
+        );
+        let sched = args.sched_mode().to_string();
+        let path = ExperimentRecord::new("continuous", params.clone(), points)
+            .with_meta(bench_meta(&args, params, "none", "rounds", &sched))
+            .write_to_dir(results_dir())
+            .expect("write results");
         println!("\nwrote {}", path.display());
     }
     trace.finish();

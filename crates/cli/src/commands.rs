@@ -44,6 +44,13 @@ commands:
              [--threads T] [--inserts N] [--checkpoints K]
              [--codec raw|compact] [--run-mode rounds|chaotic]
              [--latency modem|broadband|lan]
+  profile    [--docs 1200] [--peers 24] [--eps 1e-4] [--seed 2003]
+             [--sched pass|priority] [--codec raw|compact]
+             [--latency modem|broadband|lan]
+             [--inject-fault mass-leak|dup-frame|lost-frame]
+             [--fault-at N] [--replay cap.jsonl]
+             [--input trace.jsonl] [--threads T] [--top 8]
+             [--segment N] [--perfetto-out FILE]
   help       this text
 
 every command also accepts: --quiet (suppress stdout),
@@ -488,6 +495,10 @@ pub fn trace(args: &Args) -> Result<(), String> {
         println!("\ntop {top} hottest peers:");
         print!("{}", summary.render_hottest_peers(top).render());
     }
+    if summary.chaotic_health().is_some() {
+        println!("\nchaotic runtime health:");
+        print!("{}", summary.render_chaotic_health().render());
+    }
     Ok(())
 }
 
@@ -646,6 +657,193 @@ pub fn doctor(args: &Args) -> Result<(), String> {
     } else {
         Err(format!("{source}: {}", report.diagnosis()))
     }
+}
+
+/// `dpr profile` — the causal critical-path profiler for the chaotic
+/// runtime.
+///
+/// Three sources, one pipeline: a fresh live run (default, with the
+/// same scenario knobs as `dpr doctor` plus `--sched`), a re-executed
+/// Capture v3 (`--replay`, chaotic captures only — the replay is
+/// fingerprint-verified first, so the profile describes a proven
+/// bit-exact schedule), or an already-recorded trace JSONL with
+/// `span_closed` events (`--input`). Each chaotic segment becomes one
+/// [`Profile`]: the compute/wire/wait breakdown of the virtual
+/// wall-clock, the critical path from the quiescence announcement back
+/// to the seed, per-link utilization, and per-peer convergence lag.
+/// The breakdown is checked to telescope exactly to the segment's
+/// virtual time — a mismatch is a profiler bug and exits nonzero.
+/// `--perfetto-out` writes all segments as Chrome trace-event JSON
+/// (load in Perfetto; the clock is virtual nanoseconds).
+pub fn profile(args: &Args) -> Result<(), String> {
+    use dpr_sim::event::LatencyModel;
+    use dpr_sim::flight;
+    use dpr_telemetry::profile::chrome_trace;
+    use dpr_telemetry::{Profile, TraceRecorder};
+
+    let quiet = args.has("quiet");
+    let say = |line: String| {
+        if !quiet {
+            println!("{line}");
+        }
+    };
+    let top: usize = args.get("top", 8)?;
+
+    let segments: Vec<Profile> = if let Some(input) = args.optional("input") {
+        let summary = load_summary(input)?;
+        if !quiet {
+            report_unknown(input, &summary);
+        }
+        let segs =
+            Profile::segments_from_events(summary.events()).map_err(|e| format!("{input}: {e}"))?;
+        if segs.is_empty() {
+            return Err(format!(
+                "{input}: no span_closed events — record the trace from a chaotic run \
+                 (e.g. dpr doctor --run-mode chaotic --trace-out FILE)"
+            ));
+        }
+        say(format!(
+            "{input}: {} chaotic segment(s) in {} events",
+            segs.len(),
+            summary.events().len()
+        ));
+        segs
+    } else if let Some(path) = args.optional("replay") {
+        let capture =
+            Capture::read(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+        if capture.header.run_mode != "chaotic" {
+            return Err(format!(
+                "{path}: capture records run mode \"{}\" — only chaotic captures carry \
+                 the virtual-time schedule this profiler attributes; re-record with \
+                 --run-mode chaotic",
+                capture.header.run_mode
+            ));
+        }
+        let threads: usize = args.get("threads", 1)?;
+        let rec = TraceRecorder::new();
+        let out = flight::replay_observed(&capture, ExecMode::from_threads(Some(threads)), &rec)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let segs = Profile::segments_from_events(&rec.events())
+            .map_err(|e| format!("{path}: replayed trace: {e}"))?;
+        say(format!(
+            "{path}: replay matched (schedule fnv {:#018x}); {} chaotic segment(s)",
+            out.schedule_fnv,
+            segs.len()
+        ));
+        segs
+    } else {
+        let docs: usize = args.get("docs", 1_200)?;
+        let peers: usize = args.get("peers", 24)?;
+        let eps: f64 = args.get("eps", 1e-4)?;
+        let seed: u64 = args.get("seed", 2003)?;
+        let sched: dpr_core::SchedMode = args.get("sched", dpr_core::SchedMode::Pass)?;
+        let codec: dpr_p2p::transport::WireCodec = args.get("codec", Default::default())?;
+        let latency: LatencyModel = args.get("latency", Default::default())?;
+        let fault = match args.optional("inject-fault") {
+            Some(kind) => Some(dpr_p2p::transport::FaultPlan {
+                kind: kind.parse()?,
+                nth_send: args.get("fault-at", 25)?,
+            }),
+            None => None,
+        };
+        let run = flight::profile_run(docs, peers, eps, seed, sched, codec, latency, fault);
+        say(format!(
+            "scenario: {docs} docs on {peers} peers, ε {eps}, {sched} sched, {latency} \
+             latency: {} steps in {:.3} virtual ms, quiesced: {}",
+            run.outcome.steps,
+            run.outcome.virtual_ns as f64 / 1e6,
+            run.outcome.quiesced
+        ));
+        if let Some(plan) = fault {
+            match run.fault_fired_at {
+                Some(n) => say(format!("staged fault {} fired at send {n}", plan.kind)),
+                None => {
+                    return Err(format!(
+                        "staged fault {} never fired (too few sends?)",
+                        plan.kind
+                    ))
+                }
+            }
+        }
+        vec![run.profile]
+    };
+
+    // The profiler's own acceptance gate: every segment's attribution
+    // must telescope exactly — compute + wire + wait == the segment's
+    // virtual wall-clock, to the nanosecond. Anything else means the
+    // span model dropped or double-counted time.
+    for (i, seg) in segments.iter().enumerate() {
+        if !seg.breakdown_is_exact() {
+            return Err(format!(
+                "segment {i}: breakdown does not telescope: compute {} + wire {} + wait {} \
+                 != virtual {} ns (profiler invariant violated)",
+                seg.compute_ns, seg.wire_ns, seg.wait_ns, seg.virtual_ns
+            ));
+        }
+    }
+
+    if let Some(out) = args.optional("perfetto-out") {
+        let json = serde_json::to_string(&chrome_trace(&segments)).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+        say(format!(
+            "wrote {out}: {} segment(s) as Chrome trace events on the virtual clock",
+            segments.len()
+        ));
+    }
+
+    let idx = match args.optional("segment") {
+        Some(s) => {
+            let i: usize = s
+                .parse()
+                .map_err(|_| format!("flag --segment: cannot parse '{s}'"))?;
+            if i >= segments.len() {
+                return Err(format!(
+                    "--segment {i} out of range (trace has {} segments)",
+                    segments.len()
+                ));
+            }
+            i
+        }
+        // Default to the longest segment: reconvergence after the
+        // injection wave, which is where the convergence time goes.
+        None => segments
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.virtual_ns)
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+    };
+    if segments.len() > 1 && !quiet {
+        println!("\nsegments (chaotic reconvergences, in run order):");
+        for (i, p) in segments.iter().enumerate() {
+            let mark = if i == idx { " <- shown" } else { "" };
+            println!(
+                "  [{i}] {:>10.3} virtual ms, {:>6} steps, compute {:>5.1}% \
+                 wire {:>5.1}% wait {:>5.1}%{mark}",
+                p.virtual_ns as f64 / 1e6,
+                p.steps(),
+                p.compute_pct(),
+                p.wire_pct(),
+                p.wait_pct()
+            );
+        }
+    }
+    if !quiet {
+        let p = &segments[idx];
+        println!("\ncritical-path breakdown of segment {idx}:");
+        print!("{}", p.render_breakdown());
+        println!("\ntop {top} critical-path segments (announcement -> seed):");
+        print!("{}", p.render_path(top));
+        if !p.links.is_empty() {
+            println!("\ntop {top} links by wire time:");
+            print!("{}", p.render_links(top));
+        }
+        if !p.peers.is_empty() {
+            println!("\ntop {top} peers by mean inbox wait:");
+            print!("{}", p.render_peer_lag(top));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -954,6 +1152,87 @@ mod tests {
         std::fs::write(&cap, tampered).unwrap();
         let e = doctor(&args(&format!("--quiet --replay {}", cap.display()))).unwrap_err();
         assert!(e.contains("passes"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profile_live_replay_and_trace_input_all_work() {
+        let dir = tmpdir("profile");
+
+        // Live run prints (and gates) the causal profile.
+        profile(&args(
+            "--docs 400 --peers 8 --eps 1e-4 --seed 21 --sched priority --latency lan",
+        ))
+        .unwrap();
+
+        // A chaotic capture profiles through the fingerprint-verified
+        // replay, and the perfetto export is well-formed trace JSON.
+        let cap = dir.join("cap.jsonl");
+        doctor(&args(&format!(
+            "--docs 400 --peers 8 --eps 1e-3 --seed 9 --inserts 2 --checkpoints 1 \
+             --run-mode chaotic --latency lan --quiet --capture-out {}",
+            cap.display()
+        )))
+        .unwrap();
+        let pft = dir.join("profile.json");
+        profile(&args(&format!(
+            "--quiet --replay {} --perfetto-out {}",
+            cap.display(),
+            pft.display()
+        )))
+        .unwrap();
+        let json = std::fs::read_to_string(&pft).unwrap();
+        assert!(
+            json.contains("\"traceEvents\""),
+            "perfetto export missing traceEvents"
+        );
+        assert!(
+            json.contains("\"cat\":\"compute\"") && json.contains("\"cat\":\"wire\""),
+            "perfetto export missing compute/wire events"
+        );
+
+        // Explicit segment selection; out-of-range is a clean error.
+        profile(&args(&format!(
+            "--quiet --replay {} --segment 0",
+            cap.display()
+        )))
+        .unwrap();
+        let e = profile(&args(&format!(
+            "--quiet --replay {} --segment 99",
+            cap.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
+
+        // A rounds-mode capture is refused with the mode named.
+        let rcap = dir.join("rounds.jsonl");
+        doctor(&args(&format!(
+            "--docs 400 --peers 8 --eps 1e-3 --seed 9 --inserts 2 --checkpoints 1 \
+             --quiet --capture-out {}",
+            rcap.display()
+        )))
+        .unwrap();
+        let e = profile(&args(&format!("--quiet --replay {}", rcap.display()))).unwrap_err();
+        assert!(e.contains("\"rounds\""), "{e}");
+
+        // A recorded chaotic trace profiles through --input; a rounds
+        // trace (no span_closed events) is a clean error.
+        let tr = dir.join("trace.jsonl");
+        doctor(&args(&format!(
+            "--docs 400 --peers 8 --eps 1e-3 --seed 9 --run-mode chaotic --quiet \
+             --trace-out {}",
+            tr.display()
+        )))
+        .unwrap();
+        profile(&args(&format!("--input {} --top 3 --quiet", tr.display()))).unwrap();
+        let rtr = dir.join("rounds-trace.jsonl");
+        doctor(&args(&format!(
+            "--docs 400 --peers 8 --eps 1e-3 --seed 9 --quiet --trace-out {}",
+            rtr.display()
+        )))
+        .unwrap();
+        let e = profile(&args(&format!("--input {} --quiet", rtr.display()))).unwrap_err();
+        assert!(e.contains("no span_closed events"), "{e}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -11,6 +11,8 @@
 //! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K] [--diff other.jsonl]
 //! dpr doctor    [--docs N] [--peers P] [--inject-fault KIND] [--input trace.jsonl]
 //!               [--capture-out cap.jsonl] [--replay cap.jsonl] [--threads T]
+//! dpr profile   [--docs N] [--peers P] [--sched pass|priority] [--replay cap.jsonl]
+//!               [--input trace.jsonl] [--top K] [--segment N] [--perfetto-out FILE]
 //! ```
 //!
 //! Every command also takes `--quiet`, `--trace-out FILE` (JSONL event
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
         "search" => commands::search(&parsed),
         "trace" => commands::trace(&parsed),
         "doctor" => commands::doctor(&parsed),
+        "profile" => commands::profile(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -57,6 +57,12 @@ pub struct SendOutcome {
     /// exactly this many `Deliver` events, so staged transport faults
     /// never desynchronize the event queue from the inboxes.
     pub enqueued: usize,
+    /// Cluster-wide provenance id of this payload, stamped from a
+    /// monotone counter at hand-off (departure redirects included).
+    /// The chaotic runtime threads it through its link-transfer and
+    /// inbox-wait spans, so the causal profiler can name exactly which
+    /// frame a critical-path hop rode.
+    pub frame: u64,
 }
 
 /// A full message-level system: peers + transport.
@@ -72,6 +78,9 @@ pub struct Cluster {
     /// against each receiver's `received` counter and the in-flight
     /// backlog to localize duplication to a peer.
     sent_entries_to: Vec<u64>,
+    /// Monotone payload-provenance counter backing
+    /// [`SendOutcome::frame`] (ids start at 1; 0 means "unknown").
+    next_frame: u64,
 }
 
 impl Cluster {
@@ -119,6 +128,7 @@ impl Cluster {
             rounds: 0,
             cfg,
             sent_entries_to: vec![0; num_peers],
+            next_frame: 0,
         }
     }
 
@@ -296,11 +306,13 @@ impl Cluster {
             self.sent_entries_to[to.index()] += payload_entries(&payload);
             let bytes = payload.len();
             let enqueued = self.send_counted(peers, p, to, payload);
+            self.next_frame += 1;
             outcomes.push(SendOutcome {
                 from: p,
                 to,
                 bytes,
                 enqueued,
+                frame: self.next_frame,
             });
         }
         outcomes
@@ -606,11 +618,13 @@ impl Cluster {
         let mut redirect = |cl: &mut Self, from: PeerId, holder: PeerId, payload: Bytes| {
             let bytes = payload.len();
             let enqueued = cl.send_counted(peers, from, holder, payload);
+            cl.next_frame += 1;
             redirects.push(SendOutcome {
                 from,
                 to: holder,
                 bytes,
                 enqueued,
+                frame: cl.next_frame,
             });
         };
         for env in stranded {

@@ -158,6 +158,10 @@ pub struct NodeStats {
     pub frames_sent: u64,
     /// Messages that failed to decode or referenced unknown GUIDs.
     pub rejected: u64,
+    /// Largest un-stepped arrival depth the event-driven runtime ever
+    /// pushed this node to (high-water mark of the bounded inbox;
+    /// always zero under round-driven stepping).
+    pub inbox_hwm: u64,
 }
 
 /// One peer of the P2P system, executing Fig. 1 locally.
@@ -463,6 +467,7 @@ impl PeerNode {
     pub fn on_deliver(&mut self, payload: Bytes) -> Result<DeliverStatus, MessageError> {
         self.handle_message(payload)?;
         self.arrivals_since_step += 1;
+        self.stats.inbox_hwm = self.stats.inbox_hwm.max(self.arrivals_since_step as u64);
         if self.arrivals_since_step as usize >= DEFAULT_INBOX_CAP {
             Ok(DeliverStatus::Saturated)
         } else {

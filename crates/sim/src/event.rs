@@ -55,7 +55,9 @@ use dpr_node::node::DeliverStatus;
 use dpr_node::termination::TerminationDetector;
 use dpr_node::Cluster;
 use dpr_p2p::peer::{PeerId, PeerTable};
-use dpr_telemetry::Recorder;
+use dpr_telemetry::profile::Profile;
+use dpr_telemetry::span::{step_fold_depths, SpanTracer};
+use dpr_telemetry::{Event, Metric, Recorder};
 use fxhash::FxHashMap;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -230,8 +232,11 @@ pub struct ChaoticConfig {
 /// What one chaotic run did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaoticOutcome {
-    /// Virtual time at the last executed event, in nanoseconds — the
-    /// run's modeled wall clock to convergence.
+    /// Virtual time at the last *effective* executed event, in
+    /// nanoseconds — the run's modeled wall clock to convergence.
+    /// (A popped stale `Step` — one displaced by a reschedule — does
+    /// nothing and does not advance the clock, so this equals the end
+    /// of the last causal span the profiler sees.)
     pub virtual_ns: u64,
     /// Local passes executed.
     pub steps: u64,
@@ -291,7 +296,13 @@ struct Runner<'a> {
     steps: u64,
     deliveries: u64,
     displaced: u64,
+    /// Deliveries that saturated the destination inbox (backpressure).
+    saturated: u64,
     detector: &'a mut TerminationDetector,
+    /// Causal span observer (`None` = tracing off). A pure reader of
+    /// the schedule: it never touches the queue, the clock, or node
+    /// state, so traced and untraced runs execute bit-identically.
+    tracer: Option<SpanTracer>,
 }
 
 impl Runner<'_> {
@@ -310,18 +321,24 @@ impl Runner<'_> {
     /// returns its arrival time: the transmission queues behind
     /// whatever the link is already sending (store-and-forward at the
     /// model's byte rate), then propagates at the link's base latency.
-    fn schedule_delivery(&mut self, from: PeerId, to: PeerId, bytes: usize) {
+    fn schedule_delivery(&mut self, from: PeerId, to: PeerId, bytes: usize, frame: u64) {
         let tx_ns = (bytes as f64 / self.cfg.latency.rate_bytes_per_sec() * 1e9) as u64;
         let clear = self.link_clear.entry((from.0, to.0)).or_insert(0);
         let depart = (*clear).max(self.now);
         *clear = depart + tx_ns;
         let arrival = depart + tx_ns + self.link_latency_ns(from, to);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_send(frame, from.0, to.0, bytes as u64, self.now, depart);
+        }
         self.queue.push(arrival, Ev::Deliver { from, to });
         self.live += 1;
     }
 
     fn schedule_step(&mut self, p: PeerId, at: u64) {
         self.step_due[p.index()] = Some(at);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_step_scheduled(p.0, self.now);
+        }
         self.queue.push(at, Ev::Step { peer: p });
         self.live += 1;
     }
@@ -385,6 +402,49 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
     max_events: u64,
     rec: &R,
 ) -> ChaoticOutcome {
+    // With a live recorder the run also traces causal spans, so the
+    // JSONL trace carries the full `span_closed` stream plus the
+    // `chaotic_health` summary for `dpr profile --input`.
+    run_chaotic_inner(
+        cluster,
+        peers,
+        cfg,
+        detector,
+        max_events,
+        rec,
+        rec.enabled(),
+    )
+    .0
+}
+
+/// [`run_chaotic`] with span tracing forced on (recorder or not),
+/// additionally returning the run's causal [`Profile`] — critical
+/// path, compute/wire/wait breakdown, link utilization and per-peer
+/// convergence lag, all on the virtual clock. Tracing is pure
+/// observation: outcome, `schedule_fnv` and ranks are bit-identical
+/// to an untraced run (`tests/profile_differential.rs`).
+pub fn run_chaotic_profiled<R: Recorder + ?Sized>(
+    cluster: &mut Cluster,
+    peers: &PeerTable,
+    cfg: &ChaoticConfig,
+    detector: &mut TerminationDetector,
+    max_events: u64,
+    rec: &R,
+) -> (ChaoticOutcome, Profile) {
+    let (out, tracer) = run_chaotic_inner(cluster, peers, cfg, detector, max_events, rec, true);
+    let profile = Profile::from_spans(tracer.expect("tracing forced on").into_spans());
+    (out, profile)
+}
+
+fn run_chaotic_inner<R: Recorder + ?Sized>(
+    cluster: &mut Cluster,
+    peers: &PeerTable,
+    cfg: &ChaoticConfig,
+    detector: &mut TerminationDetector,
+    max_events: u64,
+    rec: &R,
+    trace: bool,
+) -> (ChaoticOutcome, Option<SpanTracer>) {
     let n = cluster.num_peers();
     let compute_ns: Vec<u64> = (0..n as u32)
         .map(|p| {
@@ -405,7 +465,9 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
         steps: 0,
         deliveries: 0,
         displaced: 0,
+        saturated: 0,
         detector,
+        tracer: trace.then(|| SpanTracer::new(n)),
     };
     // Seed the schedule: one step per peer with queued work.
     for p in 0..n as u32 {
@@ -421,21 +483,26 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
     let mut executed = 0u64;
     while executed < max_events && r.live > 0 {
         let Some((t, ev)) = r.queue.pop() else { break };
-        r.now = t;
         executed += 1;
         match ev {
             Ev::Step { peer } => {
                 r.live -= 1;
                 if r.step_due[peer.index()] != Some(t) {
-                    continue; // displaced by a reschedule
+                    // Displaced by a reschedule: nothing happens, so
+                    // the clock does not advance for a stale pop.
+                    continue;
                 }
+                r.now = t;
                 r.step_due[peer.index()] = None;
                 r.fold_event(1, peer.0, 0);
                 r.steps += 1;
+                if let Some(tr) = r.tracer.as_mut() {
+                    tr.on_step_executed(peer.0, t, r.compute_ns[peer.index()]);
+                }
                 let tick = r.tick();
                 for o in cluster.step_peer_observed(peer, peers, tick, rec) {
                     for _ in 0..o.enqueued {
-                        r.schedule_delivery(o.from, o.to, o.bytes);
+                        r.schedule_delivery(o.from, o.to, o.bytes, o.frame);
                     }
                 }
                 // Deferred or self-applied work re-queues the peer.
@@ -446,11 +513,19 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
             }
             Ev::Deliver { from, to } => {
                 r.live -= 1;
+                r.now = t;
                 r.fold_event(2, from.0, to.0);
-                match cluster.deliver_from(to, from) {
+                let status = cluster.deliver_from(to, from);
+                if let Some(tr) = r.tracer.as_mut() {
+                    tr.on_deliver(from.0, to.0, t, status.is_some());
+                }
+                match status {
                     None => r.displaced += 1,
                     Some(status) => {
                         r.deliveries += 1;
+                        if status == DeliverStatus::Saturated {
+                            r.saturated += 1;
+                        }
                         if cluster.node(to).has_work() {
                             let delay = match status {
                                 // Backpressure: a saturated inbox
@@ -464,13 +539,18 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
                 }
             }
             Ev::Probe => {
+                r.now = t;
                 let tick = r.tick();
                 r.detector.advance_observed(cluster, peers, rec, tick);
+                if let Some(tr) = r.tracer.as_mut() {
+                    tr.on_probe(t, r.detector.announced());
+                }
                 if r.live > 0 && !r.detector.announced() {
                     r.queue.push(r.now + PROBE_INTERVAL_NS, Ev::Probe);
                 }
             }
             Ev::Audit => {
+                r.now = t;
                 if rec.enabled() {
                     cluster.audit_at(r.tick(), rec);
                 }
@@ -493,10 +573,45 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
         }
         r.detector
             .advance_observed(cluster, peers, rec, r.tick() + i + 1);
+        if let Some(tr) = r.tracer.as_mut() {
+            // Settle circuits run on the frozen final clock, so the
+            // announcing probe span ends exactly at `virtual_ns`.
+            tr.on_probe(r.now, r.detector.announced());
+        }
     }
     cluster.certify_quiescence(rec);
 
-    ChaoticOutcome {
+    if let Some(tr) = r.tracer.as_mut() {
+        tr.finish(r.now);
+    }
+    if rec.enabled() {
+        rec.counter_add(Metric::ChaoticEvents, executed);
+        rec.counter_add(Metric::InboxSaturations, r.saturated);
+        if let Some(tr) = r.tracer.as_ref() {
+            tr.emit_events(rec);
+            let mut coalesce_hits = 0u64;
+            let mut max_depth = 0u64;
+            for (_, depth) in step_fold_depths(tr.spans()) {
+                rec.observe(Metric::InboxDepth, depth);
+                if depth >= 2 {
+                    coalesce_hits += 1;
+                }
+                max_depth = max_depth.max(depth);
+            }
+            rec.counter_add(Metric::CoalesceHits, coalesce_hits);
+            rec.event(&Event::ChaoticHealth {
+                events: executed,
+                steps: r.steps,
+                deliveries: r.deliveries,
+                displaced: r.displaced,
+                saturated: r.saturated,
+                coalesce_hits,
+                max_inbox_depth: max_depth,
+            });
+        }
+    }
+
+    let outcome = ChaoticOutcome {
         virtual_ns: r.now,
         steps: r.steps,
         deliveries: r.deliveries,
@@ -504,7 +619,8 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
         schedule_fnv: r.schedule_fnv,
         quiesced: cluster.is_quiescent(),
         announced: r.detector.announced(),
-    }
+    };
+    (outcome, r.tracer)
 }
 
 #[cfg(test)]

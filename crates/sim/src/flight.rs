@@ -28,7 +28,8 @@
 //! is what the capture's fingerprint must pin down.
 
 use crate::event::{
-    fold_schedule_fnv, run_chaotic, ChaoticConfig, LatencyModel, SCHEDULE_FNV_SEED,
+    fold_schedule_fnv, run_chaotic, run_chaotic_profiled, ChaoticConfig, ChaoticOutcome,
+    LatencyModel, SCHEDULE_FNV_SEED,
 };
 use crate::workload::Workload;
 use dpr_core::engine::{ChaoticEngine, EngineConfig};
@@ -40,7 +41,7 @@ use dpr_node::node::WireMode;
 use dpr_node::termination::TerminationDetector;
 use dpr_p2p::transport::{FaultPlan, WireCodec};
 use dpr_telemetry::replay::{fnv64_ranks, Capture, CaptureHeader, Fingerprint, CAPTURE_VERSION};
-use dpr_telemetry::{AuditReport, Event, Recorder, TraceRecorder};
+use dpr_telemetry::{AuditReport, Event, Profile, Recorder, TraceRecorder};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -333,8 +334,23 @@ pub fn record(cfg: &FlightConfig, mode: ExecMode) -> (Capture, FlightOutcome) {
 /// comparison is about the same run), then every fingerprint field
 /// must agree bit for bit. The error names the first divergence.
 pub fn replay(capture: &Capture, mode: ExecMode) -> Result<FlightOutcome, String> {
+    replay_observed(capture, mode, &dpr_telemetry::NOOP)
+}
+
+/// [`replay`] with a live recorder: the re-execution traces through
+/// `rec` exactly as the original `fly` would have, so a chaotic
+/// capture replays into a full `span_closed` stream — this is how
+/// `dpr profile --replay` turns a one-file repro into a causal
+/// profile. The fingerprint proof is unchanged (recording never
+/// perturbs the run; that is the zero-perturbation contract the
+/// differential tests pin).
+pub fn replay_observed<R: Recorder + ?Sized>(
+    capture: &Capture,
+    mode: ExecMode,
+    rec: &R,
+) -> Result<FlightOutcome, String> {
     let cfg = FlightConfig::from_header(&capture.header)?;
-    let out = fly(&cfg, mode, &dpr_telemetry::NOOP);
+    let out = fly(&cfg, mode, rec);
     if out.injections != capture.injections {
         let at = out
             .injections
@@ -500,6 +516,72 @@ pub fn doctor_run_mode(
     }
 }
 
+/// One live profiled run — the scenario half of `dpr profile`.
+#[derive(Debug)]
+pub struct ProfileRun {
+    /// The chaotic runtime's outcome (steps, traffic, `virtual_ns`,
+    /// schedule fingerprint).
+    pub outcome: ChaoticOutcome,
+    /// The causal profile extracted from the run's span stream.
+    pub profile: Profile,
+    /// The send index the staged fault fired at, if one was staged and
+    /// struck.
+    pub fault_fired_at: Option<u64>,
+}
+
+/// Drives one chaotic reconvergence of the paper workload with span
+/// tracing forced on and returns its causal profile. This is the live
+/// half of `dpr profile`; the offline halves consume a Capture v3
+/// ([`replay_observed`]) or an already-recorded trace JSONL. A staged
+/// transport `fault` lets the profiler show *where* the virtual time
+/// goes when a frame is lost (the settle phase's probe circuits
+/// dominate the critical path instead of compute).
+#[allow(clippy::too_many_arguments)]
+pub fn profile_run(
+    nodes: usize,
+    num_peers: usize,
+    epsilon: f64,
+    seed: u64,
+    sched: SchedMode,
+    codec: WireCodec,
+    latency: LatencyModel,
+    fault: Option<FaultPlan>,
+) -> ProfileRun {
+    let w = Workload::paper(nodes, num_peers, seed);
+    let mut cluster = Cluster::build_with(
+        &w.graph,
+        &w.placement,
+        num_peers,
+        EngineConfig::with_epsilon(epsilon).with_sched(sched),
+        WireMode::frames(),
+    );
+    cluster.set_codec(codec);
+    if let Some(plan) = fault {
+        cluster.inject_transport_fault(plan);
+    }
+    let peers = w.peer_table();
+    let ccfg = ChaoticConfig {
+        seed,
+        latency,
+        sched,
+        epsilon,
+    };
+    let mut det = TerminationDetector::new(num_peers);
+    let (outcome, profile) = run_chaotic_profiled(
+        &mut cluster,
+        &peers,
+        &ccfg,
+        &mut det,
+        1_000_000_000,
+        &dpr_telemetry::NOOP,
+    );
+    ProfileRun {
+        outcome,
+        profile,
+        fault_fired_at: cluster.fault_fired_at(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -643,6 +725,53 @@ mod tests {
             "{}",
             sick.report.diagnosis()
         );
+    }
+
+    #[test]
+    fn profile_run_is_exact_and_chaotic_replay_streams_spans() {
+        let run = profile_run(
+            400,
+            8,
+            1e-4,
+            21,
+            SchedMode::Priority,
+            WireCodec::Raw,
+            LatencyModel::Lan,
+            None,
+        );
+        assert!(run.outcome.quiesced);
+        assert!(run.fault_fired_at.is_none());
+        assert!(run.profile.breakdown_is_exact());
+        assert_eq!(
+            run.profile.virtual_ns, run.outcome.virtual_ns,
+            "profile horizon equals the runtime's virtual clock"
+        );
+        assert!(!run.profile.path.is_empty());
+
+        // Replaying a chaotic capture under a live recorder yields the
+        // full span stream: one profile segment per reconvergence, and
+        // every segment telescopes exactly.
+        let cfg = FlightConfig {
+            nodes: 400,
+            num_peers: 10,
+            inserts: 2,
+            checkpoints: 1,
+            epsilon: 1e-4,
+            seed: 11,
+            sched: SchedMode::Priority,
+            codec: WireCodec::Raw,
+            run_mode: RunMode::Chaotic,
+            latency: LatencyModel::Lan,
+        };
+        let (capture, _) = record(&cfg, ExecMode::Sequential);
+        let rec = TraceRecorder::new();
+        replay_observed(&capture, ExecMode::Sequential, &rec).unwrap();
+        let segments = Profile::segments_from_events(&rec.events()).unwrap();
+        assert_eq!(segments.len(), 2, "initial solve plus one checkpoint");
+        for seg in &segments {
+            assert!(seg.breakdown_is_exact());
+            assert!(seg.steps() > 0);
+        }
     }
 
     #[test]

@@ -8,6 +8,74 @@ use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
+/// The shared provenance envelope stamped into every experiment JSON.
+///
+/// Bench numbers are only comparable when their provenance is pinned:
+/// which commit produced them, when, on which scenario, and along
+/// which axes (codec, run mode, scheduler). The driver passes the
+/// commit and timestamp in from outside (`--git-sha`/`--stamp` on the
+/// bench binaries — the sandbox has no clock authority and the binary
+/// should not guess); fields default to `"unknown"` so old call sites
+/// stay valid.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    /// Commit the binary was built from, as passed by the driver.
+    pub git_sha: String,
+    /// ISO-8601 timestamp of the run, as passed by the driver.
+    pub timestamp: String,
+    /// Scenario description (graph sizes, peer counts, ε).
+    pub scenario: String,
+    /// Wire codec axis covered by the rows ("raw", "compact", or
+    /// "raw+compact" when rows span both).
+    pub codec: String,
+    /// Run-mode axis ("rounds", "chaotic", or "rounds+chaotic").
+    pub run_mode: String,
+    /// Scheduler axis ("pass", "priority", or "pass+priority").
+    pub sched: String,
+}
+
+impl Default for BenchMeta {
+    fn default() -> Self {
+        let unknown = || "unknown".to_string();
+        BenchMeta {
+            git_sha: unknown(),
+            timestamp: unknown(),
+            scenario: unknown(),
+            codec: unknown(),
+            run_mode: unknown(),
+            sched: unknown(),
+        }
+    }
+}
+
+impl BenchMeta {
+    /// Builder: the commit and timestamp as the driver passed them.
+    pub fn provenance(mut self, git_sha: impl Into<String>, timestamp: impl Into<String>) -> Self {
+        self.git_sha = git_sha.into();
+        self.timestamp = timestamp.into();
+        self
+    }
+
+    /// Builder: the scenario description.
+    pub fn scenario(mut self, s: impl Into<String>) -> Self {
+        self.scenario = s.into();
+        self
+    }
+
+    /// Builder: the codec / run-mode / scheduler axes.
+    pub fn axes(
+        mut self,
+        codec: impl Into<String>,
+        run_mode: impl Into<String>,
+        sched: impl Into<String>,
+    ) -> Self {
+        self.codec = codec.into();
+        self.run_mode = run_mode.into();
+        self.sched = sched.into();
+        self
+    }
+}
+
 /// A named experiment record with arbitrary serializable rows.
 #[derive(Debug, Serialize)]
 pub struct ExperimentRecord<T: Serialize> {
@@ -15,18 +83,28 @@ pub struct ExperimentRecord<T: Serialize> {
     pub experiment: String,
     /// Free-form parameter description.
     pub params: String,
+    /// Provenance envelope shared by every experiment JSON.
+    pub meta: BenchMeta,
     /// The measured rows.
     pub rows: Vec<T>,
 }
 
 impl<T: Serialize> ExperimentRecord<T> {
-    /// Creates a record.
+    /// Creates a record with an unknown-provenance envelope; stamp it
+    /// with [`ExperimentRecord::with_meta`].
     pub fn new(experiment: impl Into<String>, params: impl Into<String>, rows: Vec<T>) -> Self {
         ExperimentRecord {
             experiment: experiment.into(),
             params: params.into(),
+            meta: BenchMeta::default(),
             rows,
         }
+    }
+
+    /// Stamps the provenance envelope.
+    pub fn with_meta(mut self, meta: BenchMeta) -> Self {
+        self.meta = meta;
+        self
     }
 
     /// Writes the record as pretty JSON to `dir/<experiment>.json`,
@@ -62,12 +140,28 @@ mod tests {
     #[test]
     fn writes_json_file() {
         let dir = std::env::temp_dir().join(format!("dpr-report-test-{}", std::process::id()));
-        let rec = ExperimentRecord::new("table9", "demo", vec![Row { x: 1 }, Row { x: 2 }]);
+        let rec = ExperimentRecord::new("table9", "demo", vec![Row { x: 1 }, Row { x: 2 }])
+            .with_meta(
+                BenchMeta::default()
+                    .provenance("abc123", "2026-01-01T00:00:00Z")
+                    .scenario("demo scenario")
+                    .axes("raw", "rounds", "pass"),
+            );
         let path = rec.write_to_dir(&dir).unwrap();
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"experiment\": \"table9\""));
         assert!(text.contains("\"x\": 2"));
+        assert!(text.contains("\"git_sha\": \"abc123\""));
+        assert!(text.contains("\"timestamp\": \"2026-01-01T00:00:00Z\""));
+        assert!(text.contains("\"run_mode\": \"rounds\""));
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn meta_defaults_to_unknown_provenance() {
+        let rec = ExperimentRecord::new("t", "p", vec![Row { x: 1 }]);
+        assert_eq!(rec.meta.git_sha, "unknown");
+        assert_eq!(rec.meta.sched, "unknown");
     }
 
     #[test]

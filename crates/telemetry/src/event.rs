@@ -213,6 +213,61 @@ pub enum Event {
         /// positive means entries vanished in transit (loss).
         skew: i64,
     },
+    /// One closed virtual-time span of the chaotic runtime (see
+    /// [`crate::span`]): the JSONL replica of a [`crate::span::SpanRec`],
+    /// emitted in dense id order so a trace reader can rebuild the
+    /// exact causal model (`dpr profile --input`).
+    SpanClosed {
+        /// Dense span id within this chaotic segment, starting at 1
+        /// (a fresh segment restarts at 1 — the profiler splits on
+        /// non-increasing ids).
+        span: u64,
+        /// Span kind wire form (`"peer_step"`, `"coalesce_wait"`,
+        /// `"link_transfer"`, `"inbox_wait"`, `"safra_probe"`).
+        kind: String,
+        /// Primary peer (stepper / sender / wait destination).
+        peer: u32,
+        /// Secondary peer (transfer destination / wait sender; for
+        /// probes, 1 iff the circuit announced termination).
+        peer2: u32,
+        /// Virtual start time, nanoseconds.
+        start_ns: u64,
+        /// Virtual end time, nanoseconds.
+        end_ns: u64,
+        /// Transfers: sender-side link queueing at the span head.
+        queue_ns: u64,
+        /// Transfers: payload bytes.
+        bytes: u64,
+        /// Frame provenance id (transfers and inbox waits; 0 = n/a).
+        frame: u64,
+        /// Id of the span whose completion scheduled this one (0 =
+        /// run seed).
+        cause: u64,
+        /// Inbox waits: id of the step span that consumed the frame
+        /// (0 = never consumed).
+        consumed: u64,
+    },
+    /// End-of-run health summary of one chaotic segment: the
+    /// event-runtime counters that round-mode telemetry has no
+    /// equivalent for.
+    ChaoticHealth {
+        /// Events executed (steps + deliveries + probes + audits).
+        events: u64,
+        /// Local passes executed.
+        steps: u64,
+        /// Envelopes delivered.
+        deliveries: u64,
+        /// `Deliver` events displaced by a lost frame or redirect.
+        displaced: u64,
+        /// Deliveries that saturated the destination inbox
+        /// (backpressure-forced steps).
+        saturated: u64,
+        /// Steps that consumed two or more waiting arrivals (the
+        /// coalescing window doing its job).
+        coalesce_hits: u64,
+        /// Largest un-stepped arrival depth any peer reached.
+        max_inbox_depth: u64,
+    },
     /// The quiescence certificate emitted when a cluster run claims
     /// termination: every field must witness "truly done".
     QuiescenceCert {
@@ -307,6 +362,12 @@ event_codec! {
     }
     BalanceLedger => "balance_ledger" {
         round, emitted, sent, received, in_flight_entries, skew_peer, skew,
+    }
+    SpanClosed => "span_closed" {
+        span, kind, peer, peer2, start_ns, end_ns, queue_ns, bytes, frame, cause, consumed,
+    }
+    ChaoticHealth => "chaotic_health" {
+        events, steps, deliveries, displaced, saturated, coalesce_hits, max_inbox_depth,
     }
     QuiescenceCert => "quiescence_cert" {
         round, in_flight_entries, parked, nodes_with_work, token, max_residual, epsilon,
@@ -418,6 +479,28 @@ mod tests {
                 in_flight_entries: 28,
                 skew_peer: 0,
                 skew: 0,
+            },
+            Event::SpanClosed {
+                span: 17,
+                kind: "link_transfer".into(),
+                peer: 4,
+                peer2: 7,
+                start_ns: 1_000,
+                end_ns: 45_000,
+                queue_ns: 4_000,
+                bytes: 84,
+                frame: 9,
+                cause: 12,
+                consumed: 0,
+            },
+            Event::ChaoticHealth {
+                events: 10_000,
+                steps: 1_200,
+                deliveries: 8_700,
+                displaced: 3,
+                saturated: 41,
+                coalesce_hits: 310,
+                max_inbox_depth: 32,
             },
             Event::QuiescenceCert {
                 round: 41,

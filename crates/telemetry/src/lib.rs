@@ -64,15 +64,19 @@ pub mod event;
 pub mod fmt;
 pub mod hist;
 pub mod metric;
+pub mod profile;
 pub mod prom;
 pub mod recorder;
 pub mod replay;
+pub mod span;
 pub mod summary;
 pub mod table;
 
 pub use audit::{AuditReport, MassBreakdown};
 pub use event::Event;
 pub use metric::Metric;
+pub use profile::Profile;
 pub use recorder::{NoopRecorder, Recorder, Span, TraceRecorder, NOOP};
 pub use replay::Capture;
+pub use span::{SpanKind, SpanRec, SpanTracer};
 pub use summary::TraceSummary;

@@ -108,6 +108,14 @@ metrics! {
         "Sharded-executor passes delegated to the sequential engine by the auto-inline guard";
     ExecShardedPasses = 21 => Counter, "dpr_exec_sharded_passes",
         "Sharded-executor passes run through the parallel fan-out path";
+    ChaoticEvents = 22 => Counter, "dpr_chaotic_events",
+        "Events executed by the chaotic discrete-event runtime";
+    InboxSaturations = 23 => Counter, "dpr_inbox_saturations",
+        "Chaotic deliveries that saturated the destination inbox (backpressure-forced steps)";
+    CoalesceHits = 24 => Counter, "dpr_coalesce_hits",
+        "Chaotic steps that folded two or more waiting arrivals into one pass";
+    InboxDepth = 25 => Histogram, "dpr_inbox_depth",
+        "Un-stepped arrival depth consumed per chaotic step";
 }
 
 #[cfg(test)]

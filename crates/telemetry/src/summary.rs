@@ -139,6 +139,30 @@ pub struct PeerTraffic {
     pub payloads_out: u64,
 }
 
+/// Chaotic-runtime health counters aggregated over a trace: sums of
+/// every `ChaoticHealth` event (the runtime emits one per chaotic
+/// segment), with `max_inbox_depth` taken as the maximum across
+/// segments rather than a sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaoticHealthSummary {
+    /// Chaotic segments (one `ChaoticHealth` event each).
+    pub segments: u64,
+    /// Events executed by the discrete-event loop.
+    pub events: u64,
+    /// Peer steps executed.
+    pub steps: u64,
+    /// Frames delivered into peer inboxes.
+    pub deliveries: u64,
+    /// Deliveries redirected to a churned-out peer's successor.
+    pub displaced: u64,
+    /// Deliveries that saturated the destination inbox (backpressure).
+    pub saturated: u64,
+    /// Steps that coalesced two or more waiting arrivals into one pass.
+    pub coalesce_hits: u64,
+    /// Highest un-stepped arrival depth any peer's inbox reached.
+    pub max_inbox_depth: u64,
+}
+
 /// Everything `dpr trace` needs, derived once from an event stream.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -323,6 +347,63 @@ impl TraceSummary {
         Ok(())
     }
 
+    /// Aggregates the chaotic-runtime health counters, or `None` when
+    /// the trace holds no `ChaoticHealth` events (a rounds-mode trace,
+    /// or a writer predating the chaotic runtime).
+    pub fn chaotic_health(&self) -> Option<ChaoticHealthSummary> {
+        let mut agg = ChaoticHealthSummary::default();
+        for e in &self.events {
+            if let Event::ChaoticHealth {
+                events,
+                steps,
+                deliveries,
+                displaced,
+                saturated,
+                coalesce_hits,
+                max_inbox_depth,
+            } = e
+            {
+                agg.segments += 1;
+                agg.events += events;
+                agg.steps += steps;
+                agg.deliveries += deliveries;
+                agg.displaced += displaced;
+                agg.saturated += saturated;
+                agg.coalesce_hits += coalesce_hits;
+                agg.max_inbox_depth = agg.max_inbox_depth.max(*max_inbox_depth);
+            }
+        }
+        (agg.segments > 0).then_some(agg)
+    }
+
+    /// Renders the chaotic health counters as a text table (empty when
+    /// the trace has none).
+    pub fn render_chaotic_health(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "segments",
+            "events",
+            "steps",
+            "deliveries",
+            "displaced",
+            "saturated",
+            "coalesce hits",
+            "max inbox depth",
+        ]);
+        if let Some(h) = self.chaotic_health() {
+            t.push([
+                h.segments.to_string(),
+                h.events.to_string(),
+                h.steps.to_string(),
+                h.deliveries.to_string(),
+                h.displaced.to_string(),
+                h.saturated.to_string(),
+                h.coalesce_hits.to_string(),
+                h.max_inbox_depth.to_string(),
+            ]);
+        }
+        t
+    }
+
     /// Renders the convergence curve of `run` as a text table.
     pub fn render_convergence(&self, run: &str) -> TextTable {
         let mut t = TextTable::new(["pass", "residual", "active docs"]);
@@ -469,6 +550,35 @@ mod tests {
         assert_eq!(run, "r");
         assert_eq!(pass, 2);
         assert_eq!((prev, next), (1.0, 2.0));
+    }
+
+    #[test]
+    fn chaotic_health_sums_segments_and_maxes_depth() {
+        let health = |events: u64, saturated: u64, depth: u64| Event::ChaoticHealth {
+            events,
+            steps: events / 2,
+            deliveries: events / 3,
+            displaced: 0,
+            saturated,
+            coalesce_hits: 5,
+            max_inbox_depth: depth,
+        };
+        let s = TraceSummary::from_events(vec![
+            check("r", 1, 1.0),
+            health(600, 2, 9),
+            health(400, 1, 17),
+        ]);
+        let h = s.chaotic_health().unwrap();
+        assert_eq!(h.segments, 2);
+        assert_eq!(h.events, 1000);
+        assert_eq!(h.steps, 500);
+        assert_eq!(h.saturated, 3);
+        assert_eq!(h.coalesce_hits, 10);
+        assert_eq!(h.max_inbox_depth, 17, "depth is a max, not a sum");
+        assert!(s.render_chaotic_health().render().contains("saturated"));
+
+        let rounds_only = TraceSummary::from_events(vec![check("r", 1, 1.0)]);
+        assert_eq!(rounds_only.chaotic_health(), None);
     }
 
     #[test]
