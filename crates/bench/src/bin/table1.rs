@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run --release -p dpr-bench --bin table1 [--sizes 10000,100000] \
 //!     [--peers 500] [--eps 1e-3] [--seed N] [--threads T] \
-//!     [--sched pass|priority] [--json] [--full]
+//!     [--sched pass|priority|greedy] [--json] [--full]
 //! ```
 
 use dpr_bench::Args;

@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table2 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority] \
+//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority|greedy] \
 //!     [--json] [--full]
 //! ```
 

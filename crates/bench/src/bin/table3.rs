@@ -19,7 +19,7 @@
 //!
 //! ```text
 //! cargo run --release -p dpr-bench --bin table3 [--sizes ...] \
-//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority] \
+//!     [--peers 500] [--seed N] [--threads T] [--sched pass|priority|greedy] \
 //!     [--internet] [--json] [--full] \
 //!     [--paper-compute | --compute-secs N] \
 //!     [--batch [--frame-bytes 1400] [--eps e1,e2,...]]

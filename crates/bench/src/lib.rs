@@ -22,9 +22,10 @@
 //! FILE` (Prometheus text snapshot of the run's metrics), and
 //! `table1`–`table3`/`continuous` take `--threads n` to run passes on
 //! the sharded executor — results are bit-identical to the default
-//! sequential run — and `--sched pass|priority` to pick the pass
-//! scheduler (full sweep vs residual-driven Gauss–Southwell
-//! selection). `continuous --sched-scaling` measures the priority
+//! sequential run — and `--sched pass|priority|greedy` (the shared
+//! [`dpr_core::SCHED_HELP`] mode list) to pick the scheduler: full
+//! sweep, residual-driven Gauss–Southwell bucket selection, or greedy
+//! matching pursuit. `continuous --sched-scaling` measures the priority
 //! scheduler's message saving and parity and writes
 //! `BENCH_sched_quality.json`. `cargo bench -p dpr-bench` runs the
 //! criterion micro-benchmarks over the hot kernels.
@@ -137,10 +138,11 @@ impl Args {
         dpr_core::parallel::ExecMode::from_threads(threads)
     }
 
-    /// Scheduling mode from `--sched pass|priority` (default `pass`,
-    /// the paper's full-sweep ordering; `priority` enables
-    /// residual-driven Gauss–Southwell selection — same fixed point to
-    /// O(ε), fewer remote messages).
+    /// Scheduling mode from `--sched` (the [`dpr_core::SCHED_HELP`]
+    /// modes; default `pass`, the paper's full-sweep ordering;
+    /// `priority` enables residual-driven Gauss–Southwell bucket
+    /// selection, `greedy` the exact matching-pursuit budget cut —
+    /// same fixed point to O(ε), fewer remote messages).
     pub fn sched_mode(&self) -> dpr_core::SchedMode {
         self.get("sched", dpr_core::SchedMode::Pass)
     }

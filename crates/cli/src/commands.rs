@@ -20,15 +20,20 @@ use rand_chacha::ChaCha8Rng;
 use std::fs::File;
 use std::sync::Arc;
 
-/// Top-level usage text.
-pub const USAGE: &str = "\
+/// Top-level usage text. Built, not const, so every `--sched` line
+/// cites the one shared [`dpr_core::SCHED_HELP`] mode list — the CLI,
+/// the bench binaries, and the parser error all stay in lockstep.
+pub fn usage() -> String {
+    let sched = dpr_core::SCHED_HELP;
+    format!(
+        "\
 dpr — distributed pagerank for P2P systems (HPDC'03 reproduction)
 
 commands:
   generate   --nodes N --out FILE [--seed S] [--edges-out FILE]
   stats      --graph FILE
   rank       --graph FILE [--eps 1e-3] [--peers 500] [--seed S]
-             [--sched pass|priority] [--out ranks.json] [--top K]
+             [--sched {sched}] [--out ranks.json] [--top K]
              [--sync]
   partition  --graph FILE --peers K [--sweeps 6]
   insert     --graph FILE --links a,b,c [--eps 1e-3] [--damping 0.85]
@@ -42,10 +47,11 @@ commands:
              [--fault-at N] [--input trace.jsonl]
              [--capture-out cap.jsonl] [--replay cap.jsonl]
              [--threads T] [--inserts N] [--checkpoints K]
-             [--codec raw|compact] [--run-mode rounds|chaotic]
+             [--sched {sched}] [--codec raw|compact]
+             [--run-mode rounds|chaotic]
              [--latency modem|broadband|lan]
   profile    [--docs 1200] [--peers 24] [--eps 1e-4] [--seed 2003]
-             [--sched pass|priority] [--codec raw|compact]
+             [--sched {sched}] [--codec raw|compact]
              [--latency modem|broadband|lan]
              [--inject-fault mass-leak|dup-frame|lost-frame]
              [--fault-at N] [--replay cap.jsonl]
@@ -55,7 +61,9 @@ commands:
 
 every command also accepts: --quiet (suppress stdout),
   --trace-out FILE (JSONL event trace), --prom-out FILE (Prometheus
-  text snapshot of the run's metrics)";
+  text snapshot of the run's metrics)"
+    )
+}
 
 fn load_graph(args: &Args) -> Result<CsrGraph, String> {
     let path = args.required("graph")?;
@@ -613,6 +621,7 @@ pub fn doctor(args: &Args) -> Result<(), String> {
             dpr_node::node::WireMode::frames(),
             codec,
             fault,
+            args.get("sched", dpr_core::SchedMode::Pass)?,
             run_mode,
             latency,
         );

@@ -11,7 +11,7 @@
 //! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K] [--diff other.jsonl]
 //! dpr doctor    [--docs N] [--peers P] [--inject-fault KIND] [--input trace.jsonl]
 //!               [--capture-out cap.jsonl] [--replay cap.jsonl] [--threads T]
-//! dpr profile   [--docs N] [--peers P] [--sched pass|priority] [--replay cap.jsonl]
+//! dpr profile   [--docs N] [--peers P] [--sched pass|priority|greedy] [--replay cap.jsonl]
 //!               [--input trace.jsonl] [--top K] [--segment N] [--perfetto-out FILE]
 //! ```
 //!
@@ -52,7 +52,7 @@ fn main() -> ExitCode {
     exit_quietly_on_broken_pipe();
     let mut argv = std::env::args().skip(1);
     let Some(cmd) = argv.next() else {
-        eprintln!("{}", commands::USAGE);
+        eprintln!("{}", commands::usage());
         return ExitCode::FAILURE;
     };
     let rest: Vec<String> = argv.collect();
@@ -75,10 +75,10 @@ fn main() -> ExitCode {
         "doctor" => commands::doctor(&parsed),
         "profile" => commands::profile(&parsed),
         "help" | "--help" | "-h" => {
-            println!("{}", commands::USAGE);
+            println!("{}", commands::usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", commands::USAGE)),
+        other => Err(format!("unknown command '{other}'\n{}", commands::usage())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -234,7 +234,7 @@ pub(crate) fn observe_sched<R: Recorder + ?Sized>(
     stats: &PassStats,
     run_label: &str,
 ) {
-    if sched != SchedMode::Priority {
+    if !sched.is_selective() {
         return;
     }
     rec.observe(Metric::SchedQueueDepth, stats.queued);
@@ -308,6 +308,8 @@ pub struct ChaoticEngine {
     pub(crate) scratch_deferred: Vec<u32>,
     /// Per-work-item residual buckets for the selection.
     scratch_buckets: Vec<u8>,
+    /// (score key, doc) pairs for the greedy selection's ranking sort.
+    scratch_keys: Vec<(u64, u32)>,
 }
 
 impl ChaoticEngine {
@@ -351,6 +353,7 @@ impl ChaoticEngine {
             scratch_applied: Vec::new(),
             scratch_deferred: Vec::new(),
             scratch_buckets: Vec::new(),
+            scratch_keys: Vec::new(),
         };
         eng.pending.iter_mut().for_each(|p| *p = base);
         eng
@@ -493,11 +496,14 @@ impl ChaoticEngine {
     /// [`SchedMode::Priority`] the list is first canonicalized to
     /// ascending document order — making the per-bucket residual-mass
     /// folds below a function of the dirty *set* alone — and then
-    /// partitioned by [`sched::partition_by_residual`]; the deferred
-    /// documents are parked in `scratch_deferred` (still queued, with
-    /// their pending mass intact) and must rejoin `dirty` at pass end.
-    /// Both executors call this on the coordinating thread, so the
-    /// selected set is identical at every thread count.
+    /// partitioned by [`sched::partition_by_residual`]; in
+    /// [`SchedMode::Greedy`] it is instead partitioned by
+    /// [`sched::partition_by_greedy`]'s matching-pursuit ranking. In
+    /// both selective modes the deferred documents are parked in
+    /// `scratch_deferred` (still queued, with their pending mass
+    /// intact) and must rejoin `dirty` at pass end. Both executors
+    /// call this on the coordinating thread, so the selected set is
+    /// identical at every thread count.
     pub(crate) fn take_pass_work(&mut self) -> (Vec<u32>, SchedStats) {
         let mut work = std::mem::take(&mut self.dirty);
         if self.cfg.sched == SchedMode::Pass {
@@ -506,16 +512,37 @@ impl ChaoticEngine {
         }
         work.sort_unstable();
         let mut deferred = std::mem::take(&mut self.scratch_deferred);
-        let mut buckets = std::mem::take(&mut self.scratch_buckets);
         let (ranks, advertised, pending) = (&self.ranks, &self.advertised, &self.pending);
-        let sel = sched::partition_by_residual(&mut work, &mut deferred, &mut buckets, |d| {
-            // Un-propagated mass at the document: the parked increment
-            // plus the rank change not yet advertised downstream.
+        // Un-propagated mass at the document: the parked increment
+        // plus the rank change not yet advertised downstream.
+        let residual = |d: u32| {
             let i = d as usize;
             pending[i] + ranks[i] - advertised[i]
-        });
+        };
+        let sel = match self.cfg.sched {
+            SchedMode::Pass => unreachable!("handled above"),
+            SchedMode::Priority => {
+                let mut buckets = std::mem::take(&mut self.scratch_buckets);
+                let sel =
+                    sched::partition_by_residual(&mut work, &mut deferred, &mut buckets, residual);
+                self.scratch_buckets = buckets;
+                sel
+            }
+            SchedMode::Greedy => {
+                let mut keys = std::mem::take(&mut self.scratch_keys);
+                let graph = &self.graph;
+                let sel = sched::partition_by_greedy(
+                    &mut work,
+                    &mut deferred,
+                    &mut keys,
+                    residual,
+                    |d| graph.out_degree(DocId(d)),
+                );
+                self.scratch_keys = keys;
+                sel
+            }
+        };
         self.scratch_deferred = deferred;
-        self.scratch_buckets = buckets;
         (work, sel)
     }
 
@@ -1031,6 +1058,73 @@ mod tests {
         assert!(prio_eng.is_quiescent());
         assert!(prio_eng.scratch_deferred.is_empty());
         assert!(prio_eng.pending.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn greedy_mode_saves_messages_and_matches_ranks() {
+        let g = paper_graph(2_000, 39);
+        let n = g.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let owner: Vec<PeerId> = (0..n).map(|_| PeerId(rng.gen_range(0..50))).collect();
+        let cfg = EngineConfig::with_epsilon(1e-9);
+        let mut pass_eng = ChaoticEngine::new(Arc::new(g.clone()), owner.clone(), cfg);
+        let r1 = pass_eng.run_static();
+        let mut prio_eng = ChaoticEngine::new(
+            Arc::new(g.clone()),
+            owner.clone(),
+            cfg.with_sched(crate::SchedMode::Priority),
+        );
+        let r2 = prio_eng.run_static();
+        let mut greedy_eng =
+            ChaoticEngine::new(Arc::new(g), owner, cfg.with_sched(crate::SchedMode::Greedy));
+        let r3 = greedy_eng.run_static();
+        assert!(r1.converged && r2.converged && r3.converged);
+        // The exact budget cut defers at least as aggressively as the
+        // whole-bucket cut: greedy beats pass outright and does not
+        // lose to priority on the headline metric.
+        assert!(
+            r3.total_remote_messages < r1.total_remote_messages,
+            "greedy {} vs pass {}",
+            r3.total_remote_messages,
+            r1.total_remote_messages
+        );
+        assert!(
+            r3.total_remote_messages <= r2.total_remote_messages,
+            "greedy {} vs priority {}",
+            r3.total_remote_messages,
+            r2.total_remote_messages
+        );
+        let l1: f64 = pass_eng
+            .ranks()
+            .iter()
+            .zip(greedy_eng.ranks())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 / n as f64 <= 1e-9, "per-doc L1 {}", l1 / n as f64);
+        assert!(greedy_eng.is_quiescent());
+        assert!(greedy_eng.scratch_deferred.is_empty());
+        assert!(greedy_eng.pending.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn greedy_pass_stats_account_for_every_queued_doc() {
+        let g = paper_graph(1_500, 40);
+        let mut e = ChaoticEngine::local(
+            Arc::new(g),
+            EngineConfig::with_epsilon(1e-6).with_sched(crate::SchedMode::Greedy),
+        );
+        let run = e.run_static();
+        assert!(run.converged);
+        let mut saw_deferral = false;
+        for s in &run.per_pass {
+            assert_eq!(s.queued, s.selected + s.deferred, "pass {}", s.pass);
+            assert!(s.budget_hit > 0.0 && s.budget_hit <= 1.0);
+            if s.deferred > 0 {
+                saw_deferral = true;
+                assert!(s.deferred_mass > 0.0);
+            }
+        }
+        assert!(saw_deferral, "greedy run never deferred anything");
     }
 
     #[test]

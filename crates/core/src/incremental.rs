@@ -17,7 +17,23 @@
 //! * **node coverage** — the number of distinct documents that
 //!   receive at least one update message ("an upper bound on the
 //!   number of messages a document insert can generate").
+//!
+//! ## Bursts and localization
+//!
+//! The paper's protocol runs one wave per mutation. When mutations
+//! arrive in *bursts*, the per-mutation waves re-touch their shared
+//! downstream regions once each — [`propagate_burst`] instead merges
+//! the whole burst into a single generation-synchronous wave, so a
+//! document forwards its accumulated increment once per generation no
+//! matter how many origins feed it, and node coverage / message counts
+//! are deduplicated across the burst. [`propagate_burst_localized`]
+//! additionally consults an [`SccIndex`] downstream cone and *proves*
+//! the wave stays inside it (every message target is asserted to be in
+//! the cone): upstream components receive nothing and are therefore
+//! fixed — the certification the engine's localized dirty-set seeding
+//! relies on.
 
+use dpr_graph::scc::{ConeSet, SccIndex};
 use dpr_graph::{CsrGraph, DocId, DynamicGraph};
 
 /// Outcome of one increment wave.
@@ -97,7 +113,36 @@ pub fn propagate<G: OutLinks>(
     origin: DocId,
     initial: f64,
     cfg: PropagationConfig,
+    ranks: Option<&mut [f64]>,
+) -> PropagationStats {
+    wave(graph, &[(origin, initial)], cfg, ranks, None)
+}
+
+/// Propagates a whole burst of increment waves as *one* merged
+/// generation-synchronous wave: every origin distributes its initial
+/// in generation zero, and from then on each document forwards its
+/// accumulated increment once per generation no matter how many
+/// origins' waves flow through it. Message and node-coverage counts
+/// are therefore deduplicated across the burst — never more than the
+/// sum of the per-origin waves, strictly fewer whenever the waves
+/// overlap.
+pub fn propagate_burst<G: OutLinks>(
+    graph: &G,
+    origins: &[(DocId, f64)],
+    cfg: PropagationConfig,
+    ranks: Option<&mut [f64]>,
+) -> PropagationStats {
+    wave(graph, origins, cfg, ranks, None)
+}
+
+/// The shared wave core. When `cone` is given, every message target is
+/// asserted to lie inside it — the upstream-fixedness certificate.
+fn wave<G: OutLinks>(
+    graph: &G,
+    origins: &[(DocId, f64)],
+    cfg: PropagationConfig,
     mut ranks: Option<&mut [f64]>,
+    cone: Option<&ConeSet>,
 ) -> PropagationStats {
     assert!(cfg.epsilon > 0.0, "epsilon must be positive");
     assert!(cfg.damping > 0.0 && cfg.damping <= 1.0, "damping in (0,1]");
@@ -119,13 +164,26 @@ pub fn propagate<G: OutLinks>(
     // generations far above anything a damped wave can reach.
     const MAX_GENERATIONS: u32 = 1_000_000;
 
-    // The origin's initial distribution carries no damping: the full
-    // initial rank is what the new document advertises (Fig. 2).
-    let out = graph.out(origin);
-    if !out.is_empty() {
+    // Generation zero: every origin's initial distribution, carrying
+    // no damping — the full initial rank is what the new (or deleted)
+    // document advertises (Fig. 2).
+    for &(origin, initial) in origins {
+        if let Some(c) = cone {
+            assert!(c.contains(origin), "origin {origin} outside its own cone");
+        }
+        let out = graph.out(origin);
+        if out.is_empty() {
+            continue;
+        }
         let share = initial / out.len() as f64;
         for &t in out {
             stats.messages += 1;
+            if let Some(c) = cone {
+                assert!(
+                    c.contains(DocId(t)),
+                    "wave escaped the cone at document {t}"
+                );
+            }
             if !covered[t as usize] {
                 covered[t as usize] = true;
                 stats.node_coverage += 1;
@@ -159,6 +217,12 @@ pub fn propagate<G: OutLinks>(
             let share = cfg.damping * delta / out.len() as f64;
             for &t in out {
                 stats.messages += 1;
+                if let Some(c) = cone {
+                    assert!(
+                        c.contains(DocId(t)),
+                        "wave escaped the cone at document {t}"
+                    );
+                }
                 if !covered[t as usize] {
                     covered[t as usize] = true;
                     stats.node_coverage += 1;
@@ -178,6 +242,94 @@ pub fn propagate<G: OutLinks>(
                 break;
             }
         }
+    }
+    stats
+}
+
+/// Outcome of a localized burst: the merged wave's statistics plus the
+/// SCC cone that certified it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct BurstStats {
+    /// The merged wave's Table 4 statistics.
+    pub wave: PropagationStats,
+    /// Origins in the burst.
+    pub origins: usize,
+    /// Live documents inside the downstream cone.
+    pub cone_docs: usize,
+    /// Components inside the downstream cone.
+    pub cone_components: usize,
+}
+
+/// Runs a burst as one merged wave, restricted to — and certified
+/// against — the [`SccIndex`] downstream cone of its origins. Every
+/// update message is asserted to land inside the cone, so every
+/// document outside it provably receives nothing and keeps its rank
+/// bit-identically: upstream components are never re-swept.
+///
+/// # Panics
+///
+/// Panics if `index` is stale (refresh it first) or if the wave would
+/// escape the cone (which would indicate index corruption).
+pub fn propagate_burst_localized(
+    graph: &DynamicGraph,
+    index: &SccIndex,
+    origins: &[(DocId, f64)],
+    cfg: PropagationConfig,
+    ranks: Option<&mut [f64]>,
+) -> BurstStats {
+    let origin_docs: Vec<DocId> = origins.iter().map(|&(d, _)| d).collect();
+    let cone = index.downstream_cone(graph, &origin_docs);
+    let wave_stats = wave(graph, origins, cfg, ranks, Some(&cone));
+    BurstStats {
+        wave: wave_stats,
+        origins: origins.len(),
+        cone_docs: cone.docs,
+        cone_components: cone.components,
+    }
+}
+
+/// Inserts a whole batch of documents structurally (updating `index`
+/// incrementally — inserts are exact, no rebuild), then runs one
+/// localized merged wave seeding each new document's base rank.
+/// Returns the new ids and the burst statistics.
+pub fn insert_burst(
+    graph: &mut DynamicGraph,
+    index: &mut SccIndex,
+    batches: &[Vec<DocId>],
+    ranks: &mut Vec<f64>,
+    cfg: PropagationConfig,
+) -> (Vec<DocId>, BurstStats) {
+    let seed = 1.0 - cfg.damping;
+    let mut origins: Vec<(DocId, f64)> = Vec::with_capacity(batches.len());
+    for links in batches {
+        let id = graph.insert_document(links);
+        index.on_insert_document(id);
+        ranks.push(seed);
+        origins.push((id, seed));
+    }
+    assert_eq!(ranks.len(), graph.id_bound(), "rank vector out of sync");
+    let stats = propagate_burst_localized(graph, index, &origins, cfg, Some(ranks.as_mut_slice()));
+    (origins.into_iter().map(|(d, _)| d).collect(), stats)
+}
+
+/// Deletes a batch of documents: one merged localized wave propagates
+/// every negated rank over the pre-deletion topology (the negation
+/// must follow the links the documents had), then the documents are
+/// unlinked and `index` coarsens.
+pub fn delete_burst(
+    graph: &mut DynamicGraph,
+    index: &mut SccIndex,
+    docs: &[DocId],
+    ranks: &mut [f64],
+    cfg: PropagationConfig,
+) -> BurstStats {
+    assert_eq!(ranks.len(), graph.id_bound(), "rank vector out of sync");
+    let origins: Vec<(DocId, f64)> = docs.iter().map(|&d| (d, -ranks[d.index()])).collect();
+    let stats = propagate_burst_localized(graph, index, &origins, cfg, Some(ranks));
+    for &d in docs {
+        ranks[d.index()] = 0.0;
+        graph.delete_document(d);
+        index.on_delete_document(d);
     }
     stats
 }
@@ -397,5 +549,177 @@ mod tests {
         let s1 = propagate(&base, DocId(0), 1.0, PropagationConfig::default(), None);
         let s2 = propagate(&dg, DocId(0), 1.0, PropagationConfig::default(), None);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn burst_with_single_origin_matches_propagate_exactly() {
+        let g = paper_graph(2_000, 44);
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-9,
+        };
+        let mut r1 = vec![0.0; 2_000];
+        let mut r2 = vec![0.0; 2_000];
+        let s1 = propagate(&g, DocId(17), 1.0, cfg, Some(&mut r1));
+        let s2 = propagate_burst(&g, &[(DocId(17), 1.0)], cfg, Some(&mut r2));
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2, "single-origin burst must be bit-identical");
+    }
+
+    #[test]
+    fn overlapping_burst_dedupes_coverage_and_messages() {
+        // A(0) -> C(2) -> D(3) and B(1) -> C(2): both waves flow
+        // through C. Run separately, C forwards twice (4 messages,
+        // coverage 2 + 2); merged, C forwards its accumulated
+        // increment once (3 messages, coverage 2).
+        let g = from_edges(
+            4,
+            [
+                Edge::new(0u32, 2u32),
+                Edge::new(1u32, 2u32),
+                Edge::new(2u32, 3u32),
+            ],
+        );
+        let cfg = PropagationConfig {
+            damping: 1.0,
+            epsilon: 1e-9,
+        };
+        let sep_a = propagate(&g, DocId(0), 1.0, cfg, None);
+        let sep_b = propagate(&g, DocId(1), 1.0, cfg, None);
+        assert_eq!(sep_a.messages + sep_b.messages, 4);
+        assert_eq!(sep_a.node_coverage + sep_b.node_coverage, 4);
+        let burst = propagate_burst(&g, &[(DocId(0), 1.0), (DocId(1), 1.0)], cfg, None);
+        assert_eq!(burst.messages, 3, "C must forward once, not twice");
+        assert_eq!(burst.node_coverage, 2, "coverage counts distinct docs");
+        assert_eq!(burst.path_length, 2);
+    }
+
+    #[test]
+    fn burst_never_exceeds_the_sum_of_separate_waves() {
+        let g = paper_graph(5_000, 45);
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-8,
+        };
+        let origins: Vec<(DocId, f64)> = [3u32, 700, 701, 1_900, 4_999]
+            .iter()
+            .map(|&d| (DocId(d), 1.0))
+            .collect();
+        let mut sum_messages = 0u64;
+        let mut sum_coverage = 0usize;
+        for &(d, v) in &origins {
+            let s = propagate(&g, d, v, cfg, None);
+            sum_messages += s.messages;
+            sum_coverage += s.node_coverage;
+        }
+        let burst = propagate_burst(&g, &origins, cfg, None);
+        assert!(
+            burst.messages < sum_messages,
+            "overlapping waves must coalesce: {} vs {sum_messages}",
+            burst.messages
+        );
+        // Coverage counts each document once across the burst (the
+        // separate waves count shared downstream docs once *each*).
+        assert!(burst.node_coverage < sum_coverage);
+        assert!(burst.node_coverage <= 5_000);
+    }
+
+    #[test]
+    fn localized_burst_stays_in_cone_and_upstream_is_bit_fixed() {
+        let base = paper_graph(3_000, 46);
+        let graph = DynamicGraph::from_csr(&base);
+        let index = SccIndex::new(&graph);
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-10,
+        };
+        // Seed the burst deep in the DAG: documents whose component
+        // ids are small sit near the sinks of the condensation, so
+        // most of the graph stays strictly upstream of their cone.
+        let mut low: Vec<DocId> = (0..3_000u32).map(DocId).collect();
+        low.sort_by_key(|&d| index.component_of(d));
+        let origins = [(low[0], 1.0), (low[1], -0.5)];
+        let origin_docs = [low[0], low[1]];
+        let before: Vec<f64> = (0..3_000).map(|i| i as f64 * 0.001).collect();
+        let mut ranks = before.clone();
+        let stats =
+            propagate_burst_localized(&graph, &index, &origins, cfg, Some(ranks.as_mut_slice()));
+        assert!(stats.cone_docs >= stats.wave.node_coverage);
+        assert!(stats.cone_components > 0);
+        // The certificate: documents outside the cone kept their rank
+        // bit-identically — upstream components were never re-swept.
+        let cone = index.downstream_cone(&graph, &origin_docs);
+        let mut outside = 0;
+        for i in 0..3_000usize {
+            if !cone.contains(DocId::from(i)) {
+                assert_eq!(ranks[i].to_bits(), before[i].to_bits(), "doc {i} moved");
+                outside += 1;
+            }
+        }
+        assert!(outside > 0, "scenario must leave some documents upstream");
+    }
+
+    #[test]
+    fn insert_burst_and_sequential_inserts_agree_to_epsilon() {
+        let base = paper_graph(800, 47);
+        // ε far below the 1e-9 parity bar: the two protocols apply the
+        // same linear increments and differ only at ε-truncation
+        // points, whose accumulated effect is O(ε · generations).
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-13,
+        };
+        let batches: Vec<Vec<DocId>> = vec![
+            vec![DocId(3), DocId(90)],
+            vec![DocId(3), DocId(500)],
+            vec![DocId(241)],
+        ];
+        // Sequential protocol: one wave per insert.
+        let mut g1 = DynamicGraph::from_csr(&base);
+        let mut r1 = vec![1.0 / 800.0; 800];
+        let mut seq_messages = 0u64;
+        for links in &batches {
+            let (_, s) = insert_document(&mut g1, links, &mut r1, cfg);
+            seq_messages += s.messages;
+        }
+        // Burst protocol: one merged localized wave.
+        let mut g2 = DynamicGraph::from_csr(&base);
+        let mut idx = SccIndex::new(&g2);
+        let mut r2 = vec![1.0 / 800.0; 800];
+        let (ids, burst) = insert_burst(&mut g2, &mut idx, &batches, &mut r2, cfg);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(idx.freshness(), dpr_graph::scc::IndexFreshness::Exact);
+        assert!(
+            burst.wave.messages <= seq_messages,
+            "burst {} vs sequential {seq_messages}",
+            burst.wave.messages
+        );
+        // Rank parity ≤ 1e-9 per doc: the merged wave applies the same
+        // linear increments, differing only in ε-truncation points.
+        for (i, (a, b)) in r1.iter().zip(&r2).enumerate() {
+            assert!((a - b).abs() <= 1e-9, "doc {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delete_burst_unlinks_and_coarsens() {
+        let base = paper_graph(400, 48);
+        let mut graph = DynamicGraph::from_csr(&base);
+        let mut index = SccIndex::new(&graph);
+        let mut ranks = vec![1.0 / 400.0; 400];
+        let cfg = PropagationConfig {
+            damping: 0.85,
+            epsilon: 1e-10,
+        };
+        let victims = [DocId(5), DocId(77)];
+        let stats = delete_burst(&mut graph, &mut index, &victims, &mut ranks, cfg);
+        assert!(stats.wave.messages > 0);
+        for &v in &victims {
+            assert!(!graph.is_alive(v));
+            assert_eq!(ranks[v.index()], 0.0);
+        }
+        assert_eq!(index.freshness(), dpr_graph::scc::IndexFreshness::Coarse);
+        assert!(index.refresh(&graph));
+        graph.check_invariants().unwrap();
     }
 }

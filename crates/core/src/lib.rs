@@ -59,7 +59,7 @@ pub mod sync_solver;
 pub use engine::{ChaoticEngine, EngineConfig, PassStats, RunStats};
 pub use message::RankUpdate;
 pub use parallel::{ExecMode, ParallelExecutor, ShardedExecutor};
-pub use sched::{RunMode, SchedMode};
+pub use sched::{RunMode, SchedMode, SCHED_HELP};
 pub use sync_solver::SyncSolver;
 
 /// Google's customary damping factor; the paper does not give its

@@ -1184,6 +1184,47 @@ mod tests {
     }
 
     #[test]
+    fn greedy_parallel_is_bit_identical_to_sequential_greedy() {
+        let g = paper_graph(2_000, 64);
+        let n = g.num_nodes();
+        let own = owners(n, 20, 14);
+        let cfg = EngineConfig::with_epsilon(1e-5).with_sched(crate::SchedMode::Greedy);
+        let mut seq = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+        let mut par = ChaoticEngine::new(Arc::new(g), own, cfg);
+        let peers = PeerTable::new(20);
+        let mut exec = ShardedExecutor::new(4).with_auto_seq_threshold(0);
+        let mut pass = 0;
+        while !seq.is_quiescent() {
+            pass += 1;
+            let s1 = seq.pass(&peers);
+            let s2 = exec.pass(&mut par, &peers);
+            assert_eq!(s1, s2, "pass {pass}");
+            assert!(pass < 10_000);
+        }
+        assert!(par.is_quiescent());
+        assert_eq!(seq.ranks(), par.ranks());
+    }
+
+    #[test]
+    fn greedy_thread_counts_agree_bitwise() {
+        let g = paper_graph(1_500, 65);
+        let n = g.num_nodes();
+        let own = owners(n, 12, 15);
+        let cfg = EngineConfig::with_epsilon(1e-5).with_sched(crate::SchedMode::Greedy);
+        let mut reference: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 3, 4, 8] {
+            let mut eng = ChaoticEngine::new(Arc::new(g.clone()), own.clone(), cfg);
+            let mut peers = PeerTable::new(12);
+            let run = ShardedExecutor::new(threads).run_to_convergence(&mut eng, &mut peers, None);
+            assert!(run.converged);
+            match &reference {
+                None => reference = Some(eng.ranks().to_vec()),
+                Some(r) => assert_eq!(r.as_slice(), eng.ranks(), "threads {threads}"),
+            }
+        }
+    }
+
+    #[test]
     fn priority_churned_run_matches_sequential_bitwise() {
         let g = paper_graph(1_200, 66);
         let n = g.num_nodes();

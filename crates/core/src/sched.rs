@@ -34,8 +34,25 @@
 //! low-value advertisements: a deferred document keeps accumulating
 //! increments and later advertises the combined change in one burst of
 //! messages instead of several.
+//!
+//! ## Greedy matching pursuit
+//!
+//! `Greedy` replaces the whole-bucket cut with a Dai–Freris-style
+//! matching-pursuit selection: documents are ranked by *projected
+//! residual reduction per emitted message* — |residual| · 1/outdeg —
+//! and the pass takes the exact prefix of that ranking whose residual
+//! mass meets the emission budget, instead of rounding the cut up to a
+//! whole log2 bucket. The ranking is a total order ((score desc, doc
+//! asc), compared bit-exactly), so the selected set is still a pure
+//! function of the queued set and engine state, and the sharded
+//! executor's mailbox-merge determinism carries over unchanged.
 
 use dpr_telemetry::hist::bucket_of;
+
+/// The one canonical help string for every `--sched` flag — CLI
+/// commands and bench binaries all cite this so a new mode lands in
+/// every usage banner at once.
+pub const SCHED_HELP: &str = "pass|priority|greedy";
 
 /// How an engine (or node) schedules its queued documents each pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -47,6 +64,20 @@ pub enum SchedMode {
     /// Gauss-Southwell-style priority scheduling: each pass processes
     /// only the top residual-mass buckets and defers the rest.
     Priority,
+    /// Matching-pursuit greedy scheduling: each pass processes the
+    /// exact prefix of documents with the largest projected residual
+    /// reduction per message and defers the rest.
+    Greedy,
+}
+
+impl SchedMode {
+    /// Whether this mode *selects* a subset of the queue each pass
+    /// (and therefore wants residual telemetry, coalescing step
+    /// timing, and deferred-work bookkeeping). `Pass` sweeps
+    /// everything; `Priority` and `Greedy` are selective.
+    pub fn is_selective(self) -> bool {
+        matches!(self, SchedMode::Priority | SchedMode::Greedy)
+    }
 }
 
 impl std::fmt::Display for SchedMode {
@@ -54,6 +85,7 @@ impl std::fmt::Display for SchedMode {
         f.write_str(match self {
             SchedMode::Pass => "pass",
             SchedMode::Priority => "priority",
+            SchedMode::Greedy => "greedy",
         })
     }
 }
@@ -65,8 +97,9 @@ impl std::str::FromStr for SchedMode {
         match s {
             "pass" => Ok(SchedMode::Pass),
             "priority" => Ok(SchedMode::Priority),
+            "greedy" => Ok(SchedMode::Greedy),
             other => Err(format!(
-                "unknown sched mode {other:?} (expected \"pass\" or \"priority\")"
+                "unknown sched mode {other:?} (expected {SCHED_HELP})"
             )),
         }
     }
@@ -244,6 +277,88 @@ pub fn partition_by_residual(
     }
 }
 
+/// Sort key for the greedy ranking: non-negative f64 scores have
+/// monotone IEEE-754 bit patterns, so `!bits` orders descending under
+/// an ascending integer sort. NaN scores (a NaN residual) map to 0 —
+/// never prioritized — mirroring [`residual_bucket`]'s NaN handling.
+fn greedy_key(score: f64) -> u64 {
+    let s = if score.is_nan() { 0.0 } else { score };
+    !s.to_bits()
+}
+
+/// Partitions `work` by greedy matching pursuit: documents are ranked
+/// by projected residual reduction per emitted message — |residual| /
+/// max(outdeg, 1) — and the top of the ranking is kept in `work`
+/// (score-descending order) until the selected residual mass reaches
+/// [`PRIORITY_BUDGET_FRACTION`]; the rest is appended to `deferred`.
+/// `scratch` is a reusable (key, doc) buffer.
+///
+/// Unlike [`partition_by_residual`], `work` comes back in
+/// *selection-priority* order, not the caller's canonical order: the
+/// engine re-sorts ascending before its floating-point apply fold, the
+/// node layer uses the order directly so flush buffers fill
+/// highest-value-first. Determinism is preserved because the ranking
+/// is a total order — (score desc, doc asc) with bit-exact score
+/// comparison — making the selected set and both output orders pure
+/// functions of the queued set and the residual/out-degree state.
+///
+/// Dangling documents (outdeg 0) are scored as outdeg 1: applying
+/// them retires their whole residual into the sink for zero messages,
+/// so they are never worth deferring below that.
+pub fn partition_by_greedy(
+    work: &mut Vec<u32>,
+    deferred: &mut Vec<u32>,
+    scratch: &mut Vec<(u64, u32)>,
+    mut residual: impl FnMut(u32) -> f64,
+    mut out_degree: impl FnMut(u32) -> usize,
+) -> SchedStats {
+    let queued = work.len();
+    if queued <= PRIORITY_BYPASS_THRESHOLD {
+        return SchedStats::full_sweep(queued);
+    }
+
+    // Total queued mass folds in the caller's canonical (ascending)
+    // order; the selection fold below runs in ranked order. Both are
+    // deterministic given the set, which is all bit-identity needs.
+    scratch.clear();
+    scratch.reserve(queued);
+    let mut total = 0.0f64;
+    for &d in work.iter() {
+        let r = residual(d).abs();
+        total += r;
+        let score = r / out_degree(d).max(1) as f64;
+        scratch.push((greedy_key(score), d));
+    }
+    if total <= 0.0 {
+        // A queue of exactly-zero residuals drains in one sweep
+        // instead of parking forever (same escape as `Priority`).
+        return SchedStats::full_sweep(queued);
+    }
+    scratch.sort_unstable();
+
+    let budget = PRIORITY_BUDGET_FRACTION * total;
+    let mut selected_mass = 0.0f64;
+    let mut kept = 0usize;
+    work.clear();
+    for &(_, d) in scratch.iter() {
+        if kept > 0 && selected_mass >= budget {
+            deferred.push(d);
+        } else {
+            work.push(d);
+            selected_mass += residual(d).abs();
+            kept += 1;
+        }
+    }
+
+    SchedStats {
+        queued: queued as u64,
+        selected: kept as u64,
+        deferred: (queued - kept) as u64,
+        deferred_mass: total - selected_mass,
+        budget_hit: selected_mass / total,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,9 +370,16 @@ mod tests {
             "priority".parse::<SchedMode>().unwrap(),
             SchedMode::Priority
         );
+        assert_eq!("greedy".parse::<SchedMode>().unwrap(), SchedMode::Greedy);
         assert!("pri".parse::<SchedMode>().is_err());
+        let err = "bogus".parse::<SchedMode>().unwrap_err();
+        assert!(err.contains(SCHED_HELP), "error must cite the help: {err}");
         assert_eq!(SchedMode::Priority.to_string(), "priority");
+        assert_eq!(SchedMode::Greedy.to_string(), "greedy");
         assert_eq!(SchedMode::default(), SchedMode::Pass);
+        assert!(!SchedMode::Pass.is_selective());
+        assert!(SchedMode::Priority.is_selective());
+        assert!(SchedMode::Greedy.is_selective());
     }
 
     #[test]
@@ -367,6 +489,96 @@ mod tests {
         // forever.
         assert_eq!(st.selected, 200);
         assert_eq!(st.budget_hit, 1.0);
+    }
+
+    #[test]
+    fn greedy_small_queues_bypass_selection() {
+        let mut work: Vec<u32> = (0..PRIORITY_BYPASS_THRESHOLD as u32).collect();
+        let (mut deferred, mut scratch) = (Vec::new(), Vec::new());
+        let st = partition_by_greedy(&mut work, &mut deferred, &mut scratch, |d| d as f64, |_| 3);
+        assert_eq!(st, SchedStats::full_sweep(PRIORITY_BYPASS_THRESHOLD));
+        assert_eq!(work.len(), PRIORITY_BYPASS_THRESHOLD);
+        assert!(deferred.is_empty());
+    }
+
+    #[test]
+    fn greedy_cuts_exactly_at_the_budget() {
+        // 1000 docs with equal residual and equal fanout: priority
+        // would select the whole (single) bucket; greedy takes exactly
+        // the budget-fraction prefix, tie-broken by doc id.
+        let mut work: Vec<u32> = (0..1000).collect();
+        let (mut deferred, mut scratch) = (Vec::new(), Vec::new());
+        let st = partition_by_greedy(&mut work, &mut deferred, &mut scratch, |_| 0.25, |_| 4);
+        assert_eq!(st.selected, 500);
+        assert_eq!(st.deferred, 500);
+        assert_eq!(work, (0..500).collect::<Vec<u32>>());
+        assert_eq!(deferred, (500..1000).collect::<Vec<u32>>());
+        assert!((st.budget_hit - PRIORITY_BUDGET_FRACTION).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_prefers_residual_reduction_per_message() {
+        // Docs 0..100 carry residual 1.0 but fan out to 100 targets;
+        // docs 100..200 carry 0.5 with a single target. Per-message
+        // value is 0.01 vs 0.5, so the low-fanout half ranks first.
+        let mut work: Vec<u32> = (0..200).collect();
+        let (mut deferred, mut scratch) = (Vec::new(), Vec::new());
+        let st = partition_by_greedy(
+            &mut work,
+            &mut deferred,
+            &mut scratch,
+            |d| if d < 100 { 1.0 } else { 0.5 },
+            |d| if d < 100 { 100 } else { 1 },
+        );
+        // The cheap half's 50.0 mass is below the 75.0 budget, so the
+        // selection spills into the expensive half.
+        assert!(work.starts_with(&(100..200).collect::<Vec<u32>>()[..]));
+        assert!(st.selected > 100);
+        assert!(st.selected < 200);
+        assert!(st.budget_hit >= PRIORITY_BUDGET_FRACTION);
+    }
+
+    #[test]
+    fn greedy_zero_mass_queue_still_progresses() {
+        let mut work: Vec<u32> = (0..200).collect();
+        let (mut deferred, mut scratch) = (Vec::new(), Vec::new());
+        let st = partition_by_greedy(&mut work, &mut deferred, &mut scratch, |_| 0.0, |_| 2);
+        assert_eq!(st.selected, 200);
+        assert_eq!(st.budget_hit, 1.0);
+        assert!(deferred.is_empty());
+    }
+
+    #[test]
+    fn greedy_selection_is_order_independent_as_a_set() {
+        let res = |d: u32| 1.0 / (1.0 + d as f64);
+        let deg = |d: u32| (d as usize % 7) + 1;
+        let mut fwd: Vec<u32> = (0..300).collect();
+        let mut rev: Vec<u32> = (0..300).rev().collect();
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        let (mut s1, mut s2) = (Vec::new(), Vec::new());
+        rev.sort_unstable();
+        let st1 = partition_by_greedy(&mut fwd, &mut d1, &mut s1, res, deg);
+        let st2 = partition_by_greedy(&mut rev, &mut d2, &mut s2, res, deg);
+        assert_eq!(st1, st2);
+        assert_eq!(fwd, rev);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn greedy_dangling_docs_rank_by_full_residual() {
+        // A dangling doc with residual r scores r (outdeg clamped to
+        // 1), so it outranks a linked doc with the same residual and
+        // higher fanout.
+        let mut work: Vec<u32> = (0..100).collect();
+        let (mut deferred, mut scratch) = (Vec::new(), Vec::new());
+        partition_by_greedy(
+            &mut work,
+            &mut deferred,
+            &mut scratch,
+            |_| 0.5,
+            |d| if d == 42 { 0 } else { 8 },
+        );
+        assert_eq!(work[0], 42, "the dangling doc must rank first");
     }
 
     #[test]

@@ -53,7 +53,9 @@
 use bytes::Bytes;
 use dpr_core::engine::EngineConfig;
 use dpr_core::message::{FlushBuffer, MessageError};
-use dpr_core::sched::{partition_by_residual, residual_bucket, SchedMode, SchedStats};
+use dpr_core::sched::{
+    partition_by_greedy, partition_by_residual, residual_bucket, SchedMode, SchedStats,
+};
 use dpr_graph::DocId;
 use dpr_p2p::guid::Guid;
 use dpr_p2p::peer::PeerId;
@@ -185,9 +187,10 @@ pub struct PeerNode {
     links_dirty: bool,
     /// Slots with queued work, processed on the next step.
     dirty: Vec<u32>,
-    /// Reusable buffers for the priority selection.
+    /// Reusable buffers for the priority / greedy selection.
     scratch_deferred: Vec<u32>,
     scratch_buckets: Vec<u8>,
+    scratch_keys: Vec<(u64, u32)>,
     /// Per-destination aggregation buffers, indexed by destination
     /// peer id (grown on first touch; empty between steps but keeping
     /// their capacity, so the steady state never allocates).
@@ -228,6 +231,7 @@ impl PeerNode {
             dirty: Vec::new(),
             scratch_deferred: Vec::new(),
             scratch_buckets: Vec::new(),
+            scratch_keys: Vec::new(),
             flush: Vec::new(),
             flush_order: Vec::new(),
             outbox: Vec::new(),
@@ -507,7 +511,9 @@ impl PeerNode {
     /// [`SchedMode::Pass`] that is the whole queue; under
     /// [`SchedMode::Priority`] the highest-residual whole buckets
     /// meeting the budget, ordered highest bucket first (ties by slot)
-    /// so flush buffers fill with high-value increments first.
+    /// so flush buffers fill with high-value increments first; under
+    /// [`SchedMode::Greedy`] the matching-pursuit prefix, already in
+    /// score-descending order for the same flush-fill property.
     /// Deferred slots are parked in `scratch_deferred` with their
     /// pending mass untouched.
     fn take_step_work(&mut self) -> (Vec<u32>, SchedStats) {
@@ -520,16 +526,30 @@ impl PeerNode {
         // dirty *set*, not of arrival order (see sched module docs).
         work.sort_unstable();
         let mut deferred = std::mem::take(&mut self.scratch_deferred);
-        let mut scratch = std::mem::take(&mut self.scratch_buckets);
         let slots = &self.slots;
         let residual = |s: u32| {
             let d = &slots[s as usize];
             d.pending + d.rank - d.advertised
         };
-        let sel = partition_by_residual(&mut work, &mut deferred, &mut scratch, residual);
-        work.sort_by_cached_key(|&s| (Reverse(residual_bucket(residual(s))), s));
+        let sel = match self.cfg.sched {
+            SchedMode::Pass => unreachable!("handled above"),
+            SchedMode::Priority => {
+                let mut scratch = std::mem::take(&mut self.scratch_buckets);
+                let sel = partition_by_residual(&mut work, &mut deferred, &mut scratch, residual);
+                work.sort_by_cached_key(|&s| (Reverse(residual_bucket(residual(s))), s));
+                self.scratch_buckets = scratch;
+                sel
+            }
+            SchedMode::Greedy => {
+                let mut keys = std::mem::take(&mut self.scratch_keys);
+                let sel = partition_by_greedy(&mut work, &mut deferred, &mut keys, residual, |s| {
+                    slots[s as usize].out.len()
+                });
+                self.scratch_keys = keys;
+                sel
+            }
+        };
         self.scratch_deferred = deferred;
-        self.scratch_buckets = scratch;
         (work, sel)
     }
 
@@ -559,7 +579,7 @@ impl PeerNode {
         self.arrivals_since_step = 0;
         let before = self.stats;
         let (work, sel) = self.take_step_work();
-        if rec.enabled() && self.cfg.sched == SchedMode::Priority {
+        if rec.enabled() && self.cfg.sched.is_selective() {
             rec.observe(Metric::SchedQueueDepth, sel.queued);
             rec.observe(Metric::SchedDeferredDocs, sel.deferred);
             rec.observe(

@@ -27,12 +27,13 @@
 //!   [`dpr_node::node::DEFAULT_INBOX_CAP`] payloads arrive un-stepped,
 //!   the node saturates and the runtime steps it at once;
 //! * **residual-driven step timing** — the cluster-layer
-//!   Gauss-Southwell rule. Under [`SchedMode::Priority`] a peer's step
+//!   Gauss-Southwell rule. Under the selective modes
+//!   ([`SchedMode::Priority`], [`SchedMode::Greedy`]) a peer's step
 //!   is delayed inversely with its residual: hot peers (large
 //!   un-propagated mass) step promptly, cold peers hold a coalescing
 //!   window so several arrivals fold into one advertisement instead of
 //!   several. Under [`SchedMode::Pass`] every arrival triggers a step
-//!   after the fixed compute delay — the chaotic baseline. Both modes
+//!   after the fixed compute delay — the chaotic baseline. All modes
 //!   share the identical convergence criterion (quiescence at ε), so
 //!   their L1-vs-sync error is matched; only the message count and the
 //!   virtual wall clock differ.
@@ -354,12 +355,13 @@ impl Runner<'_> {
     }
 
     /// The delay before a peer's next step: the peer's Eq. 4 compute
-    /// time under `Pass`; under `Priority` the compute time plus a
-    /// coalescing hold that shrinks as the peer's relative residual
-    /// grows past ε — the cluster-layer Gauss-Southwell rule.
+    /// time under `Pass`; under the selective modes (`Priority`,
+    /// `Greedy`) the compute time plus a coalescing hold that shrinks
+    /// as the peer's relative residual grows past ε — the
+    /// cluster-layer Gauss-Southwell rule.
     fn step_delay(&self, cluster: &Cluster, p: PeerId) -> u64 {
         let compute = self.compute_ns[p.index()];
-        if self.cfg.sched != SchedMode::Priority {
+        if !self.cfg.sched.is_selective() {
             return compute;
         }
         let residual = cluster.node(p).max_relative_residual();
@@ -771,6 +773,17 @@ mod tests {
         assert!(
             (pass_l1 - prio_l1).abs() < 1e-5,
             "error must stay matched: {pass_l1} vs {prio_l1}"
+        );
+        // Greedy inherits the same residual-driven step timing, so the
+        // cluster-layer saving carries over at matched error.
+        let (greedy_msgs, greedy_l1) = scenario(SchedMode::Greedy);
+        assert!(
+            greedy_msgs < pass_msgs,
+            "greedy {greedy_msgs} !< pass {pass_msgs}"
+        );
+        assert!(
+            (pass_l1 - greedy_l1).abs() < 1e-5,
+            "error must stay matched: {pass_l1} vs {greedy_l1}"
         );
     }
 }

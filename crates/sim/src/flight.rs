@@ -444,6 +444,7 @@ pub fn doctor_run(
         wire,
         codec,
         fault,
+        SchedMode::Pass,
         RunMode::Rounds,
         LatencyModel::default(),
     )
@@ -463,6 +464,7 @@ pub fn doctor_run_mode(
     wire: WireMode,
     codec: WireCodec,
     fault: Option<FaultPlan>,
+    sched: SchedMode,
     run_mode: RunMode,
     latency: LatencyModel,
 ) -> DoctorRun {
@@ -471,7 +473,7 @@ pub fn doctor_run_mode(
         &w.graph,
         &w.placement,
         num_peers,
-        EngineConfig::with_epsilon(epsilon),
+        EngineConfig::with_epsilon(epsilon).with_sched(sched),
         wire,
     );
     cluster.set_codec(codec);
@@ -487,7 +489,7 @@ pub fn doctor_run_mode(
             let ccfg = ChaoticConfig {
                 seed,
                 latency,
-                sched: SchedMode::Pass,
+                sched,
                 epsilon,
             };
             let mut det = TerminationDetector::new(num_peers);
@@ -696,6 +698,7 @@ mod tests {
             WireMode::frames(),
             WireCodec::Raw,
             None,
+            SchedMode::Pass,
             RunMode::Chaotic,
             LatencyModel::Broadband,
         );
@@ -714,6 +717,7 @@ mod tests {
                 kind: FaultKind::LostFrame,
                 nth_send: 25,
             }),
+            SchedMode::Pass,
             RunMode::Chaotic,
             LatencyModel::Broadband,
         );

@@ -1,20 +1,21 @@
-//! Differential tests for the residual-driven priority scheduler.
+//! Differential tests for the selective schedulers (priority and
+//! greedy matching pursuit).
 //!
 //! Three contracts, mirroring `parallel_differential.rs`:
 //!
 //! 1. **Approximation**: on random graphs, under arbitrary churn and
-//!    arbitrary insert/delete increment injections, the priority
+//!    arbitrary insert/delete increment injections, each selective
 //!    schedule lands within 1e-9 L1 per document of the classic
 //!    full-sweep engine once both quiesce at a tiny ε.
-//! 2. **Bit identity**: the priority schedule is a function of the
+//! 2. **Bit identity**: both selective schedules are functions of the
 //!    dirty *set*, so every sharded thread count must reproduce the
-//!    sequential priority trajectory bit for bit, and the two wire
-//!    modes must converge a message-level cluster to identical bits.
+//!    sequential trajectory bit for bit, and the two wire modes must
+//!    converge a message-level cluster to identical bits.
 //! 3. **Pinned ordering**: a fixed-seed peer-node run emits its wire
 //!    messages in a deterministic order; an FNV fingerprint over the
 //!    full destination/payload byte sequence pins that order, so a
-//!    change to residual bucketing or flush fill order cannot land
-//!    silently.
+//!    change to residual bucketing, greedy scoring, or flush fill
+//!    order cannot land silently.
 
 use distributed_pagerank::core::parallel::ShardedExecutor;
 use distributed_pagerank::node::node::{PeerNode, WireMode};
@@ -136,11 +137,11 @@ fn l1_per_doc(a: &[f64], b: &[f64]) -> f64 {
 
 proptest! {
     /// The tentpole contract: under churn and insert/delete injections
-    /// the priority schedule (a) reaches the full-sweep fixed point to
-    /// within 1e-9 per document, and (b) is reproduced bit for bit by
-    /// every sharded thread count.
+    /// each selective schedule (a) reaches the full-sweep fixed point
+    /// to within 1e-9 per document, and (b) is reproduced bit for bit
+    /// by every sharded thread count.
     #[test]
-    fn priority_matches_pass_and_is_bit_identical_across_executors(
+    fn selective_scheds_match_pass_and_are_bit_identical_across_executors(
         (n, edges) in arb_graph(80, 300),
         num_peers in 1usize..7,
         plan in arb_churn_plan(7),
@@ -150,43 +151,47 @@ proptest! {
         let owner = owners(n, num_peers);
         let (pass_ranks, _) =
             run_sched_trajectory(&graph, &owner, &plan, &deltas, SchedMode::Pass, 0);
-        let (pri_ranks, pri_stats) =
-            run_sched_trajectory(&graph, &owner, &plan, &deltas, SchedMode::Priority, 0);
+        for sched in [SchedMode::Priority, SchedMode::Greedy] {
+            let (sel_ranks, sel_stats) =
+                run_sched_trajectory(&graph, &owner, &plan, &deltas, sched, 0);
 
-        let gap = l1_per_doc(&pri_ranks, &pass_ranks);
-        prop_assert!(gap <= 1e-9, "priority vs pass gap {gap:e} per doc");
+            let gap = l1_per_doc(&sel_ranks, &pass_ranks);
+            prop_assert!(gap <= 1e-9, "{sched} vs pass gap {gap:e} per doc");
 
-        for threads in [1usize, 2, 4] {
-            let (ranks, stats) =
-                run_sched_trajectory(&graph, &owner, &plan, &deltas, SchedMode::Priority, threads);
-            prop_assert_eq!(&ranks, &pri_ranks, "ranks diverged at {} threads", threads);
-            prop_assert_eq!(&stats, &pri_stats, "stats diverged at {} threads", threads);
+            for threads in [1usize, 2, 4] {
+                let (ranks, stats) =
+                    run_sched_trajectory(&graph, &owner, &plan, &deltas, sched, threads);
+                prop_assert_eq!(&ranks, &sel_ranks, "{} ranks diverged at {} threads", sched, threads);
+                prop_assert_eq!(&stats, &sel_stats, "{} stats diverged at {} threads", sched, threads);
+            }
         }
     }
 }
 
 /// The wire path cannot perturb the schedule: a message-level cluster
-/// running the priority scheduler converges bit-identically whether
+/// running a selective scheduler converges bit-identically whether
 /// updates travel as single messages or batched frames, and lands
 /// within O(ε) of the pass cluster. The workloads keep enough
 /// documents per peer that residual selection actually engages.
 #[test]
-fn priority_cluster_is_bit_identical_across_wire_modes() {
+fn selective_clusters_are_bit_identical_across_wire_modes() {
     for seed in [3u64, 17] {
         let w = Workload::paper(1_000, 8, seed);
-        let single = run_wire_mode_sched(&w, 1e-6, SchedMode::Priority, WireMode::Single, false);
-        let frames = run_wire_mode_sched(&w, 1e-6, SchedMode::Priority, WireMode::frames(), true);
-        assert_eq!(
-            single.ranks, frames.ranks,
-            "wire modes diverged at seed {seed}"
-        );
-
         let pass = run_wire_mode_sched(&w, 1e-6, SchedMode::Pass, WireMode::Single, false);
-        let gap = l1_per_doc(&single.ranks, &pass.ranks);
-        assert!(
-            gap < 1e-6,
-            "cluster priority vs pass gap {gap:e} at seed {seed}"
-        );
+        for sched in [SchedMode::Priority, SchedMode::Greedy] {
+            let single = run_wire_mode_sched(&w, 1e-6, sched, WireMode::Single, false);
+            let frames = run_wire_mode_sched(&w, 1e-6, sched, WireMode::frames(), true);
+            assert_eq!(
+                single.ranks, frames.ranks,
+                "{sched} wire modes diverged at seed {seed}"
+            );
+
+            let gap = l1_per_doc(&single.ranks, &pass.ranks);
+            assert!(
+                gap < 1e-6,
+                "cluster {sched} vs pass gap {gap:e} at seed {seed}"
+            );
+        }
     }
 }
 
@@ -264,6 +269,35 @@ fn fixed_seed_priority_message_order_is_pinned() {
     );
 }
 
+/// The greedy twin of the pinned-priority test: the matching-pursuit
+/// run must emit a byte stream distinct from both the full sweep and
+/// the bucket scheduler (its flush buffers fill in exact score order,
+/// not bucket order), and that stream is pinned. If an intentional
+/// scoring change moves it, update the constant in the same commit and
+/// say why.
+#[test]
+fn fixed_seed_greedy_message_order_is_pinned() {
+    let greedy = message_order_fingerprint(SchedMode::Greedy);
+    let pass = message_order_fingerprint(SchedMode::Pass);
+    let pri = message_order_fingerprint(SchedMode::Priority);
+    assert_ne!(
+        greedy, pass,
+        "greedy run emitted exactly the pass-order byte stream"
+    );
+    assert_ne!(
+        greedy, pri,
+        "greedy run emitted exactly the priority-order byte stream"
+    );
+    assert_eq!(
+        greedy, PINNED_GREEDY_MESSAGE_FINGERPRINT,
+        "emission order drifted"
+    );
+}
+
 /// Fingerprint of the 600-doc / 4-peer fixed-seed priority run; see
 /// [`fixed_seed_priority_message_order_is_pinned`].
 const PINNED_PRIORITY_MESSAGE_FINGERPRINT: u64 = 9526718389385276226;
+
+/// Fingerprint of the same fixed-seed run under the greedy scheduler;
+/// see [`fixed_seed_greedy_message_order_is_pinned`].
+const PINNED_GREEDY_MESSAGE_FINGERPRINT: u64 = 445642202004604719;
