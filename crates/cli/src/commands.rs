@@ -40,6 +40,13 @@ commands:
   delete     --graph FILE --doc ID [--eps 1e-3] [--damping 0.85]
   search     [--docs 11000] [--vocab 1880] [--peers 50] [--query t1,t2]
              [--top-percent 10] [--seed S]
+  serve      [--docs 2000] [--vocab 400] [--peers 32] [--queries 100]
+             [--query-len 2] [--qps 20] [--updates 20] [--churn F]
+             [--strategy baseline|incremental|bloom]
+             [--latency modem|broadband|lan] [--sched {sched}]
+             [--eps 1e-4] [--seed 2003] [--slo-p99-ms 2000]
+             [--slo-budget 0.10] [--window-ms 1000]
+             (exits nonzero when an SLO blows its error budget)
   trace      --input trace.jsonl [--validate] [--run LABEL] [--top K]
              [--diff other.jsonl]
   doctor     [--docs 1200] [--peers 24] [--eps 1e-4] [--seed 2003]
@@ -335,6 +342,145 @@ pub fn search(args: &Args) -> Result<(), String> {
     rep.finish()
 }
 
+/// `dpr serve` — production query traffic against the live rank
+/// computation, with latency SLOs.
+///
+/// Converges a cluster, builds the distributed index from the fixed
+/// point, then serves a Poisson query stream *while* rank updates
+/// propagate and (with `--churn F`) peers flap. Prints the latency
+/// quantiles, per-query hop/byte averages, the rank-staleness gauge,
+/// and the SLO table; the process exits nonzero when any SLO blows its
+/// error budget, so CI can gate on the verdict directly. `--trace-out`
+/// records the five per-query causal spans (`query_issued →
+/// term_lookup → posting_ship → intersect → result_page`) plus the
+/// `serving_health` summary event; `--prom-out` additionally carries
+/// the latency and staleness sketches as Prometheus summary metrics.
+/// Serving is pure observation: the rank schedule and final ranks are
+/// bit-identical with and without it.
+pub fn serve(args: &Args) -> Result<(), String> {
+    use dpr_sim::serving::{serving_experiment, ServeStrategy, ServingConfig};
+    use dpr_telemetry::SloSpec;
+
+    let rep = Reporter::from_args(args)?;
+    let churn: f64 = args.get("churn", 1.0)?;
+    if !(0.0..=1.0).contains(&churn) || churn == 0.0 {
+        return Err("--churn must be in (0, 1]".into());
+    }
+    let slo_p99_ms: f64 = args.get("slo-p99-ms", 2_000.0)?;
+    let slo_budget: f64 = args.get("slo-budget", 0.10)?;
+    let window_ms: f64 = args.get("window-ms", 1_000.0)?;
+    if slo_p99_ms <= 0.0 || window_ms <= 0.0 {
+        return Err("--slo-p99-ms and --window-ms must be positive".into());
+    }
+    let cfg = ServingConfig {
+        num_docs: args.get("docs", 2_000)?,
+        vocab_size: args.get("vocab", 400)?,
+        num_peers: args.get("peers", 32)?,
+        queries: args.get("queries", 100)?,
+        query_len: args.get("query-len", 2)?,
+        qps: args.get("qps", 20.0)?,
+        updates: args.get("updates", 20)?,
+        churn_fraction: churn,
+        strategy: args.get(
+            "strategy",
+            ServeStrategy::Incremental {
+                forward_fraction: 0.10,
+            },
+        )?,
+        latency: args.get("latency", Default::default())?,
+        sched: args.get("sched", dpr_core::SchedMode::Pass)?,
+        epsilon: args.get("eps", 1e-4)?,
+        seed: args.get("seed", 2003)?,
+        slos: vec![SloSpec::new(
+            "p99-latency",
+            0.99,
+            (slo_p99_ms * 1e6) as u64,
+            slo_budget,
+        )],
+        window_ns: (window_ms * 1e6) as u64,
+    };
+    if cfg.queries == 0 {
+        return Err("--queries must be positive".into());
+    }
+
+    let run = serving_experiment(&cfg, rep.recorder());
+    let r = &run.report;
+    rep.say(format!(
+        "served {} queries ({} strategy, {} latency, {:.0} qps) over {} docs / {} peers \
+         with {} concurrent updates, churn {:.0}% online",
+        r.queries,
+        r.strategy,
+        r.latency,
+        cfg.qps,
+        cfg.num_docs,
+        cfg.num_peers,
+        r.updates,
+        r.churn_fraction * 100.0
+    ));
+    rep.say(format!(
+        "latency: p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms, p999 {:.1} ms (mean {:.1} ms)",
+        r.p50_ns as f64 / 1e6,
+        r.p95_ns as f64 / 1e6,
+        r.p99_ns as f64 / 1e6,
+        r.p999_ns as f64 / 1e6,
+        r.mean_ns / 1e6
+    ));
+    rep.say(format!(
+        "per query: {:.1} hops, {:.0} bytes shipped, {:.1} hits; total traffic {} ids; \
+         rank staleness p99 {} ppm",
+        r.avg_hops, r.avg_bytes, r.avg_hits, r.total_traffic_ids, r.stale_p99_ppm
+    ));
+    rep.say(format!(
+        "rank computation: quiesced {} in {:.1} virtual ms, schedule fnv {:#018x}",
+        r.quiesced,
+        r.virtual_ns as f64 / 1e6,
+        r.schedule_fnv
+    ));
+    rep.say("slo table:");
+    for s in &r.slos {
+        rep.say(format!(
+            "  {:<14} p{:<4} <= {:>8.1} ms  windows {:>3}/{:<3} violated  \
+             budget {:.2} spent {:.2}  overall {:.1} ms  [{}]",
+            s.name,
+            (s.quantile * 100.0).round() as u64,
+            s.threshold_ns as f64 / 1e6,
+            s.windows_violated,
+            s.windows_total,
+            s.budget,
+            s.budget_spent,
+            s.overall_quantile_ns as f64 / 1e6,
+            if s.pass { "pass" } else { "FAIL" }
+        ));
+    }
+    rep.finish()?;
+    // The sketches ride along in the Prometheus snapshot as summary
+    // metrics (quantile-labeled, mergeable across runs).
+    if let Some(p) = args.optional("prom-out") {
+        let summaries = dpr_telemetry::prom::render_summaries(&[
+            (
+                "dpr_query_latency_summary_ns",
+                "End-to-end query latency quantiles.",
+                &run.latency_sketch,
+            ),
+            (
+                "dpr_rank_staleness_summary_ppm",
+                "Rank staleness at query time vs the final fixed point.",
+                &run.staleness_sketch,
+            ),
+        ]);
+        let mut text = std::fs::read_to_string(p).map_err(|e| format!("reread {p}: {e}"))?;
+        text.push_str(&summaries);
+        std::fs::write(p, text).map_err(|e| format!("write {p}: {e}"))?;
+        rep.say(format!("appended latency/staleness summaries to {p}"));
+    }
+    if r.slo_pass {
+        rep.say("slo verdict: pass");
+        Ok(())
+    } else {
+        Err("slo verdict: FAIL (an objective exceeded its error budget)".into())
+    }
+}
+
 fn load_summary(path: &str) -> Result<TraceSummary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
     TraceSummary::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
@@ -506,6 +652,10 @@ pub fn trace(args: &Args) -> Result<(), String> {
     if summary.chaotic_health().is_some() {
         println!("\nchaotic runtime health:");
         print!("{}", summary.render_chaotic_health().render());
+    }
+    if summary.serving_health().is_some() {
+        println!("\nserving health:");
+        print!("{}", summary.render_serving_health().render());
     }
     Ok(())
 }

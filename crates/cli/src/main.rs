@@ -8,6 +8,8 @@
 //! dpr insert    --graph graph.bin --links 1,2,3 [--eps 1e-3]
 //! dpr delete    --graph graph.bin --doc 42 [--eps 1e-3]
 //! dpr search    [--docs 11000] [--terms t1,t2] [--top-percent 10]
+//! dpr serve     [--docs N] [--peers P] [--queries Q] [--qps R] [--strategy S]
+//!               [--churn F] [--updates U] [--slo-p99-ms MS] (nonzero exit on SLO failure)
 //! dpr trace     --input trace.jsonl [--validate] [--run LABEL] [--top K] [--diff other.jsonl]
 //! dpr doctor    [--docs N] [--peers P] [--inject-fault KIND] [--input trace.jsonl]
 //!               [--capture-out cap.jsonl] [--replay cap.jsonl] [--threads T]
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
         "insert" => commands::insert(&parsed),
         "delete" => commands::delete(&parsed),
         "search" => commands::search(&parsed),
+        "serve" => commands::serve(&parsed),
         "trace" => commands::trace(&parsed),
         "doctor" => commands::doctor(&parsed),
         "profile" => commands::profile(&parsed),

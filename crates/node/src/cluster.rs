@@ -327,12 +327,46 @@ impl Cluster {
     ///
     /// Panics if no peer stores `doc`.
     pub fn apply_delta(&mut self, doc: DocId, delta: f64) {
+        self.apply_delta_at(doc, delta);
+    }
+
+    /// [`Cluster::apply_delta`] reporting which peer holds `doc`, so
+    /// the event-driven runtime can schedule that peer's next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no peer stores `doc`.
+    pub fn apply_delta_at(&mut self, doc: DocId, delta: f64) -> PeerId {
         let holder = self
             .nodes
             .iter()
             .position(|n| n.rank_of(doc).is_some())
             .expect("document stored somewhere in the cluster");
         self.nodes[holder].apply(doc, delta);
+        PeerId(holder as u32)
+    }
+
+    /// Retries every parked payload against the current presence
+    /// table, reporting one [`SendOutcome`] per redelivered payload so
+    /// the event-driven runtime can schedule the matching `Deliver`
+    /// events (round-driven execution instead calls the transport's
+    /// own retry inside [`Cluster::round_observed`]). Redeliveries
+    /// always enqueue exactly one envelope.
+    pub fn retry_pending_outcomes(&mut self, peers: &PeerTable) -> Vec<SendOutcome> {
+        self.transport
+            .retry_pending_outcomes(peers)
+            .into_iter()
+            .map(|(from, to, bytes)| {
+                self.next_frame += 1;
+                SendOutcome {
+                    from,
+                    to,
+                    bytes,
+                    enqueued: 1,
+                    frame: self.next_frame,
+                }
+            })
+            .collect()
     }
 
     /// Emits the per-round ledgers at an explicit audit tick — the

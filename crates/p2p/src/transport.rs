@@ -385,14 +385,24 @@ impl<M: WireSize + FaultTarget> Transport<M> {
     /// Retries every parked message; messages whose destination is now
     /// online are delivered. Returns the number re-delivered.
     pub fn retry_pending(&mut self, peers: &PeerTable) -> u64 {
-        let mut redelivered = 0u64;
+        self.retry_pending_outcomes(peers).len() as u64
+    }
+
+    /// Like [`Transport::retry_pending`], but returns one
+    /// `(from, to, wire_bytes)` record per re-delivered message, in
+    /// delivery order. The event-driven runtime needs the per-message
+    /// breakdown to schedule one `Deliver` event per redelivery; the
+    /// counters move exactly as in `retry_pending`.
+    pub fn retry_pending_outcomes(&mut self, peers: &PeerTable) -> Vec<(PeerId, PeerId, usize)> {
+        let mut outcomes = Vec::new();
         for sender in 0..self.pending.len() {
             let mut still_parked = Vec::new();
             for env in self.pending[sender].drain(..) {
                 if peers.is_online(env.to) {
-                    self.stats.bytes_delivered += env.payload.wire_bytes() as u64;
+                    let wire = env.payload.wire_bytes();
+                    self.stats.bytes_delivered += wire as u64;
+                    outcomes.push((env.from, env.to, wire));
                     self.inboxes[env.to.index()].push_back(env);
-                    redelivered += 1;
                 } else {
                     self.stats.retry_failures += 1;
                     still_parked.push(env);
@@ -400,8 +410,8 @@ impl<M: WireSize + FaultTarget> Transport<M> {
             }
             self.pending[sender] = still_parked;
         }
-        self.stats.redelivered += redelivered;
-        redelivered
+        self.stats.redelivered += outcomes.len() as u64;
+        outcomes
     }
 }
 
@@ -935,6 +945,24 @@ mod tests {
         assert_eq!(t.pending_at(PeerId(0)), 0);
         assert_eq!(t.receive(PeerId(1)).unwrap().payload, 7);
         assert_eq!(t.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn retry_outcomes_report_each_redelivery() {
+        let mut peers = PeerTable::new(3);
+        peers.go_offline(PeerId(1));
+        peers.go_offline(PeerId(2));
+        let mut t: Transport<Bytes> = Transport::new(3);
+        t.send(&peers, PeerId(0), PeerId(1), Bytes::from_static(&[0; 24]));
+        t.send(&peers, PeerId(0), PeerId(2), Bytes::from_static(&[0; 20]));
+        // Only peer 1 returns: one outcome, the other stays parked.
+        peers.go_online(PeerId(1));
+        let outcomes = t.retry_pending_outcomes(&peers);
+        assert_eq!(outcomes, vec![(PeerId(0), PeerId(1), 24)]);
+        assert_eq!(t.stats().redelivered, 1);
+        assert_eq!(t.stats().retry_failures, 1);
+        assert_eq!(t.total_pending(), 1);
+        assert_eq!(t.inbox_len(PeerId(1)), 1);
     }
 
     #[test]

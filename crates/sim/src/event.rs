@@ -48,10 +48,23 @@
 //! `dpr doctor --replay` certifies that a chaotic re-run executed the
 //! *same event schedule*, not merely reached the same ranks.
 //!
+//! **Serving traffic and transient churn** ride the same queue
+//! ([`run_chaotic_serving`]): query arrivals and continuous rank
+//! updates are `Serve` events injected at pre-planned virtual times,
+//! and a finite `Churn` chain re-draws the presence table on a fixed
+//! cadence (offline peers neither step nor have their parked mail
+//! delivered; store-and-resend flushes when they return). Neither
+//! event kind folds into the schedule fingerprint, and neither
+//! consults the recorder for control flow, so a served run's ranks
+//! and `schedule_fnv` are bit-identical with telemetry on or off
+//! (`tests/serving_differential.rs`).
+//!
 //! [`PeerNode::on_deliver`]: dpr_node::node::PeerNode::on_deliver
 
+use crate::churn::Schedule;
 use dpr_core::exec_model::{COMPUTE_SECS_PER_DOC, RATE_200KBS, RATE_32KBS, RATE_T3};
 use dpr_core::SchedMode;
+use dpr_graph::DocId;
 use dpr_node::node::DeliverStatus;
 use dpr_node::termination::TerminationDetector;
 use dpr_node::Cluster;
@@ -176,6 +189,14 @@ enum Ev {
     Probe,
     /// Emit the mass/balance audit ledgers.
     Audit,
+    /// Fire serving injection `idx` of the run's plan (a query
+    /// arrival or a continuous rank update).
+    Serve {
+        /// Index into [`ServingHooks::plan`].
+        idx: u32,
+    },
+    /// Re-draw the presence table from the churn schedule.
+    Churn,
 }
 
 /// A deterministic discrete-event queue: events pop in
@@ -228,6 +249,77 @@ pub struct ChaoticConfig {
     /// The ε of the cluster's engine config, used to normalize
     /// residual hotness for the coalescing window.
     pub epsilon: f64,
+}
+
+/// One pre-planned serving injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inject {
+    /// Execute query `idx` of the serving workload. Queries are pure
+    /// readers: the runtime hands the cluster to
+    /// [`ServingHooks::on_query`] and schedules nothing, so a query
+    /// never perturbs the rank computation's event schedule.
+    Query(u32),
+    /// Apply a rank increment to a document wherever it lives — the
+    /// event-level form of the continuous-update scenario. The
+    /// holder's next step is scheduled if it is online.
+    Update {
+        /// The updated document.
+        doc: DocId,
+        /// Rank increment.
+        delta: f64,
+    },
+}
+
+/// A serving injection pinned to a virtual time. Plans are built
+/// up-front (arrival processes sampled outside the runtime), so the
+/// executed schedule is a pure function of the plan and the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionPlan {
+    /// Virtual time of the injection, in nanoseconds.
+    pub at_ns: u64,
+    /// What fires.
+    pub what: Inject,
+}
+
+/// A finite transient-churn chain: every `every_ns` of virtual time
+/// the schedule re-draws the presence table, until the first firing
+/// past `until_ns` restores every peer online and flushes parked
+/// mail back onto the wire. Finiteness is what keeps served runs
+/// convergent: after the chain ends, no work can stay stranded at an
+/// offline peer.
+#[derive(Debug)]
+pub struct ChurnPlan {
+    /// The presence schedule applied at each firing.
+    pub schedule: Schedule,
+    /// Virtual-time cadence of the firings, in nanoseconds (must be
+    /// nonzero for the chain to be seeded).
+    pub every_ns: u64,
+    /// Virtual time after which the chain restores full presence and
+    /// ends.
+    pub until_ns: u64,
+}
+
+/// The serving-side inputs of [`run_chaotic_serving`].
+pub struct ServingHooks<'h> {
+    /// The pre-planned injections, indexed by `Serve` events.
+    pub plan: &'h [InjectionPlan],
+    /// Optional transient churn riding the run.
+    pub churn: Option<ChurnPlan>,
+    /// Called once per [`Inject::Query`] with the query index, the
+    /// virtual arrival time, and the cluster's current (read-only)
+    /// state. The callback must not feed anything back into the
+    /// runtime — it models the serving path, which shares the wire
+    /// but not the rank schedule.
+    pub on_query: &'h mut dyn FnMut(u32, u64, &Cluster),
+}
+
+impl std::fmt::Debug for ServingHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingHooks")
+            .field("plan", &self.plan.len())
+            .field("churn", &self.churn)
+            .finish()
+    }
 }
 
 /// What one chaotic run did.
@@ -392,8 +484,9 @@ impl Runner<'_> {
 /// and the cluster is quiescent, or when `max_events` have executed.
 ///
 /// `detector` carries Safra state across segments of a continuous
-/// run; pass a fresh one for a single-shot run. All peers are assumed
-/// online: transient churn is the round loop's store-and-resend
+/// run; pass a fresh one for a single-shot run. Presence is frozen
+/// for the whole run (offline peers neither step nor receive);
+/// *transient* churn during a run is [`run_chaotic_serving`]'s
 /// domain, while *permanent* departures are handled by
 /// [`Cluster::peer_depart_redirecting`] between segments.
 pub fn run_chaotic<R: Recorder + ?Sized>(
@@ -407,6 +500,43 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
     // With a live recorder the run also traces causal spans, so the
     // JSONL trace carries the full `span_closed` stream plus the
     // `chaotic_health` summary for `dpr profile --input`.
+    let mut peers = peers.clone();
+    run_chaotic_inner(
+        cluster,
+        &mut peers,
+        cfg,
+        detector,
+        max_events,
+        rec,
+        rec.enabled(),
+        None,
+    )
+    .0
+}
+
+/// [`run_chaotic`] with production traffic riding the event queue:
+/// the pre-planned query arrivals and rank updates in `hooks.plan`
+/// fire as `Serve` events interleaved with the rank computation's
+/// `Step`/`Deliver` stream, and an optional finite [`ChurnPlan`]
+/// re-draws `peers` on a virtual-time cadence (mail to offline peers
+/// parks at the sender and flushes when they return — the round
+/// loop's store-and-resend semantics, barrier-free).
+///
+/// Serving is *pure observation of the schedule*: queries never
+/// schedule events, and neither `Serve` nor `Churn` folds into
+/// `schedule_fnv` or consults the recorder for control flow, so
+/// ranks and the fingerprint are bit-identical with telemetry on or
+/// off, and a plan of queries-only leaves them identical to the
+/// unserved run.
+pub fn run_chaotic_serving<R: Recorder + ?Sized>(
+    cluster: &mut Cluster,
+    peers: &mut PeerTable,
+    cfg: &ChaoticConfig,
+    detector: &mut TerminationDetector,
+    max_events: u64,
+    rec: &R,
+    hooks: ServingHooks<'_>,
+) -> ChaoticOutcome {
     run_chaotic_inner(
         cluster,
         peers,
@@ -415,6 +545,7 @@ pub fn run_chaotic<R: Recorder + ?Sized>(
         max_events,
         rec,
         rec.enabled(),
+        Some(hooks),
     )
     .0
 }
@@ -433,19 +564,24 @@ pub fn run_chaotic_profiled<R: Recorder + ?Sized>(
     max_events: u64,
     rec: &R,
 ) -> (ChaoticOutcome, Profile) {
-    let (out, tracer) = run_chaotic_inner(cluster, peers, cfg, detector, max_events, rec, true);
+    let mut peers = peers.clone();
+    let (out, tracer) = run_chaotic_inner(
+        cluster, &mut peers, cfg, detector, max_events, rec, true, None,
+    );
     let profile = Profile::from_spans(tracer.expect("tracing forced on").into_spans());
     (out, profile)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_chaotic_inner<R: Recorder + ?Sized>(
     cluster: &mut Cluster,
-    peers: &PeerTable,
+    peers: &mut PeerTable,
     cfg: &ChaoticConfig,
     detector: &mut TerminationDetector,
     max_events: u64,
     rec: &R,
     trace: bool,
+    mut hooks: Option<ServingHooks<'_>>,
 ) -> (ChaoticOutcome, Option<SpanTracer>) {
     let n = cluster.num_peers();
     let compute_ns: Vec<u64> = (0..n as u32)
@@ -471,10 +607,24 @@ fn run_chaotic_inner<R: Recorder + ?Sized>(
         detector,
         tracer: trace.then(|| SpanTracer::new(n)),
     };
-    // Seed the schedule: one step per peer with queued work.
+    // Seed the schedule: one step per online peer with queued work.
     for p in 0..n as u32 {
-        if cluster.node(PeerId(p)).has_work() {
+        if peers.is_online(PeerId(p)) && cluster.node(PeerId(p)).has_work() {
             r.schedule_step(PeerId(p), r.compute_ns[p as usize]);
+        }
+    }
+    if let Some(h) = &hooks {
+        // Serving injections fire at their planned times; they count
+        // as live so the run outlasts an early rank quiescence.
+        for (i, inj) in h.plan.iter().enumerate() {
+            r.queue.push(inj.at_ns, Ev::Serve { idx: i as u32 });
+            r.live += 1;
+        }
+        if let Some(c) = &h.churn {
+            if c.every_ns > 0 {
+                r.queue.push(c.every_ns, Ev::Churn);
+                r.live += 1;
+            }
         }
     }
     r.queue.push(PROBE_INTERVAL_NS, Ev::Probe);
@@ -528,7 +678,10 @@ fn run_chaotic_inner<R: Recorder + ?Sized>(
                         if status == DeliverStatus::Saturated {
                             r.saturated += 1;
                         }
-                        if cluster.node(to).has_work() {
+                        // An in-flight frame still lands in an
+                        // offline peer's mailbox, but the peer steps
+                        // only once churn brings it back.
+                        if peers.is_online(to) && cluster.node(to).has_work() {
                             let delay = match status {
                                 // Backpressure: a saturated inbox
                                 // forfeits its coalescing window.
@@ -558,6 +711,73 @@ fn run_chaotic_inner<R: Recorder + ?Sized>(
                 }
                 if r.live > 0 {
                     r.queue.push(r.now + AUDIT_INTERVAL_NS, Ev::Audit);
+                }
+            }
+            Ev::Serve { idx } => {
+                r.live -= 1;
+                r.now = t;
+                let h = hooks.as_mut().expect("Serve events require hooks");
+                match h.plan[idx as usize].what {
+                    Inject::Query(q) => (h.on_query)(q, t, cluster),
+                    Inject::Update { doc, delta } => {
+                        let holder = cluster.apply_delta_at(doc, delta);
+                        if peers.is_online(holder) && cluster.node(holder).has_work() {
+                            let delay = r.step_delay(cluster, holder);
+                            r.request_step(holder, r.now + delay);
+                        }
+                    }
+                }
+            }
+            Ev::Churn => {
+                r.live -= 1;
+                r.now = t;
+                let h = hooks.as_mut().expect("Churn events require hooks");
+                let c = h.churn.as_mut().expect("Churn events require a plan");
+                let before: Vec<bool> = (0..n).map(|i| peers.is_online(PeerId(i as u32))).collect();
+                let last = t.saturating_add(c.every_ns) > c.until_ns;
+                if last {
+                    // End of the chain: restore full presence so
+                    // nothing stays stranded at an offline peer.
+                    for p in 0..n as u32 {
+                        peers.go_online(PeerId(p));
+                    }
+                } else {
+                    c.schedule.apply(peers);
+                }
+                for (i, &was_on) in before.iter().enumerate() {
+                    let p = PeerId(i as u32);
+                    let on = peers.is_online(p);
+                    if on == was_on {
+                        continue;
+                    }
+                    if !on {
+                        // Displace any pending step; the peer
+                        // resumes when it returns.
+                        r.step_due[i] = None;
+                    }
+                    if rec.enabled() {
+                        rec.event(&Event::PeerChurn {
+                            round: r.tick(),
+                            peer: p.0,
+                            online: on,
+                        });
+                    }
+                }
+                // Store-and-resend: parked mail for returned peers
+                // goes back on the wire now.
+                for o in cluster.retry_pending_outcomes(peers) {
+                    r.schedule_delivery(o.from, o.to, o.bytes, o.frame);
+                }
+                for (i, &was_on) in before.iter().enumerate() {
+                    let p = PeerId(i as u32);
+                    if !was_on && peers.is_online(p) && cluster.node(p).has_work() {
+                        let delay = r.step_delay(cluster, p);
+                        r.request_step(p, r.now + delay);
+                    }
+                }
+                if !last {
+                    r.queue.push(t + c.every_ns, Ev::Churn);
+                    r.live += 1;
                 }
             }
         }
@@ -733,6 +953,131 @@ mod tests {
             let rel = (x - y).abs() / y.abs().max(1e-12);
             assert!(rel < 1e-4, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn query_serving_leaves_the_schedule_untouched() {
+        let mk = || build(400, 8, 1e-6, 95, SchedMode::Priority).0;
+        let cfg = ChaoticConfig {
+            seed: 95,
+            latency: LatencyModel::Broadband,
+            sched: SchedMode::Priority,
+            epsilon: 1e-6,
+        };
+        let mut base = mk();
+        let base_out = run(&mut base, 8, &cfg);
+        assert!(base_out.quiesced);
+
+        let mut served = mk();
+        let mut peers = PeerTable::new(8);
+        let mut det = TerminationDetector::new(8);
+        let plan: Vec<InjectionPlan> = (0..50u32)
+            .map(|i| InjectionPlan {
+                at_ns: 10_000_000 * (u64::from(i) + 1),
+                what: Inject::Query(i),
+            })
+            .collect();
+        let mut seen = Vec::new();
+        let out = run_chaotic_serving(
+            &mut served,
+            &mut peers,
+            &cfg,
+            &mut det,
+            100_000_000,
+            &NOOP,
+            ServingHooks {
+                plan: &plan,
+                churn: None,
+                on_query: &mut |q, t, c| seen.push((q, t, c.num_peers())),
+            },
+        );
+        assert_eq!(seen.len(), 50, "every planned query fires");
+        assert!(seen.windows(2).all(|w| w[0].1 <= w[1].1), "arrival order");
+        assert_eq!(
+            out.schedule_fnv, base_out.schedule_fnv,
+            "queries must not perturb the schedule"
+        );
+        assert_eq!(
+            (out.steps, out.deliveries),
+            (base_out.steps, base_out.deliveries)
+        );
+        let (ra, rb) = (base.collect_ranks(400), served.collect_ranks(400));
+        for (a, b) in ra.iter().zip(&rb) {
+            assert_eq!(a.to_bits(), b.to_bits(), "ranks must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn churned_updates_quiesce_deterministically_with_telemetry_off_or_on() {
+        use dpr_telemetry::Recorder;
+        let mk = || build(400, 8, 1e-5, 96, SchedMode::Pass).0;
+        let cfg = ChaoticConfig {
+            seed: 96,
+            latency: LatencyModel::Lan,
+            sched: SchedMode::Pass,
+            epsilon: 1e-5,
+        };
+        let mut plan = Vec::new();
+        for i in 0..20u32 {
+            plan.push(InjectionPlan {
+                at_ns: 5_000_000 * (u64::from(i) + 1),
+                what: if i % 2 == 0 {
+                    Inject::Update {
+                        doc: DocId(i * 7 % 400),
+                        delta: 0.2,
+                    }
+                } else {
+                    Inject::Query(i)
+                },
+            });
+        }
+        let run_one = |rec: &dyn Recorder| {
+            let mut cluster = mk();
+            let mut peers = PeerTable::new(8);
+            let mut det = TerminationDetector::new(8);
+            let mut queries = 0usize;
+            let out = run_chaotic_serving(
+                &mut cluster,
+                &mut peers,
+                &cfg,
+                &mut det,
+                100_000_000,
+                rec,
+                ServingHooks {
+                    plan: &plan,
+                    churn: Some(ChurnPlan {
+                        schedule: Schedule::fraction(0.75, 7),
+                        every_ns: 20_000_000,
+                        until_ns: 300_000_000,
+                    }),
+                    on_query: &mut |_, _, _| queries += 1,
+                },
+            );
+            assert_eq!(peers.num_online(), 8, "churn chain must end fully online");
+            (out, cluster.collect_ranks(400), queries)
+        };
+        let (oa, ra, qa) = run_one(&NOOP);
+        let (ob, rb, qb) = run_one(&NOOP);
+        assert_eq!(oa, ob, "same seed, same served schedule");
+        assert_eq!(qa, qb);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(oa.quiesced, "served run must still quiesce");
+        assert!(oa.announced, "Safra must certify the served run");
+        // Telemetry on: bit-identical ranks and fingerprint (zero
+        // perturbation), with the churn surfaced in the trace.
+        let rec = dpr_telemetry::TraceRecorder::new();
+        let (oc, rc, _) = run_one(&rec);
+        assert_eq!(oc.schedule_fnv, oa.schedule_fnv);
+        assert_eq!((oc.steps, oc.deliveries), (oa.steps, oa.deliveries));
+        for (x, y) in rc.iter().zip(&ra) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::PeerChurn { .. })));
     }
 
     #[test]

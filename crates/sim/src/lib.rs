@@ -20,6 +20,9 @@
 //!   behind `dpr doctor`.
 //! * [`scenario`] — one function per experiment family; each returns a
 //!   serializable record that the `table*` binaries print.
+//! * [`serving`] — production query traffic served against the live
+//!   rank computation: latency SLOs, quantile sketches, and per-query
+//!   causal spans (`dpr serve`).
 //! * [`metrics`] — plain-text table rendering for experiment output.
 //! * [`report`] — JSON persistence of experiment records.
 
@@ -33,6 +36,7 @@ pub mod hops;
 pub mod metrics;
 pub mod report;
 pub mod scenario;
+pub mod serving;
 pub mod workload;
 
 pub use scenario::{

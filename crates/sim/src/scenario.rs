@@ -131,6 +131,129 @@ pub fn run_convergence_observed<R: Recorder + ?Sized>(
 }
 
 // ---------------------------------------------------------------------------
+// Table 1 under the chaotic runtime: transient churn as events
+
+/// Parameters of a chaotic-runtime churn run (Table 1's cell under
+/// `--run-mode chaotic` instead of lockstep rounds).
+#[derive(Debug, Clone)]
+pub struct ChaoticChurnConfig {
+    /// Error threshold ε.
+    pub epsilon: f64,
+    /// The network model (drives both link latency and the churn
+    /// redraw cadence, one coalesce window per redraw).
+    pub latency: crate::event::LatencyModel,
+    /// Scheduling mode.
+    pub sched: SchedMode,
+    /// Presence redraws before the system is left to settle (the
+    /// final redraw restores every peer).
+    pub redraws: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ChaoticChurnConfig {
+    fn default() -> Self {
+        ChaoticChurnConfig {
+            epsilon: 1e-4,
+            latency: crate::event::LatencyModel::Broadband,
+            sched: SchedMode::Pass,
+            redraws: 8,
+            seed: 2003,
+        }
+    }
+}
+
+/// One Table 1 cell measured on the discrete-event runtime.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaoticChurnResult {
+    /// Documents in the graph.
+    pub graph_size: usize,
+    /// Peers in the system.
+    pub num_peers: usize,
+    /// Long-run fraction of peers online under the schedule.
+    pub nominal_presence: f64,
+    /// Error threshold ε.
+    pub epsilon: f64,
+    /// Network model name.
+    pub latency: String,
+    /// Local passes executed.
+    pub steps: u64,
+    /// Envelopes delivered.
+    pub deliveries: u64,
+    /// Virtual time to quiescence, milliseconds.
+    pub virtual_ms: f64,
+    /// Whether the run reached certified quiescence.
+    pub quiesced: bool,
+    /// FNV fingerprint of the executed schedule (determinism pin).
+    pub schedule_fnv: u64,
+}
+
+/// Runs Table 1's churn experiment on the chaotic event runtime: peer
+/// presence is redrawn from `schedule` as *transient* `Churn` events
+/// (offline peers buffer in-flight work via store-and-resend and catch
+/// up on return), rather than the rounds-mode per-pass redraw. Accepts
+/// any [`Schedule`] — `fraction` for Table 1's presence levels,
+/// `sessions` for the exponential session-length model.
+pub fn run_convergence_chaotic_observed<R: Recorder + ?Sized>(
+    w: &Workload,
+    cfg: &ChaoticChurnConfig,
+    schedule: Schedule,
+    rec: &R,
+) -> ChaoticChurnResult {
+    use crate::event::{run_chaotic_serving, ChaoticConfig, ChurnPlan, ServingHooks};
+    use dpr_node::node::WireMode;
+    use dpr_node::termination::TerminationDetector;
+
+    let nominal_presence = schedule.nominal_fraction();
+    let mut cluster = dpr_node::Cluster::build_with(
+        &w.graph,
+        &w.placement,
+        w.num_peers,
+        EngineConfig::with_epsilon(cfg.epsilon).with_sched(cfg.sched),
+        WireMode::frames(),
+    );
+    let mut peers = w.peer_table();
+    let mut detector = TerminationDetector::new(w.num_peers);
+    let every_ns = cfg.latency.coalesce_window_ns();
+    let churn = (cfg.redraws > 0).then(|| ChurnPlan {
+        schedule,
+        every_ns,
+        until_ns: every_ns.saturating_mul(u64::from(cfg.redraws)),
+    });
+    let mut on_query = |_q: u32, _at: u64, _c: &dpr_node::Cluster| {};
+    let out = run_chaotic_serving(
+        &mut cluster,
+        &mut peers,
+        &ChaoticConfig {
+            seed: cfg.seed,
+            latency: cfg.latency,
+            sched: cfg.sched,
+            epsilon: cfg.epsilon,
+        },
+        &mut detector,
+        1_000_000_000,
+        rec,
+        ServingHooks {
+            plan: &[],
+            churn,
+            on_query: &mut on_query,
+        },
+    );
+    ChaoticChurnResult {
+        graph_size: w.graph.num_nodes(),
+        num_peers: w.num_peers,
+        nominal_presence,
+        epsilon: cfg.epsilon,
+        latency: cfg.latency.to_string(),
+        steps: out.steps,
+        deliveries: out.deliveries,
+        virtual_ms: out.virtual_ns as f64 / 1e6,
+        quiesced: out.quiesced,
+        schedule_fnv: out.schedule_fnv,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tables 2 & 3: quality and traffic vs epsilon
 
 /// One (graph, ε) run: quality against the synchronous reference plus
@@ -766,6 +889,31 @@ mod tests {
         }
         // Error accumulates slowly, not explosively.
         assert!(points.last().unwrap().avg_rel_error < 0.05);
+    }
+
+    #[test]
+    fn chaotic_runtime_converges_under_fraction_and_session_churn() {
+        let w = Workload::paper(1_200, 16, 6);
+        let cfg = ChaoticChurnConfig {
+            epsilon: 1e-3,
+            latency: crate::event::LatencyModel::Lan,
+            redraws: 6,
+            seed: 6,
+            ..Default::default()
+        };
+        let frac = run_convergence_chaotic_observed(&w, &cfg, Schedule::fraction(0.7, 6), &NOOP);
+        assert!(frac.quiesced, "fraction churn must settle");
+        assert!((frac.nominal_presence - 0.7).abs() < 1e-9);
+        // Session-model churn (exponential on/off) also settles.
+        let sess =
+            run_convergence_chaotic_observed(&w, &cfg, Schedule::sessions(3.0, 1.0, 6), &NOOP);
+        assert!(sess.quiesced, "session churn must settle");
+        assert!(sess.nominal_presence > 0.5 && sess.nominal_presence < 1.0);
+        // Deterministic per seed: the executed schedule is pinned.
+        let again = run_convergence_chaotic_observed(&w, &cfg, Schedule::fraction(0.7, 6), &NOOP);
+        assert_eq!(frac.schedule_fnv, again.schedule_fnv);
+        assert_eq!(frac.steps, again.steps);
+        assert_eq!(frac.deliveries, again.deliveries);
     }
 
     #[test]

@@ -268,6 +268,56 @@ pub enum Event {
         /// Largest un-stepped arrival depth any peer reached.
         max_inbox_depth: u64,
     },
+    /// One closed stage of a served query's causal chain
+    /// (`query_issued` → `term_lookup` → `posting_ship` →
+    /// `intersect` → `result_page`). Deliberately a separate kind
+    /// from [`Event::SpanClosed`]: the chaotic profiler's span
+    /// taxonomy is closed (unknown kinds are parse errors there), so
+    /// query stages ride their own event.
+    QuerySpan {
+        /// Query sequence number within the serving run, starting
+        /// at 1.
+        query: u64,
+        /// Stage name (`"query_issued"`, `"term_lookup"`,
+        /// `"posting_ship"`, `"intersect"`, `"result_page"`).
+        stage: String,
+        /// Peer the stage executed at (the coordinating peer).
+        peer: u32,
+        /// Virtual start time, nanoseconds.
+        start_ns: u64,
+        /// Virtual end time, nanoseconds.
+        end_ns: u64,
+        /// Overlay hops charged by the stage.
+        hops: u64,
+        /// Bytes shipped by the stage (posting fragments, result
+        /// page).
+        bytes: u64,
+        /// Stage ordinal of the cause within the same query (0 =
+        /// the arrival event itself), forming the per-query causal
+        /// chain.
+        cause: u64,
+    },
+    /// End-of-run health summary of a serving workload: the query-side
+    /// counterpart of [`Event::ChaoticHealth`].
+    ServingHealth {
+        /// Queries served.
+        queries: u64,
+        /// p50 end-to-end query latency, nanoseconds.
+        p50_ns: u64,
+        /// p99 end-to-end query latency, nanoseconds.
+        p99_ns: u64,
+        /// p999 end-to-end query latency, nanoseconds.
+        p999_ns: u64,
+        /// Total overlay hops across all queries.
+        hops: u64,
+        /// Total posting/result bytes shipped across all queries.
+        bytes_shipped: u64,
+        /// p99 rank staleness at query time vs. the converged fixed
+        /// point, parts-per-million.
+        stale_p99_ppm: u64,
+        /// Number of SLO objectives that failed their error budget.
+        slo_violations: u64,
+    },
     /// The quiescence certificate emitted when a cluster run claims
     /// termination: every field must witness "truly done".
     QuiescenceCert {
@@ -368,6 +418,12 @@ event_codec! {
     }
     ChaoticHealth => "chaotic_health" {
         events, steps, deliveries, displaced, saturated, coalesce_hits, max_inbox_depth,
+    }
+    QuerySpan => "query_span" {
+        query, stage, peer, start_ns, end_ns, hops, bytes, cause,
+    }
+    ServingHealth => "serving_health" {
+        queries, p50_ns, p99_ns, p999_ns, hops, bytes_shipped, stale_p99_ppm, slo_violations,
     }
     QuiescenceCert => "quiescence_cert" {
         round, in_flight_entries, parked, nodes_with_work, token, max_residual, epsilon,
@@ -501,6 +557,26 @@ mod tests {
                 saturated: 41,
                 coalesce_hits: 310,
                 max_inbox_depth: 32,
+            },
+            Event::QuerySpan {
+                query: 12,
+                stage: "posting_ship".into(),
+                peer: 4,
+                start_ns: 1_000,
+                end_ns: 38_000,
+                hops: 5,
+                bytes: 1_024,
+                cause: 2,
+            },
+            Event::ServingHealth {
+                queries: 500,
+                p50_ns: 42_000_000,
+                p99_ns: 180_000_000,
+                p999_ns: 240_000_000,
+                hops: 6_200,
+                bytes_shipped: 2_400_000,
+                stale_p99_ppm: 870,
+                slo_violations: 0,
             },
             Event::QuiescenceCert {
                 round: 41,

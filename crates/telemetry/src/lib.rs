@@ -66,8 +66,10 @@ pub mod hist;
 pub mod metric;
 pub mod profile;
 pub mod prom;
+pub mod quantile;
 pub mod recorder;
 pub mod replay;
+pub mod slo;
 pub mod span;
 pub mod summary;
 pub mod table;
@@ -76,7 +78,9 @@ pub use audit::{AuditReport, MassBreakdown};
 pub use event::Event;
 pub use metric::Metric;
 pub use profile::Profile;
+pub use quantile::QuantileSketch;
 pub use recorder::{NoopRecorder, Recorder, Span, TraceRecorder, NOOP};
 pub use replay::Capture;
+pub use slo::{SloReport, SloSpec};
 pub use span::{SpanKind, SpanRec, SpanTracer};
 pub use summary::TraceSummary;

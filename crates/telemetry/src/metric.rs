@@ -116,6 +116,16 @@ metrics! {
         "Chaotic steps that folded two or more waiting arrivals into one pass";
     InboxDepth = 25 => Histogram, "dpr_inbox_depth",
         "Un-stepped arrival depth consumed per chaotic step";
+    QueriesServed = 26 => Counter, "dpr_queries_served",
+        "Search queries executed by the serving workload";
+    QueryLatencyNs = 27 => Histogram, "dpr_query_latency_ns",
+        "End-to-end virtual query latency in nanoseconds";
+    QueryHops = 28 => Histogram, "dpr_query_hops",
+        "Overlay hops charged per served query";
+    QueryBytes = 29 => Histogram, "dpr_query_bytes",
+        "Posting and result bytes shipped per served query";
+    RankStalenessPpm = 30 => Histogram, "dpr_rank_staleness_ppm",
+        "Rank staleness at query time vs. the converged fixed point, parts-per-million";
 }
 
 #[cfg(test)]

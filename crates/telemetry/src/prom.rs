@@ -7,10 +7,25 @@
 //! cumulative values stay correct because the running total carries
 //! across skipped buckets.
 
+//! Quantile sketches ([`crate::quantile::QuantileSketch`]) render as
+//! Prometheus *summary* metrics via [`render_summary`]: pre-computed
+//! `{quantile="..."}` gauge lines plus `_sum`/`_count`, which is the
+//! exposition shape for client-side quantiles (a histogram would
+//! re-derive them server-side from coarser buckets).
+
 use crate::hist::{bucket_upper_bound, BUCKETS};
 use crate::metric::{Metric, MetricKind};
+use crate::quantile::QuantileSketch;
 use crate::recorder::TraceRecorder;
 use std::fmt::Write;
+
+/// Quantile labels emitted for every summary.
+const SUMMARY_QUANTILES: [(f64, &str); 4] = [
+    (0.50, "0.5"),
+    (0.95, "0.95"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+];
 
 /// Renders the full snapshot.
 pub fn render(rec: &TraceRecorder) -> String {
@@ -55,6 +70,26 @@ fn render_histogram(out: &mut String, metric: Metric, rec: &TraceRecorder) {
     let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
+/// Renders one quantile sketch as a Prometheus summary named `name`.
+pub fn render_summary(out: &mut String, name: &str, help: &str, sketch: &QuantileSketch) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, label) in SUMMARY_QUANTILES {
+        let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", sketch.quantile(q));
+    }
+    let _ = writeln!(out, "{name}_sum {}", sketch.sum());
+    let _ = writeln!(out, "{name}_count {}", sketch.count());
+}
+
+/// Renders a batch of named sketches as summaries, in order.
+pub fn render_summaries(sketches: &[(&str, &str, &QuantileSketch)]) -> String {
+    let mut out = String::new();
+    for (name, help, sketch) in sketches {
+        render_summary(&mut out, name, help, sketch);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +127,19 @@ mod tests {
         }
         // Empty histograms still expose the mandatory +Inf bucket.
         assert!(text.contains("dpr_flush_occupancy_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn sketches_render_as_summaries() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=100u64 {
+            s.observe(v);
+        }
+        let text = render_summaries(&[("dpr_query_latency_ns_summary", "latency", &s)]);
+        assert!(text.contains("# TYPE dpr_query_latency_ns_summary summary"));
+        assert!(text.contains("dpr_query_latency_ns_summary{quantile=\"0.5\"} 50"));
+        assert!(text.contains("dpr_query_latency_ns_summary{quantile=\"0.999\"} 100"));
+        assert!(text.contains("dpr_query_latency_ns_summary_count 100"));
+        assert!(text.contains("dpr_query_latency_ns_summary_sum 5050"));
     }
 }

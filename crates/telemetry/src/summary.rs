@@ -163,6 +163,32 @@ pub struct ChaoticHealthSummary {
     pub max_inbox_depth: u64,
 }
 
+/// Serving-workload health aggregated over a trace: sums of every
+/// `ServingHealth` event (the serving driver emits one per run), with
+/// the latency/staleness quantiles taken as maxima across runs — the
+/// conservative roll-up for a pass/fail read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingHealthSummary {
+    /// Serving runs (one `ServingHealth` event each).
+    pub runs: u64,
+    /// Queries served across runs.
+    pub queries: u64,
+    /// Worst p50 end-to-end query latency across runs, nanoseconds.
+    pub p50_ns: u64,
+    /// Worst p99 end-to-end query latency across runs, nanoseconds.
+    pub p99_ns: u64,
+    /// Worst p999 end-to-end query latency across runs, nanoseconds.
+    pub p999_ns: u64,
+    /// Total overlay hops across all queries.
+    pub hops: u64,
+    /// Total posting/result bytes shipped.
+    pub bytes_shipped: u64,
+    /// Worst p99 rank staleness across runs, parts-per-million.
+    pub stale_p99_ppm: u64,
+    /// Total SLO objectives that failed their error budget.
+    pub slo_violations: u64,
+}
+
 /// Everything `dpr trace` needs, derived once from an event stream.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -376,6 +402,68 @@ impl TraceSummary {
         (agg.segments > 0).then_some(agg)
     }
 
+    /// Aggregates the serving-workload health counters, or `None` when
+    /// the trace holds no `ServingHealth` events (a run without the
+    /// serving workload, or a writer predating it).
+    pub fn serving_health(&self) -> Option<ServingHealthSummary> {
+        let mut agg = ServingHealthSummary::default();
+        for e in &self.events {
+            if let Event::ServingHealth {
+                queries,
+                p50_ns,
+                p99_ns,
+                p999_ns,
+                hops,
+                bytes_shipped,
+                stale_p99_ppm,
+                slo_violations,
+            } = e
+            {
+                agg.runs += 1;
+                agg.queries += queries;
+                agg.p50_ns = agg.p50_ns.max(*p50_ns);
+                agg.p99_ns = agg.p99_ns.max(*p99_ns);
+                agg.p999_ns = agg.p999_ns.max(*p999_ns);
+                agg.hops += hops;
+                agg.bytes_shipped += bytes_shipped;
+                agg.stale_p99_ppm = agg.stale_p99_ppm.max(*stale_p99_ppm);
+                agg.slo_violations += slo_violations;
+            }
+        }
+        (agg.runs > 0).then_some(agg)
+    }
+
+    /// Renders the serving health counters as a text table (empty when
+    /// the trace has none).
+    pub fn render_serving_health(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "runs",
+            "queries",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+            "hops",
+            "bytes shipped",
+            "stale p99 ppm",
+            "slo violations",
+        ]);
+        if let Some(h) = self.serving_health() {
+            let ms = |ns: u64| format!("{:.2}", ns as f64 / 1e6);
+            t.push([
+                h.runs.to_string(),
+                h.queries.to_string(),
+                ms(h.p50_ns),
+                ms(h.p99_ns),
+                ms(h.p999_ns),
+                h.hops.to_string(),
+                fmt_bytes(h.bytes_shipped),
+                h.stale_p99_ppm.to_string(),
+                h.slo_violations.to_string(),
+            ]);
+        }
+        t
+    }
+
     /// Renders the chaotic health counters as a text table (empty when
     /// the trace has none).
     pub fn render_chaotic_health(&self) -> TextTable {
@@ -579,6 +667,36 @@ mod tests {
 
         let rounds_only = TraceSummary::from_events(vec![check("r", 1, 1.0)]);
         assert_eq!(rounds_only.chaotic_health(), None);
+    }
+
+    #[test]
+    fn serving_health_sums_runs_and_maxes_quantiles() {
+        let health = |queries: u64, p99: u64, violations: u64| Event::ServingHealth {
+            queries,
+            p50_ns: p99 / 4,
+            p99_ns: p99,
+            p999_ns: p99 * 2,
+            hops: queries * 3,
+            bytes_shipped: queries * 100,
+            stale_p99_ppm: 40,
+            slo_violations: violations,
+        };
+        let s = TraceSummary::from_events(vec![
+            check("r", 1, 1.0),
+            health(300, 80_000_000, 0),
+            health(200, 120_000_000, 1),
+        ]);
+        let h = s.serving_health().unwrap();
+        assert_eq!(h.runs, 2);
+        assert_eq!(h.queries, 500);
+        assert_eq!(h.p99_ns, 120_000_000, "quantiles roll up as maxima");
+        assert_eq!(h.hops, 1500);
+        assert_eq!(h.bytes_shipped, 50_000);
+        assert_eq!(h.slo_violations, 1);
+        assert!(s.render_serving_health().render().contains("p99 ms"));
+
+        let no_serving = TraceSummary::from_events(vec![check("r", 1, 1.0)]);
+        assert_eq!(no_serving.serving_health(), None);
     }
 
     #[test]

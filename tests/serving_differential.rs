@@ -1,0 +1,99 @@
+//! Workspace-level serving-path guarantees, exercised through the
+//! facade crate: serving telemetry is pure observation (bit-identical
+//! rank schedule and quantiles with the recorder on or off), the
+//! served run is deterministic per seed, and the SLO verdict collapses
+//! correctly in both directions.
+
+use distributed_pagerank::sim::event::LatencyModel;
+use distributed_pagerank::sim::serving::{serving_experiment, ServeStrategy, ServingConfig};
+use distributed_pagerank::telemetry::slo::SloSpec;
+use distributed_pagerank::telemetry::{Event, TraceRecorder, NOOP};
+
+fn cfg(seed: u64) -> ServingConfig {
+    ServingConfig {
+        num_docs: 900,
+        vocab_size: 220,
+        num_peers: 18,
+        queries: 36,
+        query_len: 2,
+        qps: 40.0,
+        updates: 12,
+        churn_fraction: 0.75,
+        strategy: ServeStrategy::Incremental {
+            forward_fraction: 0.10,
+        },
+        latency: LatencyModel::Lan,
+        epsilon: 1e-4,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn serving_telemetry_is_zero_perturbation_end_to_end() {
+    let off = serving_experiment(&cfg(31), &NOOP).report;
+    let rec = TraceRecorder::new();
+    let on = serving_experiment(&cfg(31), &rec).report;
+
+    // The rank computation's schedule and every reported measurement
+    // are bit-identical with the recorder attached.
+    assert_eq!(off.schedule_fnv, on.schedule_fnv);
+    assert_eq!(off.p50_ns, on.p50_ns);
+    assert_eq!(off.p95_ns, on.p95_ns);
+    assert_eq!(off.p99_ns, on.p99_ns);
+    assert_eq!(off.p999_ns, on.p999_ns);
+    assert_eq!(off.total_traffic_ids, on.total_traffic_ids);
+    assert_eq!(off.stale_p99_ppm, on.stale_p99_ppm);
+    assert_eq!(off.avg_hops, on.avg_hops);
+    assert!(off.quiesced && on.quiesced);
+
+    // The traced run carries the full serving stream: five causal
+    // spans per query, churn flips, and the health summary — and the
+    // tolerant JSONL parser round-trips all of it.
+    let events = rec.events();
+    let spans = events
+        .iter()
+        .filter(|e| matches!(e, Event::QuerySpan { .. }))
+        .count();
+    assert_eq!(spans, 5 * 36);
+    assert!(events.iter().any(|e| matches!(e, Event::PeerChurn { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::ServingHealth { .. })));
+    let jsonl: String = events
+        .iter()
+        .map(|e| format!("{}\n", serde_json::to_string(e).unwrap()))
+        .collect();
+    let summary = distributed_pagerank::telemetry::TraceSummary::from_jsonl(&jsonl).unwrap();
+    assert!(summary.unknown_events().is_empty(), "no kind is unknown");
+    let health = summary.serving_health().expect("health aggregated");
+    assert_eq!(health.queries, 36);
+    assert_eq!(health.p99_ns, on.p99_ns);
+}
+
+#[test]
+fn served_runs_are_deterministic_per_seed() {
+    let a = serving_experiment(&cfg(77), &NOOP).report;
+    let b = serving_experiment(&cfg(77), &NOOP).report;
+    assert_eq!(a.schedule_fnv, b.schedule_fnv);
+    assert_eq!(a.p999_ns, b.p999_ns);
+    assert_eq!(a.stale_p99_ppm, b.stale_p99_ppm);
+    assert_eq!(a.total_traffic_ids, b.total_traffic_ids);
+    // A different seed takes a different schedule.
+    let c = serving_experiment(&cfg(78), &NOOP).report;
+    assert_ne!(a.schedule_fnv, c.schedule_fnv);
+}
+
+#[test]
+fn slo_verdict_gates_in_both_directions() {
+    let mut pass_cfg = cfg(5);
+    pass_cfg.slos = vec![SloSpec::new("loose", 0.99, u64::MAX, 0.0)];
+    assert!(serving_experiment(&pass_cfg, &NOOP).report.slo_pass);
+
+    let mut fail_cfg = cfg(5);
+    fail_cfg.slos = vec![SloSpec::new("impossible", 0.5, 1, 0.0)];
+    let r = serving_experiment(&fail_cfg, &NOOP).report;
+    assert!(!r.slo_pass, "1 ns p50 target must blow the budget");
+    // The failing spec is attributable: every window violated it.
+    assert_eq!(r.slos[0].windows_violated, r.slos[0].windows_total);
+}
